@@ -1,0 +1,55 @@
+// Ablation B (DESIGN.md §4): how the ear-decomposition benefit scales with
+// the degree-two fraction. We sweep the fraction from 0% to 80% on a fixed
+// biconnected core and time the APSP pipeline with and without the
+// reduction. Expected shape: identical at 0%, monotonically widening gap —
+// the paper's explanation for why as-22july06 (78% removable) gains ~10x
+// while delaunay_n15 (0%) gains nothing.
+#include <benchmark/benchmark.h>
+
+#include "core/ear_apsp.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace eardec;
+
+graph::Graph make_graph(double deg2_fraction) {
+  const graph::Graph core = graph::generators::random_biconnected(150, 450, 11);
+  if (deg2_fraction <= 0) return core;
+  const auto extra = static_cast<graph::VertexId>(
+      150.0 * deg2_fraction / (1.0 - deg2_fraction));
+  return graph::generators::subdivide(core, extra, 12);
+}
+
+void BM_EarApsp(benchmark::State& state) {
+  const graph::Graph g = make_graph(static_cast<double>(state.range(0)) / 100.0);
+  const core::ApspOptions opts{.mode = core::ExecutionMode::Sequential,
+                               .use_ear_reduction = true};
+  for (auto _ : state) {
+    core::EarApsp apsp(g, opts);
+    benchmark::DoNotOptimize(apsp.distance(0, g.num_vertices() - 1));
+  }
+  state.counters["n"] = g.num_vertices();
+  state.counters["deg2_pct"] = static_cast<double>(state.range(0));
+}
+
+void BM_NoEarApsp(benchmark::State& state) {
+  const graph::Graph g = make_graph(static_cast<double>(state.range(0)) / 100.0);
+  const core::ApspOptions opts{.mode = core::ExecutionMode::Sequential,
+                               .use_ear_reduction = false};
+  for (auto _ : state) {
+    core::EarApsp apsp(g, opts);
+    benchmark::DoNotOptimize(apsp.distance(0, g.num_vertices() - 1));
+  }
+  state.counters["n"] = g.num_vertices();
+  state.counters["deg2_pct"] = static_cast<double>(state.range(0));
+}
+
+BENCHMARK(BM_EarApsp)->Arg(0)->Arg(20)->Arg(40)->Arg(60)->Arg(80)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_NoEarApsp)->Arg(0)->Arg(20)->Arg(40)->Arg(60)->Arg(80)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

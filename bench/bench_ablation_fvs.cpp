@@ -1,0 +1,68 @@
+// FVS ablation: the greedy peel heuristic vs the Bafna–Berman–Fujito
+// 2-approximation inside the MCB pipeline. A smaller feedback vertex set
+// means fewer shortest-path trees (|Z| of Algorithm 3), i.e. less label
+// work per phase — at the price of a more expensive FVS computation. The
+// counters show the trade.
+#include <benchmark/benchmark.h>
+
+#include "graph/generators.hpp"
+#include "mcb/ear_mcb.hpp"
+#include "mcb/fvs.hpp"
+
+namespace {
+
+using namespace eardec;
+
+graph::Graph test_graph() {
+  return graph::generators::subdivide(
+      graph::generators::random_biconnected(120, 300, 31), 120, 32);
+}
+
+void BM_McbGreedyFvs(benchmark::State& state) {
+  const graph::Graph g = test_graph();
+  std::size_t fvs_size = 0;
+  for (auto _ : state) {
+    const auto r = mcb::minimum_cycle_basis(
+        g, {.mode = core::ExecutionMode::Sequential,
+            .fvs = mcb::FvsAlgorithm::GreedyPeel});
+    fvs_size = r.stats.fvs_size;
+    benchmark::DoNotOptimize(r.total_weight);
+  }
+  state.counters["fvs"] = static_cast<double>(fvs_size);
+}
+
+void BM_McbBbfFvs(benchmark::State& state) {
+  const graph::Graph g = test_graph();
+  std::size_t fvs_size = 0;
+  for (auto _ : state) {
+    const auto r = mcb::minimum_cycle_basis(
+        g, {.mode = core::ExecutionMode::Sequential,
+            .fvs = mcb::FvsAlgorithm::BafnaBermanFujito});
+    fvs_size = r.stats.fvs_size;
+    benchmark::DoNotOptimize(r.total_weight);
+  }
+  state.counters["fvs"] = static_cast<double>(fvs_size);
+}
+
+void BM_FvsOnlyGreedy(benchmark::State& state) {
+  const graph::Graph g = test_graph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mcb::feedback_vertex_set(g).size());
+  }
+}
+
+void BM_FvsOnlyBbf(benchmark::State& state) {
+  const graph::Graph g = test_graph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mcb::feedback_vertex_set_2approx(g).size());
+  }
+}
+
+BENCHMARK(BM_McbGreedyFvs)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_McbBbfFvs)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FvsOnlyGreedy)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FvsOnlyBbf)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

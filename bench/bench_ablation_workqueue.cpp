@@ -1,0 +1,84 @@
+// Ablation A (DESIGN.md §4): the dynamic double-ended work queue vs a
+// static split of the same work units between CPU threads and the device.
+// Work units are deliberately skewed (one dominant biconnected component
+// plus a long tail of small ones, as in the real datasets) — the regime
+// where a static split strands one side idle and the paper's queue wins.
+// Also sweeps the device batch size.
+#include <atomic>
+#include <thread>
+
+#include <benchmark/benchmark.h>
+
+#include "hetero/scheduler.hpp"
+#include "hetero/work_queue.hpp"
+
+namespace {
+
+using namespace eardec::hetero;
+
+/// Skewed synthetic units: sizes follow the BCC-size distribution of a
+/// block-tree graph (one heavy unit, geometric tail). spin(size) emulates
+/// size-proportional work.
+std::vector<WorkUnit> skewed_units(std::uint32_t count) {
+  std::vector<WorkUnit> units;
+  units.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint64_t size = i == 0 ? 4000 : 1 + 400 / (i + 1);
+    units.push_back({i, size});
+  }
+  return units;
+}
+
+void spin_for(std::uint64_t size) {
+  std::uint64_t acc = 0;
+  for (std::uint64_t i = 0; i < size * 50; ++i) acc += i;
+  benchmark::DoNotOptimize(acc);
+}
+
+void BM_DynamicQueue(benchmark::State& state) {
+  for (auto _ : state) {
+    WorkQueue q(skewed_units(64));
+    run_heterogeneous(
+        q,
+        {.cpu_threads = 2,
+         .cpu_batch = 1,
+         .device_batch = static_cast<std::size_t>(state.range(0))},
+        [](const WorkUnit& u) { spin_for(u.size); },
+        [](const WorkUnit& u) { spin_for(u.size / 4); });  // device 4x faster
+  }
+}
+
+void BM_StaticSplit(benchmark::State& state) {
+  for (auto _ : state) {
+    // Same units, pre-assigned: first half (by heavy order) to the device,
+    // second half to the CPU threads — no stealing across the boundary.
+    auto units = skewed_units(64);
+    WorkQueue order(units);
+    const auto device_share = order.take_heavy(32);
+    const auto cpu_share = order.take_light(32);
+    std::thread device([&] {
+      for (const auto& u : device_share) spin_for(u.size / 4);
+    });
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> cpus;
+    for (int t = 0; t < 2; ++t) {
+      cpus.emplace_back([&] {
+        while (true) {
+          const std::size_t i = next.fetch_add(1);
+          if (i >= cpu_share.size()) return;
+          spin_for(cpu_share[i].size);
+        }
+      });
+    }
+    device.join();
+    for (auto& t : cpus) t.join();
+  }
+}
+
+BENCHMARK(BM_DynamicQueue)->Arg(1)->Arg(4)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_StaticSplit)->Arg(0)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+// Shared support for the table/figure harnesses: wall-clock timing, fixed
+// execution configurations matching the paper's four implementations, and
+// a CSV cache so figure binaries derived from the same sweep (Table 2 /
+// Figure 5 / Figure 6) measure once and render thrice.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/ear_apsp.hpp"
+
+namespace eardec::bench {
+
+inline double time_seconds(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// The paper's four implementations (Table 2 / Figures 5-6 columns).
+struct NamedMode {
+  const char* name;
+  core::ExecutionMode mode;
+};
+
+inline const std::vector<NamedMode>& implementation_modes() {
+  static const std::vector<NamedMode> modes = {
+      {"Sequential", core::ExecutionMode::Sequential},
+      {"Multi-Core", core::ExecutionMode::Multicore},
+      {"GPU", core::ExecutionMode::DeviceOnly},
+      {"CPU+GPU", core::ExecutionMode::Heterogeneous},
+  };
+  return modes;
+}
+
+/// Execution options used by every bench (one physical core in this
+/// container: thread counts model the paper's structure, not its scale).
+inline core::ApspOptions bench_apsp_options(core::ExecutionMode mode) {
+  return {.mode = mode,
+          .cpu_threads = 3,
+          .device = {.workers = 2, .warp_size = 32},
+          .sources_per_unit = 16};
+}
+
+/// Flat key -> value cache of measured seconds, persisted as CSV so the
+/// sibling figure binaries reuse one sweep.
+class SweepCache {
+ public:
+  explicit SweepCache(std::string path) : path_(std::move(path)) {
+    std::ifstream in(path_);
+    std::string line;
+    while (std::getline(in, line)) {
+      const auto comma = line.rfind(',');
+      if (comma == std::string::npos) continue;
+      values_[line.substr(0, comma)] = std::stod(line.substr(comma + 1));
+    }
+  }
+
+  /// Returns the cached value or measures it (and schedules a save).
+  double get_or_measure(const std::string& key,
+                        const std::function<double()>& measure) {
+    const auto it = values_.find(key);
+    if (it != values_.end()) return it->second;
+    const double v = measure();
+    values_[key] = v;
+    dirty_ = true;
+    return v;
+  }
+
+  void save() {
+    if (!dirty_) return;
+    std::ofstream out(path_);
+    for (const auto& [k, v] : values_) {
+      out << k << ',' << v << '\n';
+    }
+    dirty_ = false;
+  }
+
+  ~SweepCache() { save(); }
+
+ private:
+  std::string path_;
+  std::map<std::string, double> values_;
+  bool dirty_ = false;
+};
+
+/// Directory for cached sweeps, created on demand next to the binaries.
+inline std::string sweep_path(const std::string& file) {
+  std::filesystem::create_directories("bench_results");
+  return "bench_results/" + file;
+}
+
+inline void print_rule(int width) {
+  for (int i = 0; i < width; ++i) std::fputc('-', stdout);
+  std::fputc('\n', stdout);
+}
+
+}  // namespace eardec::bench

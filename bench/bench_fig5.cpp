@@ -1,0 +1,38 @@
+// Figure 5 reproduction: relative speedup of the Multi-Core, GPU, and
+// CPU+GPU MCB implementations over the Sequential one (with ear
+// decomposition). The paper reports averages of 3x, 9x, and 11x on a
+// 20-core Xeon + Tesla K40c; this container exposes one physical core, so
+// the measured values show the *ordering* (hetero >= device >= multicore
+// >= 1) rather than those magnitudes — see EXPERIMENTS.md.
+#include <cstdio>
+
+#include "mcb_sweep.hpp"
+
+int main() {
+  using namespace eardec;
+  const auto rows = bench::run_mcb_sweep();
+
+  std::printf("=== Figure 5: speedup over Sequential (with ears) ===\n");
+  std::printf("%-15s %12s %12s %12s\n", "Graph", "Multi-Core", "GPU",
+              "CPU+GPU");
+  bench::print_rule(56);
+  double sums[3] = {};
+  for (const auto& r : rows) {
+    const double seq = r.seconds[0][0];
+    std::printf("%-15s %11.2fx %11.2fx %11.2fx\n", r.graph.c_str(),
+                seq / r.seconds[1][0], seq / r.seconds[2][0],
+                seq / r.seconds[3][0]);
+    for (int m = 0; m < 3; ++m) sums[m] += seq / r.seconds[m + 1][0];
+  }
+  bench::print_rule(56);
+  std::printf("%-15s %11.2fx %11.2fx %11.2fx   (paper: 3x, 9x, 11x)\n",
+              "average", sums[0] / static_cast<double>(rows.size()),
+              sums[1] / static_cast<double>(rows.size()),
+              sums[2] / static_cast<double>(rows.size()));
+  std::printf("note: this container exposes ONE physical core, so ratios\n"
+              "near 1.0 are the ceiling — they show the parallel paths add\n"
+              "only bounded overhead while computing identical bases; the\n"
+              "paper's 3x/9x/11x need its 20-core + K40c platform. See\n"
+              "EXPERIMENTS.md for the full discussion.\n");
+  return 0;
+}

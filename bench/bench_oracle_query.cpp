@@ -1,0 +1,76 @@
+// Query-side benchmark of the distance products: the compact oracle
+// (formula evaluation per query), the paper-faithful full tables (pure
+// lookups), and on-demand Dijkstra (what you would do without any
+// preprocessing). Validates the O(1)-ish query claim that justifies
+// building the oracle at all.
+#include <random>
+
+#include <benchmark/benchmark.h>
+
+#include "core/distance_oracle.hpp"
+#include "graph/datasets.hpp"
+#include "sssp/dijkstra.hpp"
+
+namespace {
+
+using namespace eardec;
+
+const graph::Graph& bench_graph() {
+  static const graph::Graph g =
+      graph::datasets::by_name("cond_mat_2003").make();
+  return g;
+}
+
+std::vector<std::pair<graph::VertexId, graph::VertexId>> query_mix() {
+  const auto& g = bench_graph();
+  std::mt19937_64 rng(5);
+  std::uniform_int_distribution<graph::VertexId> pick(0, g.num_vertices() - 1);
+  std::vector<std::pair<graph::VertexId, graph::VertexId>> q(4096);
+  for (auto& [s, t] : q) {
+    s = pick(rng);
+    t = pick(rng);
+  }
+  return q;
+}
+
+void BM_CompactOracleQuery(benchmark::State& state) {
+  const core::DistanceOracle oracle(
+      bench_graph(), {.mode = core::ExecutionMode::Multicore,
+                      .cpu_threads = 3});
+  const auto queries = query_mix();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& [s, t] = queries[i++ & 4095];
+    benchmark::DoNotOptimize(oracle.distance(s, t));
+  }
+}
+
+void BM_FullTableQuery(benchmark::State& state) {
+  const core::EarApsp apsp(bench_graph(),
+                           {.mode = core::ExecutionMode::Multicore,
+                            .cpu_threads = 3});
+  const auto queries = query_mix();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& [s, t] = queries[i++ & 4095];
+    benchmark::DoNotOptimize(apsp.distance(s, t));
+  }
+}
+
+void BM_OnDemandDijkstra(benchmark::State& state) {
+  const auto& g = bench_graph();
+  const auto queries = query_mix();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& [s, t] = queries[i++ & 4095];
+    benchmark::DoNotOptimize(sssp::dijkstra(g, s).dist[t]);
+  }
+}
+
+BENCHMARK(BM_CompactOracleQuery);
+BENCHMARK(BM_FullTableQuery);
+BENCHMARK(BM_OnDemandDijkstra)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

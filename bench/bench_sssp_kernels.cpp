@@ -1,0 +1,91 @@
+// SSSP/APSP kernel comparison on the kind of reduced graphs phase II
+// actually processes: binary-heap Dijkstra (the CPU kernel), the device
+// frontier kernel (Harish–Narayanan), delta-stepping, and the two
+// Floyd–Warshall variants for the dense-table regime.
+#include <benchmark/benchmark.h>
+
+#include "core/ear_apsp.hpp"
+#include "graph/datasets.hpp"
+#include "reduce/reduced_graph.hpp"
+#include "sssp/delta_stepping.hpp"
+#include "sssp/device_floyd_warshall.hpp"
+#include "sssp/dijkstra.hpp"
+#include "sssp/frontier_sssp.hpp"
+
+namespace {
+
+using namespace eardec;
+
+/// The reduced graph of the c-50 stand-in — the exact workload the
+/// processing phase hands to the kernels.
+const graph::Graph& reduced_graph() {
+  static const graph::Graph g = [] {
+    const graph::Graph full = graph::datasets::by_name("c-50").make();
+    return reduce::ReducedGraph(full, reduce::ReduceMode::ForApsp).graph();
+  }();
+  return g;
+}
+
+void BM_DijkstraSweep(benchmark::State& state) {
+  const auto& g = reduced_graph();
+  sssp::DijkstraWorkspace ws(g.num_vertices());
+  std::vector<graph::Weight> dist(g.num_vertices());
+  for (auto _ : state) {
+    for (graph::VertexId s = 0; s < g.num_vertices(); s += 8) {
+      ws.distances(g, s, dist);
+    }
+    benchmark::DoNotOptimize(dist.data());
+  }
+}
+
+void BM_FrontierSweep(benchmark::State& state) {
+  const auto& g = reduced_graph();
+  hetero::Device dev({.workers = 2, .warp_size = 32});
+  sssp::FrontierWorkspace ws(g.num_vertices());
+  std::vector<graph::Weight> dist(g.num_vertices());
+  for (auto _ : state) {
+    for (graph::VertexId s = 0; s < g.num_vertices(); s += 8) {
+      ws.distances(g, s, dev, dist);
+    }
+    benchmark::DoNotOptimize(dist.data());
+  }
+}
+
+void BM_DeltaSteppingSweep(benchmark::State& state) {
+  const auto& g = reduced_graph();
+  for (auto _ : state) {
+    for (graph::VertexId s = 0; s < g.num_vertices(); s += 8) {
+      benchmark::DoNotOptimize(sssp::delta_stepping(g, s));
+    }
+  }
+}
+
+void BM_BlockedFloydWarshall(benchmark::State& state) {
+  const auto& g = reduced_graph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sssp::blocked_floyd_warshall(g, static_cast<graph::VertexId>(
+                                            state.range(0))));
+  }
+}
+
+void BM_DeviceFloydWarshall(benchmark::State& state) {
+  const auto& g = reduced_graph();
+  hetero::Device dev({.workers = 2, .warp_size = 32});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sssp::device_floyd_warshall(
+        g, dev, static_cast<graph::VertexId>(state.range(0))));
+  }
+}
+
+BENCHMARK(BM_DijkstraSweep)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FrontierSweep)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DeltaSteppingSweep)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BlockedFloydWarshall)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DeviceFloydWarshall)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

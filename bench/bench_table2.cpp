@@ -1,0 +1,45 @@
+// Table 2 reproduction: MCB wall time (seconds) of the four
+// implementations — Sequential, Multi-Core, GPU (software device), and
+// CPU+GPU (heterogeneous) — each with ('w') and without ('w/o') ear
+// decomposition, on the first seven datasets. The paper's shape: the 'w'
+// columns beat 'w/o' in proportion to the degree-2 fraction (as-22july06
+// ~10x, c-50 and cond_mat ~1.3-1.6x, nopoly/OPF/delaunay ~1x).
+#include <cstdio>
+
+#include "mcb_sweep.hpp"
+
+int main() {
+  using namespace eardec;
+  const auto rows = bench::run_mcb_sweep();
+
+  std::printf("=== Table 2: MCB timings (seconds), w = with ears, w/o = "
+              "without ===\n");
+  std::printf("%-15s", "Graph");
+  for (const auto& m : bench::implementation_modes()) {
+    std::printf(" | %10s w %10s w/o", m.name, "");
+  }
+  std::printf("\n");
+  bench::print_rule(15 + 4 * 28);
+  for (const auto& r : rows) {
+    std::printf("%-15s", r.graph.c_str());
+    for (std::size_t m = 0; m < 4; ++m) {
+      std::printf(" | %12.4f %12.4f", r.seconds[m][0], r.seconds[m][1]);
+    }
+    std::printf("\n");
+  }
+  bench::print_rule(15 + 4 * 28);
+
+  double ear_speedup[4] = {};
+  for (const auto& r : rows) {
+    for (std::size_t m = 0; m < 4; ++m) {
+      ear_speedup[m] += r.seconds[m][1] / r.seconds[m][0];
+    }
+  }
+  std::printf("avg speedup from ear decomposition per implementation "
+              "(paper: 3.1x, 2.7x, 2.5x, 2.7x):\n");
+  for (std::size_t m = 0; m < 4; ++m) {
+    std::printf("  %-11s %.2fx\n", bench::implementation_modes()[m].name,
+                ear_speedup[m] / static_cast<double>(rows.size()));
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// The MCB sweep behind Table 2, Figure 5, and Figure 6: wall time of the
+// four implementations (sequential, multicore, device, heterogeneous),
+// each with and without ear decomposition, on the first seven Table-1
+// datasets (the subset the paper's MCB experiments use). Measured once,
+// cached in bench_results/mcb_sweep.csv.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "graph/datasets.hpp"
+#include "mcb/ear_mcb.hpp"
+
+namespace eardec::bench {
+
+struct McbRow {
+  std::string graph;
+  /// seconds[mode][0] = with ears, seconds[mode][1] = without.
+  double seconds[4][2] = {};
+};
+
+inline mcb::McbOptions bench_mcb_options(core::ExecutionMode mode,
+                                         bool with_ears) {
+  return {.mode = mode,
+          .cpu_threads = 3,
+          .device = {.workers = 2, .warp_size = 32},
+          .batch_size = 128,
+          .use_ear_decomposition = with_ears};
+}
+
+inline std::vector<McbRow> run_mcb_sweep() {
+  SweepCache cache(sweep_path("mcb_sweep.csv"));
+  std::vector<McbRow> rows;
+  for (const auto& d : graph::datasets::mcb_seven()) {
+    const graph::Graph g = d.make_small();
+    McbRow row;
+    row.graph = d.name;
+    const auto& modes = implementation_modes();
+    for (std::size_t m = 0; m < modes.size(); ++m) {
+      for (const bool with_ears : {true, false}) {
+        const std::string key = d.name + "/" + modes[m].name +
+                                (with_ears ? "/w" : "/wo");
+        row.seconds[m][with_ears ? 0 : 1] =
+            cache.get_or_measure(key, [&] {
+              return time_seconds([&] {
+                const auto r = mcb::minimum_cycle_basis(
+                    g, bench_mcb_options(modes[m].mode, with_ears));
+                (void)r;
+              });
+            });
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  cache.save();
+  return rows;
+}
+
+}  // namespace eardec::bench

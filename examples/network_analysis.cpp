@@ -1,0 +1,70 @@
+// Network analysis with the extension layer: distance analytics
+// (diameter, radius, centers, closeness) from the ear-decomposition
+// oracle, betweenness centrality from the Brandes kernel, and explicit
+// route extraction — the downstream workflow for a transit or
+// infrastructure network.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/analytics.hpp"
+#include "core/path.hpp"
+#include "graph/generators.hpp"
+#include "graph/stats.hpp"
+#include "sssp/brandes.hpp"
+
+int main() {
+  using namespace eardec;
+
+  // A regional transit network: planar backbone, station chains on lines.
+  graph::Graph net = graph::generators::subdivide(
+      graph::generators::random_planar(9, 11, 0.5, 0.2, 17), 120, 18);
+  std::printf("network: %s\n",
+              graph::to_string(graph::compute_stats(net)).c_str());
+
+  const core::DistanceOracle oracle(
+      net, {.mode = core::ExecutionMode::Multicore, .cpu_threads = 3});
+  const core::DistanceAnalytics a = core::compute_analytics(oracle);
+  std::printf("diameter %.1f, radius %.1f, %zu center(s), first center: %u\n",
+              a.diameter, a.radius, a.centers.size(),
+              a.centers.empty() ? 0 : a.centers.front());
+
+  // Most-central stations by closeness and by betweenness.
+  hetero::ThreadPool pool(3);
+  const std::vector<double> bc = sssp::betweenness_centrality(net, &pool);
+  const auto top_of = [&](const std::vector<double>& score) {
+    graph::VertexId best = 0;
+    for (graph::VertexId v = 1; v < net.num_vertices(); ++v) {
+      if (score[v] > score[best]) best = v;
+    }
+    return best;
+  };
+  const graph::VertexId hub_c = top_of(a.closeness);
+  const graph::VertexId hub_b = top_of(bc);
+  std::printf("closeness hub: %u (%.4f); betweenness hub: %u (%.0f)\n", hub_c,
+              a.closeness[hub_c], hub_b, bc[hub_b]);
+
+  // An end-to-end route across the diameter.
+  graph::VertexId far_a = 0, far_b = 0;
+  for (graph::VertexId v = 0; v < net.num_vertices(); ++v) {
+    if (a.eccentricity[v] == a.diameter) {
+      far_a = v;
+      break;
+    }
+  }
+  for (graph::VertexId v = 0; v < net.num_vertices(); ++v) {
+    if (oracle.distance(far_a, v) == a.diameter) {
+      far_b = v;
+      break;
+    }
+  }
+  const core::Path route = core::reconstruct_path(oracle, far_a, far_b);
+  std::printf("diameter route %u -> %u: weight %.1f over %zu hops (through "
+              "the betweenness hub: %s)\n",
+              far_a, far_b, route.weight, route.edges.size(),
+              std::find(route.vertices.begin(), route.vertices.end(), hub_b) !=
+                      route.vertices.end()
+                  ? "yes"
+                  : "no");
+  return 0;
+}

@@ -1,0 +1,35 @@
+#include "baselines/banerjee_apsp.hpp"
+
+namespace eardec::baselines {
+
+BanerjeeApsp::BanerjeeApsp(const graph::Graph& g,
+                           const core::ApspOptions& options)
+    : peel_(g) {
+  core::ApspOptions opts = options;
+  opts.use_ear_reduction = false;  // BCC decomposition only, per the paper
+  engine_ = std::make_unique<core::EarApspEngine>(peel_.core(), opts);
+}
+
+graph::Weight BanerjeeApsp::distance(graph::VertexId u,
+                                     graph::VertexId v) const {
+  if (u == v) return 0;
+  if (!peel_.kept(u) && !peel_.kept(v)) {
+    // Same pendant tree: the unique tree path is the answer.
+    const graph::Weight td = peel_.tree_distance(u, v);
+    if (td != graph::kInfWeight) return td;
+  }
+  // Route through the attachment points and the core.
+  const graph::VertexId au = peel_.attach(u);
+  const graph::VertexId av = peel_.attach(v);
+  if (au == av) {
+    // Distinct pendant trees (or a tree vertex and its own attach point)
+    // hanging off the same core vertex.
+    return peel_.attach_distance(u) + peel_.attach_distance(v);
+  }
+  const graph::Weight core_d =
+      engine_->query(peel_.to_core(au), peel_.to_core(av));
+  if (core_d == graph::kInfWeight) return graph::kInfWeight;
+  return peel_.attach_distance(u) + core_d + peel_.attach_distance(v);
+}
+
+}  // namespace eardec::baselines

@@ -1,0 +1,74 @@
+#include "baselines/plain_apsp.hpp"
+
+#include <optional>
+
+#include "hetero/scheduler.hpp"
+#include "hetero/work_queue.hpp"
+#include "sssp/dijkstra.hpp"
+#include "sssp/frontier_sssp.hpp"
+
+namespace eardec::baselines {
+
+DistanceMatrix plain_apsp(const Graph& g, const ApspOptions& options) {
+  const graph::VertexId n = g.num_vertices();
+  DistanceMatrix dist(n);
+  if (n == 0) return dist;
+
+  std::optional<hetero::Device> device;
+  if (options.mode == core::ExecutionMode::DeviceOnly ||
+      options.mode == core::ExecutionMode::Heterogeneous) {
+    device.emplace(options.device);
+  }
+
+  std::vector<hetero::WorkUnit> units;
+  const graph::VertexId step = std::max<graph::VertexId>(1, options.sources_per_unit);
+  for (graph::VertexId s = 0; s < n; s += step) {
+    units.push_back({static_cast<std::uint32_t>(s / step), step});
+  }
+  const auto sources_of = [&](const hetero::WorkUnit& wu) {
+    const graph::VertexId begin = wu.id * step;
+    return std::pair{begin, std::min<graph::VertexId>(begin + step, n)};
+  };
+
+  const auto cpu_fn = [&](const hetero::WorkUnit& wu) {
+    const auto [begin, end] = sources_of(wu);
+    sssp::DijkstraWorkspace ws(n);
+    for (graph::VertexId s = begin; s < end; ++s) {
+      ws.distances(g, s, dist.row(s));
+    }
+  };
+  const auto device_fn = [&](const hetero::WorkUnit& wu) {
+    const auto [begin, end] = sources_of(wu);
+    sssp::FrontierWorkspace ws(n);
+    for (graph::VertexId s = begin; s < end; ++s) {
+      ws.distances(g, s, *device, dist.row(s));
+    }
+  };
+
+  switch (options.mode) {
+    case core::ExecutionMode::Sequential:
+      for (const auto& wu : units) cpu_fn(wu);
+      break;
+    case core::ExecutionMode::Multicore: {
+      hetero::WorkQueue queue(std::move(units));
+      hetero::run_cpu_only(queue, options.cpu_threads, cpu_fn);
+      break;
+    }
+    case core::ExecutionMode::DeviceOnly: {
+      for (const auto& wu : units) device_fn(wu);
+      break;
+    }
+    case core::ExecutionMode::Heterogeneous: {
+      hetero::WorkQueue queue(std::move(units));
+      hetero::run_heterogeneous(queue,
+                                {.cpu_threads = options.cpu_threads,
+                                 .cpu_batch = options.cpu_batch,
+                                 .device_batch = options.device_batch},
+                                cpu_fn, device_fn);
+      break;
+    }
+  }
+  return dist;
+}
+
+}  // namespace eardec::baselines

@@ -1,0 +1,21 @@
+// Plain APSP baseline: one SSSP per vertex over the whole graph, scheduled
+// through the same heterogeneous runtime as the ear pipeline (CPU Dijkstra
+// + device frontier kernel) but with no decomposition or reduction. This
+// isolates the contribution of the graph-structural ideas from the runtime.
+#pragma once
+
+#include "core/ear_apsp.hpp"
+#include "sssp/floyd_warshall.hpp"
+
+namespace eardec::baselines {
+
+using core::ApspOptions;
+using graph::Graph;
+using sssp::DistanceMatrix;
+
+/// Computes the full n x n distance matrix with Dijkstra/frontier per
+/// source under the execution mode in `options`.
+[[nodiscard]] DistanceMatrix plain_apsp(const Graph& g,
+                                        const ApspOptions& options);
+
+}  // namespace eardec::baselines

@@ -1,0 +1,149 @@
+#include "connectivity/bcc.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+
+namespace eardec::connectivity {
+namespace {
+
+constexpr std::uint32_t kUnvisited = std::numeric_limits<std::uint32_t>::max();
+
+}  // namespace
+
+BiconnectedComponents biconnected_components(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  const EdgeId m = g.num_edges();
+
+  BiconnectedComponents out;
+  out.edge_component.assign(m, kNoComponent);
+  out.is_articulation.assign(n, false);
+
+  std::vector<std::uint32_t> disc(n, kUnvisited);
+  std::vector<std::uint32_t> low(n, 0);
+  std::vector<VertexId> parent(n, graph::kNullVertex);
+  std::vector<EdgeId> parent_edge(n, graph::kNullEdge);
+  std::vector<EdgeId> edge_stack;
+
+  // Iterative DFS frame: vertex + adjacency cursor.
+  std::vector<std::pair<VertexId, std::size_t>> frames;
+  std::uint32_t time = 0;
+
+  const auto pop_component = [&](EdgeId up_to_edge) {
+    auto& edges = out.component_edges.emplace_back();
+    while (true) {
+      const EdgeId e = edge_stack.back();
+      edge_stack.pop_back();
+      out.edge_component[e] = out.num_components;
+      edges.push_back(e);
+      if (e == up_to_edge) break;
+    }
+    ++out.num_components;
+  };
+
+  for (VertexId root = 0; root < n; ++root) {
+    if (disc[root] != kUnvisited) continue;
+    std::uint32_t root_children = 0;
+    disc[root] = low[root] = time++;
+    frames.emplace_back(root, 0);
+
+    while (!frames.empty()) {
+      auto& [v, idx] = frames.back();
+      const auto adj = g.neighbors(v);
+      if (idx < adj.size()) {
+        const graph::HalfEdge he = adj[idx++];
+        if (he.edge == parent_edge[v]) continue;  // skip the tree edge upward
+        if (g.is_self_loop(he.edge)) {
+          // Each self-loop is its own component (visited twice in adjacency;
+          // assign only once).
+          if (out.edge_component[he.edge] == kNoComponent) {
+            out.edge_component[he.edge] = out.num_components;
+            out.component_edges.push_back({he.edge});
+            ++out.num_components;
+          }
+          continue;
+        }
+        if (disc[he.to] == kUnvisited) {  // tree edge
+          parent[he.to] = v;
+          parent_edge[he.to] = he.edge;
+          if (v == root) ++root_children;
+          disc[he.to] = low[he.to] = time++;
+          edge_stack.push_back(he.edge);
+          frames.emplace_back(he.to, 0);
+        } else if (disc[he.to] < disc[v]) {  // back edge (to an ancestor)
+          edge_stack.push_back(he.edge);
+          low[v] = std::min(low[v], disc[he.to]);
+        }
+        // Forward/descendant edges were already stacked when discovered from
+        // the other side; ignore here.
+        continue;
+      }
+
+      frames.pop_back();
+      const VertexId p = parent[v];
+      if (p != graph::kNullVertex) {
+        low[p] = std::min(low[p], low[v]);
+        if (low[v] >= disc[p]) {
+          // p separates v's subtree: close off one biconnected component.
+          if (p != root || root_children > 1) out.is_articulation[p] = true;
+          pop_component(parent_edge[v]);
+        }
+      }
+    }
+  }
+
+  // Derive unique vertex lists per component.
+  out.component_vertices.resize(out.num_components);
+  std::vector<std::uint32_t> stamp(n, kUnvisited);
+  for (std::uint32_t c = 0; c < out.num_components; ++c) {
+    for (const EdgeId e : out.component_edges[c]) {
+      const auto [u, v] = g.endpoints(e);
+      for (const VertexId x : {u, v}) {
+        if (stamp[x] != c) {
+          stamp[x] = c;
+          out.component_vertices[c].push_back(x);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+bool is_biconnected(const Graph& g) {
+  if (g.num_vertices() <= 2) return is_connected(g);
+  if (!is_connected(g)) return false;
+  const BiconnectedComponents bcc = biconnected_components(g);
+  // Self-loops form their own component; ignore them when deciding.
+  std::uint32_t non_loop_components = 0;
+  for (const auto& edges : bcc.component_edges) {
+    if (edges.size() == 1 && g.is_self_loop(edges.front())) continue;
+    ++non_loop_components;
+  }
+  return non_loop_components <= 1;
+}
+
+SubgraphView extract_component(const Graph& g,
+                               const BiconnectedComponents& bcc,
+                               std::uint32_t component) {
+  if (component >= bcc.num_components) {
+    throw std::out_of_range("extract_component: bad component id");
+  }
+  SubgraphView view;
+  view.to_parent = bcc.component_vertices[component];
+  std::vector<VertexId> local(g.num_vertices(), graph::kNullVertex);
+  for (VertexId i = 0; i < view.to_parent.size(); ++i) {
+    local[view.to_parent[i]] = i;
+  }
+  graph::Builder b(static_cast<VertexId>(view.to_parent.size()));
+  for (const EdgeId e : bcc.component_edges[component]) {
+    const auto [u, v] = g.endpoints(e);
+    b.add_edge(local[u], local[v], g.weight(e));
+    view.edge_to_parent.push_back(e);
+  }
+  view.graph = std::move(b).build();
+  return view;
+}
+
+}  // namespace eardec::connectivity

@@ -1,0 +1,54 @@
+// Biconnected components and articulation points (iterative
+// Hopcroft–Tarjan). Multigraph-aware: a pair of parallel edges forms a
+// biconnected component of its own; a self-loop is its own single-edge
+// component and never makes its endpoint an articulation point.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "connectivity/dfs.hpp"
+#include "graph/graph.hpp"
+
+namespace eardec::connectivity {
+
+/// Result of the biconnected-components decomposition. BCCs partition the
+/// edge set; a vertex may belong to several components (iff it is an
+/// articulation point or an endpoint of a self-loop next to other edges).
+struct BiconnectedComponents {
+  std::uint32_t num_components = 0;
+  /// Per edge: the id of the component containing it.
+  std::vector<std::uint32_t> edge_component;
+  /// Per vertex: true iff removing it disconnects its component.
+  std::vector<bool> is_articulation;
+  /// Edges of each component.
+  std::vector<std::vector<EdgeId>> component_edges;
+  /// Vertices of each component (each listed once).
+  std::vector<std::vector<VertexId>> component_vertices;
+
+  [[nodiscard]] std::size_t num_articulation_points() const {
+    std::size_t c = 0;
+    for (const bool b : is_articulation) c += b;
+    return c;
+  }
+};
+
+/// Computes the biconnected components of g in O(n + m).
+[[nodiscard]] BiconnectedComponents biconnected_components(const Graph& g);
+
+/// True iff g is biconnected: connected, and no articulation point.
+/// Follows the convention that K2 (a single edge) and K1 are biconnected.
+[[nodiscard]] bool is_biconnected(const Graph& g);
+
+/// Extracts a component as a standalone Graph plus the mapping from its
+/// local vertex ids back to ids in g.
+struct SubgraphView {
+  Graph graph;
+  std::vector<VertexId> to_parent;    ///< local id -> id in g
+  std::vector<EdgeId> edge_to_parent; ///< local edge id -> edge id in g
+};
+[[nodiscard]] SubgraphView extract_component(const Graph& g,
+                                             const BiconnectedComponents& bcc,
+                                             std::uint32_t component);
+
+}  // namespace eardec::connectivity

@@ -1,0 +1,44 @@
+#include "connectivity/block_cut_tree.hpp"
+
+#include <algorithm>
+
+namespace eardec::connectivity {
+
+BlockCutTree::BlockCutTree(const Graph& g, const BiconnectedComponents& bcc)
+    : num_blocks_(bcc.num_components) {
+  const VertexId n = g.num_vertices();
+  cut_index_.assign(n, kNoComponent);
+  block_of_.assign(n, kNoComponent);
+  for (VertexId v = 0; v < n; ++v) {
+    if (bcc.is_articulation[v]) {
+      cut_index_[v] = static_cast<std::uint32_t>(cut_vertices_.size());
+      cut_vertices_.push_back(v);
+    }
+  }
+  adj_.resize(num_nodes());
+  for (std::uint32_t b = 0; b < num_blocks_; ++b) {
+    for (const VertexId v : bcc.component_vertices[b]) {
+      block_of_[v] = b;  // harmless overwrite for cut vertices
+      const std::uint32_t a = cut_index_[v];
+      if (a != kNoComponent) {
+        adj_[block_node(b)].push_back(cut_node(a));
+        adj_[cut_node(a)].push_back(block_node(b));
+      }
+    }
+  }
+}
+
+std::vector<std::uint32_t> BlockCutTree::blocks_of(VertexId v) const {
+  const std::uint32_t a = cut_index_[v];
+  if (a == kNoComponent) {
+    if (block_of_[v] == kNoComponent) return {};
+    return {block_of_[v]};
+  }
+  std::vector<std::uint32_t> blocks;
+  for (const std::uint32_t node : adj_[cut_node(a)]) {
+    blocks.push_back(node);  // block nodes are numbered 0..num_blocks-1
+  }
+  return blocks;
+}
+
+}  // namespace eardec::connectivity

@@ -1,0 +1,71 @@
+// Block-cut tree: the bipartite tree whose nodes are the biconnected
+// components (blocks) and the articulation points (cuts) of a graph, with an
+// edge between a cut node and every block containing that vertex. The
+// paper's Stage-2 APSP post-processing routes cross-component shortest paths
+// through this tree (Section 2.2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "connectivity/bcc.hpp"
+#include "graph/graph.hpp"
+
+namespace eardec::connectivity {
+
+class BlockCutTree {
+ public:
+  /// Builds the tree (a forest if g is disconnected) from a decomposition.
+  BlockCutTree(const Graph& g, const BiconnectedComponents& bcc);
+
+  /// Number of block nodes (== bcc.num_components).
+  [[nodiscard]] std::uint32_t num_blocks() const noexcept { return num_blocks_; }
+
+  /// Articulation points of g, in ascending vertex order.
+  [[nodiscard]] const std::vector<VertexId>& cut_vertices() const noexcept {
+    return cut_vertices_;
+  }
+
+  /// Index of graph vertex v in cut_vertices(), or kNoComponent if v is not
+  /// an articulation point.
+  [[nodiscard]] std::uint32_t cut_index(VertexId v) const noexcept {
+    return cut_index_[v];
+  }
+
+  /// Total tree nodes: blocks then cuts.
+  [[nodiscard]] std::uint32_t num_nodes() const noexcept {
+    return num_blocks_ + static_cast<std::uint32_t>(cut_vertices_.size());
+  }
+
+  /// Tree-node id of block b / of the a-th articulation point.
+  [[nodiscard]] std::uint32_t block_node(std::uint32_t b) const noexcept {
+    return b;
+  }
+  [[nodiscard]] std::uint32_t cut_node(std::uint32_t a) const noexcept {
+    return num_blocks_ + a;
+  }
+
+  /// Adjacency of a tree node (block nodes neighbour cut nodes and vice versa).
+  [[nodiscard]] const std::vector<std::uint32_t>& neighbors(
+      std::uint32_t node) const {
+    return adj_[node];
+  }
+
+  /// Some block containing vertex v (the unique one when v is not a cut
+  /// vertex; an arbitrary one otherwise). kNoComponent for isolated vertices.
+  [[nodiscard]] std::uint32_t block_of(VertexId v) const noexcept {
+    return block_of_[v];
+  }
+
+  /// Blocks containing graph vertex v (one entry unless v is a cut vertex).
+  [[nodiscard]] std::vector<std::uint32_t> blocks_of(VertexId v) const;
+
+ private:
+  std::uint32_t num_blocks_ = 0;
+  std::vector<VertexId> cut_vertices_;
+  std::vector<std::uint32_t> cut_index_;
+  std::vector<std::uint32_t> block_of_;
+  std::vector<std::vector<std::uint32_t>> adj_;
+};
+
+}  // namespace eardec::connectivity

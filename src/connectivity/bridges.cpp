@@ -1,0 +1,28 @@
+#include "connectivity/bridges.hpp"
+
+namespace eardec::connectivity {
+
+std::vector<bool> bridges(const Graph& g, const BiconnectedComponents& bcc) {
+  std::vector<bool> out(g.num_edges(), false);
+  for (const auto& edges : bcc.component_edges) {
+    if (edges.size() == 1 && !g.is_self_loop(edges.front())) {
+      out[edges.front()] = true;
+    }
+  }
+  return out;
+}
+
+std::vector<bool> bridges(const Graph& g) {
+  return bridges(g, biconnected_components(g));
+}
+
+bool is_two_edge_connected(const Graph& g) {
+  if (!is_connected(g)) return false;
+  const auto b = bridges(g);
+  for (const bool is_bridge : b) {
+    if (is_bridge) return false;
+  }
+  return true;
+}
+
+}  // namespace eardec::connectivity

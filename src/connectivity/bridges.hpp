@@ -1,0 +1,23 @@
+// Bridge (cut edge) detection and the 2-edge-connectivity predicate.
+#pragma once
+
+#include <vector>
+
+#include "connectivity/bcc.hpp"
+#include "graph/graph.hpp"
+
+namespace eardec::connectivity {
+
+/// Returns, per edge, whether it is a bridge. An edge is a bridge iff it is
+/// the sole (non-self-loop) member of its biconnected component.
+[[nodiscard]] std::vector<bool> bridges(const Graph& g);
+
+/// Same, reusing an existing decomposition.
+[[nodiscard]] std::vector<bool> bridges(const Graph& g,
+                                        const BiconnectedComponents& bcc);
+
+/// True iff g is connected and has no bridge — the necessary and sufficient
+/// condition for an ear decomposition to exist (Whitney; paper Section 2.2).
+[[nodiscard]] bool is_two_edge_connected(const Graph& g);
+
+}  // namespace eardec::connectivity

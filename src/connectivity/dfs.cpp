@@ -1,0 +1,74 @@
+#include "connectivity/dfs.hpp"
+
+namespace eardec::connectivity {
+
+DfsForest dfs_forest(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  DfsForest f;
+  f.parent.assign(n, graph::kNullVertex);
+  f.parent_edge.assign(n, graph::kNullEdge);
+  f.disc.assign(n, std::numeric_limits<std::uint32_t>::max());
+  f.preorder.reserve(n);
+
+  std::uint32_t time = 0;
+  // Explicit stack of (vertex, index into its adjacency span).
+  std::vector<std::pair<VertexId, std::size_t>> stack;
+  std::vector<bool> visited(n, false);
+
+  for (VertexId r = 0; r < n; ++r) {
+    if (visited[r]) continue;
+    f.roots.push_back(r);
+    visited[r] = true;
+    f.disc[r] = time++;
+    f.preorder.push_back(r);
+    stack.emplace_back(r, 0);
+    while (!stack.empty()) {
+      auto& [v, idx] = stack.back();
+      const auto adj = g.neighbors(v);
+      if (idx == adj.size()) {
+        stack.pop_back();
+        continue;
+      }
+      const graph::HalfEdge he = adj[idx++];
+      if (!visited[he.to]) {
+        visited[he.to] = true;
+        f.parent[he.to] = v;
+        f.parent_edge[he.to] = he.edge;
+        f.disc[he.to] = time++;
+        f.preorder.push_back(he.to);
+        stack.emplace_back(he.to, 0);
+      }
+    }
+  }
+  return f;
+}
+
+ConnectedComponents connected_components(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  ConnectedComponents cc;
+  cc.component.assign(n, kNoComponent);
+  std::vector<VertexId> stack;
+  for (VertexId r = 0; r < n; ++r) {
+    if (cc.component[r] != kNoComponent) continue;
+    const std::uint32_t id = cc.count++;
+    cc.component[r] = id;
+    stack.push_back(r);
+    while (!stack.empty()) {
+      const VertexId v = stack.back();
+      stack.pop_back();
+      for (const graph::HalfEdge& he : g.neighbors(v)) {
+        if (cc.component[he.to] == kNoComponent) {
+          cc.component[he.to] = id;
+          stack.push_back(he.to);
+        }
+      }
+    }
+  }
+  return cc;
+}
+
+bool is_connected(const Graph& g) {
+  return connected_components(g).count <= 1;
+}
+
+}  // namespace eardec::connectivity

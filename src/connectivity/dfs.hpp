@@ -1,0 +1,47 @@
+// Iterative depth-first search primitives shared by the connectivity
+// algorithms (recursion would overflow on the chain-heavy graphs this
+// library is designed for, where DFS depth is Theta(n)).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace eardec::connectivity {
+
+using graph::EdgeId;
+using graph::Graph;
+using graph::VertexId;
+
+inline constexpr std::uint32_t kNoComponent =
+    std::numeric_limits<std::uint32_t>::max();
+
+/// Rooted DFS forest over the whole graph (one tree per connected component).
+struct DfsForest {
+  /// parent[v] in the DFS tree; kNullVertex for roots.
+  std::vector<VertexId> parent;
+  /// The edge connecting v to parent[v]; kNullEdge for roots.
+  std::vector<EdgeId> parent_edge;
+  /// Discovery time of each vertex (0-based, unique).
+  std::vector<std::uint32_t> disc;
+  /// Vertices ordered by discovery time.
+  std::vector<VertexId> preorder;
+  /// Roots of the forest, one per connected component.
+  std::vector<VertexId> roots;
+};
+
+/// Builds a DFS forest iteratively; O(n + m).
+[[nodiscard]] DfsForest dfs_forest(const Graph& g);
+
+/// Labels every vertex with a connected-component id in [0, count).
+struct ConnectedComponents {
+  std::uint32_t count = 0;
+  std::vector<std::uint32_t> component;  // per vertex
+};
+[[nodiscard]] ConnectedComponents connected_components(const Graph& g);
+
+/// True iff the graph is connected (vacuously true for the empty graph).
+[[nodiscard]] bool is_connected(const Graph& g);
+
+}  // namespace eardec::connectivity

@@ -1,0 +1,83 @@
+#include "connectivity/ear_decomposition.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "connectivity/dfs.hpp"
+
+namespace eardec::connectivity {
+
+EarDecomposition ear_decomposition(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  const EdgeId m = g.num_edges();
+  if (n == 0 || m == 0) {
+    throw std::invalid_argument("ear_decomposition: graph has no edges");
+  }
+  const DfsForest forest = dfs_forest(g);
+  if (forest.roots.size() != 1) {
+    throw std::invalid_argument("ear_decomposition: graph is disconnected");
+  }
+
+  // Back edges bucketed at their ancestor endpoint. An edge (x, y) is a back
+  // edge iff it is not a tree edge; its ancestor endpoint is the one with
+  // the smaller discovery time (self-loop: both ends coincide).
+  std::vector<bool> is_tree_edge(m, false);
+  for (VertexId v = 0; v < n; ++v) {
+    if (forest.parent_edge[v] != graph::kNullEdge) {
+      is_tree_edge[forest.parent_edge[v]] = true;
+    }
+  }
+  std::vector<std::vector<std::pair<EdgeId, VertexId>>> back_at(n);
+  for (EdgeId e = 0; e < m; ++e) {
+    if (is_tree_edge[e]) continue;
+    const auto [x, y] = g.endpoints(e);
+    const VertexId anc = forest.disc[x] <= forest.disc[y] ? x : y;
+    const VertexId desc = anc == x ? y : x;
+    back_at[anc].emplace_back(e, desc);
+  }
+
+  EarDecomposition out;
+  out.edge_ear.assign(m, std::numeric_limits<std::uint32_t>::max());
+  std::vector<bool> marked(n, false);
+
+  for (const VertexId v : forest.preorder) {
+    for (const auto& [e, desc] : back_at[v]) {
+      Ear ear;
+      ear.vertices.push_back(v);
+      ear.edges.push_back(e);
+      out.edge_ear[e] = static_cast<std::uint32_t>(out.ears.size());
+      marked[v] = true;
+      VertexId cur = desc;
+      while (true) {
+        ear.vertices.push_back(cur);
+        if (marked[cur]) break;  // reached an earlier ear (or v: cycle)
+        marked[cur] = true;
+        const EdgeId up = forest.parent_edge[cur];
+        ear.edges.push_back(up);
+        out.edge_ear[up] = static_cast<std::uint32_t>(out.ears.size());
+        cur = forest.parent[cur];
+      }
+      if (!out.ears.empty() && ear.is_cycle() && ear.edges.size() > 1) {
+        // A later closed ear witnesses a cut vertex: decomposition is not
+        // open. (Single-edge cycles are self-loops and do not count.)
+        out.open = false;
+      }
+      out.ears.push_back(std::move(ear));
+    }
+  }
+
+  // 2-edge-connectivity check: every tree edge must have been absorbed into
+  // a chain; a leftover tree edge is a bridge.
+  for (EdgeId e = 0; e < m; ++e) {
+    if (out.edge_ear[e] == std::numeric_limits<std::uint32_t>::max()) {
+      throw std::invalid_argument(
+          "ear_decomposition: graph is not 2-edge-connected (bridge found)");
+    }
+  }
+  if (out.ears.empty()) {
+    throw std::invalid_argument("ear_decomposition: graph has no cycle");
+  }
+  return out;
+}
+
+}  // namespace eardec::connectivity

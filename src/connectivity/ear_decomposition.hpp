@@ -1,0 +1,51 @@
+// Ear decomposition of a 2-edge-connected graph.
+//
+// An ear decomposition partitions E into simple paths/cycles P0, P1, ...
+// where P0 ∪ P1 is a cycle and every later ear has only its two endpoints
+// in common with earlier ears. It exists iff the graph is 2-edge-connected
+// (Whitney / Ramachandran [33] in the paper); it is *open* (every ear after
+// the first is a path) iff the graph is additionally 2-vertex-connected.
+//
+// We implement Schmidt's chain decomposition: DFS from an arbitrary root;
+// visit vertices in discovery order; for each back edge (v, u) rooted at the
+// ancestor v, emit the chain that starts with the back edge and climbs the
+// tree from u until it reaches an already-marked vertex. For 2-edge-connected
+// inputs the chains are exactly an ear decomposition with chain #0 the
+// initial cycle (= P0 ∪ P1 in the paper's notation).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace eardec::connectivity {
+
+using graph::EdgeId;
+using graph::Graph;
+using graph::VertexId;
+
+/// One ear: an ordered walk. vertices.size() == edges.size() + 1; for a
+/// closed ear (cycle) vertices.front() == vertices.back().
+struct Ear {
+  std::vector<VertexId> vertices;
+  std::vector<EdgeId> edges;
+  [[nodiscard]] bool is_cycle() const {
+    return vertices.front() == vertices.back();
+  }
+};
+
+struct EarDecomposition {
+  std::vector<Ear> ears;
+  /// Per edge: index of the ear containing it.
+  std::vector<std::uint32_t> edge_ear;
+  /// True iff every ear but the first is an open path (graph biconnected).
+  bool open = true;
+};
+
+/// Computes an ear decomposition. Throws std::invalid_argument if g is not
+/// 2-edge-connected (including disconnected or empty graphs). Self-loops and
+/// parallel edges are allowed; a self-loop becomes a closed one-edge ear.
+[[nodiscard]] EarDecomposition ear_decomposition(const Graph& g);
+
+}  // namespace eardec::connectivity

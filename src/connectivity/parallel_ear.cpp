@@ -1,0 +1,165 @@
+#include "connectivity/parallel_ear.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "connectivity/dfs.hpp"
+
+namespace eardec::connectivity {
+namespace {
+
+/// Ear label: lexicographic (disc of the LCA, edge id). The non-tree edge
+/// with the minimum label covering a tree edge owns it.
+struct Label {
+  std::uint32_t lca_disc = std::numeric_limits<std::uint32_t>::max();
+  EdgeId edge = graph::kNullEdge;
+
+  [[nodiscard]] bool valid() const { return edge != graph::kNullEdge; }
+  [[nodiscard]] bool operator<(const Label& o) const {
+    return lca_disc != o.lca_disc ? lca_disc < o.lca_disc : edge < o.edge;
+  }
+};
+
+}  // namespace
+
+EarDecomposition parallel_ear_decomposition(const Graph& g,
+                                            hetero::ThreadPool* pool) {
+  const VertexId n = g.num_vertices();
+  const EdgeId m = g.num_edges();
+  if (n == 0 || m == 0) {
+    throw std::invalid_argument("parallel_ear_decomposition: no edges");
+  }
+  const DfsForest forest = dfs_forest(g);
+  if (forest.roots.size() != 1) {
+    throw std::invalid_argument("parallel_ear_decomposition: disconnected");
+  }
+
+  // Depths for LCA climbing.
+  std::vector<std::uint32_t> depth(n, 0);
+  for (const VertexId v : forest.preorder) {
+    if (forest.parent[v] != graph::kNullVertex) {
+      depth[v] = depth[forest.parent[v]] + 1;
+    }
+  }
+  std::vector<bool> is_tree_edge(m, false);
+  for (VertexId v = 0; v < n; ++v) {
+    if (forest.parent_edge[v] != graph::kNullEdge) {
+      is_tree_edge[forest.parent_edge[v]] = true;
+    }
+  }
+  std::vector<EdgeId> non_tree;
+  for (EdgeId e = 0; e < m; ++e) {
+    if (!is_tree_edge[e]) non_tree.push_back(e);
+  }
+
+  // Phase 1 (parallel over non-tree edges): LCA of each edge's endpoints.
+  std::vector<VertexId> lca_of(m, graph::kNullVertex);
+  const auto compute_lca = [&](std::size_t i) {
+    const EdgeId e = non_tree[i];
+    auto [a, b] = g.endpoints(e);
+    while (a != b) {
+      if (depth[a] < depth[b]) std::swap(a, b);
+      a = forest.parent[a];
+    }
+    lca_of[e] = a;
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(0, non_tree.size(), compute_lca, 32);
+  } else {
+    for (std::size_t i = 0; i < non_tree.size(); ++i) compute_lca(i);
+  }
+
+  // Phase 2: minimum covering label per tree edge, bottom-up. best[v]
+  // covers the tree edge (v -> parent); a child's minimum propagates while
+  // its LCA lies strictly above the current vertex.
+  std::vector<Label> best(n);
+  std::vector<std::vector<std::pair<EdgeId, VertexId>>> incident(n);
+  for (const EdgeId e : non_tree) {
+    const auto [a, b] = g.endpoints(e);
+    const VertexId l = lca_of[e];
+    if (a != l) incident[a].push_back({e, l});
+    if (b != l && b != a) incident[b].push_back({e, l});
+  }
+  for (auto it = forest.preorder.rbegin(); it != forest.preorder.rend();
+       ++it) {
+    const VertexId v = *it;
+    for (const auto& [e, l] : incident[v]) {
+      best[v] = std::min(best[v], Label{forest.disc[l], e});
+    }
+    const VertexId p = forest.parent[v];
+    if (p != graph::kNullVertex && best[v].valid() &&
+        best[v].lca_disc < forest.disc[p]) {
+      best[p] = std::min(best[p], best[v]);
+    }
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    if (forest.parent[v] != graph::kNullVertex && !best[v].valid()) {
+      throw std::invalid_argument(
+          "parallel_ear_decomposition: bridge found (not 2-edge-connected)");
+    }
+  }
+
+  // Phase 3: ears in label order; each non-tree edge materializes its ear
+  // by walking both endpoints upward while it still owns the tree edges
+  // (parallel over ears).
+  std::vector<EdgeId> order = non_tree;
+  std::sort(order.begin(), order.end(), [&](EdgeId x, EdgeId y) {
+    return Label{forest.disc[lca_of[x]], x} < Label{forest.disc[lca_of[y]], y};
+  });
+  EarDecomposition out;
+  out.edge_ear.assign(m, std::numeric_limits<std::uint32_t>::max());
+  out.ears.resize(order.size());
+  const auto build_ear = [&](std::size_t i) {
+    const EdgeId e = order[i];
+    const auto [u, v] = g.endpoints(e);
+    // A tree edge belongs to this ear iff e is its minimum covering label;
+    // ownership along each endpoint's path to the LCA is contiguous, so a
+    // simple upward walk collects exactly the ear.
+    const auto climb = [&](VertexId x, std::vector<VertexId>& verts,
+                           std::vector<EdgeId>& edges) {
+      while (forest.parent[x] != graph::kNullVertex && best[x].edge == e) {
+        edges.push_back(forest.parent_edge[x]);
+        x = forest.parent[x];
+        verts.push_back(x);
+      }
+    };
+    Ear& ear = out.ears[i];
+    // u-side walk (collected upward, then reversed so the ear reads
+    // top_u ... u, e, v ... top_v).
+    std::vector<VertexId> uv{u};
+    std::vector<EdgeId> ue;
+    climb(u, uv, ue);
+    std::reverse(uv.begin(), uv.end());
+    std::reverse(ue.begin(), ue.end());
+    ear.vertices = std::move(uv);
+    ear.edges = std::move(ue);
+    ear.edges.push_back(e);
+    ear.vertices.push_back(v);
+    climb(v, ear.vertices, ear.edges);
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(0, order.size(), build_ear, 16);
+  } else {
+    for (std::size_t i = 0; i < order.size(); ++i) build_ear(i);
+  }
+
+  for (std::size_t i = 0; i < out.ears.size(); ++i) {
+    for (const EdgeId e : out.ears[i].edges) {
+      out.edge_ear[e] = static_cast<std::uint32_t>(i);
+    }
+    if (i > 0 && out.ears[i].is_cycle() && out.ears[i].edges.size() > 1) {
+      out.open = false;
+    }
+  }
+  for (EdgeId e = 0; e < m; ++e) {
+    if (out.edge_ear[e] == std::numeric_limits<std::uint32_t>::max()) {
+      throw std::invalid_argument(
+          "parallel_ear_decomposition: uncovered edge (internal error)");
+    }
+  }
+  return out;
+}
+
+}  // namespace eardec::connectivity

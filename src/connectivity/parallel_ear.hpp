@@ -1,0 +1,23 @@
+// Parallel ear decomposition in the style of Ramachandran [33] (also
+// Maon–Schieber–Vishkin): every non-tree edge e = (u, v) of a spanning tree
+// gets the ear label L(e) = (disc[lca(u, v)], e); every tree edge joins the
+// ear of the minimum label among the non-tree edges covering it. Label
+// computation per non-tree edge and the bottom-up minimum propagation are
+// both data-parallel; this implementation fans them out over a thread pool
+// (the PRAM algorithm's work-depth structure realized with shared-memory
+// threads). Produces the same kind of decomposition as the sequential
+// Schmidt-chain variant in ear_decomposition.hpp — open for biconnected
+// inputs — and throws on graphs that are not 2-edge-connected.
+#pragma once
+
+#include "connectivity/ear_decomposition.hpp"
+#include "hetero/thread_pool.hpp"
+
+namespace eardec::connectivity {
+
+/// Computes an ear decomposition with parallel label assignment.
+/// `pool` optional: the per-edge phases fan out when provided.
+[[nodiscard]] EarDecomposition parallel_ear_decomposition(
+    const Graph& g, hetero::ThreadPool* pool = nullptr);
+
+}  // namespace eardec::connectivity

@@ -1,0 +1,90 @@
+#include "connectivity/tree_lca.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace eardec::connectivity {
+
+TreeLca::TreeLca(const std::vector<std::vector<std::uint32_t>>& adjacency) {
+  const auto n = static_cast<std::uint32_t>(adjacency.size());
+  constexpr std::uint32_t kNone = UINT32_MAX;
+  depth_.assign(n, 0);
+  component_.assign(n, kNone);
+  std::vector<std::uint32_t> parent(n, kNone);
+
+  std::uint32_t num_components = 0;
+  std::vector<std::uint32_t> stack;
+  for (std::uint32_t r = 0; r < n; ++r) {
+    if (component_[r] != kNone) continue;
+    const std::uint32_t comp = num_components++;
+    component_[r] = comp;
+    stack.push_back(r);
+    while (!stack.empty()) {
+      const std::uint32_t v = stack.back();
+      stack.pop_back();
+      for (const std::uint32_t w : adjacency[v]) {
+        if (component_[w] != kNone) continue;
+        component_[w] = comp;
+        parent[w] = v;
+        depth_[w] = depth_[v] + 1;
+        stack.push_back(w);
+      }
+    }
+  }
+
+  std::uint32_t max_depth = 0;
+  for (const std::uint32_t d : depth_) max_depth = std::max(max_depth, d);
+  const auto levels = std::max<std::uint32_t>(1, std::bit_width(max_depth));
+  up_.assign(levels, std::vector<std::uint32_t>(n));
+  for (std::uint32_t v = 0; v < n; ++v) {
+    up_[0][v] = parent[v] == kNone ? v : parent[v];  // roots self-loop
+  }
+  for (std::uint32_t k = 1; k < levels; ++k) {
+    for (std::uint32_t v = 0; v < n; ++v) {
+      up_[k][v] = up_[k - 1][up_[k - 1][v]];
+    }
+  }
+}
+
+std::uint32_t TreeLca::ancestor_at_depth(std::uint32_t v,
+                                         std::uint32_t target_depth) const {
+  assert(target_depth <= depth_[v]);
+  std::uint32_t delta = depth_[v] - target_depth;
+  for (std::uint32_t k = 0; delta != 0; ++k, delta >>= 1) {
+    if (delta & 1u) v = up_[k][v];
+  }
+  return v;
+}
+
+std::uint32_t TreeLca::lca(std::uint32_t u, std::uint32_t v) const {
+  if (component_[u] != component_[v]) {
+    throw std::invalid_argument("TreeLca::lca: nodes in different components");
+  }
+  if (depth_[u] > depth_[v]) std::swap(u, v);
+  v = ancestor_at_depth(v, depth_[u]);
+  if (u == v) return u;
+  for (auto k = static_cast<std::int64_t>(up_.size()) - 1; k >= 0; --k) {
+    const auto ku = static_cast<std::size_t>(k);
+    if (up_[ku][u] != up_[ku][v]) {
+      u = up_[ku][u];
+      v = up_[ku][v];
+    }
+  }
+  return up_[0][u];
+}
+
+std::uint32_t TreeLca::next_on_path(std::uint32_t u, std::uint32_t v) const {
+  if (u == v) {
+    throw std::invalid_argument("TreeLca::next_on_path: u == v");
+  }
+  const std::uint32_t a = lca(u, v);
+  if (a == u) {
+    // u is an ancestor of v: step down towards v.
+    return ancestor_at_depth(v, depth_[u] + 1);
+  }
+  return up_[0][u];  // step towards the root
+}
+
+}  // namespace eardec::connectivity

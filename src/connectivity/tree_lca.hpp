@@ -1,0 +1,42 @@
+// Lowest-common-ancestor queries on a static forest via binary lifting.
+// Used by the APSP oracle to find the first/last articulation point on the
+// block-cut-tree path between two components (paper Section 2.2, Stage 2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace eardec::connectivity {
+
+class TreeLca {
+ public:
+  /// Builds lifting tables for the forest given by `adjacency` (node ids
+  /// 0..n-1; symmetric edges). Each connected component is rooted at its
+  /// smallest node id. O(n log n) preprocessing, O(log n) queries.
+  explicit TreeLca(const std::vector<std::vector<std::uint32_t>>& adjacency);
+
+  [[nodiscard]] std::uint32_t depth(std::uint32_t v) const { return depth_[v]; }
+
+  /// Component id (nodes in different components have no LCA).
+  [[nodiscard]] std::uint32_t component(std::uint32_t v) const {
+    return component_[v];
+  }
+
+  /// Lowest common ancestor; u and v must be in the same component.
+  [[nodiscard]] std::uint32_t lca(std::uint32_t u, std::uint32_t v) const;
+
+  /// Ancestor of v at depth `target_depth` (<= depth(v)).
+  [[nodiscard]] std::uint32_t ancestor_at_depth(std::uint32_t v,
+                                                std::uint32_t target_depth) const;
+
+  /// First node after u on the tree path u -> v (u != v, same component).
+  [[nodiscard]] std::uint32_t next_on_path(std::uint32_t u,
+                                           std::uint32_t v) const;
+
+ private:
+  std::vector<std::uint32_t> depth_;
+  std::vector<std::uint32_t> component_;
+  std::vector<std::vector<std::uint32_t>> up_;  // up_[k][v]: 2^k-th ancestor
+};
+
+}  // namespace eardec::connectivity

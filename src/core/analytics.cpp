@@ -1,0 +1,39 @@
+#include "core/analytics.hpp"
+
+#include <algorithm>
+
+namespace eardec::core {
+
+DistanceAnalytics compute_analytics(const DistanceOracle& oracle) {
+  const graph::Graph& g = oracle.engine().original_graph();
+  const VertexId n = g.num_vertices();
+  DistanceAnalytics a;
+  a.eccentricity.assign(n, 0);
+  a.closeness.assign(n, 0.0);
+  if (n == 0) return a;
+
+  a.radius = graph::kInfWeight;
+  for (VertexId u = 0; u < n; ++u) {
+    Weight ecc = 0;
+    Weight sum = 0;
+    std::uint32_t reachable = 0;
+    for (VertexId v = 0; v < n; ++v) {
+      if (v == u) continue;
+      const Weight d = oracle.distance(u, v);
+      if (d == graph::kInfWeight) continue;
+      ecc = std::max(ecc, d);
+      sum += d;
+      ++reachable;
+    }
+    a.eccentricity[u] = ecc;
+    a.closeness[u] = sum > 0 ? static_cast<double>(reachable) / sum : 0.0;
+    a.diameter = std::max(a.diameter, ecc);
+    a.radius = std::min(a.radius, ecc);
+  }
+  for (VertexId u = 0; u < n; ++u) {
+    if (a.eccentricity[u] == a.radius) a.centers.push_back(u);
+  }
+  return a;
+}
+
+}  // namespace eardec::core

@@ -1,0 +1,32 @@
+// Distance-based graph analytics on top of the ear-decomposition APSP
+// pipeline — the "other path-based computations on large sparse graphs"
+// the paper's conclusion points to. Everything here costs O(n) or O(n^2)
+// oracle queries, which the reduction makes cheap to precompute.
+#pragma once
+
+#include <vector>
+
+#include "core/distance_oracle.hpp"
+
+namespace eardec::core {
+
+struct DistanceAnalytics {
+  /// Per vertex: max finite distance to any reachable vertex
+  /// (kInfWeight only for a vertex alone in its component... never; a
+  /// single vertex has eccentricity 0).
+  std::vector<Weight> eccentricity;
+  /// max eccentricity over the largest set of mutually reachable vertices.
+  Weight diameter = 0;
+  /// min eccentricity.
+  Weight radius = 0;
+  /// Vertices attaining the radius.
+  std::vector<VertexId> centers;
+  /// Closeness centrality: (reachable - 1) / sum of distances to reachable
+  /// vertices; 0 for isolated vertices.
+  std::vector<double> closeness;
+};
+
+/// Computes all of the above with n^2 oracle queries (each O(1)–O(log n)).
+[[nodiscard]] DistanceAnalytics compute_analytics(const DistanceOracle& oracle);
+
+}  // namespace eardec::core

@@ -1,0 +1,4 @@
+// DistanceOracle is header-only over EarApspEngine; this translation unit
+// exists to anchor the class's vtable-free ODR usage and keep the build
+// layout one-cpp-per-header.
+#include "core/distance_oracle.hpp"

@@ -1,0 +1,541 @@
+#include "core/ear_apsp.hpp"
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "connectivity/dfs.hpp"
+#include "sssp/dijkstra.hpp"
+#include "sssp/frontier_sssp.hpp"
+
+namespace eardec::core {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// (anchor reduced-id, distance-to-anchor) pairs through which a component-
+/// local vertex reaches the reduced graph: itself at 0 if kept, otherwise
+/// its chain's left/right anchors.
+struct Exits {
+  std::array<std::pair<VertexId, Weight>, 2> e;
+  std::size_t count;
+};
+
+Exits exits_of(const reduce::ReducedGraph& r, VertexId local) {
+  const VertexId ru = r.to_reduced(local);
+  if (ru != graph::kNullVertex) {
+    return {{{{ru, 0.0}, {0, 0.0}}}, 1};
+  }
+  const reduce::ChainSet& cs = r.chains();
+  return {{{{r.to_reduced(cs.left(local)), cs.dist_left(local)},
+            {r.to_reduced(cs.right(local)), cs.dist_right(local)}}},
+          2};
+}
+
+}  // namespace
+
+struct EarApspEngine::Impl {
+  Graph g;
+  ApspOptions opts;
+  connectivity::BiconnectedComponents bcc;
+  connectivity::ConnectedComponents cc;
+  std::optional<connectivity::BlockCutTree> bct;
+  std::optional<connectivity::TreeLca> lca;
+  std::vector<connectivity::SubgraphView> views;
+  std::vector<reduce::ReducedGraph> reduced;
+  std::vector<DistanceMatrix> rtables;
+  std::vector<std::unordered_map<VertexId, VertexId>> local_of;
+  std::vector<Weight> ap_table;  // a x a, row-major by cut index
+  std::optional<hetero::Device> device;
+  PhaseTimings timings;
+  MemoryUsage memory;
+  std::uint64_t sssp_runs = 0;
+  hetero::SchedulerStats sched_stats{};
+
+  explicit Impl(const Graph& graph, const ApspOptions& options)
+      : g(graph), opts(options) {
+    if (opts.mode == ExecutionMode::DeviceOnly ||
+        opts.mode == ExecutionMode::Heterogeneous) {
+      device.emplace(opts.device);
+    }
+    decompose();
+    reduce_components();
+    process();
+    build_ap_table();
+    finalize_memory();
+  }
+
+  // Phase 0: biconnected components, block-cut tree, LCA tables.
+  void decompose() {
+    const auto t0 = Clock::now();
+    bcc = connectivity::biconnected_components(g);
+    cc = connectivity::connected_components(g);
+    bct.emplace(g, bcc);
+    std::vector<std::vector<std::uint32_t>> tree_adj(bct->num_nodes());
+    for (std::uint32_t node = 0; node < bct->num_nodes(); ++node) {
+      tree_adj[node] = bct->neighbors(node);
+    }
+    lca.emplace(tree_adj);
+    views.reserve(bcc.num_components);
+    local_of.resize(bcc.num_components);
+    for (std::uint32_t c = 0; c < bcc.num_components; ++c) {
+      views.push_back(connectivity::extract_component(g, bcc, c));
+      auto& map = local_of[c];
+      map.reserve(views.back().to_parent.size() * 2);
+      for (VertexId l = 0; l < views.back().to_parent.size(); ++l) {
+        map.emplace(views.back().to_parent[l], l);
+      }
+    }
+    timings.decompose = seconds_since(t0);
+  }
+
+  // Phase I: per-component chain contraction. Vertices whose *global*
+  // degree differs from their in-component degree (articulation points,
+  // self-loop endpoints) are pinned so cross-component routing stays exact.
+  void reduce_components() {
+    const auto t0 = Clock::now();
+    reduced.reserve(views.size());
+    for (const auto& view : views) {
+      std::vector<bool> keep(view.graph.num_vertices(),
+                             !opts.use_ear_reduction);
+      if (opts.use_ear_reduction) {
+        for (VertexId l = 0; l < view.graph.num_vertices(); ++l) {
+          keep[l] = g.degree(view.to_parent[l]) != view.graph.degree(l);
+        }
+      }
+      reduced.emplace_back(view.graph, reduce::ReduceMode::ForApsp, &keep);
+    }
+    timings.reduce = seconds_since(t0);
+  }
+
+  // Phase II: APSP over every reduced graph. Work units are blocks of
+  // sources of one component, sized by component for the sorted queue.
+  void process() {
+    const auto t0 = Clock::now();
+    rtables.resize(reduced.size());
+    struct Unit {
+      std::uint32_t comp;
+      VertexId src_begin, src_end;
+    };
+    std::vector<Unit> units;
+    std::vector<hetero::WorkUnit> queue_units;
+    for (std::uint32_t c = 0; c < reduced.size(); ++c) {
+      const VertexId nr = reduced[c].graph().num_vertices();
+      rtables[c] = DistanceMatrix(nr);
+      sssp_runs += nr;
+      for (VertexId s = 0; s < nr; s += opts.sources_per_unit) {
+        const auto id = static_cast<std::uint32_t>(units.size());
+        units.push_back(
+            {c, s, std::min<VertexId>(s + opts.sources_per_unit, nr)});
+        queue_units.push_back({id, views[c].graph.num_vertices()});
+      }
+    }
+
+    const auto cpu_fn = [&](const hetero::WorkUnit& wu) {
+      const Unit& u = units[wu.id];
+      const Graph& rg = reduced[u.comp].graph();
+      sssp::DijkstraWorkspace ws(rg.num_vertices());
+      for (VertexId s = u.src_begin; s < u.src_end; ++s) {
+        ws.distances(rg, s, rtables[u.comp].row(s));
+      }
+    };
+    const auto device_fn = [&](const hetero::WorkUnit& wu) {
+      const Unit& u = units[wu.id];
+      const Graph& rg = reduced[u.comp].graph();
+      sssp::FrontierWorkspace ws(rg.num_vertices());
+      for (VertexId s = u.src_begin; s < u.src_end; ++s) {
+        ws.distances(rg, s, *device, rtables[u.comp].row(s));
+      }
+    };
+
+    switch (opts.mode) {
+      case ExecutionMode::Sequential: {
+        for (const auto& qu : queue_units) cpu_fn(qu);
+        sched_stats.cpu_units += queue_units.size();
+        break;
+      }
+      case ExecutionMode::Multicore: {
+        hetero::WorkQueue queue(std::move(queue_units));
+        sched_stats = hetero::run_cpu_only(queue, opts.cpu_threads, cpu_fn);
+        break;
+      }
+      case ExecutionMode::DeviceOnly: {
+        hetero::WorkQueue queue(std::move(queue_units));
+        while (true) {
+          const auto batch = queue.take_heavy(opts.device_batch);
+          if (batch.empty()) break;
+          for (const auto& wu : batch) device_fn(wu);
+          sched_stats.device_units += batch.size();
+        }
+        break;
+      }
+      case ExecutionMode::Heterogeneous: {
+        hetero::WorkQueue queue(std::move(queue_units));
+        sched_stats = hetero::run_heterogeneous(
+            queue,
+            {.cpu_threads = opts.cpu_threads,
+             .cpu_batch = opts.cpu_batch,
+             .device_batch = opts.device_batch},
+            cpu_fn, device_fn);
+        break;
+      }
+    }
+    timings.process = seconds_since(t0);
+  }
+
+  [[nodiscard]] Weight block_distance(std::uint32_t comp, VertexId lu,
+                                      VertexId lv) const {
+    if (lu == lv) return 0;
+    const reduce::ReducedGraph& r = reduced[comp];
+    const DistanceMatrix& s = rtables[comp];
+    const Exits eu = exits_of(r, lu);
+    const Exits ev = exits_of(r, lv);
+    Weight best = graph::kInfWeight;
+    for (std::size_t i = 0; i < eu.count; ++i) {
+      for (std::size_t j = 0; j < ev.count; ++j) {
+        const Weight cand = eu.e[i].second + s.at(eu.e[i].first, ev.e[j].first) +
+                            ev.e[j].second;
+        best = std::min(best, cand);
+      }
+    }
+    // Same-chain pairs also have the direct in-chain path.
+    const reduce::ChainSet& cs = r.chains();
+    if (cs.chain_of[lu] != reduce::kNoChain &&
+        cs.chain_of[lu] == cs.chain_of[lv]) {
+      const reduce::Chain& chain = cs.chains[cs.chain_of[lu]];
+      const Weight direct = std::abs(chain.prefix[cs.position[lu]] -
+                                     chain.prefix[cs.position[lv]]);
+      best = std::min(best, direct);
+    }
+    return best;
+  }
+
+  // Phase III stage 2: distances between all articulation points, by
+  // accumulating within-block cut-to-cut distances along the (unique)
+  // block-cut tree paths from each source articulation point.
+  void build_ap_table() {
+    const auto t0 = Clock::now();
+    const auto& cuts = bct->cut_vertices();
+    const auto a = static_cast<std::uint32_t>(cuts.size());
+    ap_table.assign(static_cast<std::size_t>(a) * a, graph::kInfWeight);
+
+    // One tree traversal per source AP; parallel across sources.
+    const auto source_walk = [&](std::size_t ai) {
+      Weight* row = ap_table.data() + ai * a;
+      row[ai] = 0;
+      // DFS over tree nodes, carrying the distance at the entry cut.
+      struct Frame {
+        std::uint32_t node;
+        std::uint32_t from;
+        Weight dist;  // distance from source AP to this node's entry cut
+      };
+      constexpr std::uint32_t kNone = UINT32_MAX;
+      std::vector<Frame> stack{{bct->cut_node(static_cast<std::uint32_t>(ai)),
+                                kNone, 0.0}};
+      while (!stack.empty()) {
+        const Frame f = stack.back();
+        stack.pop_back();
+        if (f.node < bct->num_blocks()) {
+          // Block node entered through cut `from` (always a cut node id).
+          const std::uint32_t b = f.node;
+          const VertexId entry_cut = cuts[f.from - bct->num_blocks()];
+          const VertexId entry_local = local_of[b].at(entry_cut);
+          for (const std::uint32_t nb : bct->neighbors(f.node)) {
+            if (nb == f.from) continue;
+            const std::uint32_t ci = nb - bct->num_blocks();
+            const VertexId cut_local = local_of[b].at(cuts[ci]);
+            const Weight d =
+                f.dist + block_distance(b, entry_local, cut_local);
+            if (d < row[ci]) row[ci] = d;
+            stack.push_back({nb, f.node, d});
+          }
+        } else {
+          // Cut node: continue into every adjacent block.
+          for (const std::uint32_t nb : bct->neighbors(f.node)) {
+            if (nb == f.from) continue;
+            stack.push_back({nb, f.node, f.dist});
+          }
+        }
+      }
+    };
+
+    if ((opts.mode == ExecutionMode::Multicore ||
+         opts.mode == ExecutionMode::Heterogeneous) &&
+        a > 1) {
+      hetero::ThreadPool pool(opts.cpu_threads);
+      pool.parallel_for(0, a, source_walk);
+    } else if (opts.mode == ExecutionMode::DeviceOnly && a > 1) {
+      device->launch(a, source_walk);
+    } else {
+      for (std::uint32_t ai = 0; ai < a; ++ai) source_walk(ai);
+    }
+    timings.ap_table = seconds_since(t0);
+  }
+
+  void finalize_memory() {
+    std::vector<VertexId> reduced_sizes;
+    reduced_sizes.reserve(reduced.size());
+    for (const auto& r : reduced) {
+      reduced_sizes.push_back(r.graph().num_vertices());
+    }
+    memory = compute_memory_usage(g, bcc, reduced_sizes);
+  }
+
+  [[nodiscard]] std::vector<Weight> distances_from(VertexId u) const {
+    if (u >= g.num_vertices()) {
+      throw std::out_of_range("distances_from: vertex out of range");
+    }
+    std::vector<Weight> out(g.num_vertices(), graph::kInfWeight);
+    out[u] = 0;
+    if (g.num_vertices() == 0 || bct->block_of(u) == connectivity::kNoComponent) {
+      return out;  // isolated vertex
+    }
+
+    // Fill a whole block given the distance to one of its vertices.
+    const auto fill_block = [&](std::uint32_t b, VertexId entry_local,
+                                Weight entry_dist) {
+      const auto& verts = views[b].to_parent;
+      for (VertexId lv = 0; lv < verts.size(); ++lv) {
+        const Weight d = entry_dist + block_distance(b, entry_local, lv);
+        if (d < out[verts[lv]]) out[verts[lv]] = d;
+      }
+    };
+
+    // Start node: u's cut node if u is an articulation point, else its
+    // unique block. DFS over the block-cut tree carrying the distance at
+    // each entry cut, exactly as in build_ap_table but from one vertex.
+    const std::uint32_t cu = bct->cut_index(u);
+    struct Frame {
+      std::uint32_t node;
+      std::uint32_t from;
+      Weight dist;  // distance from u to this node's entry cut
+    };
+    constexpr std::uint32_t kNone = UINT32_MAX;
+    std::vector<Frame> stack;
+    if (cu != connectivity::kNoComponent) {
+      stack.push_back({bct->cut_node(cu), kNone, 0.0});
+    } else {
+      const std::uint32_t b = bct->block_of(u);
+      fill_block(b, local_of[b].at(u), 0.0);
+      for (const std::uint32_t nb : bct->neighbors(b)) {
+        const VertexId cut = bct->cut_vertices()[nb - bct->num_blocks()];
+        stack.push_back({nb, b, out[cut]});
+      }
+    }
+    while (!stack.empty()) {
+      const Frame f = stack.back();
+      stack.pop_back();
+      if (f.node < bct->num_blocks()) {
+        const std::uint32_t b = f.node;
+        const VertexId entry =
+            bct->cut_vertices()[f.from - bct->num_blocks()];
+        fill_block(b, local_of[b].at(entry), f.dist);
+        for (const std::uint32_t nb : bct->neighbors(f.node)) {
+          if (nb == f.from) continue;
+          const VertexId cut = bct->cut_vertices()[nb - bct->num_blocks()];
+          stack.push_back({nb, f.node, out[cut]});
+        }
+      } else {
+        for (const std::uint32_t nb : bct->neighbors(f.node)) {
+          if (nb == f.from) continue;
+          stack.push_back({nb, f.node, f.dist});
+        }
+      }
+    }
+    return out;
+  }
+
+  [[nodiscard]] Weight ap_distance(VertexId u, VertexId v) const {
+    const std::uint32_t iu = bct->cut_index(u);
+    const std::uint32_t iv = bct->cut_index(v);
+    const auto a = bct->cut_vertices().size();
+    return ap_table[static_cast<std::size_t>(iu) * a + iv];
+  }
+
+  [[nodiscard]] Weight query(VertexId u, VertexId v) const {
+    if (u >= g.num_vertices() || v >= g.num_vertices()) {
+      throw std::out_of_range("EarApsp::query: vertex out of range");
+    }
+    if (u == v) return 0;
+    if (cc.component[u] != cc.component[v]) return graph::kInfWeight;
+
+    const std::uint32_t cu = bct->cut_index(u);
+    const std::uint32_t cv = bct->cut_index(v);
+    const std::uint32_t nu =
+        cu != connectivity::kNoComponent ? bct->cut_node(cu) : bct->block_of(u);
+    const std::uint32_t nv =
+        cv != connectivity::kNoComponent ? bct->cut_node(cv) : bct->block_of(v);
+    if (nu == nv) {  // both plain vertices of the same block
+      return block_distance(nu, local_of[nu].at(u), local_of[nv].at(v));
+    }
+    // First / last articulation points on the block-cut tree path.
+    const VertexId c_first =
+        cu != connectivity::kNoComponent
+            ? u
+            : bct->cut_vertices()[lca->next_on_path(nu, nv) -
+                                  bct->num_blocks()];
+    const VertexId c_last =
+        cv != connectivity::kNoComponent
+            ? v
+            : bct->cut_vertices()[lca->next_on_path(nv, nu) -
+                                  bct->num_blocks()];
+    const Weight du = cu != connectivity::kNoComponent
+                          ? 0
+                          : block_distance(nu, local_of[nu].at(u),
+                                           local_of[nu].at(c_first));
+    const Weight dv = cv != connectivity::kNoComponent
+                          ? 0
+                          : block_distance(nv, local_of[nv].at(v),
+                                           local_of[nv].at(c_last));
+    return du + ap_distance(c_first, c_last) + dv;
+  }
+};
+
+EarApspEngine::EarApspEngine(const Graph& g, const ApspOptions& options)
+    : impl_(std::make_unique<Impl>(g, options)) {}
+EarApspEngine::~EarApspEngine() = default;
+EarApspEngine::EarApspEngine(EarApspEngine&&) noexcept = default;
+EarApspEngine& EarApspEngine::operator=(EarApspEngine&&) noexcept = default;
+
+const Graph& EarApspEngine::original_graph() const { return impl_->g; }
+std::uint32_t EarApspEngine::num_components() const {
+  return impl_->bcc.num_components;
+}
+const connectivity::BiconnectedComponents& EarApspEngine::bcc() const {
+  return impl_->bcc;
+}
+const connectivity::BlockCutTree& EarApspEngine::block_cut_tree() const {
+  return *impl_->bct;
+}
+const reduce::ReducedGraph& EarApspEngine::reduced(std::uint32_t comp) const {
+  return impl_->reduced.at(comp);
+}
+const connectivity::SubgraphView& EarApspEngine::component(
+    std::uint32_t comp) const {
+  return impl_->views.at(comp);
+}
+const DistanceMatrix& EarApspEngine::reduced_table(std::uint32_t comp) const {
+  return impl_->rtables.at(comp);
+}
+Weight EarApspEngine::block_distance(std::uint32_t comp, VertexId local_u,
+                                     VertexId local_v) const {
+  return impl_->block_distance(comp, local_u, local_v);
+}
+Weight EarApspEngine::ap_distance(VertexId ap_u, VertexId ap_v) const {
+  return impl_->ap_distance(ap_u, ap_v);
+}
+Weight EarApspEngine::query(VertexId u, VertexId v) const {
+  return impl_->query(u, v);
+}
+std::vector<Weight> EarApspEngine::distances_from(VertexId u) const {
+  return impl_->distances_from(u);
+}
+const PhaseTimings& EarApspEngine::timings() const { return impl_->timings; }
+const MemoryUsage& EarApspEngine::memory() const { return impl_->memory; }
+std::uint64_t EarApspEngine::sssp_runs() const { return impl_->sssp_runs; }
+hetero::SchedulerStats EarApspEngine::scheduler_stats() const {
+  return impl_->sched_stats;
+}
+
+EarApsp::EarApsp(const Graph& g, const ApspOptions& options)
+    : engine_(g, options) {
+  // Phase III stage 1: materialize every per-component table A_i by
+  // evaluating the UPDATE_DISTANCE formulas row by row.
+  const auto t0 = std::chrono::steady_clock::now();
+  auto& impl = *engine_.impl_;
+  block_tables_.resize(impl.views.size());
+  std::optional<hetero::ThreadPool> pool;
+  if (options.mode == ExecutionMode::Multicore ||
+      options.mode == ExecutionMode::Heterogeneous) {
+    pool.emplace(options.cpu_threads);
+  }
+  for (std::uint32_t c = 0; c < impl.views.size(); ++c) {
+    const VertexId n = impl.views[c].graph.num_vertices();
+    block_tables_[c] = DistanceMatrix(n);
+    const auto fill_row = [&, c](std::size_t lu) {
+      auto row = block_tables_[c].row(static_cast<VertexId>(lu));
+      for (VertexId lv = 0; lv < n; ++lv) {
+        row[lv] = impl.block_distance(c, static_cast<VertexId>(lu), lv);
+      }
+    };
+    switch (options.mode) {
+      case ExecutionMode::Sequential:
+        for (VertexId lu = 0; lu < n; ++lu) fill_row(lu);
+        break;
+      case ExecutionMode::Multicore:
+      case ExecutionMode::Heterogeneous:
+        pool->parallel_for(0, n, fill_row);
+        break;
+      case ExecutionMode::DeviceOnly:
+        impl.device->launch(n, fill_row);
+        break;
+    }
+  }
+  timings_ = impl.timings;
+  timings_.postprocess =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+}
+
+Weight EarApsp::distance(VertexId u, VertexId v) const {
+  const auto& impl = *engine_.impl_;
+  if (u == v) return 0;
+  if (u >= impl.g.num_vertices() || v >= impl.g.num_vertices()) {
+    throw std::out_of_range("EarApsp::distance: vertex out of range");
+  }
+  if (impl.cc.component[u] != impl.cc.component[v]) return graph::kInfWeight;
+  const std::uint32_t cu = impl.bct->cut_index(u);
+  const std::uint32_t cv = impl.bct->cut_index(v);
+  const std::uint32_t nu = cu != connectivity::kNoComponent
+                               ? impl.bct->cut_node(cu)
+                               : impl.bct->block_of(u);
+  const std::uint32_t nv = cv != connectivity::kNoComponent
+                               ? impl.bct->cut_node(cv)
+                               : impl.bct->block_of(v);
+  if (nu == nv) {
+    return block_tables_[nu].at(impl.local_of[nu].at(u),
+                                impl.local_of[nv].at(v));
+  }
+  const VertexId c_first =
+      cu != connectivity::kNoComponent
+          ? u
+          : impl.bct->cut_vertices()[impl.lca->next_on_path(nu, nv) -
+                                     impl.bct->num_blocks()];
+  const VertexId c_last =
+      cv != connectivity::kNoComponent
+          ? v
+          : impl.bct->cut_vertices()[impl.lca->next_on_path(nv, nu) -
+                                     impl.bct->num_blocks()];
+  const Weight du =
+      cu != connectivity::kNoComponent
+          ? 0
+          : block_tables_[nu].at(impl.local_of[nu].at(u),
+                                 impl.local_of[nu].at(c_first));
+  const Weight dv =
+      cv != connectivity::kNoComponent
+          ? 0
+          : block_tables_[nv].at(impl.local_of[nv].at(v),
+                                 impl.local_of[nv].at(c_last));
+  return du + impl.ap_distance(c_first, c_last) + dv;
+}
+
+DistanceMatrix ear_apsp_matrix(const Graph& g, const ApspOptions& options) {
+  const EarApsp apsp(g, options);
+  DistanceMatrix d(g.num_vertices());
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    auto row = d.row(u);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      row[v] = apsp.distance(u, v);
+    }
+  }
+  return d;
+}
+
+}  // namespace eardec::core

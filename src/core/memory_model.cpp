@@ -1,0 +1,28 @@
+#include "core/memory_model.hpp"
+
+#include <stdexcept>
+
+namespace eardec::core {
+
+MemoryUsage compute_memory_usage(
+    const graph::Graph& g, const connectivity::BiconnectedComponents& bcc,
+    const std::vector<graph::VertexId>& reduced_sizes) {
+  if (reduced_sizes.size() != bcc.num_components) {
+    throw std::invalid_argument("compute_memory_usage: size mismatch");
+  }
+  constexpr std::uint64_t kEntry = sizeof(graph::Weight);
+  MemoryUsage mu;
+  for (std::uint32_t c = 0; c < bcc.num_components; ++c) {
+    const std::uint64_t ni = bcc.component_vertices[c].size();
+    const std::uint64_t nr = reduced_sizes[c];
+    mu.block_tables_bytes += ni * ni * kEntry;
+    mu.compact_tables_bytes += nr * nr * kEntry;
+  }
+  const auto a = static_cast<std::uint64_t>(bcc.num_articulation_points());
+  mu.ap_table_bytes = a * a * kEntry;
+  const std::uint64_t n = g.num_vertices();
+  mu.full_table_bytes = n * n * kEntry;
+  return mu;
+}
+
+}  // namespace eardec::core

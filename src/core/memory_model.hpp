@@ -1,0 +1,47 @@
+// Memory accounting for the APSP result storage — the paper's Table 1
+// comparison: O(a^2 + Σ n_i^2) for the block-decomposed representation vs
+// O(n^2) for the monolithic all-pairs table.
+#pragma once
+
+#include <cstdint>
+
+#include "connectivity/bcc.hpp"
+#include "graph/graph.hpp"
+
+namespace eardec::core {
+
+struct MemoryUsage {
+  /// Bytes for the per-component tables: Σ n_i^2 entries.
+  std::uint64_t block_tables_bytes = 0;
+  /// Bytes for the articulation-point table: a^2 entries.
+  std::uint64_t ap_table_bytes = 0;
+  /// Bytes for the compact (reduced-graph) variant: Σ (n_i^r)^2 entries
+  /// plus per-chain bookkeeping.
+  std::uint64_t compact_tables_bytes = 0;
+  /// Bytes a monolithic n x n table would need.
+  std::uint64_t full_table_bytes = 0;
+
+  /// The paper's "Our's Memory" column: block tables + AP table.
+  [[nodiscard]] std::uint64_t ours_bytes() const {
+    return block_tables_bytes + ap_table_bytes;
+  }
+  [[nodiscard]] double ours_mb() const {
+    return static_cast<double>(ours_bytes()) / (1024.0 * 1024.0);
+  }
+  [[nodiscard]] double full_mb() const {
+    return static_cast<double>(full_table_bytes) / (1024.0 * 1024.0);
+  }
+  [[nodiscard]] double compact_mb() const {
+    return static_cast<double>(compact_tables_bytes + ap_table_bytes) /
+           (1024.0 * 1024.0);
+  }
+};
+
+/// Computes the model from a decomposition. `reduced_sizes[i]` is the
+/// number of vertices of component i's reduced graph (pass the component
+/// sizes themselves to model a reduction-free method).
+[[nodiscard]] MemoryUsage compute_memory_usage(
+    const graph::Graph& g, const connectivity::BiconnectedComponents& bcc,
+    const std::vector<graph::VertexId>& reduced_sizes);
+
+}  // namespace eardec::core

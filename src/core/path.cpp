@@ -1,0 +1,47 @@
+#include "core/path.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace eardec::core {
+
+Path reconstruct_path(const DistanceOracle& oracle, VertexId u, VertexId v) {
+  const graph::Graph& g = oracle.engine().original_graph();
+  Path path;
+  const Weight total = oracle.distance(u, v);
+  if (total == graph::kInfWeight) return path;
+  path.weight = total;
+  path.vertices.push_back(u);
+
+  VertexId cur = u;
+  Weight remaining = total;
+  // Relative slack tolerant of double accumulation over long chains.
+  const auto tight = [](Weight lhs, Weight rhs) {
+    return std::abs(lhs - rhs) <= 1e-9 * (1.0 + std::abs(rhs));
+  };
+  while (cur != v) {
+    bool advanced = false;
+    for (const graph::HalfEdge& he : g.neighbors(cur)) {
+      if (he.to == cur) continue;  // self-loops never lie on shortest paths
+      if (!(he.weight > 0)) {
+        throw std::invalid_argument(
+            "reconstruct_path: requires strictly positive weights");
+      }
+      if (tight(he.weight + oracle.distance(he.to, v), remaining)) {
+        path.edges.push_back(he.edge);
+        path.vertices.push_back(he.to);
+        remaining -= he.weight;
+        cur = he.to;
+        advanced = true;
+        break;
+      }
+    }
+    if (!advanced) {
+      throw std::logic_error(
+          "reconstruct_path: greedy walk stalled (inconsistent oracle)");
+    }
+  }
+  return path;
+}
+
+}  // namespace eardec::core

@@ -1,0 +1,28 @@
+// Shortest-path reconstruction on top of a distance oracle. The oracle
+// stores distances, not parent trees (that is what keeps its memory at
+// O(a² + Σ (nᵣᵢ)²)); an explicit route is recovered greedily: from u, an
+// edge (u, x) lies on a shortest u→v path iff w(u,x) + d(x,v) == d(u,v).
+// With strictly positive weights the walk advances every step, so the cost
+// is O(Σ deg(vertex on path)) oracle queries.
+#pragma once
+
+#include <vector>
+
+#include "core/distance_oracle.hpp"
+
+namespace eardec::core {
+
+struct Path {
+  std::vector<graph::EdgeId> edges;    ///< in travel order u -> v
+  std::vector<VertexId> vertices;      ///< edges.size() + 1 entries
+  Weight weight = 0;                   ///< == oracle.distance(u, v)
+  [[nodiscard]] bool found() const { return !vertices.empty(); }
+};
+
+/// Reconstructs one shortest u→v path. Returns an empty Path when v is
+/// unreachable. Requires strictly positive edge weights (zero-weight edges
+/// could cycle the greedy walk); throws std::invalid_argument otherwise.
+[[nodiscard]] Path reconstruct_path(const DistanceOracle& oracle, VertexId u,
+                                    VertexId v);
+
+}  // namespace eardec::core

@@ -1,0 +1,89 @@
+#include "graph/binary_io.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace eardec::graph::io {
+namespace {
+
+constexpr std::array<char, 4> kMagic = {'E', 'D', 'G', '1'};
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("read_binary: truncated stream");
+  return value;
+}
+
+}  // namespace
+
+void write_binary(std::ostream& out, const Graph& g) {
+  out.write(kMagic.data(), kMagic.size());
+  write_pod<std::uint64_t>(out, g.num_vertices());
+  write_pod<std::uint64_t>(out, g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [u, v] = g.endpoints(e);
+    write_pod<std::uint32_t>(out, u);
+    write_pod<std::uint32_t>(out, v);
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    write_pod<double>(out, g.weight(e));
+  }
+}
+
+void write_binary_file(const std::filesystem::path& path, const Graph& g) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open " + path.string());
+  write_binary(out, g);
+}
+
+Graph read_binary(std::istream& in) {
+  std::array<char, 4> magic{};
+  in.read(magic.data(), magic.size());
+  if (!in || magic != kMagic) {
+    throw std::runtime_error("read_binary: bad magic (not an EDG1 file)");
+  }
+  const auto n64 = read_pod<std::uint64_t>(in);
+  const auto m64 = read_pod<std::uint64_t>(in);
+  if (n64 > std::numeric_limits<VertexId>::max() ||
+      m64 > std::numeric_limits<EdgeId>::max()) {
+    throw std::runtime_error("read_binary: counts out of range");
+  }
+  const auto n = static_cast<VertexId>(n64);
+  const auto m = static_cast<EdgeId>(m64);
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  edges.reserve(m);
+  for (EdgeId e = 0; e < m; ++e) {
+    const auto u = read_pod<std::uint32_t>(in);
+    const auto v = read_pod<std::uint32_t>(in);
+    if (u >= n || v >= n) {
+      throw std::runtime_error("read_binary: endpoint out of range");
+    }
+    edges.emplace_back(u, v);
+  }
+  std::vector<Weight> weights;
+  weights.reserve(m);
+  for (EdgeId e = 0; e < m; ++e) {
+    const double w = read_pod<double>(in);
+    if (!(w >= 0)) throw std::runtime_error("read_binary: negative weight");
+    weights.push_back(w);
+  }
+  return Graph(n, std::move(edges), std::move(weights));
+}
+
+Graph read_binary_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path.string());
+  return read_binary(in);
+}
+
+}  // namespace eardec::graph::io

@@ -1,0 +1,27 @@
+// Compact binary graph format ("EDG1"): magic, counts, then the raw edge
+// arrays. Orders of magnitude faster to load than Matrix Market text for
+// the benchmark-scale graphs, with integrity checks on read.
+//
+// Layout (little-endian, as written by the host):
+//   char[4]  magic "EDG1"
+//   u64      num_vertices
+//   u64      num_edges
+//   u32[2m]  endpoint pairs (u, v) per edge
+//   f64[m]   weights
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+
+#include "graph/graph.hpp"
+
+namespace eardec::graph::io {
+
+void write_binary(std::ostream& out, const Graph& g);
+void write_binary_file(const std::filesystem::path& path, const Graph& g);
+
+/// Throws std::runtime_error on bad magic, truncation, or invalid counts.
+[[nodiscard]] Graph read_binary(std::istream& in);
+[[nodiscard]] Graph read_binary_file(const std::filesystem::path& path);
+
+}  // namespace eardec::graph::io

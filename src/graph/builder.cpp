@@ -1,0 +1,46 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace eardec::graph {
+
+EdgeId Builder::add_edge(VertexId u, VertexId v, Weight w) {
+  if (u >= n_ || v >= n_) {
+    throw std::out_of_range("Builder::add_edge: endpoint out of range");
+  }
+  const auto id = static_cast<EdgeId>(edges_.size());
+  edges_.emplace_back(u, v);
+  weights_.push_back(w);
+  return id;
+}
+
+void Builder::ensure_vertex(VertexId v) {
+  if (v >= n_) n_ = v + 1;
+}
+
+Graph Builder::build(ParallelEdgePolicy policy) && {
+  if (policy == ParallelEdgePolicy::KeepMinWeight) {
+    std::unordered_map<std::uint64_t, std::size_t> best;  // pair key -> index
+    best.reserve(edges_.size() * 2);
+    std::vector<std::pair<VertexId, VertexId>> edges;
+    std::vector<Weight> weights;
+    for (std::size_t i = 0; i < edges_.size(); ++i) {
+      auto [u, v] = edges_[i];
+      if (u > v) std::swap(u, v);
+      const std::uint64_t key = (static_cast<std::uint64_t>(u) << 32) | v;
+      auto [it, inserted] = best.emplace(key, edges.size());
+      if (inserted) {
+        edges.emplace_back(u, v);
+        weights.push_back(weights_[i]);
+      } else if (weights_[i] < weights[it->second]) {
+        weights[it->second] = weights_[i];
+      }
+    }
+    return Graph(n_, std::move(edges), std::move(weights));
+  }
+  return Graph(n_, std::move(edges_), std::move(weights_));
+}
+
+}  // namespace eardec::graph

@@ -1,0 +1,53 @@
+// Mutable edge-list accumulator that finalizes into an immutable CSR Graph.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/types.hpp"
+
+namespace eardec::graph {
+
+/// Policy applied to parallel edges when a Builder finalizes.
+enum class ParallelEdgePolicy {
+  /// Keep every edge as given (multigraph). Required for MCB reduced graphs.
+  Keep,
+  /// Of each parallel bundle keep only the minimum-weight edge. This is the
+  /// right policy for shortest-path computations (paper, Section 2.1.1).
+  KeepMinWeight,
+};
+
+/// Accumulates edges and produces a Graph.
+///
+/// Usage:
+///   Builder b(5);
+///   b.add_edge(0, 1, 2.0);
+///   Graph g = std::move(b).build();
+class Builder {
+ public:
+  explicit Builder(VertexId num_vertices) : n_(num_vertices) {}
+
+  /// Adds an undirected edge {u, v} with weight w; returns its EdgeId under
+  /// ParallelEdgePolicy::Keep (ids shift if KeepMinWeight drops edges).
+  EdgeId add_edge(VertexId u, VertexId v, Weight w = 1.0);
+
+  /// Grows the vertex set so that `v` is a valid vertex.
+  void ensure_vertex(VertexId v);
+
+  [[nodiscard]] VertexId num_vertices() const noexcept { return n_; }
+  [[nodiscard]] EdgeId num_edges() const noexcept {
+    return static_cast<EdgeId>(edges_.size());
+  }
+
+  /// Finalizes into a CSR graph. Consumes the builder.
+  [[nodiscard]] Graph build(
+      ParallelEdgePolicy policy = ParallelEdgePolicy::Keep) &&;
+
+ private:
+  VertexId n_;
+  std::vector<std::pair<VertexId, VertexId>> edges_;
+  std::vector<Weight> weights_;
+};
+
+}  // namespace eardec::graph

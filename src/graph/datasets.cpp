@@ -1,0 +1,309 @@
+#include "graph/datasets.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace eardec::graph::datasets {
+namespace {
+
+using generators::BlockTreeParams;
+
+/// Subdivides `g` so that roughly `deg2_pct` percent of the *final* vertex
+/// count are inserted degree-two vertices: extra / (core + extra) = pct.
+Graph with_degree2_fraction(Graph g, double deg2_pct, std::uint64_t seed) {
+  if (deg2_pct <= 0.0) return g;
+  const double core = g.num_vertices();
+  const auto extra = static_cast<VertexId>(
+      std::llround(core * deg2_pct / (100.0 - deg2_pct)));
+  if (extra == 0) return g;
+  return generators::subdivide(g, extra, seed);
+}
+
+Graph uf_like(const BlockTreeParams& p, double deg2_pct, std::uint64_t seed) {
+  return with_degree2_fraction(generators::block_tree(p, seed), deg2_pct,
+                               seed ^ 0x9e3779b97f4a7c15ULL);
+}
+
+Graph bicc_like(VertexId n, EdgeId m, double deg2_pct, std::uint64_t seed) {
+  return with_degree2_fraction(generators::random_biconnected(n, m, seed),
+                               deg2_pct, seed ^ 0x9e3779b97f4a7c15ULL);
+}
+
+Graph planar_like(VertexId rows, VertexId cols, double drop, double deg2_pct,
+                  VertexId pendants, std::uint64_t seed) {
+  Graph base =
+      generators::random_planar(rows, cols, /*diag_prob=*/0.6, drop, seed);
+  if (pendants > 0) {
+    // A short pendant fringe models the cut-vertex structure the paper's
+    // OGDF planar graphs show (their #BCC column); stays planar.
+    generators::Rng rng(seed * 31 + 7);
+    const VertexId n = base.num_vertices();
+    Builder b(n + pendants);
+    for (EdgeId e = 0; e < base.num_edges(); ++e) {
+      const auto [u, v] = base.endpoints(e);
+      b.add_edge(u, v, base.weight(e));
+    }
+    std::uniform_int_distribution<VertexId> pick(0, n - 1);
+    std::uniform_int_distribution<std::uint32_t> w(1, 100);
+    for (VertexId i = 0; i < pendants; ++i) {
+      b.add_edge(pick(rng), n + i, static_cast<Weight>(w(rng)));
+    }
+    base = std::move(b).build();
+  }
+  return with_degree2_fraction(std::move(base), deg2_pct,
+                               seed ^ 0x9e3779b97f4a7c15ULL);
+}
+
+std::vector<Dataset> build_registry() {
+  std::vector<Dataset> ds;
+  const auto add = [&ds](Dataset d) { ds.push_back(std::move(d)); };
+
+  // -------- General graphs (UF Sparse Matrix Collection stand-ins) --------
+  add({.name = "nopoly",
+       .planar = false,
+       .paper = {10e3, 30e3, 1, 100.0, 0.018, 443, 443},
+       .make = [] { return bicc_like(320, 960, 0.0, 101); },
+       .make_small = [] { return bicc_like(120, 360, 0.0, 102); }});
+
+  add({.name = "OPF_3754",
+       .planar = false,
+       .paper = {15e3, 86e3, 1, 100.0, 1.98, 873, 909},
+       .make = [] { return bicc_like(460, 2640, 1.98, 103); },
+       .make_small = [] { return bicc_like(150, 860, 1.98, 104); }});
+
+  add({.name = "ca-AstroPh",
+       .planar = false,
+       .paper = {18e3, 198e3, 647, 98.43, 15.85, 970, 1344},
+       .make =
+           [] {
+             return uf_like({.num_blocks = 20,
+                             .largest_block = 470,
+                             .small_block_min = 3,
+                             .small_block_max = 6,
+                             .intra_degree = 20,
+                             .small_intra_degree = 2.4,
+                             .pendants = 15},
+                            8.0, 105);
+           },
+       .make_small =
+           [] {
+             return uf_like({.num_blocks = 8,
+                             .largest_block = 150,
+                             .small_block_min = 3,
+                             .small_block_max = 5,
+                             .intra_degree = 16,
+                             .small_intra_degree = 2.4,
+                             .pendants = 6},
+                            15.85, 106);
+           }});
+
+  add({.name = "as-22july06",
+       .planar = false,
+       .paper = {22e3, 48e3, 13, 99.9, 77.60, 851, 2012},
+       .make =
+           [] {
+             return uf_like({.num_blocks = 13,
+                             .largest_block = 120,
+                             .small_block_min = 3,
+                             .small_block_max = 4,
+                             .intra_degree = 12,
+                             .small_intra_degree = 2.2,
+                             .pendants = 10},
+                            77.60, 107);
+           },
+       .make_small =
+           [] {
+             return uf_like({.num_blocks = 6,
+                             .largest_block = 56,
+                             .small_block_min = 3,
+                             .small_block_max = 4,
+                             .intra_degree = 9,
+                             .small_intra_degree = 2.2,
+                             .pendants = 5},
+                            77.60, 108);
+           }});
+
+  add({.name = "c-50",
+       .planar = false,
+       .paper = {22e3, 90e3, 1, 100.0, 52.04, 651, 1914},
+       .make = [] { return bicc_like(330, 2440, 52.04, 109); },
+       .make_small = [] { return bicc_like(110, 810, 52.04, 110); }});
+
+  add({.name = "cond_mat_2003",
+       .planar = false,
+       .paper = {31e3, 120e3, 2157, 80.52, 26.88, 1826, 3705},
+       .make =
+           [] {
+             return uf_like({.num_blocks = 67,
+                             .largest_block = 260,
+                             .small_block_min = 3,
+                             .small_block_max = 8,
+                             .intra_degree = 10,
+                             .small_intra_degree = 2.6,
+                             .pendants = 60},
+                            0.0, 111);
+           },
+       .make_small =
+           [] {
+             return uf_like({.num_blocks = 20,
+                             .largest_block = 90,
+                             .small_block_min = 3,
+                             .small_block_max = 6,
+                             .intra_degree = 8,
+                             .small_intra_degree = 2.6,
+                             .pendants = 18},
+                            0.0, 112);
+           }});
+
+  add({.name = "delaunay_n15",
+       .planar = true,
+       .paper = {32e3, 98e3, 1, 100.0, 0.0, 4096, 4096},
+       .make =
+           [] {
+             return generators::random_planar(32, 32, /*diag_prob=*/1.0,
+                                              /*drop_prob=*/0.0, 113);
+           },
+       .make_small =
+           [] {
+             return generators::random_planar(12, 12, /*diag_prob=*/1.0,
+                                              /*drop_prob=*/0.0, 114);
+           }});
+
+  add({.name = "Rajat26",
+       .planar = false,
+       .paper = {51e3, 247e3, 5053, 95.17, 32.92, 7176, 9934},
+       .make =
+           [] {
+             return uf_like({.num_blocks = 158,
+                             .largest_block = 520,
+                             .small_block_min = 3,
+                             .small_block_max = 6,
+                             .intra_degree = 12,
+                             .small_intra_degree = 2.6,
+                             .pendants = 100},
+                            0.0, 115);
+           },
+       .make_small =
+           [] {
+             return uf_like({.num_blocks = 30,
+                             .largest_block = 110,
+                             .small_block_min = 3,
+                             .small_block_max = 5,
+                             .intra_degree = 9,
+                             .small_intra_degree = 2.6,
+                             .pendants = 20},
+                            0.0, 116);
+           }});
+
+  add({.name = "Wordnet3",
+       .planar = false,
+       .paper = {82e3, 132e3, 156, 98.92, 77.24, 4663, 26071},
+       .make =
+           [] {
+             return uf_like({.num_blocks = 30,
+                             .largest_block = 400,
+                             .small_block_min = 3,
+                             .small_block_max = 5,
+                             .intra_degree = 3.6,
+                             .small_intra_degree = 2.2,
+                             .pendants = 120},
+                            80.0, 117);
+           },
+       .make_small =
+           [] {
+             return uf_like({.num_blocks = 10,
+                             .largest_block = 90,
+                             .small_block_min = 3,
+                             .small_block_max = 5,
+                             .intra_degree = 3.4,
+                             .small_intra_degree = 2.2,
+                             .pendants = 25},
+                            77.24, 118);
+           }});
+
+  add({.name = "soc-sign-epinions",
+       .planar = false,
+       .paper = {131e3, 841e3, 609, 99.7, 67.86, 12932, 66294},
+       .make =
+           [] {
+             return uf_like({.num_blocks = 40,
+                             .largest_block = 900,
+                             .small_block_min = 3,
+                             .small_block_max = 6,
+                             .intra_degree = 18,
+                             .small_intra_degree = 2.4,
+                             .pendants = 200},
+                            67.86, 119);
+           },
+       .make_small =
+           [] {
+             return uf_like({.num_blocks = 12,
+                             .largest_block = 160,
+                             .small_block_min = 3,
+                             .small_block_max = 5,
+                             .intra_degree = 12,
+                             .small_intra_degree = 2.4,
+                             .pendants = 40},
+                            67.86, 120);
+           }});
+
+  // -------- Planar graphs (OGDF stand-ins) --------
+  const struct {
+    const char* name;
+    VertexId rows, cols;
+    double drop, deg2;
+    VertexId pendants;
+    PaperStats paper;
+  } planar_specs[] = {
+      {"Planar_1", 21, 28, 0.10, 12.42, 2, {19e3, 54e3, 46, 99.55, 12.42, 1278, 1296}},
+      {"Planar_2", 25, 31, 0.15, 5.63, 5, {25e3, 64e3, 164, 93.65, 5.63, 1627, 1881}},
+      {"Planar_3", 29, 32, 0.20, 19.72, 9, {30e3, 70e3, 298, 96.53, 19.72, 2068, 2275}},
+      {"Planar_4", 32, 35, 0.12, 18.56, 5, {36e3, 94e3, 175, 98.37, 18.56, 3890, 4074}},
+      {"Planar_5", 34, 38, 0.08, 16.34, 7, {41e3, 128e3, 223, 95.63, 16.34, 4350, 4942}},
+  };
+  std::uint64_t seed = 121;
+  for (const auto& ps : planar_specs) {
+    const auto rows = ps.rows;
+    const auto cols = ps.cols;
+    const auto drop = ps.drop;
+    const auto deg2 = ps.deg2;
+    const auto pendants = ps.pendants;
+    const auto s1 = seed++, s2 = seed++;
+    add({.name = ps.name,
+         .planar = true,
+         .paper = ps.paper,
+         .make =
+             [=] { return planar_like(rows, cols, drop, deg2, pendants, s1); },
+         .make_small =
+             [=] {
+               return planar_like(rows / 2 + 2, cols / 2 + 2, drop, deg2,
+                                  pendants / 2, s2);
+             }});
+  }
+
+  return ds;
+}
+
+}  // namespace
+
+const std::vector<Dataset>& table1() {
+  static const std::vector<Dataset> registry = build_registry();
+  return registry;
+}
+
+std::vector<Dataset> mcb_seven() {
+  const auto& all = table1();
+  return {all.begin(), all.begin() + 7};
+}
+
+const Dataset& by_name(const std::string& name) {
+  for (const auto& d : table1()) {
+    if (d.name == name) return d;
+  }
+  throw std::out_of_range("datasets::by_name: unknown dataset " + name);
+}
+
+}  // namespace eardec::graph::datasets

@@ -1,0 +1,52 @@
+// Registry of the 15 benchmark datasets of Table 1, regenerated
+// synthetically at reduced scale. Each entry records the paper's reported
+// structural statistics so the bench harness (bench_table1) can print
+// paper-vs-measured side by side, and a generator calibrated to match the
+// *structure* columns (BCC count, largest-BCC dominance, degree-2 fraction).
+//
+// Scale: the paper runs 10K-131K vertices on a 20-core Xeon + Tesla K40c;
+// this container exposes one core, so datasets are scaled down ~32x for the
+// APSP experiments and further for the MCB experiments (the paper itself
+// restricts MCB to the first seven graphs for resource reasons).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace eardec::graph::datasets {
+
+/// Statistics Table 1 reports for the original dataset.
+struct PaperStats {
+  double vertices;          ///< |V| of the original graph
+  double edges;             ///< |E| of the original graph
+  int bccs;                 ///< number of biconnected components
+  double largest_bcc_pct;   ///< edges in largest BCC, % of |E|
+  double removed_pct;       ///< degree-2 vertices removed, % of |V|
+  double ours_memory_mb;    ///< memory of the paper's method
+  double max_memory_mb;     ///< memory of the full n x n table
+};
+
+struct Dataset {
+  std::string name;
+  bool planar = false;
+  PaperStats paper{};
+  /// Generator at APSP bench scale (hundreds to a few thousand vertices).
+  std::function<Graph()> make;
+  /// Generator at MCB bench scale (smaller; MCB is superquadratic).
+  std::function<Graph()> make_small;
+};
+
+/// All 15 datasets in Table 1 order (10 general, then Planar_1..Planar_5).
+const std::vector<Dataset>& table1();
+
+/// The first seven general datasets — the subset the paper's MCB
+/// experiments (Table 2, Figures 5-6) run on.
+std::vector<Dataset> mcb_seven();
+
+/// Lookup by name; throws std::out_of_range if absent.
+const Dataset& by_name(const std::string& name);
+
+}  // namespace eardec::graph::datasets

@@ -1,0 +1,310 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/builder.hpp"
+
+namespace eardec::graph::generators {
+namespace {
+
+Weight rand_weight(Rng& rng, WeightRange wr) {
+  std::uniform_int_distribution<std::uint32_t> dist(wr.lo, wr.hi);
+  return static_cast<Weight>(dist(rng));
+}
+
+std::uint64_t pair_key(VertexId u, VertexId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+
+/// Adds a random biconnected (for size >= 3) subgraph over the given vertex
+/// ids: a Hamiltonian cycle through a random permutation plus chords until
+/// `target_edges` simple edges exist. size == 2 degenerates to a single edge.
+void add_random_biconnected_block(Builder& b, std::span<const VertexId> ids,
+                                  EdgeId target_edges, Rng& rng,
+                                  WeightRange wr) {
+  const auto size = static_cast<VertexId>(ids.size());
+  if (size < 2) return;
+  if (size == 2) {
+    b.add_edge(ids[0], ids[1], rand_weight(rng, wr));
+    return;
+  }
+  std::vector<VertexId> perm(ids.begin(), ids.end());
+  std::shuffle(perm.begin(), perm.end(), rng);
+  std::unordered_set<std::uint64_t> used;
+  for (VertexId i = 0; i < size; ++i) {
+    const VertexId u = perm[i], v = perm[(i + 1) % size];
+    used.insert(pair_key(u, v));
+    b.add_edge(u, v, rand_weight(rng, wr));
+  }
+  const EdgeId max_edges =
+      static_cast<EdgeId>(static_cast<std::uint64_t>(size) * (size - 1) / 2);
+  target_edges = std::min(target_edges, max_edges);
+  std::uniform_int_distribution<VertexId> pick(0, size - 1);
+  EdgeId added = size;
+  while (added < target_edges) {
+    const VertexId u = ids[pick(rng)], v = ids[pick(rng)];
+    if (u == v) continue;
+    if (!used.insert(pair_key(u, v)).second) continue;
+    b.add_edge(u, v, rand_weight(rng, wr));
+    ++added;
+  }
+}
+
+}  // namespace
+
+Graph path(VertexId n, WeightRange wr, std::uint64_t seed) {
+  if (n == 0) throw std::invalid_argument("path: n must be >= 1");
+  Rng rng(seed);
+  Builder b(n);
+  for (VertexId i = 0; i + 1 < n; ++i) b.add_edge(i, i + 1, rand_weight(rng, wr));
+  return std::move(b).build();
+}
+
+Graph cycle(VertexId n, WeightRange wr, std::uint64_t seed) {
+  if (n < 3) throw std::invalid_argument("cycle: n must be >= 3");
+  Rng rng(seed);
+  Builder b(n);
+  for (VertexId i = 0; i < n; ++i)
+    b.add_edge(i, (i + 1) % n, rand_weight(rng, wr));
+  return std::move(b).build();
+}
+
+Graph complete(VertexId n, WeightRange wr, std::uint64_t seed) {
+  Rng rng(seed);
+  Builder b(n);
+  for (VertexId i = 0; i < n; ++i)
+    for (VertexId j = i + 1; j < n; ++j) b.add_edge(i, j, rand_weight(rng, wr));
+  return std::move(b).build();
+}
+
+Graph grid(VertexId rows, VertexId cols, WeightRange wr, std::uint64_t seed) {
+  if (rows == 0 || cols == 0) throw std::invalid_argument("grid: empty");
+  Rng rng(seed);
+  Builder b(rows * cols);
+  const auto id = [cols](VertexId r, VertexId c) { return r * cols + c; };
+  for (VertexId r = 0; r < rows; ++r) {
+    for (VertexId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.add_edge(id(r, c), id(r, c + 1), rand_weight(rng, wr));
+      if (r + 1 < rows) b.add_edge(id(r, c), id(r + 1, c), rand_weight(rng, wr));
+    }
+  }
+  return std::move(b).build();
+}
+
+Graph wheel(VertexId n, WeightRange wr, std::uint64_t seed) {
+  if (n < 4) throw std::invalid_argument("wheel: n must be >= 4");
+  Rng rng(seed);
+  Builder b(n);
+  const VertexId hub = n - 1;
+  for (VertexId i = 0; i + 1 < n; ++i) {
+    b.add_edge(i, (i + 1) % (n - 1), rand_weight(rng, wr));
+    b.add_edge(i, hub, rand_weight(rng, wr));
+  }
+  return std::move(b).build();
+}
+
+Graph petersen(WeightRange wr, std::uint64_t seed) {
+  Rng rng(seed);
+  Builder b(10);
+  for (VertexId i = 0; i < 5; ++i) {
+    b.add_edge(i, (i + 1) % 5, rand_weight(rng, wr));          // outer C5
+    b.add_edge(5 + i, 5 + (i + 2) % 5, rand_weight(rng, wr));  // inner star
+    b.add_edge(i, 5 + i, rand_weight(rng, wr));                // spokes
+  }
+  return std::move(b).build();
+}
+
+Graph random_connected(VertexId n, EdgeId m, std::uint64_t seed,
+                       WeightRange wr) {
+  if (n == 0) throw std::invalid_argument("random_connected: n must be >= 1");
+  if (m + 1 < n) throw std::invalid_argument("random_connected: m < n-1");
+  Rng rng(seed);
+  Builder b(n);
+  std::unordered_set<std::uint64_t> used;
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::shuffle(order.begin(), order.end(), rng);
+  for (VertexId i = 1; i < n; ++i) {
+    std::uniform_int_distribution<VertexId> pick(0, i - 1);
+    const VertexId u = order[i], v = order[pick(rng)];
+    used.insert(pair_key(u, v));
+    b.add_edge(u, v, rand_weight(rng, wr));
+  }
+  const auto max_edges =
+      static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  const EdgeId target = static_cast<EdgeId>(
+      std::min<std::uint64_t>(m, max_edges));
+  std::uniform_int_distribution<VertexId> pick(0, n - 1);
+  EdgeId added = n - 1;
+  while (added < target) {
+    const VertexId u = pick(rng), v = pick(rng);
+    if (u == v) continue;
+    if (!used.insert(pair_key(u, v)).second) continue;
+    b.add_edge(u, v, rand_weight(rng, wr));
+    ++added;
+  }
+  return std::move(b).build();
+}
+
+Graph random_biconnected(VertexId n, EdgeId m, std::uint64_t seed,
+                         WeightRange wr) {
+  if (n < 3) throw std::invalid_argument("random_biconnected: n must be >= 3");
+  if (m < n) throw std::invalid_argument("random_biconnected: m must be >= n");
+  Rng rng(seed);
+  Builder b(n);
+  std::vector<VertexId> ids(n);
+  std::iota(ids.begin(), ids.end(), 0u);
+  add_random_biconnected_block(b, ids, m, rng, wr);
+  return std::move(b).build();
+}
+
+Graph random_planar(VertexId rows, VertexId cols, double diag_prob,
+                    double drop_prob, std::uint64_t seed, WeightRange wr) {
+  if (rows < 2 || cols < 2)
+    throw std::invalid_argument("random_planar: rows, cols must be >= 2");
+  Rng rng(seed);
+  std::bernoulli_distribution add_diag(diag_prob);
+  std::bernoulli_distribution drop(drop_prob);
+  std::bernoulli_distribution coin(0.5);
+  const auto id = [cols](VertexId r, VertexId c) { return r * cols + c; };
+
+  // Candidate planar edge set: grid edges plus at most one diagonal per cell.
+  std::vector<std::pair<VertexId, VertexId>> cand;
+  for (VertexId r = 0; r < rows; ++r) {
+    for (VertexId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) cand.emplace_back(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) cand.emplace_back(id(r, c), id(r + 1, c));
+      if (r + 1 < rows && c + 1 < cols && add_diag(rng)) {
+        if (coin(rng)) {
+          cand.emplace_back(id(r, c), id(r + 1, c + 1));
+        } else {
+          cand.emplace_back(id(r, c + 1), id(r + 1, c));
+        }
+      }
+    }
+  }
+
+  // Keep a random spanning tree unconditionally; drop other edges with
+  // probability drop_prob. Union-find gives the tree.
+  std::shuffle(cand.begin(), cand.end(), rng);
+  const VertexId n = rows * cols;
+  std::vector<VertexId> parent(n);
+  std::iota(parent.begin(), parent.end(), 0u);
+  const auto find = [&parent](VertexId x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  Builder b(n);
+  for (const auto& [u, v] : cand) {
+    const VertexId ru = find(u), rv = find(v);
+    if (ru != rv) {
+      parent[ru] = rv;
+      b.add_edge(u, v, rand_weight(rng, wr));
+    } else if (!drop(rng)) {
+      b.add_edge(u, v, rand_weight(rng, wr));
+    }
+  }
+  return std::move(b).build();
+}
+
+Graph subdivide(const Graph& g, VertexId extra, std::uint64_t seed) {
+  Rng rng(seed);
+  struct E {
+    VertexId u, v;
+    Weight w;
+  };
+  std::vector<E> edges;
+  edges.reserve(g.num_edges() + extra);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [u, v] = g.endpoints(e);
+    edges.push_back({u, v, g.weight(e)});
+  }
+  if (edges.empty() && extra > 0)
+    throw std::invalid_argument("subdivide: graph has no edges");
+  VertexId next = g.num_vertices();
+  std::uniform_real_distribution<double> frac(0.25, 0.75);
+  for (VertexId k = 0; k < extra; ++k) {
+    std::uniform_int_distribution<std::size_t> pick(0, edges.size() - 1);
+    E& e = edges[pick(rng)];
+    const VertexId x = next++;
+    // Split w exactly into w1 + w2 so distances between original vertices
+    // are preserved to the bit.
+    const Weight w1 = e.w * static_cast<Weight>(frac(rng));
+    const Weight w2 = e.w - w1;
+    const VertexId old_v = e.v;
+    e.v = x;
+    e.w = w1;
+    edges.push_back({x, old_v, w2});
+  }
+  Builder b(next);
+  for (const E& e : edges) b.add_edge(e.u, e.v, e.w);
+  return std::move(b).build();
+}
+
+Graph block_tree(const BlockTreeParams& p, std::uint64_t seed) {
+  if (p.num_blocks == 0)
+    throw std::invalid_argument("block_tree: need at least one block");
+  if (p.largest_block < 3)
+    throw std::invalid_argument("block_tree: largest_block must be >= 3");
+  if (p.small_block_min < 2 || p.small_block_max < p.small_block_min)
+    throw std::invalid_argument("block_tree: bad small block range");
+  Rng rng(seed);
+  Builder b(0);
+
+  std::vector<VertexId> all;  // every vertex created so far
+  const auto new_vertices = [&](VertexId count) {
+    std::vector<VertexId> ids;
+    ids.reserve(count);
+    for (VertexId i = 0; i < count; ++i) {
+      const auto v = static_cast<VertexId>(all.size());
+      b.ensure_vertex(v);
+      all.push_back(v);
+      ids.push_back(v);
+    }
+    return ids;
+  };
+
+  // Largest block first.
+  {
+    auto ids = new_vertices(p.largest_block);
+    const auto target = static_cast<EdgeId>(
+        std::max(static_cast<double>(ids.size()), p.intra_degree * static_cast<double>(ids.size()) / 2.0));
+    add_random_biconnected_block(b, ids, target, rng, p.weights);
+  }
+
+  // Remaining blocks share one articulation vertex with an existing vertex.
+  const double small_deg =
+      p.small_intra_degree > 0 ? p.small_intra_degree : p.intra_degree;
+  std::uniform_int_distribution<VertexId> size_dist(p.small_block_min,
+                                                    p.small_block_max);
+  for (std::uint32_t blk = 1; blk < p.num_blocks; ++blk) {
+    const VertexId size = size_dist(rng);
+    std::uniform_int_distribution<std::size_t> pick(0, all.size() - 1);
+    const VertexId shared = all[pick(rng)];
+    auto ids = new_vertices(size - 1);
+    ids.push_back(shared);
+    const auto target = static_cast<EdgeId>(
+        std::max(static_cast<double>(ids.size()), small_deg * static_cast<double>(ids.size()) / 2.0));
+    add_random_biconnected_block(b, ids, target, rng, p.weights);
+  }
+
+  // Pendant fringe.
+  for (VertexId i = 0; i < p.pendants; ++i) {
+    std::uniform_int_distribution<std::size_t> pick(0, all.size() - 1);
+    const VertexId anchor = all[pick(rng)];
+    auto ids = new_vertices(1);
+    b.add_edge(anchor, ids[0], rand_weight(rng, p.weights));
+  }
+
+  return std::move(b).build();
+}
+
+}  // namespace eardec::graph::generators

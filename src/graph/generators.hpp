@@ -1,0 +1,94 @@
+// Synthetic graph generators.
+//
+// The paper evaluates on University-of-Florida sparse matrices and
+// OGDF-generated planar graphs. Neither is available offline, so these
+// generators reproduce the *structural* knobs Table 1 reports — number of
+// biconnected components, size of the largest component, and above all the
+// fraction of degree-two vertices — which are precisely what drives the
+// paper's speedups. See DESIGN.md §2 for the substitution argument.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "graph/graph.hpp"
+
+namespace eardec::graph::generators {
+
+/// Deterministic RNG used by all generators (seed in, reproducible out).
+using Rng = std::mt19937_64;
+
+/// Uniform integer edge weight in [lo, hi] (stored as Weight).
+struct WeightRange {
+  std::uint32_t lo = 1;
+  std::uint32_t hi = 100;
+};
+
+/// Simple path v0 - v1 - ... - v_{n-1}. n >= 1.
+Graph path(VertexId n, WeightRange wr = {}, std::uint64_t seed = 1);
+
+/// Simple cycle on n >= 3 vertices.
+Graph cycle(VertexId n, WeightRange wr = {}, std::uint64_t seed = 1);
+
+/// Complete graph K_n.
+Graph complete(VertexId n, WeightRange wr = {}, std::uint64_t seed = 1);
+
+/// rows x cols grid (4-neighbourhood). Planar, biconnected for rows,cols >= 2.
+Graph grid(VertexId rows, VertexId cols, WeightRange wr = {},
+           std::uint64_t seed = 1);
+
+/// Wheel: cycle on n-1 vertices plus a hub adjacent to all. n >= 4.
+Graph wheel(VertexId n, WeightRange wr = {}, std::uint64_t seed = 1);
+
+/// The Petersen graph (3-regular, girth 5) with the given weight range.
+Graph petersen(WeightRange wr = {}, std::uint64_t seed = 1);
+
+/// Connected Erdős–Rényi G(n, m): a random spanning tree plus random extra
+/// edges up to m total (no self-loops / parallels). Requires m >= n-1.
+Graph random_connected(VertexId n, EdgeId m, std::uint64_t seed,
+                       WeightRange wr = {});
+
+/// Random biconnected graph: a Hamiltonian cycle over a random permutation
+/// plus m - n random chords. Requires m >= n, n >= 3.
+Graph random_biconnected(VertexId n, EdgeId m, std::uint64_t seed,
+                         WeightRange wr = {});
+
+/// Planar generator (OGDF substitute): a rows x cols grid where each cell
+/// gains one random diagonal with probability diag_prob (keeps planarity),
+/// then non-bridge edges are deleted with probability drop_prob while
+/// preserving connectivity.
+Graph random_planar(VertexId rows, VertexId cols, double diag_prob,
+                    double drop_prob, std::uint64_t seed, WeightRange wr = {});
+
+/// Inserts `extra` degree-two vertices by subdividing randomly chosen edges.
+/// Each subdivision replaces edge {u,v} of weight w by {u,x},{x,v} whose
+/// weights sum to w. Preserves (bi)connectivity and all shortest-path
+/// distances between original vertices — the ideal workload for ear
+/// contraction, and the knob behind the "Nodes Removed (%)" column.
+Graph subdivide(const Graph& g, VertexId extra, std::uint64_t seed);
+
+/// Parameters for the block-tree ("social") generator.
+struct BlockTreeParams {
+  /// Number of biconnected blocks.
+  std::uint32_t num_blocks = 8;
+  /// Vertices in the single largest block.
+  VertexId largest_block = 64;
+  /// Vertex count range for the remaining (small) blocks.
+  VertexId small_block_min = 4;
+  VertexId small_block_max = 12;
+  /// Average degree inside the largest block (>= 2 keeps it biconnected).
+  double intra_degree = 3.0;
+  /// Average degree inside the small blocks; real sparse graphs have a dense
+  /// giant BCC and near-cycle small BCCs. 0 means "same as intra_degree".
+  double small_intra_degree = 0.0;
+  /// Number of degree-1 pendant vertices hung off random vertices.
+  VertexId pendants = 0;
+  WeightRange weights = {};
+};
+
+/// Graph made of biconnected blocks glued in a random tree through shared
+/// articulation vertices — the structure of the paper's social/collaboration
+/// datasets (many BCCs, one dominant BCC, pendant fringe).
+Graph block_tree(const BlockTreeParams& params, std::uint64_t seed);
+
+}  // namespace eardec::graph::generators

@@ -1,0 +1,63 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace eardec::graph {
+
+Graph::Graph(VertexId num_vertices,
+             std::vector<std::pair<VertexId, VertexId>> edges,
+             std::vector<Weight> weights)
+    : n_(num_vertices), endpoints_(std::move(edges)), weights_(std::move(weights)) {
+  if (endpoints_.size() != weights_.size()) {
+    throw std::invalid_argument("Graph: edges and weights size mismatch");
+  }
+  for (auto& [u, v] : endpoints_) {
+    if (u >= n_ || v >= n_) {
+      throw std::invalid_argument("Graph: edge endpoint out of range");
+    }
+    if (u > v) std::swap(u, v);
+  }
+  for (const Weight w : weights_) {
+    if (!(w >= 0)) {  // also rejects NaN
+      throw std::invalid_argument("Graph: edge weights must be non-negative");
+    }
+  }
+
+  // Counting sort into CSR. A self-loop contributes two entries at v.
+  offsets_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  for (const auto& [u, v] : endpoints_) {
+    ++offsets_[u + 1];
+    ++offsets_[v + 1];
+    if (u == v) ++num_self_loops_;
+  }
+  std::partial_sum(offsets_.begin(), offsets_.end(), offsets_.begin());
+
+  adjacency_.resize(2 * endpoints_.size());
+  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (EdgeId e = 0; e < endpoints_.size(); ++e) {
+    const auto [u, v] = endpoints_[e];
+    const Weight w = weights_[e];
+    adjacency_[cursor[u]++] = HalfEdge{v, e, w};
+    adjacency_[cursor[v]++] = HalfEdge{u, e, w};
+  }
+
+  // Detect parallel edges (same unordered endpoint pair, distinct ids).
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(endpoints_.size() * 2);
+  for (const auto& [u, v] : endpoints_) {
+    const std::uint64_t key = (static_cast<std::uint64_t>(u) << 32) | v;
+    if (!seen.insert(key).second) {
+      has_parallel_ = true;
+      break;
+    }
+  }
+}
+
+Weight Graph::total_weight() const noexcept {
+  return std::accumulate(weights_.begin(), weights_.end(), Weight{0});
+}
+
+}  // namespace eardec::graph

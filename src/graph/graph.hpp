@@ -1,0 +1,127 @@
+// Immutable CSR (compressed sparse row) representation of a weighted
+// undirected multigraph. This is the substrate every algorithm in the
+// library operates on.
+//
+// Representation notes:
+//  * Each undirected edge {u, v} is stored as two half-edges, one in the
+//    adjacency list of u and one in that of v. Both half-edges carry the
+//    same EdgeId, so an algorithm walking the adjacency of u can recover
+//    the undirected edge (and its "other" endpoint) in O(1).
+//  * Self-loops {v, v} are stored as two half-edges in the adjacency of v,
+//    consistent with the handshake lemma: a self-loop contributes 2 to
+//    degree(v). MCB treats a self-loop as a cycle of length 1.
+//  * Parallel edges are allowed: the reduced graphs produced by ear
+//    contraction for MCB are genuine multigraphs (Lemma 3.1 of the paper).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace eardec::graph {
+
+/// A single adjacency entry: the far endpoint of a half-edge plus the id and
+/// weight of the undirected edge it belongs to.
+struct HalfEdge {
+  VertexId to;
+  EdgeId edge;
+  Weight weight;
+};
+
+/// Immutable weighted undirected multigraph in CSR layout.
+///
+/// Construction goes through graph::Builder (builder.hpp); the constructor
+/// taking raw arrays is public so tests and IO can build directly.
+class Graph {
+ public:
+  /// Empty graph (0 vertices, 0 edges).
+  Graph() = default;
+
+  /// Builds a graph over `num_vertices` vertices from an edge list.
+  /// `edges[e]` is the endpoint pair of edge id `e`; `weights[e]` its weight.
+  /// Endpoints must be < num_vertices. Weights must be non-negative.
+  Graph(VertexId num_vertices, std::vector<std::pair<VertexId, VertexId>> edges,
+        std::vector<Weight> weights);
+
+  /// Number of vertices n.
+  [[nodiscard]] VertexId num_vertices() const noexcept { return n_; }
+
+  /// Number of undirected edges m (self-loops and parallels each count once).
+  [[nodiscard]] EdgeId num_edges() const noexcept {
+    return static_cast<EdgeId>(endpoints_.size());
+  }
+
+  /// Degree of v, counting a self-loop twice (handshake convention).
+  [[nodiscard]] std::size_t degree(VertexId v) const noexcept {
+    assert(v < n_);
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  /// Adjacency list of v as a contiguous span of half-edges.
+  [[nodiscard]] std::span<const HalfEdge> neighbors(VertexId v) const noexcept {
+    assert(v < n_);
+    return {adjacency_.data() + offsets_[v], adjacency_.data() + offsets_[v + 1]};
+  }
+
+  /// Endpoints (u, v) of edge id e, with u <= v.
+  [[nodiscard]] std::pair<VertexId, VertexId> endpoints(EdgeId e) const noexcept {
+    assert(e < num_edges());
+    return endpoints_[e];
+  }
+
+  /// Weight of edge id e.
+  [[nodiscard]] Weight weight(EdgeId e) const noexcept {
+    assert(e < num_edges());
+    return weights_[e];
+  }
+
+  /// Given edge e and one endpoint v, returns the other endpoint.
+  /// For a self-loop returns v itself.
+  [[nodiscard]] VertexId other_endpoint(EdgeId e, VertexId v) const noexcept {
+    const auto [a, b] = endpoints(e);
+    assert(v == a || v == b);
+    return v == a ? b : a;
+  }
+
+  /// True iff edge e is a self-loop.
+  [[nodiscard]] bool is_self_loop(EdgeId e) const noexcept {
+    const auto [a, b] = endpoints(e);
+    return a == b;
+  }
+
+  /// Sum of all edge weights.
+  [[nodiscard]] Weight total_weight() const noexcept;
+
+  /// Number of self-loop edges.
+  [[nodiscard]] EdgeId num_self_loops() const noexcept { return num_self_loops_; }
+
+  /// True iff the graph contains at least one pair of parallel edges.
+  [[nodiscard]] bool has_parallel_edges() const noexcept { return has_parallel_; }
+
+  /// All edges as (endpoints, weight), indexed by EdgeId. Handy for
+  /// algorithms that iterate edges rather than adjacencies.
+  [[nodiscard]] std::span<const std::pair<VertexId, VertexId>> edge_list()
+      const noexcept {
+    return endpoints_;
+  }
+
+  /// Per-edge weights, indexed by EdgeId.
+  [[nodiscard]] std::span<const Weight> edge_weights() const noexcept {
+    return weights_;
+  }
+
+ private:
+  VertexId n_ = 0;
+  EdgeId num_self_loops_ = 0;
+  bool has_parallel_ = false;
+  std::vector<std::size_t> offsets_;  // size n+1
+  std::vector<HalfEdge> adjacency_;   // size 2m
+  std::vector<std::pair<VertexId, VertexId>> endpoints_;  // size m, normalized u<=v
+  std::vector<Weight> weights_;                           // size m
+};
+
+}  // namespace eardec::graph

@@ -1,0 +1,133 @@
+#include "graph/io.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "graph/builder.hpp"
+
+namespace eardec::graph::io {
+namespace {
+
+std::string next_content_line(std::istream& in) {
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    if (line[first] == '%' || line[first] == '#') continue;
+    return line;
+  }
+  return {};
+}
+
+Weight sanitize_weight(double w) {
+  w = std::abs(w);
+  return w == 0.0 ? 1.0 : w;
+}
+
+}  // namespace
+
+Graph read_matrix_market(std::istream& in) {
+  std::string header;
+  if (!std::getline(in, header) || !header.starts_with("%%MatrixMarket")) {
+    throw std::runtime_error("read_matrix_market: missing %%MatrixMarket header");
+  }
+  std::istringstream hs(header);
+  std::string banner, object, format, field, symmetry;
+  hs >> banner >> object >> format >> field >> symmetry;
+  if (object != "matrix" || format != "coordinate") {
+    throw std::runtime_error("read_matrix_market: only coordinate matrices supported");
+  }
+  const bool pattern = field == "pattern";
+  if (!pattern && field != "real" && field != "integer") {
+    throw std::runtime_error("read_matrix_market: unsupported field type " + field);
+  }
+  if (symmetry != "general" && symmetry != "symmetric") {
+    throw std::runtime_error("read_matrix_market: unsupported symmetry " + symmetry);
+  }
+
+  const std::string sizes = next_content_line(in);
+  std::istringstream ss(sizes);
+  std::uint64_t rows = 0, cols = 0, nnz = 0;
+  if (!(ss >> rows >> cols >> nnz) || rows != cols) {
+    throw std::runtime_error("read_matrix_market: bad size line (need square matrix)");
+  }
+
+  Builder b(static_cast<VertexId>(rows));
+  for (std::uint64_t k = 0; k < nnz; ++k) {
+    const std::string line = next_content_line(in);
+    if (line.empty()) {
+      throw std::runtime_error("read_matrix_market: truncated entry list");
+    }
+    std::istringstream ls(line);
+    std::uint64_t i = 0, j = 0;
+    double w = 1.0;
+    if (!(ls >> i >> j)) {
+      throw std::runtime_error("read_matrix_market: malformed entry");
+    }
+    if (!pattern) ls >> w;
+    if (i == 0 || j == 0 || i > rows || j > cols) {
+      throw std::runtime_error("read_matrix_market: index out of range");
+    }
+    b.add_edge(static_cast<VertexId>(i - 1), static_cast<VertexId>(j - 1),
+               sanitize_weight(w));
+  }
+  return std::move(b).build(ParallelEdgePolicy::KeepMinWeight);
+}
+
+Graph read_matrix_market_file(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path.string());
+  return read_matrix_market(in);
+}
+
+void write_matrix_market(std::ostream& out, const Graph& g) {
+  out << "%%MatrixMarket matrix coordinate real symmetric\n";
+  out << g.num_vertices() << ' ' << g.num_vertices() << ' ' << g.num_edges()
+      << '\n';
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [u, v] = g.endpoints(e);
+    // Matrix Market symmetric files store the lower triangle: row >= col.
+    out << (std::max(u, v) + 1) << ' ' << (std::min(u, v) + 1) << ' '
+        << g.weight(e) << '\n';
+  }
+}
+
+void write_matrix_market_file(const std::filesystem::path& path,
+                              const Graph& g) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path.string());
+  write_matrix_market(out, g);
+}
+
+Graph read_edge_list(std::istream& in) {
+  Builder b(0);
+  std::string line;
+  while (true) {
+    line = next_content_line(in);
+    if (line.empty()) break;
+    std::istringstream ls(line);
+    std::uint64_t u = 0, v = 0;
+    double w = 1.0;
+    if (!(ls >> u >> v)) {
+      throw std::runtime_error("read_edge_list: malformed line: " + line);
+    }
+    ls >> w;
+    b.ensure_vertex(static_cast<VertexId>(u));
+    b.ensure_vertex(static_cast<VertexId>(v));
+    b.add_edge(static_cast<VertexId>(u), static_cast<VertexId>(v), w);
+  }
+  return std::move(b).build();
+}
+
+void write_edge_list(std::ostream& out, const Graph& g) {
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [u, v] = g.endpoints(e);
+    out << u << ' ' << v << ' ' << g.weight(e) << '\n';
+  }
+}
+
+}  // namespace eardec::graph::io

@@ -1,0 +1,33 @@
+// Graph serialization: Matrix Market (the format of the University of
+// Florida Sparse Matrix Collection the paper draws its datasets from) and a
+// plain whitespace edge-list format.
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+
+#include "graph/graph.hpp"
+
+namespace eardec::graph::io {
+
+/// Reads a Matrix Market `coordinate` matrix as an undirected weighted graph.
+/// Supported qualifiers: real / integer / pattern, general / symmetric.
+/// General matrices are symmetrized; duplicate {u,v} entries keep the
+/// minimum weight; zero/negative weights are mapped to |w| (or 1 if 0),
+/// matching common practice when using UF matrices as graph benchmarks.
+/// Diagonal entries become self-loops.
+Graph read_matrix_market(std::istream& in);
+Graph read_matrix_market_file(const std::filesystem::path& path);
+
+/// Writes the graph as a symmetric real coordinate Matrix Market file.
+void write_matrix_market(std::ostream& out, const Graph& g);
+void write_matrix_market_file(const std::filesystem::path& path, const Graph& g);
+
+/// Reads lines "u v [w]" (0-based vertex ids, default weight 1).
+/// Lines starting with '#' or '%' are comments.
+Graph read_edge_list(std::istream& in);
+
+/// Writes lines "u v w", one per edge.
+void write_edge_list(std::ostream& out, const Graph& g);
+
+}  // namespace eardec::graph::io

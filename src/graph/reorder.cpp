@@ -1,0 +1,88 @@
+#include "graph/reorder.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+#include <stdexcept>
+
+namespace eardec::graph {
+
+Reordered reorder_with(const Graph& g, std::vector<VertexId> to_new) {
+  const VertexId n = g.num_vertices();
+  if (to_new.size() != n) {
+    throw std::invalid_argument("reorder_with: permutation size mismatch");
+  }
+  std::vector<VertexId> to_old(n, kNullVertex);
+  for (VertexId v = 0; v < n; ++v) {
+    if (to_new[v] >= n || to_old[to_new[v]] != kNullVertex) {
+      throw std::invalid_argument("reorder_with: not a permutation");
+    }
+    to_old[to_new[v]] = v;
+  }
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  std::vector<Weight> weights;
+  edges.reserve(g.num_edges());
+  weights.reserve(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [u, v] = g.endpoints(e);
+    edges.emplace_back(to_new[u], to_new[v]);
+    weights.push_back(g.weight(e));
+  }
+  return {Graph(n, std::move(edges), std::move(weights)), std::move(to_new),
+          std::move(to_old)};
+}
+
+Reordered reorder_bfs(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  std::vector<VertexId> to_new(n, kNullVertex);
+  VertexId next = 0;
+
+  // Component seeds by ascending degree (the Cuthill–McKee heuristic).
+  std::vector<VertexId> seeds(n);
+  std::iota(seeds.begin(), seeds.end(), 0u);
+  std::stable_sort(seeds.begin(), seeds.end(), [&g](VertexId a, VertexId b) {
+    return g.degree(a) < g.degree(b);
+  });
+
+  std::deque<VertexId> queue;
+  std::vector<VertexId> nbrs;
+  for (const VertexId seed : seeds) {
+    if (to_new[seed] != kNullVertex) continue;
+    to_new[seed] = next++;
+    queue.push_back(seed);
+    while (!queue.empty()) {
+      const VertexId v = queue.front();
+      queue.pop_front();
+      nbrs.clear();
+      for (const HalfEdge& he : g.neighbors(v)) {
+        if (to_new[he.to] == kNullVertex) {
+          to_new[he.to] = 0;  // claim to avoid duplicates below
+          nbrs.push_back(he.to);
+        }
+      }
+      std::stable_sort(nbrs.begin(), nbrs.end(),
+                       [&g](VertexId a, VertexId b) {
+                         return g.degree(a) < g.degree(b);
+                       });
+      for (const VertexId w : nbrs) {
+        to_new[w] = next++;
+        queue.push_back(w);
+      }
+    }
+  }
+  return reorder_with(g, std::move(to_new));
+}
+
+Reordered reorder_by_degree(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(), [&g](VertexId a, VertexId b) {
+    return g.degree(a) > g.degree(b);
+  });
+  std::vector<VertexId> to_new(n);
+  for (VertexId rank = 0; rank < n; ++rank) to_new[order[rank]] = rank;
+  return reorder_with(g, std::move(to_new));
+}
+
+}  // namespace eardec::graph

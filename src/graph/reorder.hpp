@@ -1,0 +1,35 @@
+// Vertex reordering for memory locality — the "novel data structures and
+// memory layout optimizations" direction of the paper's related work
+// (Chhugani et al. [7], Gharaibeh et al. [13]). A BFS (Cuthill–McKee-like)
+// order places neighbours at nearby ids so the CSR adjacency walks of
+// Dijkstra/frontier kernels hit warmer cache lines; a degree-descending
+// order groups the hubs the frontier touches most often.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace eardec::graph {
+
+/// A relabeled copy of g plus the maps between old and new vertex ids.
+struct Reordered {
+  Graph graph;
+  std::vector<VertexId> to_new;  ///< old id -> new id
+  std::vector<VertexId> to_old;  ///< new id -> old id
+};
+
+/// Breadth-first (Cuthill–McKee style) relabeling: components in order,
+/// each traversed from its minimum-degree vertex, neighbours by ascending
+/// degree.
+[[nodiscard]] Reordered reorder_bfs(const Graph& g);
+
+/// Degree-descending relabeling (hubs first).
+[[nodiscard]] Reordered reorder_by_degree(const Graph& g);
+
+/// Applies an arbitrary permutation (`to_new[v]` = new id of v; must be a
+/// bijection — throws otherwise).
+[[nodiscard]] Reordered reorder_with(const Graph& g,
+                                     std::vector<VertexId> to_new);
+
+}  // namespace eardec::graph

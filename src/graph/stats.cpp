@@ -1,0 +1,43 @@
+#include "graph/stats.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+namespace eardec::graph {
+
+GraphStats compute_stats(const Graph& g) {
+  GraphStats s;
+  s.num_vertices = g.num_vertices();
+  s.num_edges = g.num_edges();
+  s.self_loops = g.num_self_loops();
+  s.has_parallel_edges = g.has_parallel_edges();
+  s.total_weight = g.total_weight();
+  if (g.num_vertices() == 0) return s;
+
+  s.min_degree = std::numeric_limits<std::size_t>::max();
+  std::size_t degree_sum = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const std::size_t d = g.degree(v);
+    degree_sum += d;
+    s.min_degree = std::min(s.min_degree, d);
+    s.max_degree = std::max(s.max_degree, d);
+    if (d == 1) ++s.degree_one_vertices;
+    if (d == 2) ++s.degree_two_vertices;
+  }
+  s.avg_degree = static_cast<double>(degree_sum) / g.num_vertices();
+  return s;
+}
+
+std::string to_string(const GraphStats& s) {
+  std::ostringstream os;
+  os << "n=" << s.num_vertices << " m=" << s.num_edges
+     << " deg[min=" << s.min_degree << " avg=" << s.avg_degree
+     << " max=" << s.max_degree << "]"
+     << " deg1=" << s.degree_one_vertices << " deg2=" << s.degree_two_vertices;
+  if (s.self_loops > 0) os << " loops=" << s.self_loops;
+  if (s.has_parallel_edges) os << " multi";
+  return os.str();
+}
+
+}  // namespace eardec::graph

@@ -1,0 +1,31 @@
+// Purely structural graph statistics (no connectivity analysis; those live
+// in eardec::connectivity). Used by the Table 1 bench and the dataset tests.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace eardec::graph {
+
+struct GraphStats {
+  VertexId num_vertices = 0;
+  EdgeId num_edges = 0;
+  std::size_t min_degree = 0;
+  std::size_t max_degree = 0;
+  double avg_degree = 0.0;
+  VertexId degree_one_vertices = 0;
+  VertexId degree_two_vertices = 0;
+  EdgeId self_loops = 0;
+  bool has_parallel_edges = false;
+  Weight total_weight = 0.0;
+};
+
+/// Computes degree statistics in a single pass.
+[[nodiscard]] GraphStats compute_stats(const Graph& g);
+
+/// One-line human-readable rendering, e.g. for bench headers.
+[[nodiscard]] std::string to_string(const GraphStats& s);
+
+}  // namespace eardec::graph

@@ -1,0 +1,29 @@
+// Fundamental identifier and weight types shared by every eardec subsystem.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace eardec::graph {
+
+/// Vertex identifier. Vertices of a graph with n vertices are 0..n-1.
+using VertexId = std::uint32_t;
+
+/// Undirected edge identifier. Edges of a graph with m edges are 0..m-1.
+/// Both half-edges (u->v and v->u) of an undirected edge carry the same id.
+using EdgeId = std::uint32_t;
+
+/// Edge weight. The algorithms in this library require non-negative weights
+/// (Dijkstra-based); generators produce weights in [1, 100] by default.
+using Weight = double;
+
+/// Sentinel for "no vertex".
+inline constexpr VertexId kNullVertex = std::numeric_limits<VertexId>::max();
+
+/// Sentinel for "no edge".
+inline constexpr EdgeId kNullEdge = std::numeric_limits<EdgeId>::max();
+
+/// Distance value for unreachable pairs.
+inline constexpr Weight kInfWeight = std::numeric_limits<Weight>::infinity();
+
+}  // namespace eardec::graph

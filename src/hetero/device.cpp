@@ -1,0 +1,32 @@
+#include "hetero/device.hpp"
+
+#include <vector>
+
+namespace eardec::hetero {
+
+Device::Device(DeviceConfig config)
+    : config_(std::move(config)),
+      pool_(config_.workers == 0 ? 1 : config_.workers) {}
+
+void Device::launch(std::size_t grid,
+                    const std::function<void(std::size_t)>& kernel) {
+  kernels_.fetch_add(1, std::memory_order_relaxed);
+  if (grid == 0) return;
+  // Warp-granular dynamic striping over the device workers.
+  pool_.parallel_for(0, grid, kernel, config_.warp_size);
+}
+
+void Device::launch_blocks(std::size_t num_blocks, std::size_t shared_words,
+                           const std::function<void(Block&)>& kernel) {
+  kernels_.fetch_add(1, std::memory_order_relaxed);
+  if (num_blocks == 0) return;
+  pool_.parallel_for(0, num_blocks, [&](std::size_t b) {
+    // Per-block shared memory lives on the executing worker's stack frame,
+    // like the SM-local shared memory it stands in for.
+    std::vector<std::uint64_t> shared(shared_words, 0);
+    Block block(b, shared);
+    kernel(block);
+  });
+}
+
+}  // namespace eardec::hetero

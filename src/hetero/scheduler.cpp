@@ -1,0 +1,69 @@
+#include "hetero/scheduler.hpp"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace eardec::hetero {
+
+SchedulerStats run_heterogeneous(
+    WorkQueue& queue, const SchedulerConfig& config,
+    const std::function<void(const WorkUnit&)>& cpu_fn,
+    const std::function<void(const WorkUnit&)>& device_fn) {
+  std::atomic<std::uint64_t> cpu_units{0};
+  std::atomic<std::uint64_t> device_units{0};
+
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(config.cpu_threads + 1);
+
+    // Device driver: big units from the heavy end.
+    threads.emplace_back([&] {
+      while (true) {
+        const auto batch = queue.take_heavy(config.device_batch);
+        if (batch.empty()) return;
+        for (const WorkUnit& unit : batch) device_fn(unit);
+        device_units.fetch_add(batch.size(), std::memory_order_relaxed);
+      }
+    });
+
+    // CPU workers: small units from the light end.
+    const unsigned cpu_threads = std::max(1u, config.cpu_threads);
+    for (unsigned t = 0; t < cpu_threads; ++t) {
+      threads.emplace_back([&] {
+        while (true) {
+          const auto batch = queue.take_light(std::max<std::size_t>(
+              1, config.cpu_batch));
+          if (batch.empty()) return;
+          for (const WorkUnit& unit : batch) cpu_fn(unit);
+          cpu_units.fetch_add(batch.size(), std::memory_order_relaxed);
+        }
+      });
+    }
+  }  // jthreads join here
+
+  return {cpu_units.load(), device_units.load()};
+}
+
+SchedulerStats run_cpu_only(WorkQueue& queue, unsigned threads,
+                            const std::function<void(const WorkUnit&)>& fn) {
+  std::atomic<std::uint64_t> cpu_units{0};
+  {
+    std::vector<std::jthread> workers;
+    const unsigned count = std::max(1u, threads);
+    workers.reserve(count);
+    for (unsigned t = 0; t < count; ++t) {
+      workers.emplace_back([&] {
+        while (true) {
+          const auto batch = queue.take_light(1);
+          if (batch.empty()) return;
+          fn(batch.front());
+          cpu_units.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+  }
+  return {cpu_units.load(), 0};
+}
+
+}  // namespace eardec::hetero

@@ -1,0 +1,47 @@
+// Heterogeneous scheduler: drains a WorkQueue concurrently from both ends —
+// CPU threads take small units one (or a few) at a time, a device driver
+// thread takes large units in device-sized batches. This is the paper's
+// execution model for both APSP (one unit per biconnected component or per
+// source vertex) and MCB (units per shortest-path tree / witness).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "hetero/device.hpp"
+#include "hetero/thread_pool.hpp"
+#include "hetero/work_queue.hpp"
+
+namespace eardec::hetero {
+
+/// How a hetero computation is split.
+struct SchedulerConfig {
+  /// CPU worker threads.
+  unsigned cpu_threads = 4;
+  /// Units per CPU grab. The paper removes units "in proportion to the
+  /// number of threads supported"; small batches keep balance tight.
+  std::size_t cpu_batch = 1;
+  /// Units per device grab.
+  std::size_t device_batch = 4;
+};
+
+/// Per-side execution counters, for tests and the ablation benches.
+struct SchedulerStats {
+  std::uint64_t cpu_units = 0;
+  std::uint64_t device_units = 0;
+};
+
+/// Runs until the queue is empty. `cpu_fn(unit)` is invoked on CPU worker
+/// threads; `device_fn(unit)` on the device driver thread (which typically
+/// issues Device::launch internally). Either function may be empty-capable;
+/// pass the same function twice for a homogeneous run.
+SchedulerStats run_heterogeneous(
+    WorkQueue& queue, const SchedulerConfig& config,
+    const std::function<void(const WorkUnit&)>& cpu_fn,
+    const std::function<void(const WorkUnit&)>& device_fn);
+
+/// Convenience: CPU-only drain of the queue with `threads` workers.
+SchedulerStats run_cpu_only(WorkQueue& queue, unsigned threads,
+                            const std::function<void(const WorkUnit&)>& fn);
+
+}  // namespace eardec::hetero

@@ -1,0 +1,108 @@
+#include "hetero/thread_pool.hpp"
+
+#include <atomic>
+#include <memory>
+
+namespace eardec::hetero {
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (unsigned i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    const std::lock_guard lock(mutex_);
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      work_available_.wait(lock,
+                           [this] { return stopping_ || !tasks_.empty(); });
+      if (stopping_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      const std::lock_guard lock(mutex_);
+      if (--in_flight_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+namespace {
+
+/// Heap-held state so straggler helper tasks stay valid even while the
+/// calling thread is already waiting on them.
+struct ParallelForState {
+  std::atomic<std::size_t> next;
+  std::size_t end;
+  std::size_t chunk;
+  std::function<void(std::size_t)> f;
+  std::mutex mutex;
+  std::condition_variable done;
+  unsigned pending_helpers;
+
+  void drain() {
+    while (true) {
+      const std::size_t lo = next.fetch_add(chunk);
+      if (lo >= end) break;
+      const std::size_t hi = std::min(lo + chunk, end);
+      for (std::size_t i = lo; i < hi; ++i) f(i);
+    }
+  }
+};
+
+}  // namespace
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& f,
+                              std::size_t chunk) {
+  if (begin >= end) return;
+  if (chunk == 0) chunk = 1;
+  auto st = std::make_shared<ParallelForState>();
+  st->next = begin;
+  st->end = end;
+  st->chunk = chunk;
+  st->f = f;
+  st->pending_helpers = size();
+
+  for (unsigned t = 0; t < size(); ++t) {
+    submit([st] {
+      st->drain();
+      const std::lock_guard lock(st->mutex);
+      if (--st->pending_helpers == 0) st->done.notify_all();
+    });
+  }
+  st->drain();  // the caller participates
+  std::unique_lock lock(st->mutex);
+  st->done.wait(lock, [&] { return st->pending_helpers == 0; });
+}
+
+}  // namespace eardec::hetero

@@ -1,0 +1,57 @@
+// Fixed-size worker pool used for the multicore ("OpenMP") side of the
+// heterogeneous implementations. The paper uses OpenMP on a 2x10-core Xeon;
+// this portable pool provides the same fork/join and dynamic-scheduling
+// idioms in standard C++.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace eardec::hetero {
+
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (0 → hardware_concurrency, min 1).
+  explicit ThreadPool(unsigned num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned size() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Enqueues a task; returns immediately.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void wait_idle();
+
+  /// Runs f(i) for every i in [begin, end) across the pool with dynamic
+  /// self-scheduling (atomic chunk grabbing; chunk == 1 by default because
+  /// the library's work items are coarse). Blocks until complete. The
+  /// calling thread participates, so this is safe to call even on a pool
+  /// briefly saturated by other work.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& f,
+                    std::size_t chunk = 1);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::jthread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::queue<std::function<void()>> tasks_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace eardec::hetero

@@ -1,0 +1,43 @@
+#include "hetero/work_queue.hpp"
+
+#include <algorithm>
+
+namespace eardec::hetero {
+
+WorkQueue::WorkQueue(std::vector<WorkUnit> units) : units_(std::move(units)) {
+  std::stable_sort(units_.begin(), units_.end(),
+                   [](const WorkUnit& a, const WorkUnit& b) {
+                     return a.size > b.size;
+                   });
+}
+
+std::vector<WorkUnit> WorkQueue::take_heavy(std::size_t batch) {
+  const std::lock_guard lock(mutex_);
+  std::vector<WorkUnit> out;
+  while (batch-- > 0 && head_ + tail_ < units_.size()) {
+    out.push_back(units_[head_++]);
+  }
+  return out;
+}
+
+std::vector<WorkUnit> WorkQueue::take_light(std::size_t batch) {
+  const std::lock_guard lock(mutex_);
+  std::vector<WorkUnit> out;
+  while (batch-- > 0 && head_ + tail_ < units_.size()) {
+    ++tail_;
+    out.push_back(units_[units_.size() - tail_]);
+  }
+  return out;
+}
+
+bool WorkQueue::empty() const {
+  const std::lock_guard lock(mutex_);
+  return head_ + tail_ >= units_.size();
+}
+
+std::size_t WorkQueue::remaining() const {
+  const std::lock_guard lock(mutex_);
+  return units_.size() - head_ - tail_;
+}
+
+}  // namespace eardec::hetero

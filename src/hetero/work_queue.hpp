@@ -1,0 +1,49 @@
+// The double-ended dynamic work queue of Indarapu et al. [19], as used by
+// the paper (Sections 2.3 and 3.4): work units are sorted by size so the
+// throughput device starts on the biggest units while CPU threads consume
+// small ones from the other end; both sides remove units in batches whose
+// size reflects their thread counts. The queue, not a static split, decides
+// the final CPU/GPU proportion — that is the paper's "dynamic work
+// balancing".
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace eardec::hetero {
+
+/// An opaque unit of work: caller-defined id plus a size estimate used for
+/// the sorted ordering (e.g. |V| or |E| of a biconnected component).
+struct WorkUnit {
+  std::uint32_t id = 0;
+  std::uint64_t size = 0;
+};
+
+class WorkQueue {
+ public:
+  /// Builds the queue; units are ordered heaviest-first internally.
+  explicit WorkQueue(std::vector<WorkUnit> units);
+
+  /// Takes up to `batch` units from the heavy end (device side).
+  [[nodiscard]] std::vector<WorkUnit> take_heavy(std::size_t batch);
+
+  /// Takes up to `batch` units from the light end (CPU side).
+  [[nodiscard]] std::vector<WorkUnit> take_light(std::size_t batch);
+
+  /// True once every unit has been taken.
+  [[nodiscard]] bool empty() const;
+
+  /// Units not yet taken.
+  [[nodiscard]] std::size_t remaining() const;
+
+  [[nodiscard]] std::size_t total() const noexcept { return units_.size(); }
+
+ private:
+  std::vector<WorkUnit> units_;  // sorted heaviest-first
+  std::size_t head_ = 0;         // next heavy index
+  std::size_t tail_ = 0;         // units consumed from the light end
+  mutable std::mutex mutex_;
+};
+
+}  // namespace eardec::hetero

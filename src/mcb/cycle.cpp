@@ -1,0 +1,89 @@
+#include "mcb/cycle.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <stdexcept>
+
+namespace eardec::mcb {
+
+Cycle fundamental_cycle(const Graph& g, const SpanningTree& t, EdgeId e) {
+  if (t.in_tree[e]) {
+    throw std::invalid_argument("fundamental_cycle: e is a tree edge");
+  }
+  Cycle c;
+  c.edges.push_back(e);
+  c.weight = g.weight(e);
+  auto [u, v] = g.endpoints(e);
+  // Climb to the common ancestor, collecting tree edges.
+  while (u != v) {
+    if (t.depth[u] < t.depth[v]) std::swap(u, v);
+    c.edges.push_back(t.parent_edge[u]);
+    c.weight += g.weight(t.parent_edge[u]);
+    u = t.parent[u];
+  }
+  return c;
+}
+
+BitVector restricted_vector(const Cycle& c, const SpanningTree& t) {
+  BitVector v(t.dimension());
+  for (const EdgeId e : c.edges) {
+    const std::uint32_t idx = t.non_tree_index[e];
+    if (idx != kNotNonTree) v.set(idx, !v.get(idx));
+  }
+  return v;
+}
+
+bool is_cycle_space_element(const Graph& g, const std::vector<EdgeId>& edges) {
+  if (edges.empty()) return false;
+  std::map<VertexId, std::uint32_t> deg;
+  for (const EdgeId e : edges) {
+    const auto [u, v] = g.endpoints(e);
+    deg[u] += 1;
+    deg[v] += 1;  // self-loop contributes 2 to its endpoint
+  }
+  return std::all_of(deg.begin(), deg.end(),
+                     [](const auto& kv) { return kv.second % 2 == 0; });
+}
+
+bool is_simple_cycle(const Graph& g, const std::vector<EdgeId>& edges) {
+  if (edges.empty()) return false;
+  // No repeated edges.
+  std::vector<EdgeId> sorted(edges);
+  std::sort(sorted.begin(), sorted.end());
+  if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+    return false;
+  }
+  std::map<VertexId, std::uint32_t> deg;
+  for (const EdgeId e : edges) {
+    const auto [u, v] = g.endpoints(e);
+    deg[u] += 1;
+    deg[v] += 1;
+  }
+  for (const auto& [v, d] : deg) {
+    if (d != 2) return false;
+  }
+  // Connectivity over the touched vertices via union-find on edges.
+  std::map<VertexId, VertexId> parent;
+  for (const auto& [v, d] : deg) parent[v] = v;
+  const std::function<VertexId(VertexId)> find = [&](VertexId x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  };
+  for (const EdgeId e : edges) {
+    const auto [u, v] = g.endpoints(e);
+    parent[find(u)] = find(v);
+  }
+  const VertexId root = find(deg.begin()->first);
+  return std::all_of(deg.begin(), deg.end(), [&](const auto& kv) {
+    return find(kv.first) == root;
+  });
+}
+
+Weight cycle_weight(const Graph& g, const std::vector<EdgeId>& edges) {
+  Weight w = 0;
+  for (const EdgeId e : edges) w += g.weight(e);
+  return w;
+}
+
+}  // namespace eardec::mcb

@@ -1,0 +1,44 @@
+// Cycle representation and cycle-space helpers. A cycle is kept as an edge
+// set (every vertex it touches has even degree; a *simple* cycle has all
+// degrees exactly two and is connected). The restricted vector of a cycle
+// is its incidence on the non-tree edges E' — the unique GF(2) coordinate
+// system the witnesses live in (paper Section 3.2).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "mcb/gf2.hpp"
+#include "mcb/spanning_tree.hpp"
+
+namespace eardec::mcb {
+
+struct Cycle {
+  std::vector<EdgeId> edges;
+  Weight weight = 0;
+};
+
+/// The fundamental cycle of non-tree edge e: e plus the tree path between
+/// its endpoints. For a self-loop, the cycle is {e} alone.
+[[nodiscard]] Cycle fundamental_cycle(const Graph& g, const SpanningTree& t,
+                                      EdgeId e);
+
+/// Incidence of the cycle on E' (size = t.dimension()).
+[[nodiscard]] BitVector restricted_vector(const Cycle& c,
+                                          const SpanningTree& t);
+
+/// True iff `edges` is a non-empty element of the cycle space: every vertex
+/// has even degree in the sub-multigraph.
+[[nodiscard]] bool is_cycle_space_element(const Graph& g,
+                                          const std::vector<EdgeId>& edges);
+
+/// True iff `edges` forms one simple cycle: connected, every touched vertex
+/// has degree exactly 2 (a self-loop alone and a parallel pair both count).
+[[nodiscard]] bool is_simple_cycle(const Graph& g,
+                                   const std::vector<EdgeId>& edges);
+
+/// Sum of edge weights.
+[[nodiscard]] Weight cycle_weight(const Graph& g,
+                                  const std::vector<EdgeId>& edges);
+
+}  // namespace eardec::mcb

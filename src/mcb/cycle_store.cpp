@@ -1,0 +1,60 @@
+#include "mcb/cycle_store.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace eardec::mcb {
+
+CycleStore::CycleStore(std::uint32_t count) : live_(count) {
+  node_of_.resize(count);
+  nodes_.reserve((count + kNodeCapacity - 1) / kNodeCapacity);
+  for (std::uint32_t begin = 0; begin < count; begin += kNodeCapacity) {
+    Node node;
+    const std::uint32_t end = std::min(begin + kNodeCapacity, count);
+    node.slots.reserve(end - begin);
+    for (std::uint32_t id = begin; id < end; ++id) {
+      node.slots.push_back(id);
+      node_of_[id] = static_cast<std::uint32_t>(nodes_.size());
+    }
+    nodes_.push_back(std::move(node));
+  }
+}
+
+std::size_t CycleStore::next_batch(Cursor& cursor,
+                                   std::span<std::uint32_t> out) const {
+  std::size_t produced = 0;
+  while (produced < out.size() && cursor.node < nodes_.size()) {
+    const Node& node = nodes_[cursor.node];
+    if (cursor.slot >= node.slots.size()) {
+      ++cursor.node;
+      cursor.slot = 0;
+      continue;
+    }
+    const std::uint32_t raw = node.slots[cursor.slot++];
+    if (raw & kDeadBit) continue;
+    out[produced++] = raw;
+  }
+  return produced;
+}
+
+void CycleStore::remove(std::uint32_t id) {
+  Node& node = nodes_.at(node_of_.at(id));
+  const auto it = std::find(node.slots.begin(), node.slots.end(), id);
+  if (it == node.slots.end()) {
+    throw std::invalid_argument("CycleStore::remove: id not live");
+  }
+  *it |= kDeadBit;
+  --live_;
+  if (++node.dead * 2 >= kNodeCapacity) {
+    // Compact: drop dead slots, keeping live order.
+    std::vector<std::uint32_t> keep;
+    keep.reserve(node.slots.size() - node.dead);
+    for (const std::uint32_t raw : node.slots) {
+      if (!(raw & kDeadBit)) keep.push_back(raw);
+    }
+    node.slots = std::move(keep);
+    node.dead = 0;
+  }
+}
+
+}  // namespace eardec::mcb

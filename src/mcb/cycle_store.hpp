@@ -1,0 +1,54 @@
+// Sorted candidate-cycle container with lazy removal — the hybrid
+// "linked list of constant-sized arrays" of the paper (Section 3.3.2):
+// plain arrays scan fast but can't delete; linked lists delete fast but
+// scan slowly. Each node holds a fixed block of candidate ids in weight
+// order; removal sets the slot's MSB; a node compacts itself once half its
+// slots are dead, so scans stay dense.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace eardec::mcb {
+
+class CycleStore {
+ public:
+  static constexpr std::uint32_t kNodeCapacity = 64;
+  static constexpr std::uint32_t kDeadBit = 0x80000000u;
+
+  /// Builds the store over ids 0..count-1 in that order (callers pre-sort
+  /// candidates by weight and pass ranks).
+  explicit CycleStore(std::uint32_t count);
+
+  /// Scan cursor; invalidated by remove() only at the removed position.
+  struct Cursor {
+    std::uint32_t node = 0;
+    std::uint32_t slot = 0;
+  };
+
+  [[nodiscard]] Cursor begin() const { return {}; }
+
+  /// Copies up to out.size() live ids in stored order into `out`,
+  /// advancing the cursor. Returns how many were produced (0 = exhausted).
+  std::size_t next_batch(Cursor& cursor, std::span<std::uint32_t> out) const;
+
+  /// Marks `id` dead. Compacts its node when at least half its slots died.
+  void remove(std::uint32_t id);
+
+  [[nodiscard]] std::size_t live() const { return live_; }
+  [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    std::vector<std::uint32_t> slots;  // ids, MSB = dead
+    std::uint32_t dead = 0;
+  };
+  std::vector<Node> nodes_;
+  /// Per id: node index (slot found by scan during remove-compaction).
+  std::vector<std::uint32_t> node_of_;
+  std::size_t live_ = 0;
+};
+
+}  // namespace eardec::mcb

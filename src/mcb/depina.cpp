@@ -1,0 +1,35 @@
+#include "mcb/depina.hpp"
+
+#include <stdexcept>
+
+#include "mcb/signed_graph.hpp"
+
+namespace eardec::mcb {
+
+DePinaResult depina_mcb(const Graph& g) {
+  DePinaResult result;
+  const SpanningTree tree = build_spanning_tree(g);
+  const std::size_t f = tree.dimension();
+  if (f == 0) return result;
+
+  std::vector<BitVector> witness;
+  witness.reserve(f);
+  for (std::size_t i = 0; i < f; ++i) witness.push_back(BitVector::unit(f, i));
+
+  for (std::size_t i = 0; i < f; ++i) {
+    auto cycle = min_odd_cycle(g, tree, witness[i]);
+    if (!cycle) {
+      throw std::logic_error("depina_mcb: no odd cycle found for a witness");
+    }
+    const BitVector ci = restricted_vector(*cycle, tree);
+    // Independence test: make later witnesses orthogonal to C_i.
+    for (std::size_t j = i + 1; j < f; ++j) {
+      if (ci.dot(witness[j])) witness[j].xor_assign(witness[i]);
+    }
+    result.total_weight += cycle->weight;
+    result.basis.push_back(std::move(*cycle));
+  }
+  return result;
+}
+
+}  // namespace eardec::mcb

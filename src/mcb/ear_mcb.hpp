@@ -1,0 +1,25 @@
+// The complete MCB pipeline of the paper (Section 3.3): split into
+// biconnected components (no MCB cycle spans two), contract degree-two
+// chains into single edges of the same weight (Lemma 3.1 — the reduced
+// multigraph keeps parallel edges and self-loops, and its MCB has the same
+// dimension and weight), solve each reduced component with the parallel
+// Mehlhorn–Michail algorithm, and expand every contracted edge e_P back
+// into its chain P in the reported cycles.
+#pragma once
+
+#include "mcb/mm_mcb.hpp"
+
+namespace eardec::mcb {
+
+/// Minimum cycle basis of an arbitrary weighted undirected (multi)graph.
+/// Cycles are reported as edge sets of g. Options select execution
+/// resources and whether the ear-decomposition contraction runs at all
+/// (Table 2's "w" vs "w/o" columns).
+[[nodiscard]] McbResult minimum_cycle_basis(const Graph& g,
+                                            const McbOptions& options = {});
+
+/// Validation helper: true iff `result` is a basis of g's cycle space with
+/// independent restricted vectors and each member a cycle-space element.
+[[nodiscard]] bool validate_basis(const Graph& g, const McbResult& result);
+
+}  // namespace eardec::mcb

@@ -1,0 +1,283 @@
+#include "mcb/fvs.hpp"
+
+#include <algorithm>
+#include <array>
+#include <deque>
+#include <limits>
+
+namespace eardec::mcb {
+
+using graph::EdgeId;
+using graph::Graph;
+using graph::VertexId;
+
+std::vector<VertexId> feedback_vertex_set(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  std::vector<VertexId> fvs;
+  std::vector<bool> removed(n, false);
+  std::vector<std::size_t> deg(n);
+  for (VertexId v = 0; v < n; ++v) deg[v] = g.degree(v);
+
+  // Self-loop endpoints must be in any FVS.
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (g.is_self_loop(e)) {
+      const VertexId v = g.endpoints(e).first;
+      if (!removed[v]) {
+        removed[v] = true;
+        fvs.push_back(v);
+      }
+    }
+  }
+
+  const auto strip = [&](std::deque<VertexId> queue) {
+    while (!queue.empty()) {
+      const VertexId v = queue.front();
+      queue.pop_front();
+      if (removed[v] || deg[v] > 1) continue;
+      removed[v] = true;
+      for (const graph::HalfEdge& he : g.neighbors(v)) {
+        if (removed[he.to]) continue;
+        if (--deg[he.to] <= 1) queue.push_back(he.to);
+      }
+    }
+  };
+
+  // Recompute degrees after the self-loop removals, then peel.
+  const auto recount = [&] {
+    std::deque<VertexId> low;
+    for (VertexId v = 0; v < n; ++v) {
+      if (removed[v]) continue;
+      std::size_t d = 0;
+      for (const graph::HalfEdge& he : g.neighbors(v)) {
+        if (!removed[he.to]) ++d;
+      }
+      deg[v] = d;
+      if (d <= 1) low.push_back(v);
+    }
+    strip(std::move(low));
+  };
+  recount();
+
+  while (true) {
+    // Any remaining edge implies a cycle (min residual degree >= 2).
+    VertexId pick = graph::kNullVertex;
+    std::size_t best = 0;
+    for (VertexId v = 0; v < n; ++v) {
+      if (!removed[v] && deg[v] > best) {
+        best = deg[v];
+        pick = v;
+      }
+    }
+    if (pick == graph::kNullVertex || best == 0) break;
+    removed[pick] = true;
+    fvs.push_back(pick);
+    std::deque<VertexId> low;
+    for (const graph::HalfEdge& he : g.neighbors(pick)) {
+      if (removed[he.to]) continue;
+      if (--deg[he.to] <= 1) low.push_back(he.to);
+    }
+    strip(std::move(low));
+  }
+  std::sort(fvs.begin(), fvs.end());
+  return fvs;
+}
+
+bool is_feedback_vertex_set(const Graph& g,
+                            const std::vector<VertexId>& fvs) {
+  std::vector<bool> in_fvs(g.num_vertices(), false);
+  for (const VertexId v : fvs) in_fvs[v] = true;
+  // The residual graph is a forest iff a union-find insertion of its edges
+  // never closes a cycle (self-loops and parallel duplicates close one).
+  std::vector<VertexId> parent(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) parent[v] = v;
+  const auto find = [&parent](VertexId x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  };
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [u, v] = g.endpoints(e);
+    if (in_fvs[u] || in_fvs[v]) continue;
+    const VertexId ru = find(u), rv = find(v);
+    if (ru == rv) return false;  // closes a cycle
+    parent[ru] = rv;
+  }
+  return true;
+}
+
+namespace {
+
+/// Mutable residual view for the Bafna–Berman–Fujito elimination loop.
+struct Residual {
+  const Graph* g;
+  std::vector<bool> alive;
+  std::vector<std::size_t> deg;
+
+  explicit Residual(const Graph& graph)
+      : g(&graph), alive(graph.num_vertices(), true),
+        deg(graph.num_vertices()) {
+    for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+      deg[v] = graph.degree(v);
+    }
+  }
+
+  void remove(VertexId v) {
+    alive[v] = false;
+    for (const graph::HalfEdge& he : g->neighbors(v)) {
+      if (he.to == v) continue;  // the self-loop dies with v
+      if (alive[he.to]) --deg[he.to];
+    }
+    deg[v] = 0;
+  }
+
+  /// Strips degree <= 1 vertices ("cleanup" in the BBF paper).
+  void cleanup() {
+    std::deque<VertexId> low;
+    for (VertexId v = 0; v < g->num_vertices(); ++v) {
+      if (alive[v] && deg[v] <= 1) low.push_back(v);
+    }
+    while (!low.empty()) {
+      const VertexId v = low.front();
+      low.pop_front();
+      if (!alive[v] || deg[v] > 1) continue;
+      alive[v] = false;
+      for (const graph::HalfEdge& he : g->neighbors(v)) {
+        if (he.to == v || !alive[he.to]) continue;
+        if (--deg[he.to] <= 1) low.push_back(he.to);
+      }
+      deg[v] = 0;
+    }
+  }
+
+  [[nodiscard]] bool has_edges() const {
+    for (VertexId v = 0; v < g->num_vertices(); ++v) {
+      if (alive[v] && deg[v] > 0) return true;
+    }
+    return false;
+  }
+
+  /// Looks for a semidisjoint cycle: after cleanup (min residual degree
+  /// >= 2), walk from any degree-2 vertex along its chain; if the walk
+  /// closes on its start or on a single higher-degree vertex reached from
+  /// both ends, those vertices form one. Returns the cycle's vertices, or
+  /// an empty vector if none exists.
+  [[nodiscard]] std::vector<VertexId> find_semidisjoint_cycle() const {
+    std::vector<bool> visited(g->num_vertices(), false);
+    for (VertexId start = 0; start < g->num_vertices(); ++start) {
+      if (!alive[start] || deg[start] != 2 || visited[start]) continue;
+      // Walk both directions until a non-degree-2 vertex (or loop closure).
+      std::vector<VertexId> cycle{start};
+      visited[start] = true;
+      std::array<VertexId, 2> ends{};
+      std::size_t end_count = 0;
+      bool closed = false;
+      // Collect the two residual neighbours of a degree-2 vertex.
+      const auto neighbours = [this](VertexId v) {
+        std::array<std::pair<VertexId, graph::EdgeId>, 2> out{};
+        std::size_t k = 0;
+        for (const graph::HalfEdge& he : g->neighbors(v)) {
+          if (alive[he.to] && k < 2) out[k++] = {he.to, he.edge};
+        }
+        return out;
+      };
+      for (std::size_t dir = 0; dir < 2 && !closed; ++dir) {
+        VertexId prev = start;
+        graph::EdgeId prev_edge = neighbours(start)[dir].second;
+        VertexId cur = neighbours(start)[dir].first;
+        while (true) {
+          if (cur == start) {  // pure cycle
+            closed = true;
+            break;
+          }
+          if (deg[cur] != 2) {
+            ends[end_count++] = cur;
+            break;
+          }
+          if (visited[cur]) break;  // met the other direction's walk
+          visited[cur] = true;
+          cycle.push_back(cur);
+          const auto nb = neighbours(cur);
+          const auto [next, next_edge] =
+              nb[0].second == prev_edge ? nb[1] : nb[0];
+          prev = cur;
+          prev_edge = next_edge;
+          cur = next;
+          (void)prev;
+        }
+      }
+      if (closed) return cycle;  // all degree-2: semidisjoint
+      if (end_count == 2 && ends[0] == ends[1]) {
+        cycle.push_back(ends[0]);  // one higher-degree vertex: semidisjoint
+        return cycle;
+      }
+    }
+    return {};
+  }
+};
+
+}  // namespace
+
+std::vector<VertexId> feedback_vertex_set_2approx(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  std::vector<double> w(n, 1.0);
+  std::vector<VertexId> stack;  // elimination order for reverse delete
+  Residual r(g);
+
+  // Self-loop endpoints are unconditionally in every FVS.
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (g.is_self_loop(e)) {
+      const VertexId v = g.endpoints(e).first;
+      if (r.alive[v]) {
+        r.remove(v);
+        stack.push_back(v);
+      }
+    }
+  }
+  r.cleanup();
+
+  while (r.has_edges()) {
+    const auto sd = r.find_semidisjoint_cycle();
+    if (!sd.empty()) {
+      double gamma = std::numeric_limits<double>::infinity();
+      for (const VertexId v : sd) gamma = std::min(gamma, w[v]);
+      for (const VertexId v : sd) w[v] -= gamma;
+    } else {
+      double gamma = std::numeric_limits<double>::infinity();
+      for (VertexId v = 0; v < n; ++v) {
+        if (r.alive[v] && r.deg[v] >= 2) {
+          gamma = std::min(gamma, w[v] / (static_cast<double>(r.deg[v]) - 1));
+        }
+      }
+      for (VertexId v = 0; v < n; ++v) {
+        if (r.alive[v] && r.deg[v] >= 2) {
+          w[v] -= gamma * (static_cast<double>(r.deg[v]) - 1);
+        }
+      }
+    }
+    for (VertexId v = 0; v < n; ++v) {
+      if (r.alive[v] && r.deg[v] >= 2 && w[v] <= 1e-12) {
+        r.remove(v);
+        stack.push_back(v);
+      }
+    }
+    r.cleanup();
+  }
+
+  // Reverse delete: drop vertices whose removal keeps the set an FVS.
+  std::vector<bool> in_set(n, false);
+  for (const VertexId v : stack) in_set[v] = true;
+  for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+    in_set[*it] = false;
+    std::vector<VertexId> candidate;
+    for (VertexId v = 0; v < n; ++v) {
+      if (in_set[v]) candidate.push_back(v);
+    }
+    if (!is_feedback_vertex_set(g, candidate)) in_set[*it] = true;
+  }
+  std::vector<VertexId> fvs;
+  for (VertexId v = 0; v < n; ++v) {
+    if (in_set[v]) fvs.push_back(v);
+  }
+  return fvs;
+}
+
+}  // namespace eardec::mcb

@@ -1,0 +1,32 @@
+// Feedback vertex set: a vertex set hitting every cycle. The MCB search
+// only needs *validity* (Horton cycles rooted at an FVS are a superset of
+// an MCB); a smaller set merely means fewer shortest-path trees. We use the
+// classic peel-and-pick greedy (iteratively strip degree <= 1 vertices,
+// then move a maximum-degree vertex into the set), the practical stand-in
+// for the 2-approximation of Bafna–Berman–Fujito the paper cites.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace eardec::mcb {
+
+/// Computes a feedback vertex set of g. Self-loop endpoints are always
+/// included (a self-loop is a cycle through its endpoint alone).
+[[nodiscard]] std::vector<graph::VertexId> feedback_vertex_set(
+    const graph::Graph& g);
+
+/// The 2-approximation of Bafna, Berman, and Fujito the paper cites [3]:
+/// local-ratio weight decomposition with special handling of semidisjoint
+/// cycles (cycles whose vertices all have degree two except at most one),
+/// followed by a reverse-delete minimality pass. Unit vertex weights here
+/// (the MCB use only needs the set small, not weighted).
+[[nodiscard]] std::vector<graph::VertexId> feedback_vertex_set_2approx(
+    const graph::Graph& g);
+
+/// Validity check: g minus `fvs` is a forest (no cycles, incl. parallels).
+[[nodiscard]] bool is_feedback_vertex_set(
+    const graph::Graph& g, const std::vector<graph::VertexId>& fvs);
+
+}  // namespace eardec::mcb

@@ -1,0 +1,65 @@
+#include "mcb/gf2.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace eardec::mcb {
+
+void BitVector::xor_assign(const BitVector& other) {
+  if (other.bits_ != bits_) {
+    throw std::invalid_argument("BitVector::xor_assign: size mismatch");
+  }
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    words_[w] ^= other.words_[w];
+  }
+}
+
+bool BitVector::dot(const BitVector& other) const {
+  if (other.bits_ != bits_) {
+    throw std::invalid_argument("BitVector::dot: size mismatch");
+  }
+  std::uint64_t acc = 0;
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    acc ^= words_[w] & other.words_[w];
+  }
+  return (std::popcount(acc) & 1) != 0;
+}
+
+std::size_t BitVector::popcount() const {
+  std::size_t c = 0;
+  for (const std::uint64_t w : words_) c += static_cast<std::size_t>(std::popcount(w));
+  return c;
+}
+
+bool BitVector::any() const {
+  for (const std::uint64_t w : words_) {
+    if (w != 0) return true;
+  }
+  return false;
+}
+
+std::size_t gf2_rank(std::vector<BitVector> vectors) {
+  std::size_t rank = 0;
+  if (vectors.empty()) return 0;
+  const std::size_t bits = vectors.front().size();
+  for (std::size_t col = 0; col < bits && rank < vectors.size(); ++col) {
+    // Find a pivot row with a 1 in this column.
+    std::size_t pivot = rank;
+    while (pivot < vectors.size() && !vectors[pivot].get(col)) ++pivot;
+    if (pivot == vectors.size()) continue;
+    std::swap(vectors[rank], vectors[pivot]);
+    for (std::size_t r = 0; r < vectors.size(); ++r) {
+      if (r != rank && vectors[r].get(col)) {
+        vectors[r].xor_assign(vectors[rank]);
+      }
+    }
+    ++rank;
+  }
+  return rank;
+}
+
+bool gf2_independent(const std::vector<BitVector>& vectors) {
+  return gf2_rank(vectors) == vectors.size();
+}
+
+}  // namespace eardec::mcb

@@ -1,0 +1,118 @@
+#include "mcb/labelled_trees.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sssp/dijkstra.hpp"
+
+namespace eardec::mcb {
+
+LabelledTrees::LabelledTrees(const Graph& g, const SpanningTree& tree,
+                             std::vector<VertexId> fvs)
+    : g_(g), tree_(tree) {
+  const VertexId n = g.num_vertices();
+  trees_.reserve(fvs.size());
+  std::vector<std::uint32_t> depth(n);
+
+  for (const VertexId z : fvs) {
+    auto sp = sssp::dijkstra(g, z);
+    LabelledTree lt;
+    lt.root = z;
+    lt.parent = std::move(sp.parent);
+    lt.parent_edge = std::move(sp.parent_edge);
+    lt.dist = std::move(sp.dist);
+    lt.label.assign(n, 0);
+
+    // Parent-before-child order via BFS over the tree's children lists.
+    std::vector<std::vector<VertexId>> children(n);
+    for (VertexId v = 0; v < n; ++v) {
+      if (lt.parent[v] != graph::kNullVertex) {
+        children[lt.parent[v]].push_back(v);
+      }
+    }
+    lt.order.reserve(n);
+    lt.order.push_back(z);
+    depth[z] = 0;
+    for (std::size_t i = 0; i < lt.order.size(); ++i) {
+      const VertexId v = lt.order[i];
+      for (const VertexId c : children[v]) {
+        depth[c] = depth[v] + 1;
+        lt.order.push_back(c);
+      }
+    }
+
+    // Candidates rooted at z: non-tree edges of T_z whose endpoints have z
+    // as their least common ancestor in T_z.
+    const auto tree_index = static_cast<std::uint32_t>(trees_.size());
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      auto [u, v] = g.endpoints(e);
+      if (lt.dist[u] == graph::kInfWeight || lt.dist[v] == graph::kInfWeight) {
+        continue;
+      }
+      if (lt.parent_edge[u] == e || lt.parent_edge[v] == e) continue;
+      // LCA by depth climbing.
+      VertexId a = u, b = v;
+      while (a != b) {
+        if (depth[a] < depth[b]) std::swap(a, b);
+        a = lt.parent[a];
+      }
+      if (a != z) continue;
+      candidates_.push_back(
+          {tree_index, e, lt.dist[u] + g.weight(e) + lt.dist[v]});
+    }
+    trees_.push_back(std::move(lt));
+  }
+
+  std::stable_sort(candidates_.begin(), candidates_.end(),
+                   [](const McbCandidate& a, const McbCandidate& b) {
+                     return a.weight < b.weight;
+                   });
+}
+
+void LabelledTrees::relabel_tree(std::size_t t, const BitVector& s) {
+  LabelledTree& lt = trees_[t];
+  // Pass 1 (Algorithm 3, lines 4-8): c_z(u) = S(parent edge) if that edge
+  // is a non-tree edge of the global spanning tree, else 0.
+  thread_local std::vector<std::uint8_t> c;
+  c.assign(lt.label.size(), 0);
+  for (const VertexId u : lt.order) {
+    const EdgeId pe = lt.parent_edge[u];
+    if (pe == graph::kNullEdge) continue;
+    const std::uint32_t idx = tree_.non_tree_index[pe];
+    if (idx != kNotNonTree) c[u] = s.get(idx);
+  }
+  // Pass 2 (lines 9-11): level-order accumulate l_z(u) = l_z(parent) ⊕ c(u).
+  for (const VertexId u : lt.order) {
+    const VertexId p = lt.parent[u];
+    lt.label[u] = p == graph::kNullVertex ? 0 : (lt.label[p] ^ c[u]);
+  }
+}
+
+bool LabelledTrees::is_odd(const McbCandidate& cand,
+                           const BitVector& s) const {
+  const LabelledTree& lt = trees_[cand.tree];
+  const auto [u, v] = g_.endpoints(cand.edge);
+  std::uint8_t parity = lt.label[u] ^ lt.label[v];
+  const std::uint32_t idx = tree_.non_tree_index[cand.edge];
+  if (idx != kNotNonTree) parity ^= s.get(idx);
+  return parity & 1u;
+}
+
+Cycle LabelledTrees::materialize(const McbCandidate& cand) const {
+  const LabelledTree& lt = trees_[cand.tree];
+  Cycle c;
+  c.edges.push_back(cand.edge);
+  const auto climb = [&](VertexId x) {
+    while (x != lt.root) {
+      c.edges.push_back(lt.parent_edge[x]);
+      x = lt.parent[x];
+    }
+  };
+  const auto [u, v] = g_.endpoints(cand.edge);
+  climb(u);
+  climb(v);
+  c.weight = cycle_weight(g_, c.edges);
+  return c;
+}
+
+}  // namespace eardec::mcb

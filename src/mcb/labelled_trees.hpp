@@ -1,0 +1,69 @@
+// Labelled shortest-path trees — the Mehlhorn–Michail machinery [29] the
+// paper parallelizes (Algorithm 3). For each FVS vertex z we keep the
+// Dijkstra tree T_z. Given the current witness S, two passes per tree
+// compute l_z(u) = <path_z(u), S>; then any candidate cycle C_ze can be
+// tested for non-orthogonality to S in O(1):
+//   <C_ze, S> = l_z(u) ⊕ l_z(v) ⊕ (e ∈ E' ? S(e) : 0).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "mcb/cycle.hpp"
+#include "mcb/gf2.hpp"
+#include "mcb/spanning_tree.hpp"
+
+namespace eardec::mcb {
+
+/// One rooted shortest-path tree plus the scratch label array.
+struct LabelledTree {
+  VertexId root = 0;
+  std::vector<VertexId> parent;
+  std::vector<EdgeId> parent_edge;
+  std::vector<Weight> dist;
+  /// Vertices in parent-before-child order (root first; unreachable
+  /// vertices excluded).
+  std::vector<VertexId> order;
+  /// l_z(u) with respect to the witness of the last relabel() call.
+  std::vector<std::uint8_t> label;
+};
+
+/// A candidate cycle C_ze: non-tree edge e of T_z, with z the LCA of e's
+/// endpoints in T_z (the Mehlhorn–Michail pruning).
+struct McbCandidate {
+  std::uint32_t tree = 0;  ///< index into LabelledTrees::trees
+  EdgeId edge = graph::kNullEdge;
+  Weight weight = 0;
+};
+
+class LabelledTrees {
+ public:
+  /// Builds the Dijkstra trees from every vertex of `fvs` and enumerates
+  /// the candidate set A, sorted by weight.
+  LabelledTrees(const Graph& g, const SpanningTree& tree,
+                std::vector<VertexId> fvs);
+
+  [[nodiscard]] std::size_t num_trees() const { return trees_.size(); }
+  [[nodiscard]] const std::vector<McbCandidate>& candidates() const {
+    return candidates_;
+  }
+
+  /// Recomputes the labels of tree `t` for witness S (Algorithm 3's two
+  /// passes). Each tree is independent — callers parallelize over trees.
+  void relabel_tree(std::size_t t, const BitVector& s);
+
+  /// O(1) orthogonality test of candidate `c` against the witness used in
+  /// the last relabel of c's tree.
+  [[nodiscard]] bool is_odd(const McbCandidate& c, const BitVector& s) const;
+
+  /// Materializes the cycle of a candidate: e plus the two tree paths.
+  [[nodiscard]] Cycle materialize(const McbCandidate& c) const;
+
+ private:
+  const Graph& g_;
+  const SpanningTree& tree_;
+  std::vector<LabelledTree> trees_;
+  std::vector<McbCandidate> candidates_;
+};
+
+}  // namespace eardec::mcb

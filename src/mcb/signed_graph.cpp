@@ -1,0 +1,94 @@
+#include "mcb/signed_graph.hpp"
+
+#include <algorithm>
+
+#include "graph/builder.hpp"
+#include "sssp/dijkstra.hpp"
+
+namespace eardec::mcb {
+namespace {
+
+/// XOR-support of an edge multiset (edges used an odd number of times).
+std::vector<EdgeId> xor_support(std::vector<EdgeId> edges) {
+  std::sort(edges.begin(), edges.end());
+  std::vector<EdgeId> out;
+  for (std::size_t i = 0; i < edges.size();) {
+    std::size_t j = i;
+    while (j < edges.size() && edges[j] == edges[i]) ++j;
+    if ((j - i) % 2 == 1) out.push_back(edges[i]);
+    i = j;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<Cycle> min_odd_cycle(const Graph& g, const SpanningTree& tree,
+                                   const BitVector& s) {
+  const VertexId n = g.num_vertices();
+  const auto signed_bit = [&](EdgeId e) {
+    const std::uint32_t idx = tree.non_tree_index[e];
+    return idx != kNotNonTree && s.get(idx);
+  };
+
+  // Build the +/- auxiliary graph: vertex x maps to x (plus) and x + n
+  // (minus). Edge weights carry over; the aux edge remembers its origin.
+  graph::Builder b(2 * n);
+  std::vector<EdgeId> origin;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [u, v] = g.endpoints(e);
+    if (g.is_self_loop(e)) {
+      if (signed_bit(e)) {
+        // A sign-crossing self-loop connects u+ and u-.
+        b.add_edge(u, u + n, g.weight(e));
+        origin.push_back(e);
+      }
+      // An even self-loop is useless for odd-parity cycles; skip it.
+      continue;
+    }
+    if (signed_bit(e)) {
+      b.add_edge(u, v + n, g.weight(e));
+      origin.push_back(e);
+      b.add_edge(u + n, v, g.weight(e));
+      origin.push_back(e);
+    } else {
+      b.add_edge(u, v, g.weight(e));
+      origin.push_back(e);
+      b.add_edge(u + n, v + n, g.weight(e));
+      origin.push_back(e);
+    }
+  }
+  const Graph aux = std::move(b).build();
+
+  // Only vertices incident to a crossing edge can lie on an odd cycle.
+  std::vector<VertexId> starts;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (signed_bit(e)) {
+      const auto [u, v] = g.endpoints(e);
+      starts.push_back(u);
+      starts.push_back(v);
+    }
+  }
+  std::sort(starts.begin(), starts.end());
+  starts.erase(std::unique(starts.begin(), starts.end()), starts.end());
+
+  std::optional<Cycle> best;
+  for (const VertexId x : starts) {
+    const auto sp = sssp::dijkstra(aux, x);
+    if (sp.dist[x + n] == graph::kInfWeight) continue;
+    if (best && best->weight <= sp.dist[x + n]) continue;
+    // Walk the aux path and project to original edges.
+    std::vector<EdgeId> walk;
+    for (VertexId cur = x + n; cur != x;) {
+      walk.push_back(origin[sp.parent_edge[cur]]);
+      cur = sp.parent[cur];
+    }
+    auto support = xor_support(std::move(walk));
+    if (support.empty()) continue;
+    Cycle c{support, cycle_weight(g, support)};
+    if (!best || c.weight < best->weight) best = std::move(c);
+  }
+  return best;
+}
+
+}  // namespace eardec::mcb

@@ -1,0 +1,25 @@
+// Signed (±) auxiliary graph search for the minimum-weight cycle that is
+// non-orthogonal to a witness S (paper Section 3.2.1): duplicate every
+// vertex into x+ and x-; an edge e keeps the sign iff S(e) = 0 and crosses
+// signs iff S(e) = 1. A shortest x+ -> x- path then projects to a minimum
+// cycle through x whose S-parity is odd. Minimizing over starting vertices
+// gives De Pina's step-3 cycle exactly.
+#pragma once
+
+#include <optional>
+
+#include "graph/graph.hpp"
+#include "mcb/cycle.hpp"
+#include "mcb/gf2.hpp"
+#include "mcb/spanning_tree.hpp"
+
+namespace eardec::mcb {
+
+/// Minimum-weight cycle C with <C, S> = 1, where S is indexed by the
+/// non-tree order of `tree` (bits for tree edges are implicitly 0).
+/// Returns nullopt iff no such cycle exists (S = 0 or graph is a forest).
+[[nodiscard]] std::optional<Cycle> min_odd_cycle(const Graph& g,
+                                                 const SpanningTree& tree,
+                                                 const BitVector& s);
+
+}  // namespace eardec::mcb

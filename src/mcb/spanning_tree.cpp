@@ -1,0 +1,46 @@
+#include "mcb/spanning_tree.hpp"
+
+#include <deque>
+
+namespace eardec::mcb {
+
+SpanningTree build_spanning_tree(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  const EdgeId m = g.num_edges();
+  SpanningTree t;
+  t.in_tree.assign(m, false);
+  t.non_tree_index.assign(m, kNotNonTree);
+  t.parent.assign(n, graph::kNullVertex);
+  t.parent_edge.assign(n, graph::kNullEdge);
+  t.depth.assign(n, 0);
+
+  std::vector<bool> visited(n, false);
+  std::deque<VertexId> queue;
+  for (VertexId r = 0; r < n; ++r) {
+    if (visited[r]) continue;
+    visited[r] = true;
+    queue.push_back(r);
+    while (!queue.empty()) {
+      const VertexId v = queue.front();
+      queue.pop_front();
+      for (const graph::HalfEdge& he : g.neighbors(v)) {
+        if (visited[he.to]) continue;
+        visited[he.to] = true;
+        t.in_tree[he.edge] = true;
+        t.parent[he.to] = v;
+        t.parent_edge[he.to] = he.edge;
+        t.depth[he.to] = t.depth[v] + 1;
+        queue.push_back(he.to);
+      }
+    }
+  }
+  for (EdgeId e = 0; e < m; ++e) {
+    if (!t.in_tree[e]) {
+      t.non_tree_index[e] = static_cast<std::uint32_t>(t.non_tree_edges.size());
+      t.non_tree_edges.push_back(e);
+    }
+  }
+  return t;
+}
+
+}  // namespace eardec::mcb

@@ -1,0 +1,39 @@
+// Spanning tree/forest of the underlying unweighted graph, with the
+// non-tree edge ordering E' = {e_1, ..., e_f} that indexes the GF(2)
+// cycle space (paper Section 3.2). Self-loops and all-but-one of each
+// parallel bundle are necessarily non-tree.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace eardec::mcb {
+
+using graph::EdgeId;
+using graph::Graph;
+using graph::VertexId;
+using graph::Weight;
+
+inline constexpr std::uint32_t kNotNonTree = UINT32_MAX;
+
+struct SpanningTree {
+  /// Per edge: true iff it belongs to the tree/forest.
+  std::vector<bool> in_tree;
+  /// The non-tree edges in their fixed order e_1..e_f (0-based here).
+  std::vector<EdgeId> non_tree_edges;
+  /// Per edge: its index in non_tree_edges, or kNotNonTree.
+  std::vector<std::uint32_t> non_tree_index;
+  /// Rooted forest structure: parent vertex/edge, kNull* at roots.
+  std::vector<VertexId> parent;
+  std::vector<EdgeId> parent_edge;
+  std::vector<std::uint32_t> depth;
+
+  /// Cycle-space dimension f = |E'| = m - n + #components.
+  [[nodiscard]] std::size_t dimension() const { return non_tree_edges.size(); }
+};
+
+/// BFS spanning forest. O(n + m).
+[[nodiscard]] SpanningTree build_spanning_tree(const Graph& g);
+
+}  // namespace eardec::mcb

@@ -1,0 +1,141 @@
+#include "partition/bfs_grow.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+#include <random>
+#include <stdexcept>
+
+namespace eardec::partition {
+namespace {
+
+constexpr std::uint32_t kUnassigned = UINT32_MAX;
+
+void collect_boundary(const Graph& g, Partition& p) {
+  p.boundary.clear();
+  p.cut_edges = 0;
+  std::vector<bool> is_boundary(g.num_vertices(), false);
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [u, v] = g.endpoints(e);
+    if (p.part[u] != p.part[v]) {
+      ++p.cut_edges;
+      is_boundary[u] = is_boundary[v] = true;
+    }
+  }
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (is_boundary[v]) p.boundary.push_back(v);
+  }
+}
+
+}  // namespace
+
+Partition bfs_grow(const Graph& g, std::uint32_t k, std::uint64_t seed) {
+  const VertexId n = g.num_vertices();
+  if (k == 0) throw std::invalid_argument("bfs_grow: k must be >= 1");
+  k = std::min<std::uint32_t>(k, std::max<VertexId>(1, n));
+
+  Partition p;
+  p.num_parts = k;
+  p.part.assign(n, kUnassigned);
+  if (n == 0) return p;
+
+  // Spread seeds: first seed random, each next seed is the unassigned
+  // vertex farthest (in hops) from all current seeds.
+  std::mt19937_64 rng(seed);
+  std::vector<VertexId> seeds;
+  std::vector<std::uint32_t> hops(n, UINT32_MAX);
+  {
+    std::uniform_int_distribution<VertexId> pick(0, n - 1);
+    seeds.push_back(pick(rng));
+    std::deque<VertexId> queue;
+    const auto bfs_from = [&](VertexId s) {
+      hops[s] = 0;
+      queue.push_back(s);
+      while (!queue.empty()) {
+        const VertexId v = queue.front();
+        queue.pop_front();
+        for (const graph::HalfEdge& he : g.neighbors(v)) {
+          if (hops[he.to] > hops[v] + 1) {
+            hops[he.to] = hops[v] + 1;
+            queue.push_back(he.to);
+          }
+        }
+      }
+    };
+    bfs_from(seeds[0]);
+    while (seeds.size() < k) {
+      VertexId far = seeds[0];
+      std::uint32_t best = 0;
+      for (VertexId v = 0; v < n; ++v) {
+        // Unreached vertices (other components) are the farthest of all.
+        if (hops[v] == UINT32_MAX) {
+          far = v;
+          best = UINT32_MAX;
+          break;
+        }
+        if (hops[v] > best) {
+          best = hops[v];
+          far = v;
+        }
+      }
+      if (best == 0) break;  // every vertex is a seed already
+      seeds.push_back(far);
+      bfs_from(far);
+    }
+  }
+  p.num_parts = static_cast<std::uint32_t>(seeds.size());
+
+  // Level-synchronous region growing: parts claim frontier vertices in
+  // round-robin so sizes stay balanced.
+  std::vector<std::deque<VertexId>> frontier(p.num_parts);
+  for (std::uint32_t i = 0; i < p.num_parts; ++i) {
+    p.part[seeds[i]] = i;
+    frontier[i].push_back(seeds[i]);
+  }
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (std::uint32_t i = 0; i < p.num_parts; ++i) {
+      // Claim one layer's worth for part i (bounded sweep for balance).
+      std::size_t budget = frontier[i].size();
+      while (budget-- > 0 && !frontier[i].empty()) {
+        const VertexId v = frontier[i].front();
+        frontier[i].pop_front();
+        for (const graph::HalfEdge& he : g.neighbors(v)) {
+          if (p.part[he.to] == kUnassigned) {
+            p.part[he.to] = i;
+            frontier[i].push_back(he.to);
+            grew = true;
+          }
+        }
+      }
+    }
+  }
+  // Other connected components with no seed: sweep them into part 0
+  // component-wise (they don't affect boundaries).
+  for (VertexId v = 0; v < n; ++v) {
+    if (p.part[v] == kUnassigned) p.part[v] = 0;
+  }
+
+  // One refinement sweep: move a vertex to the strict majority part among
+  // its neighbours (reduces the cut; never applied to a seed).
+  std::vector<std::uint32_t> tally(p.num_parts, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    if (std::find(seeds.begin(), seeds.end(), v) != seeds.end()) continue;
+    std::fill(tally.begin(), tally.end(), 0);
+    for (const graph::HalfEdge& he : g.neighbors(v)) {
+      if (he.to != v) ++tally[p.part[he.to]];
+    }
+    const auto best =
+        static_cast<std::uint32_t>(std::distance(
+            tally.begin(), std::max_element(tally.begin(), tally.end())));
+    if (best != p.part[v] && tally[best] > tally[p.part[v]]) {
+      p.part[v] = best;
+    }
+  }
+
+  collect_boundary(g, p);
+  return p;
+}
+
+}  // namespace eardec::partition

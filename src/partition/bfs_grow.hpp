@@ -1,0 +1,35 @@
+// Balanced k-way graph partitioning by multi-seed BFS region growing with
+// a boundary-smoothing refinement pass — the METIS stand-in used by the
+// Djidjev et al. baseline (see DESIGN.md §2). On planar/mesh-like graphs
+// (the only family Djidjev's method targets) breadth-first regions are
+// compact, which is exactly the small-boundary property that baseline needs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace eardec::partition {
+
+using graph::Graph;
+using graph::VertexId;
+
+struct Partition {
+  std::uint32_t num_parts = 0;
+  /// Per vertex: its part in [0, num_parts).
+  std::vector<std::uint32_t> part;
+  /// Vertices incident to at least one cross-part edge, ascending.
+  std::vector<VertexId> boundary;
+  /// Number of edges whose endpoints lie in different parts.
+  graph::EdgeId cut_edges = 0;
+};
+
+/// Partitions g into (at most) k parts. Seeds are spread breadth-first;
+/// regions grow level-synchronously so parts stay balanced; one refinement
+/// sweep moves boundary vertices to the majority part of their neighbours
+/// when that strictly reduces the cut without emptying a part.
+[[nodiscard]] Partition bfs_grow(const Graph& g, std::uint32_t k,
+                                 std::uint64_t seed);
+
+}  // namespace eardec::partition

@@ -1,0 +1,84 @@
+#include "reduce/chains.hpp"
+
+#include <limits>
+
+namespace eardec::reduce {
+namespace {
+
+/// True iff v is removable: degree exactly two, not force-kept, and not
+/// incident to a self-loop (a self-looped vertex's loop is a cycle through
+/// it, so the vertex can never be contracted away).
+bool removable(const Graph& g, VertexId v, const std::vector<bool>* keep) {
+  if (g.degree(v) != 2) return false;
+  if (keep != nullptr && (*keep)[v]) return false;
+  for (const graph::HalfEdge& he : g.neighbors(v)) {
+    if (he.to == v) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+ChainSet find_chains(const Graph& g, const std::vector<bool>* force_keep) {
+  const VertexId n = g.num_vertices();
+  const EdgeId m = g.num_edges();
+  ChainSet cs;
+  cs.chain_of.assign(n, kNoChain);
+  cs.position.assign(n, std::numeric_limits<std::uint32_t>::max());
+  cs.edge_chain.assign(m, kNoChain);
+
+  std::vector<bool> consumed(m, false);
+
+  // Walks one chain starting at anchor `a` along half-edge `first`.
+  const auto walk = [&](VertexId a, const graph::HalfEdge& first) {
+    const auto id = static_cast<std::uint32_t>(cs.chains.size());
+    Chain c;
+    c.left = a;
+    c.edges.push_back(first.edge);
+    cs.edge_chain[first.edge] = id;
+    consumed[first.edge] = true;
+    c.total = first.weight;
+    VertexId cur = first.to;
+    EdgeId in_edge = first.edge;
+    while (removable(g, cur, force_keep) && cur != a) {
+      cs.chain_of[cur] = id;
+      cs.position[cur] = static_cast<std::uint32_t>(c.interior.size());
+      c.interior.push_back(cur);
+      c.prefix.push_back(c.total);
+      // Exactly two incident half-edges; take the one we did not arrive by.
+      const auto adj = g.neighbors(cur);
+      const graph::HalfEdge& out =
+          adj[0].edge == in_edge ? adj[1] : adj[0];
+      c.edges.push_back(out.edge);
+      cs.edge_chain[out.edge] = id;
+      consumed[out.edge] = true;
+      c.total += out.weight;
+      in_edge = out.edge;
+      cur = out.to;
+    }
+    c.right = cur;
+    cs.chains.push_back(std::move(c));
+  };
+
+  // Pass 1: chains flanked by real anchors (degree != 2 or self-looped).
+  for (VertexId a = 0; a < n; ++a) {
+    if (removable(g, a, force_keep)) continue;
+    for (const graph::HalfEdge& he : g.neighbors(a)) {
+      if (consumed[he.edge]) continue;
+      if (!removable(g, he.to, force_keep)) continue;  // anchor-anchor edge
+      walk(a, he);
+    }
+  }
+
+  // Pass 2: pure cycles — every vertex still unassigned and removable lies
+  // on a cycle of degree-two vertices. Designate it as the anchor.
+  for (VertexId v = 0; v < n; ++v) {
+    if (!removable(g, v, force_keep) || cs.chain_of[v] != kNoChain) continue;
+    const auto adj = g.neighbors(v);
+    if (consumed[adj[0].edge]) continue;  // already walked from elsewhere
+    walk(v, adj[0]);
+  }
+  return cs;
+}
+
+}  // namespace eardec::reduce

@@ -1,0 +1,85 @@
+#include "reduce/pendant.hpp"
+
+#include <deque>
+
+#include "graph/builder.hpp"
+
+namespace eardec::reduce {
+
+PendantPeel::PendantPeel(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  to_core_.assign(n, graph::kNullVertex);
+  attach_.resize(n);
+  attach_dist_.assign(n, 0);
+  parent_.assign(n, graph::kNullVertex);
+  parent_dist_.assign(n, 0);
+  depth_.assign(n, 0);
+
+  std::vector<std::size_t> deg(n);
+  std::vector<bool> alive(n, true);
+  std::deque<VertexId> queue;
+  for (VertexId v = 0; v < n; ++v) {
+    deg[v] = g.degree(v);
+    if (deg[v] == 1) queue.push_back(v);
+  }
+
+  std::vector<VertexId> removal_order;
+  while (!queue.empty()) {
+    const VertexId v = queue.front();
+    queue.pop_front();
+    if (!alive[v] || deg[v] != 1) continue;  // degree may have dropped to 0
+    alive[v] = false;
+    removal_order.push_back(v);
+    for (const graph::HalfEdge& he : g.neighbors(v)) {
+      if (!alive[he.to]) continue;
+      parent_[v] = he.to;
+      parent_dist_[v] = he.weight;
+      if (--deg[he.to] == 1) queue.push_back(he.to);
+      break;
+    }
+  }
+
+  // Core vertex numbering.
+  for (VertexId v = 0; v < n; ++v) {
+    if (alive[v]) {
+      to_core_[v] = static_cast<VertexId>(to_original_.size());
+      to_original_.push_back(v);
+      attach_[v] = v;
+    }
+  }
+
+  // Attachment info: parents are removed later (or kept), so walking the
+  // removal order backwards sees each parent resolved first.
+  for (auto it = removal_order.rbegin(); it != removal_order.rend(); ++it) {
+    const VertexId v = *it;
+    const VertexId p = parent_[v];
+    attach_[v] = attach_[p];
+    attach_dist_[v] = parent_dist_[v] + attach_dist_[p];
+    depth_[v] = depth_[p] + 1;
+  }
+
+  // Core graph: edges with both endpoints alive.
+  graph::Builder b(static_cast<VertexId>(to_original_.size()));
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [u, v] = g.endpoints(e);
+    if (alive[u] && alive[v]) b.add_edge(to_core_[u], to_core_[v], g.weight(e));
+  }
+  core_ = std::move(b).build();
+}
+
+Weight PendantPeel::tree_distance(VertexId x, VertexId y) const {
+  if (attach_[x] != attach_[y]) return graph::kInfWeight;
+  Weight d = 0;
+  while (x != y) {
+    if (depth_[x] >= depth_[y]) {
+      d += parent_dist_[x];
+      x = parent_[x];
+    } else {
+      d += parent_dist_[y];
+      y = parent_[y];
+    }
+  }
+  return d;
+}
+
+}  // namespace eardec::reduce

@@ -1,0 +1,65 @@
+// Iterative pendant (degree-one) peeling, the preprocessing step of the
+// Banerjee et al. baseline: repeatedly strip degree-1 vertices until none
+// remain. Each stripped vertex hangs in a pendant tree rooted at a core
+// vertex; the structure kept here suffices to answer exact distance queries
+// involving stripped vertices.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace eardec::reduce {
+
+using graph::Graph;
+using graph::VertexId;
+using graph::Weight;
+
+class PendantPeel {
+ public:
+  explicit PendantPeel(const Graph& g);
+
+  /// The core graph with all pendant trees removed (local ids).
+  [[nodiscard]] const Graph& core() const noexcept { return core_; }
+
+  [[nodiscard]] VertexId to_core(VertexId original) const {
+    return to_core_[original];
+  }
+  [[nodiscard]] VertexId to_original(VertexId core_vertex) const {
+    return to_original_[core_vertex];
+  }
+  [[nodiscard]] bool kept(VertexId original) const {
+    return to_core_[original] != graph::kNullVertex;
+  }
+  [[nodiscard]] VertexId num_removed() const {
+    return static_cast<VertexId>(to_core_.size() - to_original_.size());
+  }
+
+  /// For a removed vertex x: the core vertex its pendant tree attaches to
+  /// (original id), and the tree distance from x to it. For kept vertices
+  /// attach(x) == x with distance 0. Isolated trees (a connected component
+  /// that is entirely a tree) keep one root vertex in the core.
+  [[nodiscard]] VertexId attach(VertexId x) const { return attach_[x]; }
+  [[nodiscard]] Weight attach_distance(VertexId x) const {
+    return attach_dist_[x];
+  }
+
+  /// Exact distance between two vertices of the same pendant tree (or any
+  /// two original vertices whose unique tree paths meet), via parent climbs.
+  /// Returns kInfWeight if the two climbs do not meet below the core; the
+  /// caller then routes through attach() and the core.
+  [[nodiscard]] Weight tree_distance(VertexId x, VertexId y) const;
+
+ private:
+  Graph core_;
+  std::vector<VertexId> to_core_;
+  std::vector<VertexId> to_original_;
+  std::vector<VertexId> attach_;
+  std::vector<Weight> attach_dist_;
+  /// Parent pointers for removed vertices (towards the core; original ids).
+  std::vector<VertexId> parent_;
+  std::vector<Weight> parent_dist_;
+  std::vector<std::uint32_t> depth_;  ///< 0 for kept vertices
+};
+
+}  // namespace eardec::reduce

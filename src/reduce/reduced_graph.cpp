@@ -1,0 +1,77 @@
+#include "reduce/reduced_graph.hpp"
+
+#include <unordered_map>
+
+namespace eardec::reduce {
+
+ReducedGraph::ReducedGraph(const Graph& g, ReduceMode mode,
+                           const std::vector<bool>* force_keep)
+    : chains_(find_chains(g, force_keep)) {
+  const VertexId n = g.num_vertices();
+  to_reduced_.assign(n, graph::kNullVertex);
+  for (VertexId v = 0; v < n; ++v) {
+    if (chains_.chain_of[v] == kNoChain) {
+      to_reduced_[v] = static_cast<VertexId>(to_original_.size());
+      to_original_.push_back(v);
+    }
+  }
+
+  // Assemble candidate reduced edges with provenance.
+  struct Candidate {
+    VertexId u, v;  // reduced ids
+    Weight w;
+    std::uint32_t chain;
+    graph::EdgeId original;
+  };
+  std::vector<Candidate> cand;
+  cand.reserve(g.num_edges());
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (chains_.edge_chain[e] != kNoChain) continue;  // folded into a chain
+    const auto [u, v] = g.endpoints(e);
+    cand.push_back({to_reduced_[u], to_reduced_[v], g.weight(e), kNoChain, e});
+  }
+  for (std::uint32_t c = 0; c < chains_.chains.size(); ++c) {
+    const Chain& chain = chains_.chains[c];
+    cand.push_back({to_reduced_[chain.left], to_reduced_[chain.right],
+                    chain.total, c, graph::kNullEdge});
+  }
+
+  if (mode == ReduceMode::ForApsp) {
+    // Drop self-loops; of each parallel bundle keep the lightest edge.
+    std::unordered_map<std::uint64_t, std::size_t> best;
+    std::vector<Candidate> filtered;
+    for (const Candidate& cd : cand) {
+      if (cd.u == cd.v) continue;
+      const VertexId a = std::min(cd.u, cd.v), b = std::max(cd.u, cd.v);
+      const std::uint64_t key = (static_cast<std::uint64_t>(a) << 32) | b;
+      auto [it, inserted] = best.emplace(key, filtered.size());
+      if (inserted) {
+        filtered.push_back(cd);
+      } else if (cd.w < filtered[it->second].w) {
+        filtered[it->second] = cd;
+      }
+    }
+    cand = std::move(filtered);
+  }
+
+  std::vector<std::pair<VertexId, VertexId>> endpoints;
+  std::vector<Weight> weights;
+  endpoints.reserve(cand.size());
+  for (const Candidate& cd : cand) {
+    endpoints.emplace_back(cd.u, cd.v);
+    weights.push_back(cd.w);
+    edge_chain_.push_back(cd.chain);
+    original_edge_.push_back(cd.original);
+  }
+  reduced_ = Graph(static_cast<VertexId>(to_original_.size()),
+                   std::move(endpoints), std::move(weights));
+}
+
+std::vector<graph::EdgeId> ReducedGraph::expand_edge(
+    graph::EdgeId reduced_edge) const {
+  const std::uint32_t c = edge_chain_[reduced_edge];
+  if (c == kNoChain) return {original_edge_[reduced_edge]};
+  return chains_.chains[c].edges;
+}
+
+}  // namespace eardec::reduce

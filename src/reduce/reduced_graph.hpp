@@ -1,0 +1,81 @@
+// The reduced graph G^r of the paper (Section 2.1.1): contract every
+// maximal degree-two chain into a single weighted edge between its anchors.
+//
+// Two modes, matching the two consumers:
+//  * ForApsp  — shortest-path mode: of parallel reduced edges only the
+//    lightest is kept and self-loop reduced edges (pure-cycle chains) are
+//    dropped; neither can lie on a shortest path. This is exactly the
+//    paper's "retain the edge with the shortest weight".
+//  * ForMcb   — cycle-space mode: every parallel edge and self-loop is
+//    kept; Lemma 3.1 needs the reduced multigraph's cycle space to have the
+//    same dimension as the original's.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "reduce/chains.hpp"
+
+namespace eardec::reduce {
+
+enum class ReduceMode { ForApsp, ForMcb };
+
+class ReducedGraph {
+ public:
+  /// Builds the reduced graph of g. Works for any graph (the contraction
+  /// preserves pairwise distances between kept vertices unconditionally);
+  /// the paper applies it per biconnected component. `force_keep`
+  /// (optional, size n) pins extra vertices — see find_chains().
+  ReducedGraph(const Graph& g, ReduceMode mode,
+               const std::vector<bool>* force_keep = nullptr);
+
+  /// The contracted graph. Vertex ids are local ("reduced") ids.
+  [[nodiscard]] const Graph& graph() const noexcept { return reduced_; }
+
+  /// The chain structure of the original graph.
+  [[nodiscard]] const ChainSet& chains() const noexcept { return chains_; }
+
+  /// Reduced id of an original vertex, or kNullVertex if it was removed.
+  [[nodiscard]] VertexId to_reduced(VertexId original) const {
+    return to_reduced_[original];
+  }
+  /// Original id of a reduced vertex.
+  [[nodiscard]] VertexId to_original(VertexId reduced) const {
+    return to_original_[reduced];
+  }
+  /// True iff the original vertex survives into the reduced graph.
+  [[nodiscard]] bool kept(VertexId original) const {
+    return to_reduced_[original] != graph::kNullVertex;
+  }
+  /// Number of removed (contracted) vertices.
+  [[nodiscard]] VertexId num_removed() const {
+    return static_cast<VertexId>(to_reduced_.size() - to_original_.size());
+  }
+
+  /// Provenance of reduced edge e: the chain it contracts, or kNoChain if
+  /// it is an original anchor-to-anchor edge (then original_edge() applies).
+  [[nodiscard]] std::uint32_t edge_chain(graph::EdgeId reduced_edge) const {
+    return edge_chain_[reduced_edge];
+  }
+  /// For reduced edges with edge_chain == kNoChain: the original edge id.
+  [[nodiscard]] graph::EdgeId original_edge(graph::EdgeId reduced_edge) const {
+    return original_edge_[reduced_edge];
+  }
+
+  /// Expands a reduced edge into the ordered list of original edges it
+  /// represents (the chain's edges, or the single original edge). The walk
+  /// starts at the chain's `left` anchor.
+  [[nodiscard]] std::vector<graph::EdgeId> expand_edge(
+      graph::EdgeId reduced_edge) const;
+
+ private:
+  ChainSet chains_;
+  Graph reduced_;
+  std::vector<VertexId> to_reduced_;
+  std::vector<VertexId> to_original_;
+  std::vector<std::uint32_t> edge_chain_;
+  std::vector<graph::EdgeId> original_edge_;
+};
+
+}  // namespace eardec::reduce

@@ -1,0 +1,141 @@
+#include "sssp/brandes.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <queue>
+#include <random>
+
+namespace eardec::sssp {
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+using graph::Weight;
+
+/// One Brandes pass from `s`: accumulates pair dependencies into `delta_out`
+/// (caller-provided, zeroed scratch reused across sources on one thread).
+void accumulate_from(const Graph& g, VertexId s, std::vector<double>& bc_local,
+                     std::vector<Weight>& dist, std::vector<double>& sigma,
+                     std::vector<double>& delta,
+                     std::vector<std::vector<VertexId>>& preds,
+                     std::vector<VertexId>& order) {
+  const VertexId n = g.num_vertices();
+  std::fill(dist.begin(), dist.end(), graph::kInfWeight);
+  std::fill(sigma.begin(), sigma.end(), 0.0);
+  std::fill(delta.begin(), delta.end(), 0.0);
+  for (auto& p : preds) p.clear();
+  order.clear();
+
+  using Item = std::pair<Weight, VertexId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  dist[s] = 0;
+  sigma[s] = 1;
+  pq.emplace(0, s);
+  std::vector<bool> settled(n, false);
+  while (!pq.empty()) {
+    const auto [d, v] = pq.top();
+    pq.pop();
+    if (settled[v]) continue;
+    settled[v] = true;
+    order.push_back(v);
+    for (const graph::HalfEdge& he : g.neighbors(v)) {
+      if (he.to == v) continue;  // self-loops carry no shortest paths
+      const Weight nd = d + he.weight;
+      if (nd < dist[he.to] - 1e-12) {
+        dist[he.to] = nd;
+        sigma[he.to] = sigma[v];
+        preds[he.to].assign(1, v);
+        pq.emplace(nd, he.to);
+      } else if (std::abs(nd - dist[he.to]) <= 1e-12 && !settled[he.to]) {
+        sigma[he.to] += sigma[v];
+        preds[he.to].push_back(v);
+      }
+    }
+  }
+  // Dependency accumulation in reverse settle order.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const VertexId w = *it;
+    for (const VertexId v : preds[w]) {
+      delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w]);
+    }
+    if (w != s) bc_local[w] += delta[w];
+  }
+}
+
+}  // namespace
+
+namespace {
+
+/// Shared driver: accumulates dependencies from the given sources (all of
+/// them for the exact variant, a pivot sample otherwise).
+std::vector<double> run_brandes(const Graph& g,
+                                const std::vector<VertexId>& sources,
+                                hetero::ThreadPool* pool) {
+  const VertexId n = g.num_vertices();
+  std::vector<double> bc(n, 0.0);
+  if (n == 0 || sources.empty()) return bc;
+
+  std::mutex merge_mutex;
+  const auto run_range = [&](std::size_t begin, std::size_t end) {
+    std::vector<double> bc_local(n, 0.0);
+    std::vector<Weight> dist(n);
+    std::vector<double> sigma(n), delta(n);
+    std::vector<std::vector<VertexId>> preds(n);
+    std::vector<VertexId> order;
+    order.reserve(n);
+    for (std::size_t i = begin; i < end; ++i) {
+      accumulate_from(g, sources[i], bc_local, dist, sigma, delta, preds,
+                      order);
+    }
+    const std::lock_guard lock(merge_mutex);
+    for (VertexId v = 0; v < n; ++v) bc[v] += bc_local[v];
+  };
+
+  if (pool == nullptr) {
+    run_range(0, sources.size());
+  } else {
+    const std::size_t chunk =
+        std::max<std::size_t>(1, sources.size() / (4 * pool->size() + 4));
+    pool->parallel_for(0, (sources.size() + chunk - 1) / chunk,
+                       [&](std::size_t c) {
+                         const std::size_t begin = c * chunk;
+                         run_range(begin,
+                                   std::min(begin + chunk, sources.size()));
+                       });
+  }
+  return bc;
+}
+
+}  // namespace
+
+std::vector<double> betweenness_centrality(const Graph& g,
+                                           hetero::ThreadPool* pool) {
+  std::vector<VertexId> sources(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) sources[v] = v;
+  std::vector<double> bc = run_brandes(g, sources, pool);
+  // Undirected: each pair was counted from both endpoints.
+  for (double& v : bc) v /= 2.0;
+  return bc;
+}
+
+std::vector<double> betweenness_centrality_sampled(const Graph& g,
+                                                   VertexId pivots,
+                                                   std::uint64_t seed,
+                                                   hetero::ThreadPool* pool) {
+  const VertexId n = g.num_vertices();
+  if (pivots >= n) return betweenness_centrality(g, pool);
+  std::vector<VertexId> sources(n);
+  for (VertexId v = 0; v < n; ++v) sources[v] = v;
+  std::mt19937_64 rng(seed);
+  std::shuffle(sources.begin(), sources.end(), rng);
+  sources.resize(std::max<VertexId>(1, pivots));
+  std::vector<double> bc = run_brandes(g, sources, pool);
+  // Scale the sample up to the full source population; halve for the
+  // undirected double count.
+  const double scale =
+      static_cast<double>(n) / (2.0 * static_cast<double>(sources.size()));
+  for (double& v : bc) v *= scale;
+  return bc;
+}
+
+}  // namespace eardec::sssp

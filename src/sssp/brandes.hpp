@@ -1,0 +1,32 @@
+// Brandes' betweenness-centrality algorithm (weighted variant), the
+// substrate of the ear-decomposition betweenness work the paper cites as
+// its companion result ([32], Pachorkar et al.). One Dijkstra-like pass
+// per source with dependency accumulation; sources parallelize across a
+// thread pool exactly like the APSP processing phase.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "hetero/thread_pool.hpp"
+
+namespace eardec::sssp {
+
+/// Exact betweenness centrality of every vertex (undirected convention:
+/// each unordered pair counted once). O(n m + n^2 log n) total.
+/// `pool` optional: sources fan out across it when provided.
+[[nodiscard]] std::vector<double> betweenness_centrality(
+    const graph::Graph& g, hetero::ThreadPool* pool = nullptr);
+
+}  // namespace eardec::sssp
+
+namespace eardec::sssp {
+
+/// Pivot-sampled approximate betweenness (Brandes & Pich): `pivots` source
+/// passes scaled by n / pivots. Unbiased estimator; error shrinks with the
+/// sample. Exact when pivots >= n (then it just runs every source).
+[[nodiscard]] std::vector<double> betweenness_centrality_sampled(
+    const graph::Graph& g, graph::VertexId pivots, std::uint64_t seed,
+    hetero::ThreadPool* pool = nullptr);
+
+}  // namespace eardec::sssp

@@ -1,0 +1,113 @@
+#include "sssp/delta_stepping.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <mutex>
+#include <stdexcept>
+
+namespace eardec::sssp {
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+using graph::Weight;
+
+/// Atomic fetch-min on a Weight cell (relaxations may race across lanes).
+void atomic_min(std::atomic<Weight>& cell, Weight value) {
+  Weight cur = cell.load(std::memory_order_relaxed);
+  while (value < cur &&
+         !cell.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+std::vector<Weight> delta_stepping(const Graph& g, VertexId source,
+                                   Weight delta, hetero::ThreadPool* pool) {
+  const VertexId n = g.num_vertices();
+  if (source >= n) throw std::out_of_range("delta_stepping: bad source");
+  if (delta <= 0) {
+    // Heuristic: average edge weight (clamped away from zero).
+    delta = g.num_edges() > 0
+                ? std::max<Weight>(1e-9, g.total_weight() / g.num_edges())
+                : 1.0;
+  }
+
+  std::vector<std::atomic<Weight>> dist(n);
+  for (auto& d : dist) d.store(graph::kInfWeight, std::memory_order_relaxed);
+  dist[source].store(0, std::memory_order_relaxed);
+
+  // Buckets hold candidate vertices; stale entries are filtered on pop.
+  std::vector<std::vector<VertexId>> buckets(1);
+  buckets[0].push_back(source);
+  const auto bucket_of = [delta](Weight d) {
+    return static_cast<std::size_t>(d / delta);
+  };
+  const auto push = [&](VertexId v, Weight d) {
+    const std::size_t b = bucket_of(d);
+    if (b >= buckets.size()) buckets.resize(b + 1);
+    buckets[b].push_back(v);
+  };
+
+  std::mutex requests_mutex;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    std::vector<VertexId> settled_here;
+    // Light-edge phase: re-relax until the bucket stops refilling.
+    while (!buckets[b].empty()) {
+      std::vector<VertexId> frontier = std::move(buckets[b]);
+      buckets[b].clear();
+      std::vector<std::pair<VertexId, Weight>> requests;
+      const auto relax_light = [&](std::size_t i) {
+        const VertexId v = frontier[i];
+        const Weight dv = dist[v].load(std::memory_order_relaxed);
+        if (bucket_of(dv) != b) return;  // stale or promoted
+        std::vector<std::pair<VertexId, Weight>> local;
+        for (const graph::HalfEdge& he : g.neighbors(v)) {
+          if (he.weight > delta) continue;
+          const Weight nd = dv + he.weight;
+          if (nd < dist[he.to].load(std::memory_order_relaxed)) {
+            atomic_min(dist[he.to], nd);
+            local.emplace_back(he.to, nd);
+          }
+        }
+        if (!local.empty()) {
+          const std::lock_guard lock(requests_mutex);
+          requests.insert(requests.end(), local.begin(), local.end());
+        }
+      };
+      if (pool != nullptr && frontier.size() >= 64) {
+        pool->parallel_for(0, frontier.size(), relax_light, 16);
+      } else {
+        for (std::size_t i = 0; i < frontier.size(); ++i) relax_light(i);
+      }
+      settled_here.insert(settled_here.end(), frontier.begin(),
+                          frontier.end());
+      for (const auto& [v, d] : requests) {
+        // Only re-queue what still belongs in some bucket at distance d.
+        if (dist[v].load(std::memory_order_relaxed) == d) push(v, d);
+      }
+    }
+    // Heavy-edge phase: one pass from everything settled in this bucket.
+    for (const VertexId v : settled_here) {
+      const Weight dv = dist[v].load(std::memory_order_relaxed);
+      if (bucket_of(dv) != b) continue;
+      for (const graph::HalfEdge& he : g.neighbors(v)) {
+        if (he.weight <= delta) continue;
+        const Weight nd = dv + he.weight;
+        if (nd < dist[he.to].load(std::memory_order_relaxed)) {
+          atomic_min(dist[he.to], nd);
+          push(he.to, nd);
+        }
+      }
+    }
+  }
+
+  std::vector<Weight> out(n);
+  for (VertexId v = 0; v < n; ++v) {
+    out[v] = dist[v].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+}  // namespace eardec::sssp

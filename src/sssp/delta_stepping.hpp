@@ -1,0 +1,24 @@
+// Delta-stepping SSSP (Meyer & Sanders): vertices are kept in distance
+// buckets of width delta; each round settles one bucket by repeatedly
+// relaxing its light edges (w <= delta), then relaxes the heavy ones once.
+// The classic bridge between Dijkstra (delta -> 0) and Bellman–Ford
+// (delta -> inf) and the standard CPU-parallel SSSP in the literature the
+// paper builds on; here the intra-bucket relaxations optionally fan out
+// over the thread pool.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "hetero/thread_pool.hpp"
+
+namespace eardec::sssp {
+
+/// Single-source distances. `delta` <= 0 picks a heuristic (average edge
+/// weight). `pool` optional: bucket relaxations fan out when provided.
+[[nodiscard]] std::vector<graph::Weight> delta_stepping(
+    const graph::Graph& g, graph::VertexId source, graph::Weight delta = 0,
+    hetero::ThreadPool* pool = nullptr);
+
+}  // namespace eardec::sssp

@@ -1,0 +1,65 @@
+#include "sssp/device_floyd_warshall.hpp"
+
+#include <algorithm>
+
+namespace eardec::sssp {
+namespace {
+
+/// Relaxes tile (ib, jb) through pivot round kb (same math as the host
+/// blocked variant; kept local so the kernel reads like the CUDA original).
+void relax_tile(DistanceMatrix& d, VertexId n, VertexId block, VertexId ib,
+                VertexId jb, VertexId kb) {
+  const VertexId i_end = std::min<VertexId>(ib + block, n);
+  const VertexId j_end = std::min<VertexId>(jb + block, n);
+  const VertexId k_end = std::min<VertexId>(kb + block, n);
+  for (VertexId k = kb; k < k_end; ++k) {
+    for (VertexId i = ib; i < i_end; ++i) {
+      const graph::Weight dik = d.at(i, k);
+      if (dik == graph::kInfWeight) continue;
+      for (VertexId j = jb; j < j_end; ++j) {
+        const graph::Weight cand = dik + d.at(k, j);
+        if (cand < d.at(i, j)) d.at(i, j) = cand;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+DistanceMatrix device_floyd_warshall(const Graph& g, hetero::Device& device,
+                                     VertexId block) {
+  DistanceMatrix d = adjacency_matrix(g);
+  const VertexId n = d.size();
+  if (n == 0) return d;
+  block = std::max<VertexId>(1, std::min(block, n));
+  const VertexId tiles = (n + block - 1) / block;
+
+  for (VertexId round = 0; round < tiles; ++round) {
+    const VertexId kb = round * block;
+    // Kernel 1: the pivot tile (single lane; internally sequential like the
+    // shared-memory tile of the CUDA kernel).
+    device.launch(1, [&](std::size_t) { relax_tile(d, n, block, kb, kb, kb); });
+    // Kernel 2: pivot row and column, one lane per dependent tile.
+    device.launch(2 * (tiles - 1), [&](std::size_t lane) {
+      const auto t = static_cast<VertexId>(lane / 2);
+      const VertexId other = (t >= round ? t + 1 : t) * block;
+      if (lane % 2 == 0) {
+        relax_tile(d, n, block, kb, other, kb);  // pivot row
+      } else {
+        relax_tile(d, n, block, other, kb, kb);  // pivot column
+      }
+    });
+    // Kernel 3: the remaining (tiles-1)^2 independent tiles.
+    const VertexId rest = tiles - 1;
+    device.launch(static_cast<std::size_t>(rest) * rest, [&](std::size_t lane) {
+      auto ti = static_cast<VertexId>(lane / rest);
+      auto tj = static_cast<VertexId>(lane % rest);
+      if (ti >= round) ++ti;
+      if (tj >= round) ++tj;
+      relax_tile(d, n, block, ti * block, tj * block, kb);
+    });
+  }
+  return d;
+}
+
+}  // namespace eardec::sssp

@@ -1,0 +1,19 @@
+// Blocked Floyd–Warshall phrased as device kernels — the GPU APSP family
+// of Katz & Kider and Matsumoto et al. from the paper's related work. Each
+// round launches three kernels on the software device: the pivot tile, the
+// pivot row/column tiles (one lane per tile), and the remainder (one lane
+// per tile, warp-granular). Exercises the same tile dependency structure
+// as the CUDA implementations.
+#pragma once
+
+#include "hetero/device.hpp"
+#include "sssp/floyd_warshall.hpp"
+
+namespace eardec::sssp {
+
+/// Full APSP matrix of g via tiled Floyd–Warshall on `device`.
+[[nodiscard]] DistanceMatrix device_floyd_warshall(const Graph& g,
+                                                   hetero::Device& device,
+                                                   VertexId block = 32);
+
+}  // namespace eardec::sssp

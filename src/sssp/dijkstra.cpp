@@ -1,0 +1,80 @@
+#include "sssp/dijkstra.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace eardec::sssp {
+
+ShortestPathTree dijkstra(const Graph& g, VertexId source) {
+  const VertexId n = g.num_vertices();
+  if (source >= n) throw std::out_of_range("dijkstra: bad source");
+  ShortestPathTree t;
+  t.source = source;
+  t.dist.assign(n, graph::kInfWeight);
+  t.parent.assign(n, graph::kNullVertex);
+  t.parent_edge.assign(n, graph::kNullEdge);
+
+  struct Item {
+    Weight dist;
+    VertexId v;
+    bool operator>(const Item& o) const { return dist > o.dist; }
+  };
+  std::vector<Item> heap;
+  const auto push = [&heap](Weight d, VertexId v) {
+    heap.push_back({d, v});
+    std::push_heap(heap.begin(), heap.end(), std::greater<>{});
+  };
+  t.dist[source] = 0;
+  push(0, source);
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
+    const auto [d, v] = heap.back();
+    heap.pop_back();
+    if (d > t.dist[v]) continue;  // stale entry
+    for (const graph::HalfEdge& he : g.neighbors(v)) {
+      const Weight nd = d + he.weight;
+      if (nd < t.dist[he.to]) {
+        t.dist[he.to] = nd;
+        t.parent[he.to] = v;
+        t.parent_edge[he.to] = he.edge;
+        push(nd, he.to);
+      }
+    }
+  }
+  return t;
+}
+
+DijkstraWorkspace::DijkstraWorkspace(VertexId num_vertices) {
+  heap_.reserve(num_vertices);
+}
+
+void DijkstraWorkspace::distances(const Graph& g, VertexId source,
+                                  std::span<Weight> dist_out) {
+  const VertexId n = g.num_vertices();
+  if (dist_out.size() != n) {
+    throw std::invalid_argument("DijkstraWorkspace: bad output span size");
+  }
+  std::fill(dist_out.begin(), dist_out.end(), graph::kInfWeight);
+  heap_.clear();
+  const auto push = [this](Weight d, VertexId v) {
+    heap_.push_back({d, v});
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  };
+  dist_out[source] = 0;
+  push(0, source);
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    const auto [d, v] = heap_.back();
+    heap_.pop_back();
+    if (d > dist_out[v]) continue;
+    for (const graph::HalfEdge& he : g.neighbors(v)) {
+      const Weight nd = d + he.weight;
+      if (nd < dist_out[he.to]) {
+        dist_out[he.to] = nd;
+        push(nd, he.to);
+      }
+    }
+  }
+}
+
+}  // namespace eardec::sssp

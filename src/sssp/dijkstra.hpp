@@ -1,0 +1,52 @@
+// Binary-heap Dijkstra — the CPU-side single-source shortest path kernel.
+// The paper prefers Dijkstra for the processing phase because each instance
+// runs independently on one thread and its work is near-linear in the edge
+// count of the (reduced) graph (Section 2.1.2).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace eardec::sssp {
+
+using graph::EdgeId;
+using graph::Graph;
+using graph::VertexId;
+using graph::Weight;
+
+/// Distances plus the shortest-path tree (needed by the MCB algorithms).
+struct ShortestPathTree {
+  VertexId source = 0;
+  std::vector<Weight> dist;        ///< kInfWeight where unreachable
+  std::vector<VertexId> parent;    ///< kNullVertex for source/unreachable
+  std::vector<EdgeId> parent_edge; ///< kNullEdge for source/unreachable
+};
+
+/// Full Dijkstra from `source`. Requires non-negative weights (enforced by
+/// Graph). O((n + m) log n).
+[[nodiscard]] ShortestPathTree dijkstra(const Graph& g, VertexId source);
+
+/// Reusable workspace for APSP-style loops: runs Dijkstra repeatedly
+/// without reallocating the heap or the distance array.
+class DijkstraWorkspace {
+ public:
+  explicit DijkstraWorkspace(VertexId num_vertices);
+
+  /// Computes distances from `source` into `dist_out` (size n). Only
+  /// distances — the tree is not tracked, saving a third of the writes.
+  void distances(const Graph& g, VertexId source, std::span<Weight> dist_out);
+
+ private:
+  struct HeapItem {
+    Weight dist;
+    VertexId vertex;
+    [[nodiscard]] bool operator>(const HeapItem& o) const {
+      return dist > o.dist;
+    }
+  };
+  std::vector<HeapItem> heap_;
+};
+
+}  // namespace eardec::sssp

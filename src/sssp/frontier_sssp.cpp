@@ -1,0 +1,77 @@
+#include "sssp/frontier_sssp.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace eardec::sssp {
+namespace {
+
+/// Atomic fetch-min for Weight via CAS, the software analogue of CUDA's
+/// atomicMin on the updating-cost array.
+void atomic_min(std::atomic<Weight>& cell, Weight value) {
+  Weight cur = cell.load(std::memory_order_relaxed);
+  while (value < cur &&
+         !cell.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+FrontierWorkspace::FrontierWorkspace(VertexId num_vertices)
+    : mask_(num_vertices, 0), updating_(num_vertices) {}
+
+void FrontierWorkspace::distances(const Graph& g, VertexId source,
+                                  hetero::Device& device,
+                                  std::span<Weight> dist_out) {
+  const VertexId n = g.num_vertices();
+  if (dist_out.size() != n || mask_.size() != n) {
+    throw std::invalid_argument("FrontierWorkspace: size mismatch");
+  }
+  if (source >= n) throw std::out_of_range("frontier_sssp: bad source");
+
+  std::fill(dist_out.begin(), dist_out.end(), graph::kInfWeight);
+  std::fill(mask_.begin(), mask_.end(), 0);
+  for (auto& u : updating_) u.store(graph::kInfWeight, std::memory_order_relaxed);
+  dist_out[source] = 0;
+  updating_[source].store(0, std::memory_order_relaxed);
+  mask_[source] = 1;
+  active_.store(1, std::memory_order_relaxed);
+  iterations_ = 0;
+
+  while (active_.load(std::memory_order_relaxed) > 0) {
+    ++iterations_;
+    // K1: relax out of every masked vertex.
+    device.launch(n, [&](std::size_t lane) {
+      const auto v = static_cast<VertexId>(lane);
+      if (!mask_[v]) return;
+      mask_[v] = 0;
+      const Weight dv = dist_out[v];
+      for (const graph::HalfEdge& he : g.neighbors(v)) {
+        atomic_min(updating_[he.to], dv + he.weight);
+      }
+    });
+    // K2: adopt improvements and rebuild the mask.
+    active_.store(0, std::memory_order_relaxed);
+    device.launch(n, [&](std::size_t lane) {
+      const auto v = static_cast<VertexId>(lane);
+      const Weight u = updating_[v].load(std::memory_order_relaxed);
+      if (u < dist_out[v]) {
+        dist_out[v] = u;
+        mask_[v] = 1;
+        active_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        updating_[v].store(dist_out[v], std::memory_order_relaxed);
+      }
+    });
+  }
+}
+
+std::vector<Weight> frontier_sssp(const Graph& g, VertexId source,
+                                  hetero::Device& device) {
+  std::vector<Weight> dist(g.num_vertices());
+  FrontierWorkspace ws(g.num_vertices());
+  ws.distances(g, source, device, dist);
+  return dist;
+}
+
+}  // namespace eardec::sssp

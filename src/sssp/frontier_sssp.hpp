@@ -1,0 +1,53 @@
+// Level-synchronous frontier SSSP — the Harish–Narayanan [16] GPU kernel
+// the paper runs on the device side. Each iteration launches two kernels:
+//   K1: every masked vertex relaxes its neighbours into an "updating" cost
+//       array (atomic min, one lane per vertex);
+//   K2: every vertex whose updating cost improved adopts it and re-enters
+//       the mask.
+// Iterating until the mask empties yields exact shortest paths for
+// non-negative weights. This is a Bellman-Ford-family method: more total
+// work than Dijkstra but embarrassingly lane-parallel, which is why it fits
+// the throughput device.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "hetero/device.hpp"
+
+namespace eardec::sssp {
+
+using graph::Graph;
+using graph::VertexId;
+using graph::Weight;
+
+/// Single-source shortest path distances computed on `device`.
+[[nodiscard]] std::vector<Weight> frontier_sssp(const Graph& g,
+                                                VertexId source,
+                                                hetero::Device& device);
+
+/// Reusable buffers for APSP-style loops on the device.
+class FrontierWorkspace {
+ public:
+  explicit FrontierWorkspace(VertexId num_vertices);
+
+  /// Computes distances from `source` into `dist_out` (size n).
+  void distances(const Graph& g, VertexId source, hetero::Device& device,
+                 std::span<Weight> dist_out);
+
+  /// Kernel iterations used by the last run (diagnostics).
+  [[nodiscard]] std::uint32_t last_iterations() const noexcept {
+    return iterations_;
+  }
+
+ private:
+  std::vector<std::uint8_t> mask_;
+  std::vector<std::atomic<Weight>> updating_;
+  std::atomic<std::uint32_t> active_{0};
+  std::uint32_t iterations_ = 0;
+};
+
+}  // namespace eardec::sssp

@@ -1,0 +1,358 @@
+// Tests for the ear-decomposition APSP core: TreeLca, EarApspEngine,
+// EarApsp (full tables), DistanceOracle (compact), the memory model, and
+// exact agreement with brute-force Dijkstra APSP across graph families,
+// execution modes, and seeds.
+#include <gtest/gtest.h>
+
+#include "connectivity/tree_lca.hpp"
+#include "core/distance_oracle.hpp"
+#include "core/ear_apsp.hpp"
+#include "graph/builder.hpp"
+#include "graph/datasets.hpp"
+#include "graph/generators.hpp"
+#include "sssp/dijkstra.hpp"
+
+namespace eardec::core {
+namespace {
+
+namespace gen = graph::generators;
+using graph::Builder;
+using graph::Graph;
+
+#define ASSERT_NEAR_OR_BOTH_INF(got, want, s, t)                           \
+  do {                                                                     \
+    if ((want) == graph::kInfWeight) {                                     \
+      ASSERT_EQ((got), graph::kInfWeight) << "pair " << (s) << "," << (t); \
+    } else {                                                               \
+      ASSERT_NEAR((got), (want), 1e-6) << "pair " << (s) << "," << (t);    \
+    }                                                                      \
+  } while (0)
+
+void expect_matches_dijkstra(const Graph& g, const ApspOptions& opts,
+                             bool check_full_tables = true) {
+  const DistanceOracle oracle(g, opts);
+  std::optional<EarApsp> full;
+  if (check_full_tables) full.emplace(g, opts);
+  for (graph::VertexId s = 0; s < g.num_vertices(); ++s) {
+    const auto ref = sssp::dijkstra(g, s);
+    for (graph::VertexId t = 0; t < g.num_vertices(); ++t) {
+      ASSERT_NEAR_OR_BOTH_INF(oracle.distance(s, t), ref.dist[t], s, t);
+      if (full) {
+        ASSERT_NEAR_OR_BOTH_INF(full->distance(s, t), ref.dist[t], s, t);
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------------ TreeLca
+
+TEST(TreeLca, PathTree) {
+  // 0-1-2-3-4 as a path.
+  std::vector<std::vector<std::uint32_t>> adj{{1}, {0, 2}, {1, 3}, {2, 4}, {3}};
+  const connectivity::TreeLca lca(adj);
+  EXPECT_EQ(lca.lca(0, 4), 0u);
+  EXPECT_EQ(lca.lca(3, 4), 3u);
+  EXPECT_EQ(lca.lca(2, 2), 2u);
+  EXPECT_EQ(lca.next_on_path(0, 4), 1u);
+  EXPECT_EQ(lca.next_on_path(4, 0), 3u);
+  EXPECT_EQ(lca.depth(4), 4u);
+  EXPECT_EQ(lca.ancestor_at_depth(4, 1), 1u);
+}
+
+TEST(TreeLca, BranchingTreeAndForest) {
+  // Tree: root 0 with children 1, 2; vertex 1 has children 3, 4.
+  // Nodes 5-6 form a second component.
+  std::vector<std::vector<std::uint32_t>> adj{{1, 2}, {0, 3, 4}, {0},
+                                              {1},    {1},       {6}, {5}};
+  const connectivity::TreeLca lca(adj);
+  EXPECT_EQ(lca.lca(3, 4), 1u);
+  EXPECT_EQ(lca.lca(3, 2), 0u);
+  EXPECT_EQ(lca.next_on_path(3, 2), 1u);
+  EXPECT_EQ(lca.next_on_path(2, 3), 0u);
+  EXPECT_EQ(lca.component(0), lca.component(4));
+  EXPECT_NE(lca.component(0), lca.component(5));
+  EXPECT_THROW((void)lca.lca(0, 5), std::invalid_argument);
+  EXPECT_THROW((void)lca.next_on_path(2, 2), std::invalid_argument);
+}
+
+// ------------------------------------------------------- small exact cases
+
+TEST(EarApsp, BiconnectedSubdividedCore) {
+  const Graph core = gen::random_biconnected(10, 18, 3);
+  const Graph g = gen::subdivide(core, 30, 4);
+  expect_matches_dijkstra(g, {.mode = ExecutionMode::Sequential});
+}
+
+TEST(EarApsp, PureCycle) {
+  expect_matches_dijkstra(gen::cycle(12),
+                          {.mode = ExecutionMode::Sequential});
+}
+
+TEST(EarApsp, PathGraph) {
+  expect_matches_dijkstra(gen::path(10), {.mode = ExecutionMode::Sequential});
+}
+
+TEST(EarApsp, SingleEdgeAndSingleVertex) {
+  expect_matches_dijkstra(gen::path(2), {.mode = ExecutionMode::Sequential});
+  Builder b(1);
+  expect_matches_dijkstra(std::move(b).build(),
+                          {.mode = ExecutionMode::Sequential});
+}
+
+TEST(EarApsp, DisconnectedGraph) {
+  Builder b(7);  // triangle + path + isolated vertex
+  b.add_edge(0, 1, 1.0);
+  b.add_edge(1, 2, 2.0);
+  b.add_edge(2, 0, 3.0);
+  b.add_edge(3, 4, 1.0);
+  b.add_edge(4, 5, 1.0);
+  const Graph g = std::move(b).build();
+  expect_matches_dijkstra(g, {.mode = ExecutionMode::Sequential});
+}
+
+TEST(EarApsp, TwoBlocksSharedCutVertex) {
+  Builder b(5);
+  b.add_edge(0, 1, 1.0);
+  b.add_edge(1, 2, 2.0);
+  b.add_edge(2, 0, 4.0);
+  b.add_edge(2, 3, 1.0);
+  b.add_edge(3, 4, 2.0);
+  b.add_edge(4, 2, 3.0);
+  expect_matches_dijkstra(std::move(b).build(),
+                          {.mode = ExecutionMode::Sequential});
+}
+
+TEST(EarApsp, ArticulationPointWithLocalDegreeTwoIsKept) {
+  // Vertex 2 has degree 2 inside each triangle but global degree 4: it must
+  // be pinned in both components' reduced graphs or cross-block routing
+  // breaks. Chains around it still contract.
+  Builder b(8);
+  // Triangle-ish block A with a chain: 0 - 5 - 1 - 2, 2 - 0.
+  b.add_edge(0, 5, 1.0);
+  b.add_edge(5, 1, 1.0);
+  b.add_edge(1, 2, 1.0);
+  b.add_edge(2, 0, 5.0);
+  // Block B: 2 - 6 - 3 - 4, 4 - 2.
+  b.add_edge(2, 6, 1.0);
+  b.add_edge(6, 3, 1.0);
+  b.add_edge(3, 4, 1.0);
+  b.add_edge(4, 2, 5.0);
+  // Pendant at 7 for good measure.
+  b.add_edge(0, 7, 2.0);
+  const Graph g = std::move(b).build();
+  const DistanceOracle oracle(g, {.mode = ExecutionMode::Sequential});
+  // Sanity on the structural claim: 2 is an AP kept in the reduced graphs.
+  EXPECT_TRUE(oracle.engine().bcc().is_articulation[2]);
+  expect_matches_dijkstra(g, {.mode = ExecutionMode::Sequential});
+}
+
+// ---------------------------------------------------- randomized agreement
+
+struct RandomCase {
+  std::uint64_t seed;
+  const char* family;
+};
+
+class EarApspRandomTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EarApspRandomTest, BlockTreeGraphsMatchDijkstra) {
+  const std::uint64_t seed = GetParam();
+  Graph g = gen::block_tree({.num_blocks = 8,
+                             .largest_block = 14,
+                             .small_block_min = 3,
+                             .small_block_max = 6,
+                             .intra_degree = 3.0,
+                             .pendants = 6},
+                            seed);
+  g = gen::subdivide(g, 25, seed + 77);
+  expect_matches_dijkstra(g, {.mode = ExecutionMode::Sequential});
+}
+
+TEST_P(EarApspRandomTest, PlanarGraphsMatchDijkstra) {
+  const std::uint64_t seed = GetParam();
+  const Graph g = gen::random_planar(6, 7, 0.5, 0.25, seed);
+  expect_matches_dijkstra(g, {.mode = ExecutionMode::Sequential});
+}
+
+TEST_P(EarApspRandomTest, ConnectedRandomGraphsMatchDijkstra) {
+  const std::uint64_t seed = GetParam();
+  const Graph g = gen::random_connected(
+      45, static_cast<graph::EdgeId>(55 + seed % 25), seed * 31 + 5);
+  expect_matches_dijkstra(g, {.mode = ExecutionMode::Sequential},
+                          /*check_full_tables=*/false);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EarApspRandomTest,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+// ------------------------------------------------------- execution modes
+
+class ExecutionModeTest : public ::testing::TestWithParam<ExecutionMode> {};
+
+TEST_P(ExecutionModeTest, AllModesAgreeWithDijkstra) {
+  Graph g = gen::block_tree({.num_blocks = 6,
+                             .largest_block = 16,
+                             .small_block_min = 3,
+                             .small_block_max = 5,
+                             .intra_degree = 3.2,
+                             .pendants = 4},
+                            99);
+  g = gen::subdivide(g, 30, 100);
+  const ApspOptions opts{.mode = GetParam(),
+                         .cpu_threads = 3,
+                         .device = {.workers = 2, .warp_size = 8},
+                         .sources_per_unit = 4};
+  expect_matches_dijkstra(g, opts);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, ExecutionModeTest,
+                         ::testing::Values(ExecutionMode::Sequential,
+                                           ExecutionMode::Multicore,
+                                           ExecutionMode::DeviceOnly,
+                                           ExecutionMode::Heterogeneous),
+                         [](const auto& mode_info) {
+                           switch (mode_info.param) {
+                             case ExecutionMode::Sequential: return "Sequential";
+                             case ExecutionMode::Multicore: return "Multicore";
+                             case ExecutionMode::DeviceOnly: return "DeviceOnly";
+                             case ExecutionMode::Heterogeneous:
+                               return "Heterogeneous";
+                           }
+                           return "Unknown";
+                         });
+
+// ------------------------------------------------------------- ear matrix
+
+TEST(EarApsp, MatrixMatchesPerPairQueries) {
+  const Graph g = gen::subdivide(gen::random_biconnected(12, 20, 7), 20, 8);
+  const DistanceMatrix m =
+      ear_apsp_matrix(g, {.mode = ExecutionMode::Sequential});
+  const EarApsp apsp(g, {.mode = ExecutionMode::Sequential});
+  for (graph::VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+      EXPECT_DOUBLE_EQ(m.at(u, v), apsp.distance(u, v));
+    }
+  }
+}
+
+// -------------------------------------------------------------- telemetry
+
+TEST(EarApsp, TimingsAndStatsPopulated) {
+  const Graph g = gen::subdivide(gen::random_biconnected(20, 40, 5), 60, 6);
+  const DistanceOracle oracle(g, {.mode = ExecutionMode::Sequential});
+  const auto& eng = oracle.engine();
+  EXPECT_EQ(eng.num_components(), 1u);
+  EXPECT_GT(eng.sssp_runs(), 0u);
+  EXPECT_EQ(eng.sssp_runs(), eng.reduced(0).graph().num_vertices());
+  EXPECT_LT(eng.sssp_runs(), g.num_vertices());  // ears actually helped
+  EXPECT_GE(oracle.timings().total(), 0.0);
+  EXPECT_GT(eng.scheduler_stats().cpu_units, 0u);
+}
+
+TEST(EarApsp, MemoryModelOrdering) {
+  // A graph with many blocks and chains must need far less than n^2.
+  Graph g = gen::block_tree({.num_blocks = 20,
+                             .largest_block = 30,
+                             .small_block_min = 3,
+                             .small_block_max = 6,
+                             .intra_degree = 3.0,
+                             .pendants = 10},
+                            3);
+  g = gen::subdivide(g, 150, 4);
+  const DistanceOracle oracle(g, {.mode = ExecutionMode::Sequential});
+  const MemoryUsage& mu = oracle.memory();
+  EXPECT_LT(mu.ours_bytes(), mu.full_table_bytes);
+  EXPECT_LT(mu.compact_tables_bytes, mu.block_tables_bytes);
+  EXPECT_GT(mu.ours_mb(), 0.0);
+  EXPECT_GT(mu.full_mb(), 0.0);
+  EXPECT_GT(mu.compact_mb(), 0.0);
+}
+
+TEST(EarApsp, QueriesValidateArguments) {
+  const Graph g = gen::cycle(4);
+  const DistanceOracle oracle(g, {.mode = ExecutionMode::Sequential});
+  EXPECT_THROW((void)oracle.distance(0, 4), std::out_of_range);
+  const EarApsp full(g, {.mode = ExecutionMode::Sequential});
+  EXPECT_THROW((void)full.distance(4, 0), std::out_of_range);
+}
+
+// -------------------------------------------------- dataset-scale smoke
+
+TEST(EarApsp, DatasetSmallGraphsExact) {
+  // Full-APSP agreement on the small MCB-scale variants of three datasets
+  // with very different structure.
+  for (const char* name : {"as-22july06", "c-50", "Planar_2"}) {
+    SCOPED_TRACE(name);
+    const Graph g = graph::datasets::by_name(name).make_small();
+    const DistanceOracle oracle(
+        g, {.mode = ExecutionMode::Multicore, .cpu_threads = 2});
+    // Spot-check sources (full check would be slow at this size).
+    for (graph::VertexId s = 0; s < g.num_vertices();
+         s += std::max<graph::VertexId>(1, g.num_vertices() / 17)) {
+      const auto ref = sssp::dijkstra(g, s);
+      for (graph::VertexId t = 0; t < g.num_vertices(); ++t) {
+        if (ref.dist[t] == graph::kInfWeight) {
+          ASSERT_EQ(oracle.distance(s, t), graph::kInfWeight);
+        } else {
+          ASSERT_NEAR(oracle.distance(s, t), ref.dist[t], 1e-6)
+              << s << "->" << t;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace eardec::core
+namespace eardec::core {
+namespace {
+
+namespace genr = graph::generators;
+
+class RowQueryTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RowQueryTest, DistancesFromMatchesDijkstraRow) {
+  const std::uint64_t seed = GetParam();
+  graph::Graph g = genr::block_tree({.num_blocks = 7,
+                                     .largest_block = 14,
+                                     .small_block_min = 3,
+                                     .small_block_max = 6,
+                                     .intra_degree = 3.0,
+                                     .pendants = 5},
+                                    seed + 400);
+  g = genr::subdivide(g, 25, seed + 401);
+  const DistanceOracle oracle(g, {.mode = ExecutionMode::Sequential});
+  for (graph::VertexId u = 0; u < g.num_vertices(); u += 6) {
+    const auto row = oracle.engine().distances_from(u);
+    const auto ref = sssp::dijkstra(g, u);
+    ASSERT_EQ(row.size(), g.num_vertices());
+    for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (ref.dist[v] == graph::kInfWeight) {
+        ASSERT_EQ(row[v], graph::kInfWeight) << u << "->" << v;
+      } else {
+        ASSERT_NEAR(row[v], ref.dist[v], 1e-6) << u << "->" << v;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RowQueryTest,
+                         ::testing::Range<std::uint64_t>(1, 7));
+
+TEST(RowQuery, IsolatedAndDisconnected) {
+  graph::Builder b(5);
+  b.add_edge(0, 1, 2.0);
+  b.add_edge(1, 2, 3.0);
+  const graph::Graph g = std::move(b).build();  // 3, 4 isolated
+  const DistanceOracle oracle(g, {.mode = ExecutionMode::Sequential});
+  const auto row = oracle.engine().distances_from(3);
+  EXPECT_DOUBLE_EQ(row[3], 0.0);
+  EXPECT_EQ(row[0], graph::kInfWeight);
+  const auto row0 = oracle.engine().distances_from(0);
+  EXPECT_DOUBLE_EQ(row0[2], 5.0);
+  EXPECT_EQ(row0[4], graph::kInfWeight);
+  EXPECT_THROW((void)oracle.engine().distances_from(5), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace eardec::core

@@ -1,0 +1,59 @@
+// Golden fingerprints of every Table-1 dataset stand-in. The bench
+// narrative (EXPERIMENTS.md) is tied to these exact graphs; if a generator
+// change shifts them, this test fails loudly so the calibration and the
+// recorded measurements get revisited together rather than drifting apart.
+#include <gtest/gtest.h>
+
+#include "graph/datasets.hpp"
+
+namespace eardec::graph::datasets {
+namespace {
+
+struct Golden {
+  const char* name;
+  VertexId v;
+  EdgeId e;
+  double weight;
+  VertexId small_v;
+  EdgeId small_e;
+  double small_weight;
+};
+
+constexpr Golden kGolden[] = {
+    {"nopoly", 320u, 960u, 44628.0, 120u, 360u, 18489.0},
+    {"OPF_3754", 469u, 2649u, 133418.0, 153u, 863u, 41743.0},
+    {"ca-AstroPh", 605u, 4865u, 239095.0, 212u, 1272u, 61581.0},
+    {"as-22july06", 701u, 1313u, 38650.0, 321u, 522u, 13789.0},
+    {"c-50", 688u, 2798u, 124197.0, 229u, 929u, 40551.0},
+    {"cond_mat_2003", 624u, 1806u, 91156.0, 181u, 486u, 25597.0},
+    {"delaunay_n15", 1024u, 2945u, 149706.0, 144u, 385u, 19910.0},
+    {"Rajat26", 1174u, 4046u, 206075.0, 223u, 659u, 32481.0},
+    {"Wordnet3", 3010u, 3359u, 47624.0, 628u, 700u, 11171.0},
+    {"soc-sign-epinions", 3818u, 11071u, 424802.0, 728u, 1543u, 53209.0},
+    {"Planar_1", 674u, 1439u, 67795.0, 220u, 472u, 22627.0},
+    {"Planar_2", 827u, 1772u, 87909.0, 254u, 558u, 27768.0},
+    {"Planar_3", 1167u, 2263u, 102331.0, 364u, 705u, 34459.0},
+    {"Planar_4", 1381u, 2858u, 129350.0, 422u, 854u, 38952.0},
+    {"Planar_5", 1553u, 3324u, 153589.0, 481u, 993u, 44846.0},
+};
+
+TEST(DatasetGolden, FingerprintsAreStable) {
+  const auto& registry = table1();
+  ASSERT_EQ(registry.size(), std::size(kGolden));
+  for (std::size_t i = 0; i < registry.size(); ++i) {
+    SCOPED_TRACE(registry[i].name);
+    const Golden& want = kGolden[i];
+    EXPECT_EQ(registry[i].name, want.name);
+    const Graph g = registry[i].make();
+    EXPECT_EQ(g.num_vertices(), want.v);
+    EXPECT_EQ(g.num_edges(), want.e);
+    EXPECT_NEAR(g.total_weight(), want.weight, 0.5);
+    const Graph h = registry[i].make_small();
+    EXPECT_EQ(h.num_vertices(), want.small_v);
+    EXPECT_EQ(h.num_edges(), want.small_e);
+    EXPECT_NEAR(h.total_weight(), want.small_weight, 0.5);
+  }
+}
+
+}  // namespace
+}  // namespace eardec::graph::datasets

@@ -1,0 +1,283 @@
+// Tests for the extension layer: shortest-path reconstruction, distance
+// analytics, and Brandes betweenness centrality.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/analytics.hpp"
+#include "core/path.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "sssp/brandes.hpp"
+#include "sssp/dijkstra.hpp"
+
+namespace eardec::core {
+namespace {
+
+namespace gen = graph::generators;
+using graph::Builder;
+using graph::Graph;
+using graph::VertexId;
+
+// ----------------------------------------------------------- reconstruction
+
+TEST(PathReconstruction, HandPath) {
+  Builder b(4);
+  b.add_edge(0, 1, 1.0);
+  b.add_edge(1, 2, 1.0);
+  b.add_edge(2, 3, 1.0);
+  b.add_edge(0, 3, 10.0);
+  const Graph g = std::move(b).build();
+  const DistanceOracle oracle(g, {.mode = ExecutionMode::Sequential});
+  const Path p = reconstruct_path(oracle, 0, 3);
+  ASSERT_TRUE(p.found());
+  EXPECT_DOUBLE_EQ(p.weight, 3.0);
+  EXPECT_EQ(p.vertices, (std::vector<VertexId>{0, 1, 2, 3}));
+  EXPECT_EQ(p.edges.size(), 3u);
+}
+
+TEST(PathReconstruction, TrivialAndUnreachable) {
+  Builder b(3);
+  b.add_edge(0, 1, 2.0);
+  const Graph g = std::move(b).build();
+  const DistanceOracle oracle(g, {.mode = ExecutionMode::Sequential});
+  const Path same = reconstruct_path(oracle, 1, 1);
+  ASSERT_TRUE(same.found());
+  EXPECT_TRUE(same.edges.empty());
+  EXPECT_DOUBLE_EQ(same.weight, 0.0);
+  EXPECT_FALSE(reconstruct_path(oracle, 0, 2).found());
+}
+
+class PathRandomTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PathRandomTest, ReconstructedPathsAreValidAndOptimal) {
+  const std::uint64_t seed = GetParam();
+  Graph g = gen::block_tree({.num_blocks = 5,
+                             .largest_block = 12,
+                             .small_block_min = 3,
+                             .small_block_max = 5,
+                             .intra_degree = 3.0,
+                             .pendants = 4},
+                            seed);
+  g = gen::subdivide(g, 20, seed + 1);
+  const DistanceOracle oracle(g, {.mode = ExecutionMode::Sequential});
+  for (VertexId s = 0; s < g.num_vertices(); s += 5) {
+    const auto ref = sssp::dijkstra(g, s);
+    for (VertexId t = 0; t < g.num_vertices(); t += 7) {
+      const Path p = reconstruct_path(oracle, s, t);
+      if (ref.dist[t] == graph::kInfWeight) {
+        EXPECT_FALSE(p.found());
+        continue;
+      }
+      ASSERT_TRUE(p.found());
+      EXPECT_NEAR(p.weight, ref.dist[t], 1e-6);
+      // Walk validity: consecutive vertices joined by the listed edges,
+      // weights summing to the reported total.
+      ASSERT_EQ(p.vertices.size(), p.edges.size() + 1);
+      EXPECT_EQ(p.vertices.front(), s);
+      EXPECT_EQ(p.vertices.back(), t);
+      graph::Weight sum = 0;
+      for (std::size_t k = 0; k < p.edges.size(); ++k) {
+        EXPECT_EQ(g.other_endpoint(p.edges[k], p.vertices[k]),
+                  p.vertices[k + 1]);
+        sum += g.weight(p.edges[k]);
+      }
+      EXPECT_NEAR(sum, p.weight, 1e-6);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PathRandomTest,
+                         ::testing::Range<std::uint64_t>(1, 7));
+
+// ---------------------------------------------------------------- analytics
+
+TEST(Analytics, PathGraphDiameterAndCenter) {
+  const Graph g = gen::path(5, {.lo = 1, .hi = 1});
+  const DistanceOracle oracle(g, {.mode = ExecutionMode::Sequential});
+  const DistanceAnalytics a = compute_analytics(oracle);
+  EXPECT_DOUBLE_EQ(a.diameter, 4.0);
+  EXPECT_DOUBLE_EQ(a.radius, 2.0);
+  ASSERT_EQ(a.centers.size(), 1u);
+  EXPECT_EQ(a.centers[0], 2u);
+  EXPECT_DOUBLE_EQ(a.eccentricity[0], 4.0);
+  EXPECT_DOUBLE_EQ(a.eccentricity[2], 2.0);
+  // Closeness of the center beats the endpoints.
+  EXPECT_GT(a.closeness[2], a.closeness[0]);
+}
+
+TEST(Analytics, CycleIsVertexTransitive) {
+  const Graph g = gen::cycle(6, {.lo = 1, .hi = 1});
+  const DistanceOracle oracle(g, {.mode = ExecutionMode::Sequential});
+  const DistanceAnalytics a = compute_analytics(oracle);
+  EXPECT_DOUBLE_EQ(a.diameter, a.radius);
+  EXPECT_EQ(a.centers.size(), 6u);
+}
+
+TEST(Analytics, MatchesDijkstraOnRandomGraph) {
+  const Graph g = gen::random_connected(40, 90, 13);
+  const DistanceOracle oracle(g, {.mode = ExecutionMode::Sequential});
+  const DistanceAnalytics a = compute_analytics(oracle);
+  graph::Weight diameter = 0;
+  for (VertexId s = 0; s < g.num_vertices(); ++s) {
+    const auto ref = sssp::dijkstra(g, s);
+    graph::Weight ecc = 0;
+    for (const graph::Weight d : ref.dist) ecc = std::max(ecc, d);
+    EXPECT_NEAR(a.eccentricity[s], ecc, 1e-9);
+    diameter = std::max(diameter, ecc);
+  }
+  EXPECT_NEAR(a.diameter, diameter, 1e-9);
+}
+
+TEST(Analytics, DisconnectedGraphIgnoresCrossComponentPairs) {
+  Builder b(5);
+  b.add_edge(0, 1, 3.0);
+  b.add_edge(2, 3, 1.0);
+  b.add_edge(3, 4, 1.0);
+  const Graph g = std::move(b).build();
+  const DistanceOracle oracle(g, {.mode = ExecutionMode::Sequential});
+  const DistanceAnalytics a = compute_analytics(oracle);
+  EXPECT_DOUBLE_EQ(a.eccentricity[0], 3.0);
+  EXPECT_DOUBLE_EQ(a.eccentricity[3], 1.0);
+  EXPECT_DOUBLE_EQ(a.diameter, 3.0);
+}
+
+}  // namespace
+}  // namespace eardec::core
+
+namespace eardec::sssp {
+namespace {
+
+namespace gen = graph::generators;
+using graph::Builder;
+using graph::Graph;
+using graph::VertexId;
+
+/// O(n^3)-ish oracle: betweenness by explicit path counting over the
+/// distance matrix: sigma_st via DP on the shortest-path DAG.
+std::vector<double> brute_betweenness(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  std::vector<ShortestPathTree> sp;
+  sp.reserve(n);
+  for (VertexId s = 0; s < n; ++s) sp.push_back(dijkstra(g, s));
+  // sigma[s][t]: number of shortest s-t paths, by increasing distance.
+  std::vector<std::vector<double>> sigma(n, std::vector<double>(n, 0.0));
+  for (VertexId s = 0; s < n; ++s) {
+    std::vector<VertexId> order(n);
+    for (VertexId v = 0; v < n; ++v) order[v] = v;
+    std::sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+      return sp[s].dist[a] < sp[s].dist[b];
+    });
+    sigma[s][s] = 1;
+    for (const VertexId v : order) {
+      if (v == s || sp[s].dist[v] == graph::kInfWeight) continue;
+      for (const graph::HalfEdge& he : g.neighbors(v)) {
+        if (he.to == v) continue;
+        if (std::abs(sp[s].dist[he.to] + he.weight - sp[s].dist[v]) <= 1e-9) {
+          sigma[s][v] += sigma[s][he.to];
+        }
+      }
+    }
+  }
+  std::vector<double> bc(n, 0.0);
+  for (VertexId s = 0; s < n; ++s) {
+    for (VertexId t = 0; t < n; ++t) {
+      if (s >= t || sp[s].dist[t] == graph::kInfWeight) continue;
+      for (VertexId v = 0; v < n; ++v) {
+        if (v == s || v == t) continue;
+        if (std::abs(sp[s].dist[v] + sp[t].dist[v] - sp[s].dist[t]) <= 1e-9) {
+          bc[v] += sigma[s][v] * sigma[t][v] / sigma[s][t];
+        }
+      }
+    }
+  }
+  return bc;
+}
+
+TEST(Brandes, StarCenterCarriesAllPairs) {
+  Builder b(5);
+  for (VertexId v = 1; v < 5; ++v) b.add_edge(0, v, 1.0);
+  const auto bc = betweenness_centrality(std::move(b).build());
+  EXPECT_DOUBLE_EQ(bc[0], 6.0);  // C(4,2) pairs all route through the hub
+  for (VertexId v = 1; v < 5; ++v) EXPECT_DOUBLE_EQ(bc[v], 0.0);
+}
+
+TEST(Brandes, PathInteriorCounts) {
+  const auto bc = betweenness_centrality(gen::path(4, {.lo = 1, .hi = 1}));
+  EXPECT_DOUBLE_EQ(bc[0], 0.0);
+  EXPECT_DOUBLE_EQ(bc[1], 2.0);  // pairs (0,2), (0,3)
+  EXPECT_DOUBLE_EQ(bc[2], 2.0);
+}
+
+class BrandesRandomTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BrandesRandomTest, MatchesBruteForce) {
+  const std::uint64_t seed = GetParam();
+  const Graph g = gen::random_connected(
+      18, static_cast<graph::EdgeId>(26 + seed % 9), seed * 3 + 1);
+  const auto brute = brute_betweenness(g);
+  const auto fast = betweenness_centrality(g);
+  hetero::ThreadPool pool(3);
+  const auto parallel = betweenness_centrality(g, &pool);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_NEAR(fast[v], brute[v], 1e-6) << "vertex " << v;
+    EXPECT_NEAR(parallel[v], brute[v], 1e-6) << "vertex " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BrandesRandomTest,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(Brandes, EmptyAndSelfLoopGraphs) {
+  EXPECT_TRUE(betweenness_centrality(Graph{}).empty());
+  Builder b(2);
+  b.add_edge(0, 0, 1.0);
+  b.add_edge(0, 1, 1.0);
+  const auto bc = betweenness_centrality(std::move(b).build());
+  EXPECT_DOUBLE_EQ(bc[0], 0.0);
+  EXPECT_DOUBLE_EQ(bc[1], 0.0);
+}
+
+}  // namespace
+}  // namespace eardec::sssp
+namespace eardec::sssp {
+namespace {
+
+namespace genb = graph::generators;
+
+TEST(BrandesSampled, ExactWhenPivotsCoverAllVertices) {
+  const graph::Graph g = genb::random_connected(25, 50, 9);
+  const auto exact = betweenness_centrality(g);
+  const auto sampled = betweenness_centrality_sampled(g, 25, 1);
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_NEAR(sampled[v], exact[v], 1e-9);
+  }
+}
+
+TEST(BrandesSampled, SampleConvergesTowardExact) {
+  const graph::Graph g = genb::random_connected(80, 200, 21);
+  const auto exact = betweenness_centrality(g);
+  double total_exact = 0;
+  for (const double v : exact) total_exact += v;
+  // Averaging several seeds at half the sources: totals within 30%.
+  double total_sampled = 0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto s = betweenness_centrality_sampled(g, 40, seed);
+    for (const double v : s) total_sampled += v;
+  }
+  total_sampled /= 5.0;
+  EXPECT_NEAR(total_sampled, total_exact, 0.3 * total_exact);
+}
+
+TEST(BrandesSampled, PoolVariantMatchesSerialSample) {
+  const graph::Graph g = genb::random_connected(50, 110, 31);
+  hetero::ThreadPool pool(3);
+  const auto serial = betweenness_centrality_sampled(g, 20, 7);
+  const auto parallel = betweenness_centrality_sampled(g, 20, 7, &pool);
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_NEAR(parallel[v], serial[v], 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace eardec::sssp

@@ -1,0 +1,446 @@
+// Unit and property tests for the graph substrate: CSR construction,
+// builder policies, generators, statistics, and IO round-trips.
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/datasets.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/io.hpp"
+#include "graph/stats.hpp"
+
+namespace eardec::graph {
+namespace {
+
+namespace gen = generators;
+
+TEST(Graph, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Graph, TriangleBasics) {
+  Builder b(3);
+  b.add_edge(0, 1, 1.0);
+  b.add_edge(1, 2, 2.0);
+  b.add_edge(2, 0, 3.0);
+  const Graph g = std::move(b).build();
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.degree(2), 2u);
+  EXPECT_DOUBLE_EQ(g.total_weight(), 6.0);
+  EXPECT_FALSE(g.has_parallel_edges());
+  EXPECT_EQ(g.num_self_loops(), 0u);
+}
+
+TEST(Graph, AdjacencyIsConsistentWithEdgeList) {
+  const Graph g = gen::random_connected(50, 120, /*seed=*/7);
+  std::multiset<std::pair<VertexId, VertexId>> from_adjacency;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const HalfEdge& he : g.neighbors(v)) {
+      EXPECT_EQ(g.other_endpoint(he.edge, v), he.to);
+      EXPECT_DOUBLE_EQ(g.weight(he.edge), he.weight);
+      from_adjacency.emplace(std::min(v, he.to), std::max(v, he.to));
+    }
+  }
+  // Every undirected edge appears exactly twice among the half-edges.
+  std::multiset<std::pair<VertexId, VertexId>> from_edges;
+  for (const auto& [u, v] : g.edge_list()) {
+    from_edges.emplace(u, v);
+    from_edges.emplace(u, v);
+  }
+  EXPECT_EQ(from_adjacency, from_edges);
+}
+
+TEST(Graph, SelfLoopCountsTwiceInDegree) {
+  Builder b(2);
+  b.add_edge(0, 0, 5.0);
+  b.add_edge(0, 1, 1.0);
+  const Graph g = std::move(b).build();
+  EXPECT_EQ(g.degree(0), 3u);
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_EQ(g.num_self_loops(), 1u);
+  EXPECT_TRUE(g.is_self_loop(0));
+  EXPECT_FALSE(g.is_self_loop(1));
+  EXPECT_EQ(g.other_endpoint(0, 0), 0u);
+}
+
+TEST(Graph, ParallelEdgesDetected) {
+  Builder b(2);
+  b.add_edge(0, 1, 1.0);
+  b.add_edge(1, 0, 2.0);
+  const Graph g = std::move(b).build();
+  EXPECT_TRUE(g.has_parallel_edges());
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(Graph, RejectsOutOfRangeEndpoint) {
+  EXPECT_THROW(Graph(2, {{0, 2}}, {1.0}), std::invalid_argument);
+}
+
+TEST(Graph, RejectsNegativeWeight) {
+  EXPECT_THROW(Graph(2, {{0, 1}}, {-1.0}), std::invalid_argument);
+}
+
+TEST(Graph, RejectsSizeMismatch) {
+  EXPECT_THROW(Graph(2, {{0, 1}}, {}), std::invalid_argument);
+}
+
+TEST(Builder, KeepMinWeightCollapsesParallels) {
+  Builder b(3);
+  b.add_edge(0, 1, 5.0);
+  b.add_edge(1, 0, 2.0);
+  b.add_edge(0, 1, 7.0);
+  b.add_edge(1, 2, 1.0);
+  const Graph g = std::move(b).build(ParallelEdgePolicy::KeepMinWeight);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_FALSE(g.has_parallel_edges());
+  // The surviving {0,1} edge has the minimum weight of the bundle.
+  bool found = false;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (g.endpoints(e) == std::pair<VertexId, VertexId>{0, 1}) {
+      EXPECT_DOUBLE_EQ(g.weight(e), 2.0);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Builder, EnsureVertexGrows) {
+  Builder b(0);
+  b.ensure_vertex(4);
+  EXPECT_EQ(b.num_vertices(), 5u);
+  b.ensure_vertex(2);  // no shrink
+  EXPECT_EQ(b.num_vertices(), 5u);
+}
+
+TEST(Builder, AddEdgeOutOfRangeThrows) {
+  Builder b(2);
+  EXPECT_THROW(b.add_edge(0, 2), std::out_of_range);
+}
+
+// ---------------------------------------------------------------- generators
+
+bool is_connected(const Graph& g) {
+  if (g.num_vertices() == 0) return true;
+  std::vector<bool> seen(g.num_vertices(), false);
+  std::vector<VertexId> stack{0};
+  seen[0] = true;
+  VertexId count = 1;
+  while (!stack.empty()) {
+    const VertexId v = stack.back();
+    stack.pop_back();
+    for (const HalfEdge& he : g.neighbors(v)) {
+      if (!seen[he.to]) {
+        seen[he.to] = true;
+        ++count;
+        stack.push_back(he.to);
+      }
+    }
+  }
+  return count == g.num_vertices();
+}
+
+TEST(Generators, PathHasExpectedShape) {
+  const Graph g = gen::path(5);
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(2), 2u);
+}
+
+TEST(Generators, CycleIsTwoRegular) {
+  const Graph g = gen::cycle(7);
+  EXPECT_EQ(g.num_edges(), 7u);
+  for (VertexId v = 0; v < 7; ++v) EXPECT_EQ(g.degree(v), 2u);
+}
+
+TEST(Generators, CompleteGraphEdgeCount) {
+  const Graph g = gen::complete(6);
+  EXPECT_EQ(g.num_edges(), 15u);
+  for (VertexId v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 5u);
+}
+
+TEST(Generators, GridShape) {
+  const Graph g = gen::grid(3, 4);
+  EXPECT_EQ(g.num_vertices(), 12u);
+  EXPECT_EQ(g.num_edges(), 3u * 3 + 2u * 4);  // 9 horizontal + 8 vertical
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, WheelShape) {
+  const Graph g = gen::wheel(6);
+  EXPECT_EQ(g.num_vertices(), 6u);
+  EXPECT_EQ(g.num_edges(), 10u);
+  EXPECT_EQ(g.degree(5), 5u);  // hub
+}
+
+TEST(Generators, PetersenIsCubic) {
+  const Graph g = gen::petersen();
+  EXPECT_EQ(g.num_vertices(), 10u);
+  EXPECT_EQ(g.num_edges(), 15u);
+  for (VertexId v = 0; v < 10; ++v) EXPECT_EQ(g.degree(v), 3u);
+}
+
+TEST(Generators, RandomConnectedIsConnectedAndSimple) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Graph g = gen::random_connected(80, 200, seed);
+    EXPECT_EQ(g.num_vertices(), 80u);
+    EXPECT_EQ(g.num_edges(), 200u);
+    EXPECT_TRUE(is_connected(g));
+    EXPECT_FALSE(g.has_parallel_edges());
+    EXPECT_EQ(g.num_self_loops(), 0u);
+  }
+}
+
+TEST(Generators, RandomBiconnectedMinDegreeTwo) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Graph g = gen::random_biconnected(40, 70, seed);
+    EXPECT_TRUE(is_connected(g));
+    const GraphStats s = compute_stats(g);
+    EXPECT_GE(s.min_degree, 2u);
+  }
+}
+
+TEST(Generators, SubdividePreservesTotalWeightAndAddsDeg2) {
+  const Graph core = gen::random_biconnected(30, 60, 3);
+  const Graph g = gen::subdivide(core, 25, 4);
+  EXPECT_EQ(g.num_vertices(), 55u);
+  EXPECT_EQ(g.num_edges(), 85u);
+  EXPECT_NEAR(g.total_weight(), core.total_weight(), 1e-9);
+  const GraphStats s = compute_stats(g);
+  EXPECT_GE(s.degree_two_vertices, 25u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, RandomPlanarConnected) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const Graph g = gen::random_planar(10, 12, 0.5, 0.2, seed);
+    EXPECT_EQ(g.num_vertices(), 120u);
+    EXPECT_TRUE(is_connected(g));
+    // Planarity implies m <= 3n - 6.
+    EXPECT_LE(g.num_edges(), 3u * g.num_vertices() - 6u);
+  }
+}
+
+TEST(Generators, BlockTreeConnectedWithPendants) {
+  const Graph g = gen::block_tree({.num_blocks = 10,
+                                   .largest_block = 30,
+                                   .small_block_min = 3,
+                                   .small_block_max = 6,
+                                   .intra_degree = 4.0,
+                                   .pendants = 8},
+                                  42);
+  EXPECT_TRUE(is_connected(g));
+  const GraphStats s = compute_stats(g);
+  EXPECT_GE(s.degree_one_vertices, 8u);
+}
+
+TEST(Generators, DeterministicForSameSeed) {
+  const Graph a = gen::random_connected(50, 100, 9);
+  const Graph b = gen::random_connected(50, 100, 9);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (EdgeId e = 0; e < a.num_edges(); ++e) {
+    EXPECT_EQ(a.endpoints(e), b.endpoints(e));
+    EXPECT_DOUBLE_EQ(a.weight(e), b.weight(e));
+  }
+}
+
+TEST(Generators, InvalidArgumentsThrow) {
+  EXPECT_THROW(gen::cycle(2), std::invalid_argument);
+  EXPECT_THROW(gen::random_connected(5, 2, 1), std::invalid_argument);
+  EXPECT_THROW(gen::random_biconnected(2, 5, 1), std::invalid_argument);
+  EXPECT_THROW(gen::wheel(3), std::invalid_argument);
+  EXPECT_THROW(gen::random_planar(1, 5, 0.5, 0.1, 1), std::invalid_argument);
+}
+
+// --------------------------------------------------------------------- stats
+
+TEST(Stats, CountsDegreesOnPath) {
+  const GraphStats s = compute_stats(gen::path(6));
+  EXPECT_EQ(s.degree_one_vertices, 2u);
+  EXPECT_EQ(s.degree_two_vertices, 4u);
+  EXPECT_EQ(s.min_degree, 1u);
+  EXPECT_EQ(s.max_degree, 2u);
+  EXPECT_FALSE(to_string(s).empty());
+}
+
+// ------------------------------------------------------------------------ io
+
+TEST(Io, MatrixMarketRoundTrip) {
+  const Graph g = gen::random_connected(25, 60, 11);
+  std::stringstream buf;
+  io::write_matrix_market(buf, g);
+  const Graph h = io::read_matrix_market(buf);
+  ASSERT_EQ(h.num_vertices(), g.num_vertices());
+  ASSERT_EQ(h.num_edges(), g.num_edges());
+  std::multiset<std::tuple<VertexId, VertexId, Weight>> eg, eh;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    eg.emplace(g.endpoints(e).first, g.endpoints(e).second, g.weight(e));
+    eh.emplace(h.endpoints(e).first, h.endpoints(e).second, h.weight(e));
+  }
+  EXPECT_EQ(eg, eh);
+}
+
+TEST(Io, MatrixMarketPatternAndComments) {
+  std::stringstream in(
+      "%%MatrixMarket matrix coordinate pattern symmetric\n"
+      "% a comment\n"
+      "3 3 3\n"
+      "2 1\n"
+      "3 1\n"
+      "3 2\n");
+  const Graph g = io::read_matrix_market(in);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_DOUBLE_EQ(g.weight(0), 1.0);  // pattern weights default to 1
+}
+
+TEST(Io, MatrixMarketGeneralSymmetrizesWithMinWeight) {
+  std::stringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 2\n"
+      "1 2 5.0\n"
+      "2 1 3.0\n");
+  const Graph g = io::read_matrix_market(in);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_DOUBLE_EQ(g.weight(0), 3.0);
+}
+
+TEST(Io, MatrixMarketNegativeAndZeroWeightsSanitized) {
+  std::stringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "2 2 1\n"
+      "2 1 -4.0\n");
+  const Graph g = io::read_matrix_market(in);
+  EXPECT_DOUBLE_EQ(g.weight(0), 4.0);
+}
+
+TEST(Io, MatrixMarketDiagonalBecomesSelfLoop) {
+  std::stringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "2 2 2\n"
+      "1 1 2.0\n"
+      "2 1 1.0\n");
+  const Graph g = io::read_matrix_market(in);
+  EXPECT_EQ(g.num_self_loops(), 1u);
+}
+
+TEST(Io, MatrixMarketRejectsBadHeader) {
+  std::stringstream in("not a matrix\n");
+  EXPECT_THROW(io::read_matrix_market(in), std::runtime_error);
+}
+
+TEST(Io, MatrixMarketRejectsTruncated) {
+  std::stringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 2\n"
+      "2 1 1.0\n");
+  EXPECT_THROW(io::read_matrix_market(in), std::runtime_error);
+}
+
+TEST(Io, EdgeListRoundTrip) {
+  const Graph g = gen::random_connected(15, 30, 13);
+  std::stringstream buf;
+  io::write_edge_list(buf, g);
+  const Graph h = io::read_edge_list(buf);
+  EXPECT_EQ(h.num_vertices(), g.num_vertices());
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  EXPECT_NEAR(h.total_weight(), g.total_weight(), 1e-9);
+}
+
+// -------------------------------------------------------------------datasets
+
+TEST(Datasets, RegistryHasFifteenEntries) {
+  const auto& ds = datasets::table1();
+  ASSERT_EQ(ds.size(), 15u);
+  EXPECT_EQ(ds.front().name, "nopoly");
+  EXPECT_EQ(ds.back().name, "Planar_5");
+  EXPECT_EQ(datasets::mcb_seven().size(), 7u);
+}
+
+TEST(Datasets, ByNameFindsAndThrows) {
+  EXPECT_EQ(datasets::by_name("c-50").name, "c-50");
+  EXPECT_THROW(datasets::by_name("does-not-exist"), std::out_of_range);
+}
+
+TEST(Datasets, AllGeneratorsProduceConnectedGraphs) {
+  for (const auto& d : datasets::table1()) {
+    SCOPED_TRACE(d.name);
+    const Graph g = d.make();
+    EXPECT_GT(g.num_vertices(), 0u);
+    EXPECT_TRUE(is_connected(g));
+    const Graph h = d.make_small();
+    EXPECT_GT(h.num_vertices(), 0u);
+    EXPECT_TRUE(is_connected(h));
+    EXPECT_LT(h.num_vertices(), g.num_vertices());
+  }
+}
+
+TEST(Datasets, Degree2FractionRoughlyMatchesPaper) {
+  for (const auto& d : datasets::table1()) {
+    SCOPED_TRACE(d.name);
+    const Graph g = d.make();
+    const GraphStats s = compute_stats(g);
+    const double deg2_pct =
+        100.0 * s.degree_two_vertices / static_cast<double>(s.num_vertices);
+    // The generators are calibrated, not exact; allow a generous band.
+    // (Some core vertices may organically have degree two as well.)
+    EXPECT_GE(deg2_pct + 12.0, d.paper.removed_pct);
+  }
+}
+
+}  // namespace
+}  // namespace eardec::graph
+namespace eardec::graph {
+namespace {
+
+TEST(Io, MatrixMarketRejectsUnsupportedVariants) {
+  std::stringstream arr(
+      "%%MatrixMarket matrix array real general\n"
+      "2 2\n1.0\n2.0\n3.0\n4.0\n");
+  EXPECT_THROW((void)io::read_matrix_market(arr), std::runtime_error);
+  std::stringstream vec(
+      "%%MatrixMarket vector coordinate real general\n"
+      "3 1 1\n1 1 5.0\n");
+  EXPECT_THROW((void)io::read_matrix_market(vec), std::runtime_error);
+  std::stringstream cplx(
+      "%%MatrixMarket matrix coordinate complex symmetric\n"
+      "2 2 1\n2 1 1.0 0.0\n");
+  EXPECT_THROW((void)io::read_matrix_market(cplx), std::runtime_error);
+  std::stringstream skew(
+      "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+      "2 2 1\n2 1 1.0\n");
+  EXPECT_THROW((void)io::read_matrix_market(skew), std::runtime_error);
+  std::stringstream rect(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 3 1\n1 2 1.0\n");
+  EXPECT_THROW((void)io::read_matrix_market(rect), std::runtime_error);
+  std::stringstream oob(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "2 2 1\n3 1 1.0\n");
+  EXPECT_THROW((void)io::read_matrix_market(oob), std::runtime_error);
+}
+
+TEST(Io, EdgeListRejectsGarbageLine) {
+  std::stringstream in("0 1 2.0\nnot numbers\n");
+  EXPECT_THROW((void)io::read_edge_list(in), std::runtime_error);
+}
+
+TEST(Io, EdgeListCommentsAndDefaults) {
+  std::stringstream in("# comment\n% other comment\n0 3\n");
+  const Graph g = io::read_edge_list(in);
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_DOUBLE_EQ(g.weight(0), 1.0);  // default weight
+}
+
+}  // namespace
+}  // namespace eardec::graph

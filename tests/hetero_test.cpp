@@ -1,0 +1,289 @@
+// Tests for the heterogeneous runtime: thread pool, double-ended work
+// queue, software device, and scheduler. The key invariant throughout:
+// every unit of work executes exactly once, under any interleaving.
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "hetero/device.hpp"
+#include "hetero/scheduler.hpp"
+#include "hetero/thread_pool.hpp"
+#include "hetero/work_queue.hpp"
+
+namespace eardec::hetero {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, hits.size(),
+                    [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForWithChunking) {
+  ThreadPool pool(2);
+  std::atomic<std::uint64_t> sum{0};
+  pool.parallel_for(
+      10, 200, [&sum](std::size_t i) { sum.fetch_add(i); }, 16);
+  EXPECT_EQ(sum.load(), (10ull + 199) * 190 / 2);
+}
+
+TEST(ThreadPool, ParallelForEmptyRangeIsNoOp) {
+  ThreadPool pool(2);
+  bool touched = false;
+  pool.parallel_for(5, 5, [&touched](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPool, ReusableAcrossManyParallelFors) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> count{0};
+    pool.parallel_for(0, 100, [&count](std::size_t) { count.fetch_add(1); });
+    ASSERT_EQ(count.load(), 100);
+  }
+}
+
+TEST(WorkQueue, OrdersHeaviestFirst) {
+  WorkQueue q({{0, 5}, {1, 50}, {2, 20}, {3, 1}});
+  const auto heavy = q.take_heavy(2);
+  ASSERT_EQ(heavy.size(), 2u);
+  EXPECT_EQ(heavy[0].id, 1u);
+  EXPECT_EQ(heavy[1].id, 2u);
+  const auto light = q.take_light(2);
+  ASSERT_EQ(light.size(), 2u);
+  EXPECT_EQ(light[0].id, 3u);
+  EXPECT_EQ(light[1].id, 0u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(WorkQueue, TwoEndsNeverOverlap) {
+  WorkQueue q([] {
+    std::vector<WorkUnit> units;
+    for (std::uint32_t i = 0; i < 101; ++i) units.push_back({i, i});
+    return units;
+  }());
+  std::set<std::uint32_t> seen;
+  while (!q.empty()) {
+    for (const auto& u : q.take_heavy(3)) {
+      EXPECT_TRUE(seen.insert(u.id).second);
+    }
+    for (const auto& u : q.take_light(2)) {
+      EXPECT_TRUE(seen.insert(u.id).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), 101u);
+  EXPECT_EQ(q.remaining(), 0u);
+}
+
+TEST(WorkQueue, ConcurrentDrainIsExactlyOnce) {
+  for (int round = 0; round < 5; ++round) {
+    constexpr std::uint32_t kUnits = 2000;
+    WorkQueue q([] {
+      std::vector<WorkUnit> units;
+      for (std::uint32_t i = 0; i < kUnits; ++i) units.push_back({i, i % 37});
+      return units;
+    }());
+    std::vector<std::atomic<int>> hits(kUnits);
+    {
+      std::vector<std::jthread> threads;
+      for (int t = 0; t < 4; ++t) {
+        const bool heavy = t % 2 == 0;
+        threads.emplace_back([&q, &hits, heavy] {
+          while (true) {
+            const auto batch = heavy ? q.take_heavy(3) : q.take_light(2);
+            if (batch.empty()) return;
+            for (const auto& u : batch) hits[u.id].fetch_add(1);
+          }
+        });
+      }
+    }
+    for (std::uint32_t i = 0; i < kUnits; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "unit " << i;
+    }
+  }
+}
+
+TEST(WorkQueue, EmptyQueueYieldsNothing) {
+  WorkQueue q({});
+  EXPECT_TRUE(q.empty());
+  EXPECT_TRUE(q.take_heavy(4).empty());
+  EXPECT_TRUE(q.take_light(4).empty());
+}
+
+TEST(Device, LaunchCoversGridExactlyOnce) {
+  Device dev({.workers = 2, .warp_size = 8});
+  std::vector<std::atomic<int>> lanes(500);
+  dev.launch(lanes.size(), [&lanes](std::size_t i) { lanes[i].fetch_add(1); });
+  for (const auto& l : lanes) EXPECT_EQ(l.load(), 1);
+  EXPECT_EQ(dev.kernels_launched(), 1u);
+}
+
+TEST(Device, LaunchIsBulkSynchronous) {
+  Device dev({.workers = 3, .warp_size = 4});
+  std::atomic<int> done{0};
+  dev.launch(200, [&done](std::size_t) { done.fetch_add(1); });
+  // launch() returned, so every lane must have completed.
+  EXPECT_EQ(done.load(), 200);
+}
+
+TEST(Device, ZeroGridLaunch) {
+  Device dev;
+  dev.launch(0, [](std::size_t) { FAIL() << "lane executed on empty grid"; });
+  EXPECT_EQ(dev.kernels_launched(), 1u);
+}
+
+TEST(Device, SequentialKernelsCompose) {
+  Device dev({.workers = 2});
+  std::vector<std::atomic<int>> cells(64);
+  for (int step = 0; step < 10; ++step) {
+    dev.launch(cells.size(), [&cells](std::size_t i) { cells[i].fetch_add(1); });
+  }
+  for (const auto& c : cells) EXPECT_EQ(c.load(), 10);
+  EXPECT_EQ(dev.kernels_launched(), 10u);
+}
+
+TEST(Scheduler, HeterogeneousDrainExactlyOnce) {
+  constexpr std::uint32_t kUnits = 500;
+  WorkQueue q([] {
+    std::vector<WorkUnit> units;
+    for (std::uint32_t i = 0; i < kUnits; ++i) units.push_back({i, i});
+    return units;
+  }());
+  std::vector<std::atomic<int>> hits(kUnits);
+  // A small per-unit delay forces genuine interleaving even on one core, so
+  // the "both sides contribute" assertion below is deterministic in practice.
+  const auto work = [&hits](const WorkUnit& u) {
+    hits[u.id].fetch_add(1);
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  };
+  const auto stats = run_heterogeneous(
+      q, {.cpu_threads = 3, .cpu_batch = 1, .device_batch = 8}, work, work);
+  for (std::uint32_t i = 0; i < kUnits; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "unit " << i;
+  }
+  EXPECT_EQ(stats.cpu_units + stats.device_units, kUnits);
+  // With hundreds of units and both sides pulling, each side gets some work.
+  EXPECT_GT(stats.cpu_units, 0u);
+  EXPECT_GT(stats.device_units, 0u);
+}
+
+TEST(Scheduler, CpuOnlyDrain) {
+  WorkQueue q({{0, 1}, {1, 2}, {2, 3}});
+  std::atomic<int> count{0};
+  const auto stats = run_cpu_only(q, 2, [&count](const WorkUnit&) {
+    count.fetch_add(1);
+  });
+  EXPECT_EQ(count.load(), 3);
+  EXPECT_EQ(stats.cpu_units, 3u);
+  EXPECT_EQ(stats.device_units, 0u);
+}
+
+TEST(Scheduler, EmptyQueueReturnsImmediately) {
+  WorkQueue q({});
+  const auto stats = run_heterogeneous(
+      q, {}, [](const WorkUnit&) {}, [](const WorkUnit&) {});
+  EXPECT_EQ(stats.cpu_units + stats.device_units, 0u);
+}
+
+TEST(Scheduler, DeviceSideSeesHeavyUnitsFirst) {
+  // With a device batch as large as the queue, the device grabs everything
+  // heavy; verify its units are the heaviest ones.
+  WorkQueue q({{0, 100}, {1, 90}, {2, 1}, {3, 2}});
+  std::set<std::uint32_t> device_ids;
+  std::mutex m;
+  std::atomic<bool> device_started{false};
+  run_heterogeneous(
+      q, {.cpu_threads = 1, .cpu_batch = 1, .device_batch = 2},
+      [&device_started](const WorkUnit&) {
+        // The single CPU worker holds at most one unit at a time; stalling
+        // it here guarantees the device gets the first heavy batch even on
+        // a one-core host.
+        while (!device_started.load()) std::this_thread::yield();
+      },
+      [&](const WorkUnit& u) {
+        const std::lock_guard lock(m);
+        device_ids.insert(u.id);
+        device_started.store(true);
+      });
+  // The first heavy batch is deterministic: ids 0 and 1.
+  EXPECT_TRUE(device_ids.contains(0));
+  EXPECT_TRUE(device_ids.contains(1));
+}
+
+}  // namespace
+}  // namespace eardec::hetero
+namespace eardec::hetero {
+namespace {
+
+TEST(DeviceBlocks, SharedScratchIsZeroedAndPerBlock) {
+  Device dev({.workers = 2});
+  std::vector<std::uint64_t> sums(8, 0);
+  dev.launch_blocks(sums.size(), 4, [&](Device::Block& blk) {
+    auto shared = blk.shared();
+    for (const std::uint64_t w : shared) EXPECT_EQ(w, 0u);
+    blk.for_each_lane(shared.size(), [&](std::size_t lane) {
+      shared[lane] = blk.id() + lane;
+    });
+    std::uint64_t total = 0;
+    blk.for_each_lane(shared.size(),
+                      [&](std::size_t lane) { total += shared[lane]; });
+    sums[blk.id()] = total;
+  });
+  for (std::size_t b = 0; b < sums.size(); ++b) {
+    EXPECT_EQ(sums[b], 4 * b + 6);  // b + (b+1) + (b+2) + (b+3)
+  }
+  EXPECT_EQ(dev.kernels_launched(), 1u);
+}
+
+TEST(DeviceBlocks, TreeReductionPattern) {
+  // The MCB witness-update reduction: XOR-combining shared words with
+  // doubling strides must fold everything into slot 0 for any word count.
+  Device dev({.workers = 2});
+  for (const std::size_t words : {1u, 2u, 3u, 5u, 8u, 13u}) {
+    std::uint64_t result = 0;
+    std::uint64_t expected = 0;
+    for (std::size_t w = 0; w < words; ++w) expected ^= 0x9e3779b9ull * (w + 1);
+    dev.launch_blocks(1, words, [&](Device::Block& blk) {
+      auto shared = blk.shared();
+      blk.for_each_lane(words, [&](std::size_t w) {
+        shared[w] = 0x9e3779b9ull * (w + 1);
+      });
+      for (std::size_t stride = 1; stride < words; stride *= 2) {
+        blk.for_each_lane(words / (2 * stride) + 1, [&](std::size_t k) {
+          const std::size_t lo = 2 * stride * k;
+          if (lo + stride < words) shared[lo] ^= shared[lo + stride];
+        });
+      }
+      result = shared[0];
+    });
+    EXPECT_EQ(result, expected) << "words " << words;
+  }
+}
+
+TEST(DeviceBlocks, ZeroBlocksIsNoOp) {
+  Device dev;
+  dev.launch_blocks(0, 4, [](Device::Block&) {
+    FAIL() << "block executed on empty grid";
+  });
+  EXPECT_EQ(dev.kernels_launched(), 1u);
+}
+
+}  // namespace
+}  // namespace eardec::hetero

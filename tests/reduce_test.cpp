@@ -1,0 +1,361 @@
+// Tests for degree-two chain discovery, the reduced graph (both modes), and
+// pendant peeling — including the central distance-preservation property.
+#include <map>
+#include <queue>
+
+#include <gtest/gtest.h>
+
+#include "connectivity/ear_decomposition.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "reduce/chains.hpp"
+#include "reduce/pendant.hpp"
+#include "reduce/reduced_graph.hpp"
+
+namespace eardec::reduce {
+namespace {
+
+namespace gen = graph::generators;
+using graph::Builder;
+using graph::Graph;
+
+/// Reference Dijkstra for oracle checks (the sssp library is tested on its
+/// own; keeping an independent implementation here avoids circular trust).
+std::vector<Weight> oracle_sssp(const Graph& g, VertexId s) {
+  std::vector<Weight> dist(g.num_vertices(), graph::kInfWeight);
+  using Item = std::pair<Weight, VertexId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  dist[s] = 0;
+  pq.emplace(0, s);
+  while (!pq.empty()) {
+    const auto [d, v] = pq.top();
+    pq.pop();
+    if (d > dist[v]) continue;
+    for (const graph::HalfEdge& he : g.neighbors(v)) {
+      if (d + he.weight < dist[he.to]) {
+        dist[he.to] = d + he.weight;
+        pq.emplace(dist[he.to], he.to);
+      }
+    }
+  }
+  return dist;
+}
+
+// -------------------------------------------------------------------- chains
+
+TEST(Chains, PathInteriorFormsOneChain) {
+  const Graph g = gen::path(6);  // 0-1-2-3-4-5, anchors are endpoints (deg 1)
+  const ChainSet cs = find_chains(g);
+  ASSERT_EQ(cs.chains.size(), 1u);
+  const Chain& c = cs.chains[0];
+  EXPECT_EQ(c.interior.size(), 4u);
+  EXPECT_EQ(c.edges.size(), 5u);
+  const bool forward = c.left == 0;
+  EXPECT_EQ(forward ? c.left : c.right, 0u);
+  EXPECT_EQ(forward ? c.right : c.left, 5u);
+  EXPECT_DOUBLE_EQ(c.total, g.total_weight());
+  // Prefix distances are strictly increasing along the chain.
+  for (std::size_t i = 1; i < c.prefix.size(); ++i) {
+    EXPECT_GT(c.prefix[i], c.prefix[i - 1]);
+  }
+}
+
+TEST(Chains, LeftRightAndDistancesMatchDefinition) {
+  // 0 --1-- x --2-- y --3-- 1 with extra anchor edges making 0,1 degree 3.
+  Builder b(6);
+  b.add_edge(0, 2, 1.0);  // x = 2
+  b.add_edge(2, 3, 2.0);  // y = 3
+  b.add_edge(3, 1, 3.0);
+  b.add_edge(0, 4, 1.0);
+  b.add_edge(0, 5, 1.0);
+  b.add_edge(1, 4, 1.0);
+  b.add_edge(1, 5, 1.0);
+  const Graph g = std::move(b).build();
+  const ChainSet cs = find_chains(g);
+  ASSERT_NE(cs.chain_of[2], kNoChain);
+  ASSERT_EQ(cs.chain_of[2], cs.chain_of[3]);
+  const VertexId lx = cs.left(2), rx = cs.right(2);
+  ASSERT_TRUE((lx == 0 && rx == 1) || (lx == 1 && rx == 0));
+  if (lx == 0) {
+    EXPECT_DOUBLE_EQ(cs.dist_left(2), 1.0);
+    EXPECT_DOUBLE_EQ(cs.dist_right(2), 5.0);
+    EXPECT_DOUBLE_EQ(cs.dist_left(3), 3.0);
+    EXPECT_DOUBLE_EQ(cs.dist_right(3), 3.0);
+  } else {
+    EXPECT_DOUBLE_EQ(cs.dist_right(2), 1.0);
+    EXPECT_DOUBLE_EQ(cs.dist_left(2), 5.0);
+  }
+}
+
+TEST(Chains, AnchorAnchorEdgesAreNotChains) {
+  const Graph g = gen::complete(4);  // no degree-2 vertices
+  const ChainSet cs = find_chains(g);
+  EXPECT_TRUE(cs.chains.empty());
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(cs.edge_chain[e], kNoChain);
+  }
+}
+
+TEST(Chains, PureCycleDesignatesAnchor) {
+  const Graph g = gen::cycle(5);
+  const ChainSet cs = find_chains(g);
+  ASSERT_EQ(cs.chains.size(), 1u);
+  const Chain& c = cs.chains[0];
+  EXPECT_TRUE(c.is_cycle());
+  EXPECT_EQ(c.interior.size(), 4u);  // all but the anchor
+  EXPECT_EQ(c.edges.size(), 5u);
+  EXPECT_DOUBLE_EQ(c.total, g.total_weight());
+}
+
+TEST(Chains, SelfLoopVertexIsAnchor) {
+  Builder b(3);
+  b.add_edge(0, 1, 1.0);
+  b.add_edge(1, 2, 1.0);
+  b.add_edge(1, 1, 1.0);  // loop makes 1 an anchor despite two plain edges
+  b.add_edge(2, 0, 1.0);
+  const Graph g = std::move(b).build();
+  const ChainSet cs = find_chains(g);
+  EXPECT_EQ(cs.chain_of[1], kNoChain);
+}
+
+TEST(Chains, EveryChainLiesWithinOneEar) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const Graph core = gen::random_biconnected(12, 20, seed);
+    const Graph g = gen::subdivide(core, 30, seed + 9);
+    const auto ed = connectivity::ear_decomposition(g);
+    const ChainSet cs = find_chains(g);
+    for (const Chain& c : cs.chains) {
+      const std::uint32_t ear = ed.edge_ear[c.edges.front()];
+      for (const graph::EdgeId e : c.edges) {
+        EXPECT_EQ(ed.edge_ear[e], ear);
+      }
+    }
+  }
+}
+
+TEST(Chains, EdgePartitionConsistent) {
+  const Graph g = gen::subdivide(gen::random_biconnected(15, 30, 2), 40, 3);
+  const ChainSet cs = find_chains(g);
+  // Each edge is either in exactly one chain's edge list or in none.
+  std::vector<std::uint32_t> count(g.num_edges(), 0);
+  for (const Chain& c : cs.chains) {
+    for (const graph::EdgeId e : c.edges) ++count[e];
+  }
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(count[e], cs.edge_chain[e] == kNoChain ? 0u : 1u);
+  }
+  // chain_of/position agree with interior lists.
+  for (std::uint32_t ci = 0; ci < cs.chains.size(); ++ci) {
+    const Chain& c = cs.chains[ci];
+    for (std::size_t i = 0; i < c.interior.size(); ++i) {
+      EXPECT_EQ(cs.chain_of[c.interior[i]], ci);
+      EXPECT_EQ(cs.position[c.interior[i]], i);
+    }
+  }
+}
+
+// -------------------------------------------------------------- ReducedGraph
+
+TEST(ReducedGraph, RemovesExactlyDegreeTwoInterior) {
+  const Graph core = gen::random_biconnected(20, 40, 5);
+  const Graph g = gen::subdivide(core, 50, 6);
+  const ReducedGraph r(g, ReduceMode::ForApsp);
+  EXPECT_GE(r.num_removed(), 50u);  // at least the subdivision vertices
+  // Every removed vertex has degree two; every kept one participates.
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (!r.kept(v)) {
+      EXPECT_EQ(g.degree(v), 2u);
+      EXPECT_EQ(r.to_reduced(v), graph::kNullVertex);
+    } else {
+      EXPECT_EQ(r.to_original(r.to_reduced(v)), v);
+    }
+  }
+}
+
+// Distance preservation: the defining property of the reduction
+// (paper: "S[u,v] = S^r[u,v] for u,v of degree >= 3").
+class ReducedGraphDistanceTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReducedGraphDistanceTest, PreservesDistancesBetweenKeptVertices) {
+  const std::uint64_t seed = GetParam();
+  const Graph core = gen::random_biconnected(
+      12, static_cast<graph::EdgeId>(18 + seed % 10), seed);
+  const Graph g = gen::subdivide(core, 35, seed * 13 + 1);
+  const ReducedGraph r(g, ReduceMode::ForApsp);
+  const Graph& gr = r.graph();
+  for (VertexId rs = 0; rs < gr.num_vertices(); ++rs) {
+    const auto dr = oracle_sssp(gr, rs);
+    const auto dg = oracle_sssp(g, r.to_original(rs));
+    for (VertexId rt = 0; rt < gr.num_vertices(); ++rt) {
+      EXPECT_NEAR(dr[rt], dg[r.to_original(rt)], 1e-9)
+          << "pair " << rs << "," << rt;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReducedGraphDistanceTest,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+TEST(ReducedGraph, ForMcbPreservesCycleSpaceDimension) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const Graph core = gen::random_biconnected(
+        10, static_cast<graph::EdgeId>(14 + seed), seed);
+    const Graph g = gen::subdivide(core, 25, seed + 40);
+    const ReducedGraph r(g, ReduceMode::ForMcb);
+    const auto& gr = r.graph();
+    // dim(cycle space) = m - n + k is invariant under the contraction.
+    EXPECT_EQ(static_cast<std::int64_t>(gr.num_edges()) - gr.num_vertices(),
+              static_cast<std::int64_t>(g.num_edges()) - g.num_vertices());
+  }
+}
+
+TEST(ReducedGraph, ForMcbKeepsParallelEdgesAndSelfLoops) {
+  // Theta graph made of three 2-chains between vertices 0 and 1: reduced
+  // MCB graph must be a 3-fold parallel multigraph on two vertices.
+  Builder b(5);
+  b.add_edge(0, 2, 1.0);
+  b.add_edge(2, 1, 1.0);
+  b.add_edge(0, 3, 2.0);
+  b.add_edge(3, 1, 2.0);
+  b.add_edge(0, 4, 3.0);
+  b.add_edge(4, 1, 3.0);
+  const Graph g = std::move(b).build();
+  const ReducedGraph rm(g, ReduceMode::ForMcb);
+  EXPECT_EQ(rm.graph().num_vertices(), 2u);
+  EXPECT_EQ(rm.graph().num_edges(), 3u);
+  EXPECT_TRUE(rm.graph().has_parallel_edges());
+  const ReducedGraph ra(g, ReduceMode::ForApsp);
+  EXPECT_EQ(ra.graph().num_edges(), 1u);
+  EXPECT_DOUBLE_EQ(ra.graph().weight(0), 2.0);  // lightest bundle member
+}
+
+TEST(ReducedGraph, PureCycleBecomesSelfLoopForMcb) {
+  const Graph g = gen::cycle(6);
+  const ReducedGraph rm(g, ReduceMode::ForMcb);
+  EXPECT_EQ(rm.graph().num_vertices(), 1u);
+  EXPECT_EQ(rm.graph().num_edges(), 1u);
+  EXPECT_TRUE(rm.graph().is_self_loop(0));
+  EXPECT_DOUBLE_EQ(rm.graph().weight(0), g.total_weight());
+  const ReducedGraph ra(g, ReduceMode::ForApsp);
+  EXPECT_EQ(ra.graph().num_vertices(), 1u);
+  EXPECT_EQ(ra.graph().num_edges(), 0u);
+}
+
+TEST(ReducedGraph, ExpandEdgeRoundTrip) {
+  const Graph core = gen::random_biconnected(8, 14, 3);
+  const Graph g = gen::subdivide(core, 20, 4);
+  const ReducedGraph r(g, ReduceMode::ForMcb);
+  const auto& gr = r.graph();
+  for (graph::EdgeId re = 0; re < gr.num_edges(); ++re) {
+    const auto expanded = r.expand_edge(re);
+    Weight sum = 0;
+    for (const graph::EdgeId e : expanded) sum += g.weight(e);
+    EXPECT_NEAR(sum, gr.weight(re), 1e-9);
+    if (r.edge_chain(re) == kNoChain) {
+      ASSERT_EQ(expanded.size(), 1u);
+      const auto [u, v] = g.endpoints(expanded[0]);
+      const auto [ru, rv] = gr.endpoints(re);
+      const std::set<VertexId> orig{u, v};
+      const std::set<VertexId> mapped{r.to_original(ru), r.to_original(rv)};
+      EXPECT_EQ(orig, mapped);
+    }
+  }
+}
+
+TEST(ReducedGraph, NoOpOnChainFreeGraph) {
+  const Graph g = gen::complete(5);
+  const ReducedGraph r(g, ReduceMode::ForApsp);
+  EXPECT_EQ(r.graph().num_vertices(), 5u);
+  EXPECT_EQ(r.graph().num_edges(), 10u);
+  EXPECT_EQ(r.num_removed(), 0u);
+}
+
+// --------------------------------------------------------------- PendantPeel
+
+TEST(PendantPeel, StarCollapsesToHub) {
+  Builder b(5);
+  for (VertexId v = 1; v < 5; ++v) b.add_edge(0, v, static_cast<Weight>(v));
+  const Graph g = std::move(b).build();
+  const PendantPeel p(g);
+  EXPECT_EQ(p.core().num_vertices(), 1u);
+  EXPECT_EQ(p.num_removed(), 4u);
+  for (VertexId v = 1; v < 5; ++v) {
+    EXPECT_EQ(p.attach(v), 0u);
+    EXPECT_DOUBLE_EQ(p.attach_distance(v), static_cast<Weight>(v));
+  }
+}
+
+TEST(PendantPeel, CycleWithTailPeelsOnlyTail) {
+  Builder b(6);  // triangle 0-1-2 with tail 2-3-4-5
+  b.add_edge(0, 1, 1.0);
+  b.add_edge(1, 2, 1.0);
+  b.add_edge(2, 0, 1.0);
+  b.add_edge(2, 3, 2.0);
+  b.add_edge(3, 4, 3.0);
+  b.add_edge(4, 5, 4.0);
+  const Graph g = std::move(b).build();
+  const PendantPeel p(g);
+  EXPECT_EQ(p.core().num_vertices(), 3u);
+  EXPECT_EQ(p.attach(5), 2u);
+  EXPECT_DOUBLE_EQ(p.attach_distance(5), 9.0);
+  EXPECT_DOUBLE_EQ(p.tree_distance(3, 5), 7.0);
+  EXPECT_DOUBLE_EQ(p.tree_distance(5, 3), 7.0);
+}
+
+TEST(PendantPeel, CoreHasNoDegreeOneVertices) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const Graph g = gen::block_tree({.num_blocks = 8,
+                                     .largest_block = 14,
+                                     .small_block_min = 3,
+                                     .small_block_max = 5,
+                                     .intra_degree = 2.6,
+                                     .pendants = 12},
+                                    seed);
+    const PendantPeel p(g);
+    for (VertexId v = 0; v < p.core().num_vertices(); ++v) {
+      EXPECT_NE(p.core().degree(v), 1u);
+    }
+  }
+}
+
+TEST(PendantPeel, TreeDistanceMatchesOracle) {
+  const Graph g = gen::block_tree({.num_blocks = 4,
+                                   .largest_block = 8,
+                                   .small_block_min = 3,
+                                   .small_block_max = 4,
+                                   .intra_degree = 2.5,
+                                   .pendants = 20},
+                                  11);
+  const PendantPeel p(g);
+  for (VertexId x = 0; x < g.num_vertices(); ++x) {
+    if (p.kept(x)) continue;
+    const auto d = oracle_sssp(g, x);
+    EXPECT_NEAR(p.attach_distance(x), d[p.attach(x)], 1e-9);
+    for (VertexId y = 0; y < g.num_vertices(); ++y) {
+      if (p.kept(y)) continue;
+      const Weight td = p.tree_distance(x, y);
+      if (td != graph::kInfWeight) {
+        EXPECT_NEAR(td, d[y], 1e-9) << x << "," << y;
+      }
+    }
+  }
+}
+
+TEST(PendantPeel, WholeTreeKeepsOneRoot) {
+  const Graph g = gen::path(7);
+  const PendantPeel p(g);
+  EXPECT_EQ(p.core().num_vertices(), 1u);
+  EXPECT_EQ(p.core().num_edges(), 0u);
+  // All removed vertices attach to the surviving root with the right dist.
+  const VertexId root = p.to_original(0);
+  const auto d = oracle_sssp(g, root);
+  for (VertexId v = 0; v < 7; ++v) {
+    if (v == root) continue;
+    EXPECT_EQ(p.attach(v), root);
+    EXPECT_NEAR(p.attach_distance(v), d[v], 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace eardec::reduce

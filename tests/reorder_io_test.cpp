@@ -1,0 +1,162 @@
+// Tests for vertex reordering and the binary graph format: permutation
+// correctness, distance invariance under relabeling, bandwidth reduction,
+// and binary round-trips with corruption handling.
+#include <algorithm>
+#include <numeric>
+#include <random>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "graph/binary_io.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/reorder.hpp"
+#include "sssp/dijkstra.hpp"
+
+namespace eardec::graph {
+namespace {
+
+namespace gen = generators;
+
+/// CSR "bandwidth" proxy: mean |u - v| over the edges.
+double mean_edge_span(const Graph& g) {
+  if (g.num_edges() == 0) return 0;
+  double sum = 0;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [u, v] = g.endpoints(e);
+    sum += u > v ? u - v : v - u;
+  }
+  return sum / g.num_edges();
+}
+
+class ReorderTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReorderTest, PermutationMapsAreInverse) {
+  const std::uint64_t seed = GetParam();
+  const Graph g = gen::random_connected(
+      60, static_cast<EdgeId>(130 + seed * 7), seed);
+  for (const auto& r : {reorder_bfs(g), reorder_by_degree(g)}) {
+    ASSERT_EQ(r.graph.num_vertices(), g.num_vertices());
+    ASSERT_EQ(r.graph.num_edges(), g.num_edges());
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      EXPECT_EQ(r.to_old[r.to_new[v]], v);
+      EXPECT_EQ(r.graph.degree(r.to_new[v]), g.degree(v));
+    }
+  }
+}
+
+TEST_P(ReorderTest, DistancesInvariantUnderRelabeling) {
+  const std::uint64_t seed = GetParam();
+  const Graph g = gen::random_connected(
+      40, static_cast<EdgeId>(85 + seed * 3), seed + 31);
+  const Reordered r = reorder_bfs(g);
+  for (VertexId s = 0; s < g.num_vertices(); s += 9) {
+    const auto orig = sssp::dijkstra(g, s);
+    const auto relab = sssp::dijkstra(r.graph, r.to_new[s]);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      EXPECT_DOUBLE_EQ(relab.dist[r.to_new[v]], orig.dist[v]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReorderTest,
+                         ::testing::Range<std::uint64_t>(1, 7));
+
+TEST(Reorder, BfsReducesSpanOnShuffledGrid) {
+  // A grid whose labels were scrambled: BFS reordering must restore most
+  // of the locality (grid edges span O(side) after Cuthill–McKee vs O(n)
+  // when shuffled).
+  const Graph grid = gen::grid(18, 18);
+  std::vector<VertexId> shuffle(grid.num_vertices());
+  std::iota(shuffle.begin(), shuffle.end(), 0u);
+  std::mt19937_64 rng(11);
+  std::shuffle(shuffle.begin(), shuffle.end(), rng);
+  const Reordered scrambled = reorder_with(grid, std::move(shuffle));
+  const Reordered restored = reorder_bfs(scrambled.graph);
+  EXPECT_LT(mean_edge_span(restored.graph),
+            mean_edge_span(scrambled.graph) / 3.0);
+}
+
+TEST(Reorder, DegreeOrderPutsHubsFirst) {
+  const Graph g = gen::block_tree({.num_blocks = 6,
+                                   .largest_block = 20,
+                                   .small_block_min = 3,
+                                   .small_block_max = 5,
+                                   .intra_degree = 4.0,
+                                   .pendants = 10},
+                                  5);
+  const Reordered r = reorder_by_degree(g);
+  for (VertexId v = 0; v + 1 < r.graph.num_vertices(); ++v) {
+    EXPECT_GE(r.graph.degree(v), r.graph.degree(v + 1));
+  }
+}
+
+TEST(Reorder, RejectsBadPermutations) {
+  const Graph g = gen::cycle(4);
+  EXPECT_THROW((void)reorder_with(g, {0, 1, 2}), std::invalid_argument);
+  EXPECT_THROW((void)reorder_with(g, {0, 1, 2, 2}), std::invalid_argument);
+  EXPECT_THROW((void)reorder_with(g, {0, 1, 2, 9}), std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- binary io
+
+TEST(BinaryIo, RoundTripPreservesEverything) {
+  const Graph g = gen::subdivide(gen::random_biconnected(30, 60, 3), 40, 4);
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  io::write_binary(buf, g);
+  const Graph h = io::read_binary(buf);
+  ASSERT_EQ(h.num_vertices(), g.num_vertices());
+  ASSERT_EQ(h.num_edges(), g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(h.endpoints(e), g.endpoints(e));
+    EXPECT_DOUBLE_EQ(h.weight(e), g.weight(e));
+  }
+}
+
+TEST(BinaryIo, SelfLoopsAndParallelsSurvive) {
+  Builder b(3);
+  b.add_edge(0, 0, 2.5);
+  b.add_edge(1, 2, 1.0);
+  b.add_edge(1, 2, 3.0);
+  const Graph g = std::move(b).build();
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  io::write_binary(buf, g);
+  const Graph h = io::read_binary(buf);
+  EXPECT_EQ(h.num_self_loops(), 1u);
+  EXPECT_TRUE(h.has_parallel_edges());
+}
+
+TEST(BinaryIo, RejectsCorruption) {
+  std::stringstream bad1(std::string("NOPE"), std::ios::in | std::ios::binary);
+  EXPECT_THROW((void)io::read_binary(bad1), std::runtime_error);
+
+  const Graph g = gen::cycle(5);
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  io::write_binary(buf, g);
+  std::string data = buf.str();
+  // Truncate mid-weights.
+  std::stringstream bad2(data.substr(0, data.size() - 6),
+                         std::ios::in | std::ios::binary);
+  EXPECT_THROW((void)io::read_binary(bad2), std::runtime_error);
+  // Corrupt an endpoint beyond n.
+  data[4 + 8 + 8] = '\xff';
+  data[4 + 8 + 8 + 1] = '\xff';
+  data[4 + 8 + 8 + 2] = '\xff';
+  data[4 + 8 + 8 + 3] = '\xff';
+  std::stringstream bad3(data, std::ios::in | std::ios::binary);
+  EXPECT_THROW((void)io::read_binary(bad3), std::runtime_error);
+}
+
+TEST(BinaryIo, FileRoundTrip) {
+  const Graph g = gen::petersen();
+  const auto path = std::filesystem::temp_directory_path() / "eardec_t.edg";
+  io::write_binary_file(path, g);
+  const Graph h = io::read_binary_file(path);
+  EXPECT_EQ(h.num_edges(), 15u);
+  std::filesystem::remove(path);
+  EXPECT_THROW((void)io::read_binary_file(path), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace eardec::graph

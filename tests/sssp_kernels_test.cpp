@@ -1,0 +1,103 @@
+// Tests for the alternative SSSP/APSP kernels: delta-stepping and the
+// device blocked Floyd–Warshall. Both must agree exactly with Dijkstra.
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "sssp/delta_stepping.hpp"
+#include "sssp/device_floyd_warshall.hpp"
+#include "sssp/dijkstra.hpp"
+
+namespace eardec::sssp {
+namespace {
+
+namespace gen = graph::generators;
+using graph::Builder;
+using graph::Graph;
+
+class DeltaSteppingTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DeltaSteppingTest, MatchesDijkstraAcrossDeltas) {
+  const std::uint64_t seed = GetParam();
+  const Graph g = gen::random_connected(
+      70, static_cast<graph::EdgeId>(150 + 13 * seed), seed);
+  for (const graph::Weight delta : {0.0, 1.0, 10.0, 50.0, 1e9}) {
+    for (graph::VertexId s = 0; s < g.num_vertices(); s += 23) {
+      const auto got = delta_stepping(g, s, delta);
+      const auto ref = dijkstra(g, s);
+      for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+        ASSERT_DOUBLE_EQ(got[v], ref.dist[v])
+            << "delta " << delta << " source " << s << " vertex " << v;
+      }
+    }
+  }
+}
+
+TEST_P(DeltaSteppingTest, ParallelMatchesSerial) {
+  const std::uint64_t seed = GetParam();
+  const Graph g = gen::random_connected(
+      200, static_cast<graph::EdgeId>(600 + 17 * seed), seed + 77);
+  hetero::ThreadPool pool(3);
+  const auto serial = delta_stepping(g, 0, 0);
+  const auto parallel = delta_stepping(g, 0, 0, &pool);
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_DOUBLE_EQ(parallel[v], serial[v]) << "vertex " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeltaSteppingTest,
+                         ::testing::Range<std::uint64_t>(1, 6));
+
+TEST(DeltaStepping, DisconnectedAndEdgeCases) {
+  Builder b(4);
+  b.add_edge(0, 1, 3.0);
+  const Graph g = std::move(b).build();
+  const auto d = delta_stepping(g, 0);
+  EXPECT_DOUBLE_EQ(d[1], 3.0);
+  EXPECT_EQ(d[2], graph::kInfWeight);
+  EXPECT_THROW((void)delta_stepping(g, 4), std::out_of_range);
+}
+
+TEST(DeltaStepping, ZeroWeightEdgesTerminate) {
+  Builder b(4);
+  b.add_edge(0, 1, 0.0);
+  b.add_edge(1, 2, 0.0);
+  b.add_edge(2, 3, 5.0);
+  const Graph g = std::move(b).build();
+  const auto d = delta_stepping(g, 0, 2.0);
+  EXPECT_DOUBLE_EQ(d[2], 0.0);
+  EXPECT_DOUBLE_EQ(d[3], 5.0);
+}
+
+class DeviceFwTest : public ::testing::TestWithParam<graph::VertexId> {};
+
+TEST_P(DeviceFwTest, MatchesHostFloydWarshallAtEveryBlockSize) {
+  const graph::VertexId block = GetParam();
+  const Graph g = gen::random_connected(60, 140, 9);
+  hetero::Device dev({.workers = 2, .warp_size = 4});
+  const DistanceMatrix got = device_floyd_warshall(g, dev, block);
+  const DistanceMatrix ref = floyd_warshall(g);
+  for (graph::VertexId i = 0; i < g.num_vertices(); ++i) {
+    for (graph::VertexId j = 0; j < g.num_vertices(); ++j) {
+      ASSERT_NEAR(got.at(i, j), ref.at(i, j), 1e-9)
+          << "block " << block << " pair " << i << "," << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Blocks, DeviceFwTest,
+                         ::testing::Values(1u, 7u, 16u, 64u, 128u));
+
+TEST(DeviceFw, EmptyGraphAndKernelCount) {
+  hetero::Device dev({.workers = 1});
+  const DistanceMatrix d = device_floyd_warshall(Graph{}, dev);
+  EXPECT_EQ(d.size(), 0u);
+  // A graph with one tile launches exactly three kernels.
+  const Graph g = gen::cycle(8);
+  hetero::Device dev2({.workers = 1});
+  (void)device_floyd_warshall(g, dev2, 8);
+  EXPECT_EQ(dev2.kernels_launched(), 3u);
+}
+
+}  // namespace
+}  // namespace eardec::sssp

@@ -1,0 +1,210 @@
+// eardec_cli — run the library's algorithms on a Matrix Market or edge-list
+// file from the command line.
+//
+//   eardec_cli stats     <graph>           structural profile
+//   eardec_cli decompose <graph>           BCC / chain / ear summary
+//   eardec_cli apsp      <graph> [s t]     build the oracle; optional query
+//   eardec_cli path      <graph> <s> <t>   print one shortest path
+//   eardec_cli mcb       <graph>           minimum cycle basis summary
+//   eardec_cli analytics <graph>           eccentricity / diameter / centers
+//   eardec_cli gen       <name> <out.mtx>  write a Table-1 dataset to a file
+//   eardec_cli convert   <in> <out>        convert between formats
+//   eardec_cli bc        <graph> [k]       top-k betweenness-central vertices
+//
+// Graphs by extension: *.mtx (Matrix Market), *.edg (binary EDG1), anything
+// else as whitespace edge list.
+// Options: --mode=seq|mc|gpu|hetero (default mc), --threads=N (default 4).
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "connectivity/bcc.hpp"
+#include "connectivity/ear_decomposition.hpp"
+#include "core/analytics.hpp"
+#include "core/distance_oracle.hpp"
+#include "core/path.hpp"
+#include "graph/binary_io.hpp"
+#include "graph/datasets.hpp"
+#include "graph/io.hpp"
+#include "graph/stats.hpp"
+#include "mcb/ear_mcb.hpp"
+#include "sssp/brandes.hpp"
+#include "reduce/chains.hpp"
+
+namespace {
+
+using namespace eardec;
+
+graph::Graph load(const std::string& path) {
+  if (path.ends_with(".mtx")) {
+    return graph::io::read_matrix_market_file(path);
+  }
+  if (path.ends_with(".edg")) {
+    return graph::io::read_binary_file(path);
+  }
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return graph::io::read_edge_list(in);
+}
+
+void save(const std::string& path, const graph::Graph& g) {
+  if (path.ends_with(".mtx")) {
+    graph::io::write_matrix_market_file(path, g);
+  } else if (path.ends_with(".edg")) {
+    graph::io::write_binary_file(path, g);
+  } else {
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("cannot open " + path);
+    graph::io::write_edge_list(out, g);
+  }
+}
+
+core::ApspOptions parse_options(int argc, char** argv) {
+  core::ApspOptions opts{.mode = core::ExecutionMode::Multicore,
+                         .cpu_threads = 4};
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.starts_with("--mode=")) {
+      const std::string mode = arg.substr(7);
+      if (mode == "seq") opts.mode = core::ExecutionMode::Sequential;
+      else if (mode == "mc") opts.mode = core::ExecutionMode::Multicore;
+      else if (mode == "gpu") opts.mode = core::ExecutionMode::DeviceOnly;
+      else if (mode == "hetero") opts.mode = core::ExecutionMode::Heterogeneous;
+      else throw std::runtime_error("unknown --mode " + mode);
+    } else if (arg.starts_with("--threads=")) {
+      opts.cpu_threads = static_cast<unsigned>(std::stoul(arg.substr(10)));
+    }
+  }
+  return opts;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: eardec_cli {stats|decompose|apsp|path|mcb|analytics|"
+               "gen} <args> [--mode=seq|mc|gpu|hetero] [--threads=N]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "gen") {
+      if (argc < 4) return usage();
+      const auto& d = graph::datasets::by_name(argv[2]);
+      graph::io::write_matrix_market_file(argv[3], d.make());
+      std::printf("wrote %s (dataset %s)\n", argv[3], d.name.c_str());
+      return 0;
+    }
+
+    const graph::Graph g = load(argv[2]);
+    const auto opts = parse_options(argc - 3, argv + 3);
+
+    if (cmd == "convert") {
+      if (argc < 4) return usage();
+      save(argv[3], g);
+      std::printf("wrote %s (%u vertices, %u edges)\n", argv[3],
+                  g.num_vertices(), g.num_edges());
+      return 0;
+    }
+    if (cmd == "bc") {
+      const auto k = static_cast<std::size_t>(
+          argc >= 4 && argv[3][0] != '-' ? std::stoul(argv[3]) : 5);
+      hetero::ThreadPool pool(opts.cpu_threads);
+      const auto bc = sssp::betweenness_centrality(g, &pool);
+      std::vector<graph::VertexId> order(g.num_vertices());
+      for (graph::VertexId v = 0; v < g.num_vertices(); ++v) order[v] = v;
+      std::sort(order.begin(), order.end(),
+                [&bc](graph::VertexId a, graph::VertexId b) {
+                  return bc[a] > bc[b];
+                });
+      for (std::size_t i = 0; i < std::min(k, order.size()); ++i) {
+        std::printf("%2zu. vertex %u: %.1f\n", i + 1, order[i], bc[order[i]]);
+      }
+      return 0;
+    }
+
+    if (cmd == "stats") {
+      std::printf("%s\n", graph::to_string(graph::compute_stats(g)).c_str());
+      return 0;
+    }
+    if (cmd == "decompose") {
+      const auto bcc = connectivity::biconnected_components(g);
+      const auto chains = reduce::find_chains(g);
+      std::size_t removable = 0;
+      for (const auto& c : chains.chains) removable += c.interior.size();
+      std::printf("biconnected components: %u\n", bcc.num_components);
+      std::printf("articulation points:    %zu\n",
+                  bcc.num_articulation_points());
+      std::printf("degree-2 chains:        %zu (removing %zu of %u vertices)\n",
+                  chains.chains.size(), removable, g.num_vertices());
+      if (connectivity::is_biconnected(g) && g.num_edges() > 0) {
+        const auto ed = connectivity::ear_decomposition(g);
+        std::printf("ear decomposition:      %zu ears (open: %s)\n",
+                    ed.ears.size(), ed.open ? "yes" : "no");
+      }
+      return 0;
+    }
+    if (cmd == "apsp") {
+      const core::DistanceOracle oracle(g, opts);
+      std::printf("oracle ready: %u components, %llu SSSP runs, "
+                  "%.2f MB (vs %.2f MB dense)\n",
+                  oracle.engine().num_components(),
+                  static_cast<unsigned long long>(oracle.engine().sssp_runs()),
+                  oracle.memory().compact_mb(), oracle.memory().full_mb());
+      if (argc >= 5 && argv[3][0] != '-') {
+        const auto s = static_cast<graph::VertexId>(std::stoul(argv[3]));
+        const auto t = static_cast<graph::VertexId>(std::stoul(argv[4]));
+        std::printf("d(%u, %u) = %g\n", s, t, oracle.distance(s, t));
+      }
+      return 0;
+    }
+    if (cmd == "path") {
+      if (argc < 5) return usage();
+      const auto s = static_cast<graph::VertexId>(std::stoul(argv[3]));
+      const auto t = static_cast<graph::VertexId>(std::stoul(argv[4]));
+      const core::DistanceOracle oracle(g, opts);
+      const core::Path p = core::reconstruct_path(oracle, s, t);
+      if (!p.found()) {
+        std::printf("%u and %u are not connected\n", s, t);
+        return 1;
+      }
+      std::printf("weight %g, %zu hops:", p.weight, p.edges.size());
+      for (const auto v : p.vertices) std::printf(" %u", v);
+      std::printf("\n");
+      return 0;
+    }
+    if (cmd == "mcb") {
+      mcb::McbOptions mopts{.mode = opts.mode, .cpu_threads = opts.cpu_threads};
+      const auto r = mcb::minimum_cycle_basis(g, mopts);
+      std::printf("basis: %zu cycles, total weight %g, valid: %s\n",
+                  r.basis.size(), r.total_weight,
+                  mcb::validate_basis(g, r) ? "yes" : "NO");
+      std::printf("profile: labels %.0f%%, search %.0f%%, update %.0f%%\n",
+                  100 * r.stats.labels_seconds / r.stats.total_seconds(),
+                  100 * r.stats.search_seconds / r.stats.total_seconds(),
+                  100 * r.stats.update_seconds / r.stats.total_seconds());
+      return 0;
+    }
+    if (cmd == "analytics") {
+      const core::DistanceOracle oracle(g, opts);
+      const auto a = core::compute_analytics(oracle);
+      std::printf("diameter: %g, radius: %g, centers:", a.diameter, a.radius);
+      for (std::size_t i = 0; i < std::min<std::size_t>(8, a.centers.size());
+           ++i) {
+        std::printf(" %u", a.centers[i]);
+      }
+      if (a.centers.size() > 8) std::printf(" ...");
+      std::printf("\n");
+      return 0;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
