@@ -59,14 +59,24 @@ DjidjevApsp::DjidjevApsp(const graph::Graph& g, std::uint32_t num_parts,
       }
     }
   }
-  const auto part_apsp = [&](std::uint32_t p) {
-    const graph::Graph& pg = part_graphs[p];
-    sssp::DijkstraWorkspace ws(pg.num_vertices());
-    for (graph::VertexId s = 0; s < pg.num_vertices(); ++s) {
-      ws.distances(pg, s, parts_[p].dist.row(s));
-    }
-  };
   {
+    graph::VertexId max_part = 0;
+    for (const auto& pg : part_graphs) {
+      max_part = std::max(max_part, pg.num_vertices());
+    }
+    const unsigned cpu_workers =
+        options.mode == core::ExecutionMode::Sequential
+            ? 1
+            : std::max(1u, options.cpu_threads);
+    std::vector<sssp::DijkstraWorkspace> cpu_ws(cpu_workers);
+    for (auto& ws : cpu_ws) ws.ensure(max_part);
+    const auto part_apsp = [&](std::uint32_t p, unsigned worker) {
+      const graph::Graph& pg = part_graphs[p];
+      sssp::DijkstraWorkspace& ws = cpu_ws[worker];
+      for (graph::VertexId s = 0; s < pg.num_vertices(); ++s) {
+        ws.distances(pg, s, parts_[p].dist.row(s));
+      }
+    };
     std::vector<hetero::WorkUnit> units;
     for (std::uint32_t p = 0; p < parts_.size(); ++p) {
       units.push_back({p, parts_[p].vertices.size()});
@@ -76,11 +86,13 @@ DjidjevApsp::DjidjevApsp(const graph::Graph& g, std::uint32_t num_parts,
       while (true) {
         const auto batch = queue.take_light(1);
         if (batch.empty()) break;
-        part_apsp(batch.front().id);
+        part_apsp(batch.front().id, 0);
       }
     } else {
       hetero::run_cpu_only(queue, options.cpu_threads,
-                           [&](const hetero::WorkUnit& wu) { part_apsp(wu.id); });
+                           [&](const hetero::WorkUnit& wu, unsigned worker) {
+                             part_apsp(wu.id, worker);
+                           });
     }
   }
 

@@ -30,32 +30,43 @@ DistanceMatrix plain_apsp(const Graph& g, const ApspOptions& options) {
     return std::pair{begin, std::min<graph::VertexId>(begin + step, n)};
   };
 
-  const auto cpu_fn = [&](const hetero::WorkUnit& wu) {
+  // Pooled per-worker workspaces: one Dijkstra heap per CPU worker and one
+  // frontier buffer for the single device driver, allocated once up front.
+  const unsigned cpu_workers =
+      options.mode == core::ExecutionMode::Sequential
+          ? 1
+          : std::max(1u, options.cpu_threads);
+  std::vector<sssp::DijkstraWorkspace> cpu_ws(cpu_workers);
+  for (auto& ws : cpu_ws) ws.ensure(n);
+  sssp::FrontierWorkspace device_ws;
+  if (device) device_ws.ensure(n);
+
+  const auto cpu_fn = [&](const hetero::WorkUnit& wu, unsigned worker) {
     const auto [begin, end] = sources_of(wu);
-    sssp::DijkstraWorkspace ws(n);
+    sssp::DijkstraWorkspace& ws = cpu_ws[worker];
     for (graph::VertexId s = begin; s < end; ++s) {
       ws.distances(g, s, dist.row(s));
     }
   };
-  const auto device_fn = [&](const hetero::WorkUnit& wu) {
+  const auto device_fn = [&](const hetero::WorkUnit& wu, unsigned) {
     const auto [begin, end] = sources_of(wu);
-    sssp::FrontierWorkspace ws(n);
     for (graph::VertexId s = begin; s < end; ++s) {
-      ws.distances(g, s, *device, dist.row(s));
+      device_ws.distances(g, s, *device, dist.row(s));
     }
   };
 
   switch (options.mode) {
     case core::ExecutionMode::Sequential:
-      for (const auto& wu : units) cpu_fn(wu);
+      for (const auto& wu : units) cpu_fn(wu, 0);
       break;
     case core::ExecutionMode::Multicore: {
       hetero::WorkQueue queue(std::move(units));
-      hetero::run_cpu_only(queue, options.cpu_threads, cpu_fn);
+      hetero::run_cpu_only(queue, options.cpu_threads, cpu_fn,
+                           options.cpu_batch);
       break;
     }
     case core::ExecutionMode::DeviceOnly: {
-      for (const auto& wu : units) device_fn(wu);
+      for (const auto& wu : units) device_fn(wu, 0);
       break;
     }
     case core::ExecutionMode::Heterogeneous: {

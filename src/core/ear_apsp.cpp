@@ -52,8 +52,15 @@ struct EarApspEngine::Impl {
   std::vector<reduce::ReducedGraph> reduced;
   std::vector<DistanceMatrix> rtables;
   std::vector<std::unordered_map<VertexId, VertexId>> local_of;
+  /// Per component, per component-local vertex: its reduced-graph exits,
+  /// precomputed once in phase I so block_distance never re-derives chain
+  /// anchors in its inner loop.
+  std::vector<std::vector<Exits>> exits;
   std::vector<Weight> ap_table;  // a x a, row-major by cut index
   std::optional<hetero::Device> device;
+  /// One pool shared by every parallel phase (0, I, III) and reused by the
+  /// EarApsp block-table materialization.
+  std::optional<hetero::ThreadPool> pool;
   PhaseTimings timings;
   MemoryUsage memory;
   std::uint64_t sssp_runs = 0;
@@ -65,6 +72,10 @@ struct EarApspEngine::Impl {
         opts.mode == ExecutionMode::Heterogeneous) {
       device.emplace(opts.device);
     }
+    if (opts.mode == ExecutionMode::Multicore ||
+        opts.mode == ExecutionMode::Heterogeneous) {
+      pool.emplace(opts.cpu_threads);
+    }
     decompose();
     reduce_components();
     process();
@@ -72,7 +83,23 @@ struct EarApspEngine::Impl {
     finalize_memory();
   }
 
-  // Phase 0: biconnected components, block-cut tree, LCA tables.
+  /// Runs fn(i) for i in [0, count) on whatever parallel resource the mode
+  /// provides: the shared pool, the device grid, or the calling thread.
+  void parallel_over(std::size_t count,
+                     const std::function<void(std::size_t)>& fn) {
+    if (count == 0) return;
+    if (pool && count > 1) {
+      pool->parallel_for(0, count, fn);
+    } else if (device && opts.mode == ExecutionMode::DeviceOnly && count > 1) {
+      device->launch(count, fn);
+    } else {
+      for (std::size_t i = 0; i < count; ++i) fn(i);
+    }
+  }
+
+  // Phase 0: biconnected components, block-cut tree, LCA tables. The
+  // component extraction and local-id maps are independent per component
+  // and run across the pool.
   void decompose() {
     const auto t0 = Clock::now();
     bcc = connectivity::biconnected_components(g);
@@ -83,26 +110,31 @@ struct EarApspEngine::Impl {
       tree_adj[node] = bct->neighbors(node);
     }
     lca.emplace(tree_adj);
-    views.reserve(bcc.num_components);
+    views.resize(bcc.num_components);
     local_of.resize(bcc.num_components);
-    for (std::uint32_t c = 0; c < bcc.num_components; ++c) {
-      views.push_back(connectivity::extract_component(g, bcc, c));
+    parallel_over(bcc.num_components, [&](std::size_t c) {
+      views[c] = connectivity::extract_component(
+          g, bcc, static_cast<std::uint32_t>(c));
       auto& map = local_of[c];
-      map.reserve(views.back().to_parent.size() * 2);
-      for (VertexId l = 0; l < views.back().to_parent.size(); ++l) {
-        map.emplace(views.back().to_parent[l], l);
+      map.reserve(views[c].to_parent.size() * 2);
+      for (VertexId l = 0; l < views[c].to_parent.size(); ++l) {
+        map.emplace(views[c].to_parent[l], l);
       }
-    }
+    });
     timings.decompose = seconds_since(t0);
   }
 
-  // Phase I: per-component chain contraction. Vertices whose *global*
-  // degree differs from their in-component degree (articulation points,
-  // self-loop endpoints) are pinned so cross-component routing stays exact.
+  // Phase I: per-component chain contraction, parallel across components.
+  // Vertices whose *global* degree differs from their in-component degree
+  // (articulation points, self-loop endpoints) are pinned so
+  // cross-component routing stays exact. Also materializes the per-vertex
+  // exit cache that phase III and every query read.
   void reduce_components() {
     const auto t0 = Clock::now();
-    reduced.reserve(views.size());
-    for (const auto& view : views) {
+    std::vector<std::optional<reduce::ReducedGraph>> built(views.size());
+    exits.resize(views.size());
+    parallel_over(views.size(), [&](std::size_t c) {
+      const auto& view = views[c];
       std::vector<bool> keep(view.graph.num_vertices(),
                              !opts.use_ear_reduction);
       if (opts.use_ear_reduction) {
@@ -110,13 +142,21 @@ struct EarApspEngine::Impl {
           keep[l] = g.degree(view.to_parent[l]) != view.graph.degree(l);
         }
       }
-      reduced.emplace_back(view.graph, reduce::ReduceMode::ForApsp, &keep);
-    }
+      built[c].emplace(view.graph, reduce::ReduceMode::ForApsp, &keep);
+      exits[c].resize(view.graph.num_vertices());
+      for (VertexId l = 0; l < view.graph.num_vertices(); ++l) {
+        exits[c][l] = exits_of(*built[c], l);
+      }
+    });
+    reduced.reserve(built.size());
+    for (auto& r : built) reduced.push_back(std::move(*r));
     timings.reduce = seconds_since(t0);
   }
 
   // Phase II: APSP over every reduced graph. Work units are blocks of
   // sources of one component, sized by component for the sorted queue.
+  // Every worker thread owns one pre-sized workspace (largest reduced
+  // component), so the drain performs no per-unit allocation.
   void process() {
     const auto t0 = Clock::now();
     rtables.resize(reduced.size());
@@ -126,8 +166,10 @@ struct EarApspEngine::Impl {
     };
     std::vector<Unit> units;
     std::vector<hetero::WorkUnit> queue_units;
+    VertexId max_nr = 0;
     for (std::uint32_t c = 0; c < reduced.size(); ++c) {
       const VertexId nr = reduced[c].graph().num_vertices();
+      max_nr = std::max(max_nr, nr);
       rtables[c] = DistanceMatrix(nr);
       sssp_runs += nr;
       for (VertexId s = 0; s < nr; s += opts.sources_per_unit) {
@@ -138,32 +180,39 @@ struct EarApspEngine::Impl {
       }
     }
 
-    const auto cpu_fn = [&](const hetero::WorkUnit& wu) {
+    const unsigned cpu_workers =
+        pool ? std::max(1u, opts.cpu_threads) : 1;
+    std::vector<sssp::DijkstraWorkspace> cpu_ws(cpu_workers);
+    for (auto& ws : cpu_ws) ws.ensure(max_nr);
+    sssp::FrontierWorkspace device_ws;  // single device driver thread
+    if (device) device_ws.ensure(max_nr);
+
+    const auto cpu_fn = [&](const hetero::WorkUnit& wu, unsigned worker) {
       const Unit& u = units[wu.id];
       const Graph& rg = reduced[u.comp].graph();
-      sssp::DijkstraWorkspace ws(rg.num_vertices());
+      sssp::DijkstraWorkspace& ws = cpu_ws[worker];
       for (VertexId s = u.src_begin; s < u.src_end; ++s) {
         ws.distances(rg, s, rtables[u.comp].row(s));
       }
     };
-    const auto device_fn = [&](const hetero::WorkUnit& wu) {
+    const auto device_fn = [&](const hetero::WorkUnit& wu, unsigned) {
       const Unit& u = units[wu.id];
       const Graph& rg = reduced[u.comp].graph();
-      sssp::FrontierWorkspace ws(rg.num_vertices());
       for (VertexId s = u.src_begin; s < u.src_end; ++s) {
-        ws.distances(rg, s, *device, rtables[u.comp].row(s));
+        device_ws.distances(rg, s, *device, rtables[u.comp].row(s));
       }
     };
 
     switch (opts.mode) {
       case ExecutionMode::Sequential: {
-        for (const auto& qu : queue_units) cpu_fn(qu);
+        for (const auto& qu : queue_units) cpu_fn(qu, 0);
         sched_stats.cpu_units += queue_units.size();
         break;
       }
       case ExecutionMode::Multicore: {
         hetero::WorkQueue queue(std::move(queue_units));
-        sched_stats = hetero::run_cpu_only(queue, opts.cpu_threads, cpu_fn);
+        sched_stats = hetero::run_cpu_only(queue, opts.cpu_threads, cpu_fn,
+                                           opts.cpu_batch);
         break;
       }
       case ExecutionMode::DeviceOnly: {
@@ -171,7 +220,7 @@ struct EarApspEngine::Impl {
         while (true) {
           const auto batch = queue.take_heavy(opts.device_batch);
           if (batch.empty()) break;
-          for (const auto& wu : batch) device_fn(wu);
+          for (const auto& wu : batch) device_fn(wu, 0);
           sched_stats.device_units += batch.size();
         }
         break;
@@ -195,8 +244,8 @@ struct EarApspEngine::Impl {
     if (lu == lv) return 0;
     const reduce::ReducedGraph& r = reduced[comp];
     const DistanceMatrix& s = rtables[comp];
-    const Exits eu = exits_of(r, lu);
-    const Exits ev = exits_of(r, lv);
+    const Exits& eu = exits[comp][lu];
+    const Exits& ev = exits[comp][lv];
     Weight best = graph::kInfWeight;
     for (std::size_t i = 0; i < eu.count; ++i) {
       for (std::size_t j = 0; j < ev.count; ++j) {
@@ -266,16 +315,7 @@ struct EarApspEngine::Impl {
       }
     };
 
-    if ((opts.mode == ExecutionMode::Multicore ||
-         opts.mode == ExecutionMode::Heterogeneous) &&
-        a > 1) {
-      hetero::ThreadPool pool(opts.cpu_threads);
-      pool.parallel_for(0, a, source_walk);
-    } else if (opts.mode == ExecutionMode::DeviceOnly && a > 1) {
-      device->launch(a, source_walk);
-    } else {
-      for (std::uint32_t ai = 0; ai < a; ++ai) source_walk(ai);
-    }
+    parallel_over(a, source_walk);
     timings.ap_table = seconds_since(t0);
   }
 
@@ -447,37 +487,27 @@ hetero::SchedulerStats EarApspEngine::scheduler_stats() const {
 EarApsp::EarApsp(const Graph& g, const ApspOptions& options)
     : engine_(g, options) {
   // Phase III stage 1: materialize every per-component table A_i by
-  // evaluating the UPDATE_DISTANCE formulas row by row.
+  // evaluating the UPDATE_DISTANCE formulas row by row. Rows of *all*
+  // components are flattened into one index space and spread over the
+  // engine's shared pool, so many small components don't serialize behind
+  // per-component fork/join barriers.
   const auto t0 = std::chrono::steady_clock::now();
   auto& impl = *engine_.impl_;
   block_tables_.resize(impl.views.size());
-  std::optional<hetero::ThreadPool> pool;
-  if (options.mode == ExecutionMode::Multicore ||
-      options.mode == ExecutionMode::Heterogeneous) {
-    pool.emplace(options.cpu_threads);
-  }
+  std::vector<std::pair<std::uint32_t, VertexId>> jobs;  // (component, row)
   for (std::uint32_t c = 0; c < impl.views.size(); ++c) {
     const VertexId n = impl.views[c].graph.num_vertices();
     block_tables_[c] = DistanceMatrix(n);
-    const auto fill_row = [&, c](std::size_t lu) {
-      auto row = block_tables_[c].row(static_cast<VertexId>(lu));
-      for (VertexId lv = 0; lv < n; ++lv) {
-        row[lv] = impl.block_distance(c, static_cast<VertexId>(lu), lv);
-      }
-    };
-    switch (options.mode) {
-      case ExecutionMode::Sequential:
-        for (VertexId lu = 0; lu < n; ++lu) fill_row(lu);
-        break;
-      case ExecutionMode::Multicore:
-      case ExecutionMode::Heterogeneous:
-        pool->parallel_for(0, n, fill_row);
-        break;
-      case ExecutionMode::DeviceOnly:
-        impl.device->launch(n, fill_row);
-        break;
-    }
+    for (VertexId lu = 0; lu < n; ++lu) jobs.emplace_back(c, lu);
   }
+  impl.parallel_over(jobs.size(), [&](std::size_t j) {
+    const auto [c, lu] = jobs[j];
+    const VertexId n = impl.views[c].graph.num_vertices();
+    auto row = block_tables_[c].row(lu);
+    for (VertexId lv = 0; lv < n; ++lv) {
+      row[lv] = impl.block_distance(c, lu, lv);
+    }
+  });
   timings_ = impl.timings;
   timings_.postprocess =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -527,14 +557,19 @@ Weight EarApsp::distance(VertexId u, VertexId v) const {
 }
 
 DistanceMatrix ear_apsp_matrix(const Graph& g, const ApspOptions& options) {
-  const EarApsp apsp(g, options);
+  // The engine alone suffices: each row is one distances_from() block-cut
+  // tree sweep (O(Σ n_i + a)), instead of n per-pair queries that redo the
+  // LCA and cut-index routing for every cell — and the A_i tables of
+  // EarApsp never need materializing. Rows are independent and run across
+  // the engine's shared pool.
+  const EarApspEngine engine(g, options);
   DistanceMatrix d(g.num_vertices());
-  for (VertexId u = 0; u < g.num_vertices(); ++u) {
-    auto row = d.row(u);
-    for (VertexId v = 0; v < g.num_vertices(); ++v) {
-      row[v] = apsp.distance(u, v);
-    }
-  }
+  engine.impl_->parallel_over(g.num_vertices(), [&](std::size_t u) {
+    const auto row = d.row(static_cast<VertexId>(u));
+    const std::vector<Weight> dist =
+        engine.distances_from(static_cast<VertexId>(u));
+    std::copy(dist.begin(), dist.end(), row.begin());
+  });
   return d;
 }
 

@@ -125,6 +125,8 @@ class EarApspEngine {
   struct Impl;
   std::unique_ptr<Impl> impl_;
   friend class EarApsp;
+  friend DistanceMatrix ear_apsp_matrix(const Graph& g,
+                                        const ApspOptions& options);
 };
 
 /// Paper-faithful product: fully materialized per-component tables A_i.

@@ -1,69 +1,152 @@
 #include "hetero/scheduler.hpp"
 
-#include <atomic>
+#include <algorithm>
+#include <chrono>
 #include <thread>
-#include <vector>
 
 namespace eardec::hetero {
+namespace {
 
-SchedulerStats run_heterogeneous(
-    WorkQueue& queue, const SchedulerConfig& config,
-    const std::function<void(const WorkUnit&)>& cpu_fn,
-    const std::function<void(const WorkUnit&)>& device_fn) {
-  std::atomic<std::uint64_t> cpu_units{0};
-  std::atomic<std::uint64_t> device_units{0};
+using Clock = std::chrono::steady_clock;
 
+/// Guided self-scheduling claim size: a fixed share of the remaining work
+/// per participant, clamped to [min_batch, max_batch]. Long queue -> big
+/// claims, few CAS rounds; short queue -> minimum claims, tight balance.
+std::size_t guided_batch(std::size_t remaining, unsigned participants,
+                         std::size_t min_batch, std::size_t max_batch) {
+  const std::size_t share =
+      remaining / (2 * std::max(1u, participants));
+  return std::clamp(share, std::max<std::size_t>(1, min_batch),
+                    std::max<std::size_t>(1, max_batch));
+}
+
+/// One worker's drain loop; returns its counters.
+WorkerStats drain(WorkQueue& queue, bool heavy, unsigned participants,
+                  std::size_t min_batch, std::size_t max_batch,
+                  const UnitFn& fn, unsigned worker) {
+  WorkerStats ws;
+  for (;;) {
+    const std::size_t batch =
+        guided_batch(queue.remaining(), participants, min_batch, max_batch);
+    const auto units = heavy ? queue.take_heavy(batch)
+                             : queue.take_light(batch);
+    if (units.empty()) return ws;
+    const auto t0 = Clock::now();
+    for (const WorkUnit& unit : units) fn(unit, worker);
+    ws.busy_seconds += std::chrono::duration<double>(Clock::now() - t0).count();
+    ws.units += units.size();
+    ++ws.claims;
+  }
+}
+
+}  // namespace
+
+double SchedulerStats::utilization() const {
+  if (elapsed_seconds <= 0) return 0;
+  double busy = device_worker.busy_seconds;
+  std::size_t workers = device_worker.units > 0 || device_worker.claims > 0
+                            ? 1
+                            : 0;
+  for (const WorkerStats& w : cpu_workers) {
+    busy += w.busy_seconds;
+    ++workers;
+  }
+  if (workers == 0) return 0;
+  return busy / (elapsed_seconds * static_cast<double>(workers));
+}
+
+void SchedulerStats::accumulate(const SchedulerStats& other) {
+  cpu_units += other.cpu_units;
+  device_units += other.device_units;
+  cpu_claims += other.cpu_claims;
+  device_claims += other.device_claims;
+  queue_contention += other.queue_contention;
+  elapsed_seconds += other.elapsed_seconds;
+  if (cpu_workers.size() < other.cpu_workers.size()) {
+    cpu_workers.resize(other.cpu_workers.size());
+  }
+  for (std::size_t i = 0; i < other.cpu_workers.size(); ++i) {
+    cpu_workers[i].units += other.cpu_workers[i].units;
+    cpu_workers[i].claims += other.cpu_workers[i].claims;
+    cpu_workers[i].busy_seconds += other.cpu_workers[i].busy_seconds;
+  }
+  device_worker.units += other.device_worker.units;
+  device_worker.claims += other.device_worker.claims;
+  device_worker.busy_seconds += other.device_worker.busy_seconds;
+}
+
+SchedulerStats run_heterogeneous(WorkQueue& queue,
+                                 const SchedulerConfig& config,
+                                 const UnitFn& cpu_fn,
+                                 const UnitFn& device_fn) {
+  SchedulerStats stats;
+  const unsigned cpu_threads = std::max(1u, config.cpu_threads);
+  stats.cpu_workers.resize(cpu_threads);
+  const std::uint64_t contention_before = queue.contention_events();
+  const auto t0 = Clock::now();
   {
     std::vector<std::jthread> threads;
-    threads.reserve(config.cpu_threads + 1);
+    threads.reserve(cpu_threads + 1);
 
-    // Device driver: big units from the heavy end.
+    // Device driver: big units from the heavy end, claimed at exactly the
+    // configured kernel-launch granularity. No guided growth on this side:
+    // claims never migrate back, so letting the single heavy claimant
+    // inflate its batch would pre-commit the heavy half of the queue before
+    // the CPU/device throughput ratio is known — the static split the
+    // dynamic queue exists to avoid.
     threads.emplace_back([&] {
-      while (true) {
-        const auto batch = queue.take_heavy(config.device_batch);
-        if (batch.empty()) return;
-        for (const WorkUnit& unit : batch) device_fn(unit);
-        device_units.fetch_add(batch.size(), std::memory_order_relaxed);
-      }
+      stats.device_worker = drain(queue, /*heavy=*/true, 1,
+                                  config.device_batch, config.device_batch,
+                                  device_fn, 0);
     });
 
     // CPU workers: small units from the light end.
-    const unsigned cpu_threads = std::max(1u, config.cpu_threads);
     for (unsigned t = 0; t < cpu_threads; ++t) {
-      threads.emplace_back([&] {
-        while (true) {
-          const auto batch = queue.take_light(std::max<std::size_t>(
-              1, config.cpu_batch));
-          if (batch.empty()) return;
-          for (const WorkUnit& unit : batch) cpu_fn(unit);
-          cpu_units.fetch_add(batch.size(), std::memory_order_relaxed);
-        }
+      threads.emplace_back([&, t] {
+        stats.cpu_workers[t] = drain(queue, /*heavy=*/false, cpu_threads,
+                                     config.cpu_batch, config.max_batch,
+                                     cpu_fn, t);
       });
     }
   }  // jthreads join here
 
-  return {cpu_units.load(), device_units.load()};
+  stats.elapsed_seconds =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  for (const WorkerStats& w : stats.cpu_workers) {
+    stats.cpu_units += w.units;
+    stats.cpu_claims += w.claims;
+  }
+  stats.device_units = stats.device_worker.units;
+  stats.device_claims = stats.device_worker.claims;
+  stats.queue_contention = queue.contention_events() - contention_before;
+  return stats;
 }
 
 SchedulerStats run_cpu_only(WorkQueue& queue, unsigned threads,
-                            const std::function<void(const WorkUnit&)>& fn) {
-  std::atomic<std::uint64_t> cpu_units{0};
+                            const UnitFn& fn, std::size_t cpu_batch) {
+  SchedulerStats stats;
+  const unsigned count = std::max(1u, threads);
+  stats.cpu_workers.resize(count);
+  const std::uint64_t contention_before = queue.contention_events();
+  const auto t0 = Clock::now();
   {
     std::vector<std::jthread> workers;
-    const unsigned count = std::max(1u, threads);
     workers.reserve(count);
     for (unsigned t = 0; t < count; ++t) {
-      workers.emplace_back([&] {
-        while (true) {
-          const auto batch = queue.take_light(1);
-          if (batch.empty()) return;
-          fn(batch.front());
-          cpu_units.fetch_add(1, std::memory_order_relaxed);
-        }
+      workers.emplace_back([&, t] {
+        stats.cpu_workers[t] = drain(queue, /*heavy=*/false, count, cpu_batch,
+                                     SchedulerConfig{}.max_batch, fn, t);
       });
     }
   }
-  return {cpu_units.load(), 0};
+  stats.elapsed_seconds =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  for (const WorkerStats& w : stats.cpu_workers) {
+    stats.cpu_units += w.units;
+    stats.cpu_claims += w.claims;
+  }
+  stats.queue_contention = queue.contention_events() - contention_before;
+  return stats;
 }
 
 }  // namespace eardec::hetero

@@ -1,12 +1,25 @@
 // Heterogeneous scheduler: drains a WorkQueue concurrently from both ends —
-// CPU threads take small units one (or a few) at a time, a device driver
-// thread takes large units in device-sized batches. This is the paper's
-// execution model for both APSP (one unit per biconnected component or per
-// source vertex) and MCB (units per shortest-path tree / witness).
+// CPU threads claim small units from the light end, a device driver thread
+// claims large units in device-sized batches from the heavy end. This is
+// the paper's execution model for both APSP (one unit per biconnected
+// component or per source vertex) and MCB (units per shortest-path tree /
+// witness).
+//
+// Claim sizes adapt to queue depth (guided self-scheduling): while the
+// queue is long, each side grows its batch so claims — and with them
+// CAS contention on the queue word — stay rare; as the queue drains,
+// batches shrink back to the configured minimum so the tail stays balanced
+// between CPU and device, preserving the paper's dynamic proportions.
+//
+// Callbacks receive a stable worker index (0..cpu_threads-1 for CPU
+// workers, 0 for the single device driver) so callers can thread pooled
+// per-worker workspaces (SSSP heaps, frontier buffers) through the drain
+// without any per-unit allocation.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "hetero/device.hpp"
 #include "hetero/thread_pool.hpp"
@@ -18,30 +31,63 @@ namespace eardec::hetero {
 struct SchedulerConfig {
   /// CPU worker threads.
   unsigned cpu_threads = 4;
-  /// Units per CPU grab. The paper removes units "in proportion to the
-  /// number of threads supported"; small batches keep balance tight.
+  /// Minimum units per CPU claim. The paper removes units "in proportion to
+  /// the number of threads supported"; small minimums keep balance tight
+  /// while guided growth keeps contention low on long queues.
   std::size_t cpu_batch = 1;
-  /// Units per device grab.
+  /// Minimum units per device claim.
   std::size_t device_batch = 4;
+  /// Upper bound on a grown claim (guided self-scheduling cap).
+  std::size_t max_batch = 64;
 };
 
-/// Per-side execution counters, for tests and the ablation benches.
+/// Per-worker execution counters (index 0..cpu_threads-1, or the device
+/// driver), for utilization reporting in the ablation benches.
+struct WorkerStats {
+  std::uint64_t units = 0;   ///< work units executed by this worker
+  std::uint64_t claims = 0;  ///< successful (non-empty) queue claims
+  double busy_seconds = 0;   ///< wall clock spent inside unit callbacks
+};
+
+/// Execution counters of one drain, for tests and the ablation benches.
 struct SchedulerStats {
   std::uint64_t cpu_units = 0;
   std::uint64_t device_units = 0;
+  std::uint64_t cpu_claims = 0;
+  std::uint64_t device_claims = 0;
+  /// CAS retries observed by the queue during the drain (claim contention).
+  std::uint64_t queue_contention = 0;
+  /// Wall clock of the whole drain (0 when not measured, e.g. sequential).
+  double elapsed_seconds = 0;
+  std::vector<WorkerStats> cpu_workers;  ///< one entry per CPU worker
+  WorkerStats device_worker;
+
+  /// Busy fraction across all participating workers: 1.0 means no worker
+  /// ever waited on the queue or starved.
+  [[nodiscard]] double utilization() const;
+
+  /// Merges the counters of another drain (benches accumulate repetitions).
+  void accumulate(const SchedulerStats& other);
 };
 
-/// Runs until the queue is empty. `cpu_fn(unit)` is invoked on CPU worker
-/// threads; `device_fn(unit)` on the device driver thread (which typically
-/// issues Device::launch internally). Either function may be empty-capable;
-/// pass the same function twice for a homogeneous run.
-SchedulerStats run_heterogeneous(
-    WorkQueue& queue, const SchedulerConfig& config,
-    const std::function<void(const WorkUnit&)>& cpu_fn,
-    const std::function<void(const WorkUnit&)>& device_fn);
+/// A unit callback: `unit` to execute, `worker` the stable index of the
+/// executing worker within its side (CPU workers 0..cpu_threads-1; the
+/// device driver always passes 0).
+using UnitFn = std::function<void(const WorkUnit& unit, unsigned worker)>;
 
-/// Convenience: CPU-only drain of the queue with `threads` workers.
+/// Runs until the queue is empty. `cpu_fn` is invoked on CPU worker
+/// threads; `device_fn` on the device driver thread (which typically
+/// issues Device::launch internally). Pass the same function twice for a
+/// homogeneous run.
+SchedulerStats run_heterogeneous(WorkQueue& queue,
+                                 const SchedulerConfig& config,
+                                 const UnitFn& cpu_fn,
+                                 const UnitFn& device_fn);
+
+/// Convenience: CPU-only drain of the queue with `threads` workers, each
+/// claiming at least `cpu_batch` units per grab (grown adaptively while the
+/// queue is long).
 SchedulerStats run_cpu_only(WorkQueue& queue, unsigned threads,
-                            const std::function<void(const WorkUnit&)>& fn);
+                            const UnitFn& fn, std::size_t cpu_batch = 1);
 
 }  // namespace eardec::hetero

@@ -1,5 +1,6 @@
 #include "hetero/thread_pool.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
 
@@ -21,6 +22,10 @@ ThreadPool::~ThreadPool() {
     stopping_ = true;
   }
   work_available_.notify_all();
+  // Join here, not via the implicit jthread destructors: workers_ is the
+  // first-declared member and would otherwise be destroyed *after* the
+  // condition variables the workers still signal on their way out.
+  workers_.clear();
 }
 
 void ThreadPool::submit(std::function<void()> task) {
@@ -86,14 +91,19 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               std::size_t chunk) {
   if (begin >= end) return;
   if (chunk == 0) chunk = 1;
+  // The calling thread participates, so at most chunks-1 helpers can ever
+  // claim work: don't wake more tasks than that for small ranges.
+  const std::size_t chunks = (end - begin + chunk - 1) / chunk;
+  const auto helpers =
+      static_cast<unsigned>(std::min<std::size_t>(size(), chunks - 1));
   auto st = std::make_shared<ParallelForState>();
   st->next = begin;
   st->end = end;
   st->chunk = chunk;
   st->f = f;
-  st->pending_helpers = size();
+  st->pending_helpers = helpers;
 
-  for (unsigned t = 0; t < size(); ++t) {
+  for (unsigned t = 0; t < helpers; ++t) {
     submit([st] {
       st->drain();
       const std::lock_guard lock(st->mutex);

@@ -37,7 +37,8 @@ class ThreadPool {
   /// self-scheduling (atomic chunk grabbing; chunk == 1 by default because
   /// the library's work items are coarse). Blocks until complete. The
   /// calling thread participates, so this is safe to call even on a pool
-  /// briefly saturated by other work.
+  /// briefly saturated by other work; at most chunks-1 helper tasks are
+  /// woken, so tiny ranges don't pay a full pool wakeup.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& f,
                     std::size_t chunk = 1);

@@ -11,33 +11,49 @@ WorkQueue::WorkQueue(std::vector<WorkUnit> units) : units_(std::move(units)) {
                    });
 }
 
-std::vector<WorkUnit> WorkQueue::take_heavy(std::size_t batch) {
-  const std::lock_guard lock(mutex_);
-  std::vector<WorkUnit> out;
-  while (batch-- > 0 && head_ + tail_ < units_.size()) {
-    out.push_back(units_[head_++]);
+std::span<const WorkUnit> WorkQueue::claim(std::size_t batch, bool heavy) {
+  std::uint64_t s = state_.load(std::memory_order_relaxed);
+  std::uint64_t retries = 0;
+  for (;;) {
+    const auto head = static_cast<std::size_t>(s & 0xffffffffu);
+    const auto tail = static_cast<std::size_t>(s >> 32);
+    const std::size_t avail = units_.size() - head - tail;
+    const std::size_t k = std::min(batch, avail);
+    if (k == 0) {
+      if (retries != 0) {
+        cas_retries_.fetch_add(retries, std::memory_order_relaxed);
+      }
+      return {};
+    }
+    const std::uint64_t next =
+        heavy ? s + k : s + (static_cast<std::uint64_t>(k) << 32);
+    if (state_.compare_exchange_weak(s, next, std::memory_order_acq_rel,
+                                     std::memory_order_relaxed)) {
+      if (retries != 0) {
+        cas_retries_.fetch_add(retries, std::memory_order_relaxed);
+      }
+      const std::size_t begin = heavy ? head : units_.size() - tail - k;
+      return {units_.data() + begin, k};
+    }
+    ++retries;
   }
-  return out;
 }
 
-std::vector<WorkUnit> WorkQueue::take_light(std::size_t batch) {
-  const std::lock_guard lock(mutex_);
-  std::vector<WorkUnit> out;
-  while (batch-- > 0 && head_ + tail_ < units_.size()) {
-    ++tail_;
-    out.push_back(units_[units_.size() - tail_]);
-  }
-  return out;
+std::span<const WorkUnit> WorkQueue::take_heavy(std::size_t batch) {
+  return claim(batch, /*heavy=*/true);
 }
 
-bool WorkQueue::empty() const {
-  const std::lock_guard lock(mutex_);
-  return head_ + tail_ >= units_.size();
+std::span<const WorkUnit> WorkQueue::take_light(std::size_t batch) {
+  return claim(batch, /*heavy=*/false);
 }
+
+bool WorkQueue::empty() const { return remaining() == 0; }
 
 std::size_t WorkQueue::remaining() const {
-  const std::lock_guard lock(mutex_);
-  return units_.size() - head_ - tail_;
+  const std::uint64_t s = state_.load(std::memory_order_acquire);
+  const auto head = static_cast<std::size_t>(s & 0xffffffffu);
+  const auto tail = static_cast<std::size_t>(s >> 32);
+  return units_.size() - head - tail;
 }
 
 }  // namespace eardec::hetero

@@ -5,10 +5,18 @@
 // size reflects their thread counts. The queue, not a static split, decides
 // the final CPU/GPU proportion — that is the paper's "dynamic work
 // balancing".
+//
+// Implementation: the sorted unit array is immutable after construction and
+// both ends are claimed through one packed atomic word (head index in the
+// low half, light-end count in the high half) with a CAS loop — a claim is
+// a single successful compare-exchange, never a lock. Because claimed
+// ranges are contiguous slices of the frozen array, take_heavy/take_light
+// hand back zero-copy spans instead of freshly allocated vectors.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
-#include <mutex>
+#include <span>
 #include <vector>
 
 namespace eardec::hetero {
@@ -25,25 +33,39 @@ class WorkQueue {
   /// Builds the queue; units are ordered heaviest-first internally.
   explicit WorkQueue(std::vector<WorkUnit> units);
 
-  /// Takes up to `batch` units from the heavy end (device side).
-  [[nodiscard]] std::vector<WorkUnit> take_heavy(std::size_t batch);
+  /// Claims up to `batch` units from the heavy end (device side). The span
+  /// aliases the queue's internal storage and stays valid for the queue's
+  /// lifetime; units within it are ordered heaviest-first.
+  [[nodiscard]] std::span<const WorkUnit> take_heavy(std::size_t batch);
 
-  /// Takes up to `batch` units from the light end (CPU side).
-  [[nodiscard]] std::vector<WorkUnit> take_light(std::size_t batch);
+  /// Claims up to `batch` units from the light end (CPU side). Units within
+  /// the span are ordered heaviest-first, i.e. the batch's lightest unit
+  /// comes last.
+  [[nodiscard]] std::span<const WorkUnit> take_light(std::size_t batch);
 
-  /// True once every unit has been taken.
+  /// True once every unit has been claimed.
   [[nodiscard]] bool empty() const;
 
-  /// Units not yet taken.
+  /// Units not yet claimed.
   [[nodiscard]] std::size_t remaining() const;
 
   [[nodiscard]] std::size_t total() const noexcept { return units_.size(); }
 
+  /// Number of CAS retries across all claims so far — a direct measure of
+  /// claim contention (0 in single-threaded drains; grows only when two
+  /// claimants race on the same queue state).
+  [[nodiscard]] std::uint64_t contention_events() const noexcept {
+    return cas_retries_.load(std::memory_order_relaxed);
+  }
+
  private:
-  std::vector<WorkUnit> units_;  // sorted heaviest-first
-  std::size_t head_ = 0;         // next heavy index
-  std::size_t tail_ = 0;         // units consumed from the light end
-  mutable std::mutex mutex_;
+  [[nodiscard]] std::span<const WorkUnit> claim(std::size_t batch, bool heavy);
+
+  std::vector<WorkUnit> units_;  // sorted heaviest-first, frozen after ctor
+  /// Low 32 bits: units claimed off the heavy end (next heavy index).
+  /// High 32 bits: units claimed off the light end.
+  std::atomic<std::uint64_t> state_{0};
+  std::atomic<std::uint64_t> cas_retries_{0};
 };
 
 }  // namespace eardec::hetero

@@ -108,11 +108,11 @@ McbResult minimum_cycle_basis(const Graph& g, const McbOptions& options) {
     cpu_opts.mode = ExecutionMode::Sequential;
     McbOptions dev_opts = options;
     dev_opts.mode = ExecutionMode::DeviceOnly;
-    const auto cpu_fn = [&](const hetero::WorkUnit& wu) {
+    const auto cpu_fn = [&](const hetero::WorkUnit& wu, unsigned) {
       per_component[wu.id] =
           solve_component(g, views[wu.id], cpu_opts, nullptr, nullptr);
     };
-    const auto device_fn = [&](const hetero::WorkUnit& wu) {
+    const auto device_fn = [&](const hetero::WorkUnit& wu, unsigned) {
       per_component[wu.id] =
           solve_component(g, views[wu.id], dev_opts, nullptr, &*device);
     };
@@ -125,7 +125,7 @@ McbResult minimum_cycle_basis(const Graph& g, const McbOptions& options) {
         while (true) {
           const auto batch = queue.take_heavy(1);
           if (batch.empty()) break;
-          device_fn(batch.front());
+          device_fn(batch.front(), 0);
         }
         break;
       case ExecutionMode::Heterogeneous:

@@ -48,6 +48,10 @@ DijkstraWorkspace::DijkstraWorkspace(VertexId num_vertices) {
   heap_.reserve(num_vertices);
 }
 
+void DijkstraWorkspace::ensure(VertexId num_vertices) {
+  heap_.reserve(num_vertices);
+}
+
 void DijkstraWorkspace::distances(const Graph& g, VertexId source,
                                   std::span<Weight> dist_out) {
   const VertexId n = g.num_vertices();

@@ -29,10 +29,18 @@ struct ShortestPathTree {
 [[nodiscard]] ShortestPathTree dijkstra(const Graph& g, VertexId source);
 
 /// Reusable workspace for APSP-style loops: runs Dijkstra repeatedly
-/// without reallocating the heap or the distance array.
+/// without reallocating the heap or the distance array. One workspace may
+/// serve graphs of different sizes (size it once to the largest via
+/// ensure()); the scheduler pools one per worker thread so phase II runs
+/// allocation-free.
 class DijkstraWorkspace {
  public:
+  DijkstraWorkspace() = default;
   explicit DijkstraWorkspace(VertexId num_vertices);
+
+  /// Grows the internal heap reservation to cover graphs of up to
+  /// `num_vertices` vertices; never shrinks.
+  void ensure(VertexId num_vertices);
 
   /// Computes distances from `source` into `dist_out` (size n). Only
   /// distances — the tree is not tracked, saving a third of the writes.

@@ -20,18 +20,29 @@ void atomic_min(std::atomic<Weight>& cell, Weight value) {
 FrontierWorkspace::FrontierWorkspace(VertexId num_vertices)
     : mask_(num_vertices, 0), updating_(num_vertices) {}
 
+void FrontierWorkspace::ensure(VertexId num_vertices) {
+  if (mask_.size() < num_vertices) {
+    mask_.assign(num_vertices, 0);
+    // vector<atomic> cannot resize in place; rebuild at the new capacity.
+    std::vector<std::atomic<Weight>> fresh(num_vertices);
+    updating_.swap(fresh);
+  }
+}
+
 void FrontierWorkspace::distances(const Graph& g, VertexId source,
                                   hetero::Device& device,
                                   std::span<Weight> dist_out) {
   const VertexId n = g.num_vertices();
-  if (dist_out.size() != n || mask_.size() != n) {
+  if (dist_out.size() != n || mask_.size() < n) {
     throw std::invalid_argument("FrontierWorkspace: size mismatch");
   }
   if (source >= n) throw std::out_of_range("frontier_sssp: bad source");
 
   std::fill(dist_out.begin(), dist_out.end(), graph::kInfWeight);
-  std::fill(mask_.begin(), mask_.end(), 0);
-  for (auto& u : updating_) u.store(graph::kInfWeight, std::memory_order_relaxed);
+  std::fill_n(mask_.begin(), n, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    updating_[v].store(graph::kInfWeight, std::memory_order_relaxed);
+  }
   dist_out[source] = 0;
   updating_[source].store(0, std::memory_order_relaxed);
   mask_[source] = 1;

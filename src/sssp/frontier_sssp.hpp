@@ -29,12 +29,21 @@ using graph::Weight;
                                                 VertexId source,
                                                 hetero::Device& device);
 
-/// Reusable buffers for APSP-style loops on the device.
+/// Reusable buffers for APSP-style loops on the device. One workspace may
+/// serve graphs of different sizes (size it once to the largest via
+/// ensure()); the device driver keeps one pooled instance so phase II runs
+/// allocation-free.
 class FrontierWorkspace {
  public:
+  FrontierWorkspace() = default;
   explicit FrontierWorkspace(VertexId num_vertices);
 
-  /// Computes distances from `source` into `dist_out` (size n).
+  /// Grows the mask / updating-cost buffers to cover graphs of up to
+  /// `num_vertices` vertices; never shrinks.
+  void ensure(VertexId num_vertices);
+
+  /// Computes distances from `source` into `dist_out` (size n). The
+  /// workspace must have capacity >= n (see ensure()).
   void distances(const Graph& g, VertexId source, hetero::Device& device,
                  std::span<Weight> dist_out);
 

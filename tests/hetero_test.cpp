@@ -66,11 +66,22 @@ TEST(WorkQueue, OrdersHeaviestFirst) {
   ASSERT_EQ(heavy.size(), 2u);
   EXPECT_EQ(heavy[0].id, 1u);
   EXPECT_EQ(heavy[1].id, 2u);
+  // The light batch is the two lightest units (spans keep the internal
+  // heaviest-first order, so the batch's lightest unit comes last).
   const auto light = q.take_light(2);
   ASSERT_EQ(light.size(), 2u);
-  EXPECT_EQ(light[0].id, 3u);
-  EXPECT_EQ(light[1].id, 0u);
+  EXPECT_EQ(light[0].id, 0u);
+  EXPECT_EQ(light[1].id, 3u);
   EXPECT_TRUE(q.empty());
+}
+
+TEST(WorkQueue, SingleThreadedDrainIsContentionFree) {
+  WorkQueue q({{0, 5}, {1, 50}, {2, 20}, {3, 1}});
+  while (!q.empty()) {
+    (void)q.take_heavy(1);
+    (void)q.take_light(1);
+  }
+  EXPECT_EQ(q.contention_events(), 0u);
 }
 
 TEST(WorkQueue, TwoEndsNeverOverlap) {
@@ -169,7 +180,7 @@ TEST(Scheduler, HeterogeneousDrainExactlyOnce) {
   std::vector<std::atomic<int>> hits(kUnits);
   // A small per-unit delay forces genuine interleaving even on one core, so
   // the "both sides contribute" assertion below is deterministic in practice.
-  const auto work = [&hits](const WorkUnit& u) {
+  const auto work = [&hits](const WorkUnit& u, unsigned) {
     hits[u.id].fetch_add(1);
     std::this_thread::sleep_for(std::chrono::microseconds(50));
   };
@@ -182,24 +193,94 @@ TEST(Scheduler, HeterogeneousDrainExactlyOnce) {
   // With hundreds of units and both sides pulling, each side gets some work.
   EXPECT_GT(stats.cpu_units, 0u);
   EXPECT_GT(stats.device_units, 0u);
+  // Per-worker counters are consistent with the aggregates.
+  ASSERT_EQ(stats.cpu_workers.size(), 3u);
+  std::uint64_t worker_units = 0;
+  for (const auto& w : stats.cpu_workers) worker_units += w.units;
+  EXPECT_EQ(worker_units, stats.cpu_units);
+  EXPECT_EQ(stats.device_worker.units, stats.device_units);
+  EXPECT_GT(stats.cpu_claims, 0u);
+  EXPECT_GT(stats.device_claims, 0u);
+  EXPECT_GT(stats.elapsed_seconds, 0.0);
+  EXPECT_GT(stats.utilization(), 0.0);
+  EXPECT_LE(stats.utilization(), 1.0);
 }
 
 TEST(Scheduler, CpuOnlyDrain) {
   WorkQueue q({{0, 1}, {1, 2}, {2, 3}});
   std::atomic<int> count{0};
-  const auto stats = run_cpu_only(q, 2, [&count](const WorkUnit&) {
+  const auto stats = run_cpu_only(q, 2, [&count](const WorkUnit&, unsigned) {
     count.fetch_add(1);
   });
   EXPECT_EQ(count.load(), 3);
   EXPECT_EQ(stats.cpu_units, 3u);
   EXPECT_EQ(stats.device_units, 0u);
+  EXPECT_EQ(stats.device_worker.units, 0u);
+}
+
+TEST(Scheduler, CpuOnlyHonorsBatchSize) {
+  // With one worker and a minimum batch of 4, a 12-unit drain needs at
+  // most 3 claims (guided growth can only make claims larger).
+  WorkQueue q([] {
+    std::vector<WorkUnit> units;
+    for (std::uint32_t i = 0; i < 12; ++i) units.push_back({i, i});
+    return units;
+  }());
+  const auto stats =
+      run_cpu_only(q, 1, [](const WorkUnit&, unsigned) {}, 4);
+  EXPECT_EQ(stats.cpu_units, 12u);
+  EXPECT_LE(stats.cpu_claims, 3u);
+}
+
+TEST(Scheduler, WorkerIndicesAreStableAndInRange) {
+  WorkQueue q([] {
+    std::vector<WorkUnit> units;
+    for (std::uint32_t i = 0; i < 300; ++i) units.push_back({i, i});
+    return units;
+  }());
+  constexpr unsigned kThreads = 4;
+  std::atomic<bool> bad{false};
+  const auto stats = run_cpu_only(
+      q, kThreads,
+      [&bad](const WorkUnit&, unsigned worker) {
+        if (worker >= kThreads) bad.store(true);
+        std::this_thread::sleep_for(std::chrono::microseconds(10));
+      });
+  EXPECT_FALSE(bad.load());
+  EXPECT_EQ(stats.cpu_workers.size(), kThreads);
 }
 
 TEST(Scheduler, EmptyQueueReturnsImmediately) {
   WorkQueue q({});
   const auto stats = run_heterogeneous(
-      q, {}, [](const WorkUnit&) {}, [](const WorkUnit&) {});
+      q, {}, [](const WorkUnit&, unsigned) {}, [](const WorkUnit&, unsigned) {});
   EXPECT_EQ(stats.cpu_units + stats.device_units, 0u);
+  EXPECT_EQ(stats.utilization(), 0.0);
+}
+
+TEST(SchedulerStats, AccumulateMergesPerWorkerCounters) {
+  SchedulerStats a;
+  a.cpu_units = 5;
+  a.cpu_claims = 2;
+  a.elapsed_seconds = 0.5;
+  a.cpu_workers = {{.units = 3, .claims = 1, .busy_seconds = 0.2},
+                   {.units = 2, .claims = 1, .busy_seconds = 0.1}};
+  SchedulerStats b;
+  b.cpu_units = 4;
+  b.device_units = 7;
+  b.device_claims = 1;
+  b.queue_contention = 3;
+  b.cpu_workers = {{.units = 4, .claims = 2, .busy_seconds = 0.3}};
+  b.device_worker = {.units = 7, .claims = 1, .busy_seconds = 0.4};
+  a.accumulate(b);
+  EXPECT_EQ(a.cpu_units, 9u);
+  EXPECT_EQ(a.device_units, 7u);
+  EXPECT_EQ(a.queue_contention, 3u);
+  ASSERT_EQ(a.cpu_workers.size(), 2u);
+  EXPECT_EQ(a.cpu_workers[0].units, 7u);
+  EXPECT_EQ(a.cpu_workers[1].units, 2u);
+  EXPECT_EQ(a.device_worker.units, 7u);
+  EXPECT_DOUBLE_EQ(a.device_worker.busy_seconds, 0.4);
 }
 
 TEST(Scheduler, DeviceSideSeesHeavyUnitsFirst) {
@@ -211,13 +292,12 @@ TEST(Scheduler, DeviceSideSeesHeavyUnitsFirst) {
   std::atomic<bool> device_started{false};
   run_heterogeneous(
       q, {.cpu_threads = 1, .cpu_batch = 1, .device_batch = 2},
-      [&device_started](const WorkUnit&) {
-        // The single CPU worker holds at most one unit at a time; stalling
-        // it here guarantees the device gets the first heavy batch even on
-        // a one-core host.
+      [&device_started](const WorkUnit&, unsigned) {
+        // The single CPU worker stalls on its first unit, guaranteeing the
+        // device gets the first heavy batch even on a one-core host.
         while (!device_started.load()) std::this_thread::yield();
       },
-      [&](const WorkUnit& u) {
+      [&](const WorkUnit& u, unsigned) {
         const std::lock_guard lock(m);
         device_ids.insert(u.id);
         device_started.store(true);

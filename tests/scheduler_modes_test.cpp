@@ -1,0 +1,143 @@
+// Scheduler correctness properties: (1) the four execution modes are
+// observationally identical — same distance tables on random graphs, only
+// the resource mapping differs; (2) the chunk-claiming queue survives heavy
+// contention (many tiny units, more workers than cores) with every unit
+// executed exactly once. These are the invariants the Phase-II pipeline
+// rests on (DESIGN.md §5, invariant 6).
+#include <atomic>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/ear_apsp.hpp"
+#include "graph/generators.hpp"
+#include "hetero/scheduler.hpp"
+#include "hetero/work_queue.hpp"
+
+namespace eardec {
+namespace {
+
+namespace gen = graph::generators;
+using core::ApspOptions;
+using core::ExecutionMode;
+using graph::Graph;
+using graph::VertexId;
+using sssp::DistanceMatrix;
+
+ApspOptions mode_options(ExecutionMode mode) {
+  return {.mode = mode,
+          .cpu_threads = 3,
+          .device = {.workers = 2, .warp_size = 16},
+          .sources_per_unit = 4};
+}
+
+void expect_identical(const DistanceMatrix& want, const DistanceMatrix& got,
+                      const char* mode_name) {
+  ASSERT_EQ(want.size(), got.size());
+  for (VertexId u = 0; u < want.size(); ++u) {
+    for (VertexId v = 0; v < want.size(); ++v) {
+      // Weights are integer-valued, so every mode must agree bit-for-bit.
+      ASSERT_EQ(want.at(u, v), got.at(u, v))
+          << mode_name << " differs at (" << u << ", " << v << ")";
+    }
+  }
+}
+
+class SchedulerModesTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SchedulerModesTest, AllModesProduceIdenticalDistanceTables) {
+  const std::uint64_t seed = GetParam();
+  gen::BlockTreeParams params;
+  params.num_blocks = 6;
+  params.largest_block = 24;
+  params.small_block_min = 3;
+  params.small_block_max = 9;
+  params.pendants = 5;
+  const Graph base = gen::block_tree(params, seed);
+  const Graph g = gen::subdivide(base, 40, seed + 17);
+
+  const DistanceMatrix reference =
+      core::ear_apsp_matrix(g, mode_options(ExecutionMode::Sequential));
+  for (const ExecutionMode mode :
+       {ExecutionMode::Multicore, ExecutionMode::DeviceOnly,
+        ExecutionMode::Heterogeneous}) {
+    const DistanceMatrix got = core::ear_apsp_matrix(g, mode_options(mode));
+    expect_identical(reference, got,
+                     mode == ExecutionMode::Multicore      ? "Multicore"
+                     : mode == ExecutionMode::DeviceOnly   ? "DeviceOnly"
+                                                           : "Heterogeneous");
+  }
+}
+
+TEST_P(SchedulerModesTest, MaterializedTablesMatchAcrossModes) {
+  const std::uint64_t seed = GetParam();
+  const Graph g =
+      gen::subdivide(gen::random_connected(40, 70, seed), 30, seed + 3);
+  const core::EarApsp reference(g, mode_options(ExecutionMode::Sequential));
+  for (const ExecutionMode mode :
+       {ExecutionMode::Multicore, ExecutionMode::Heterogeneous}) {
+    const core::EarApsp apsp(g, mode_options(mode));
+    for (VertexId u = 0; u < g.num_vertices(); u += 3) {
+      for (VertexId v = 0; v < g.num_vertices(); v += 2) {
+        ASSERT_EQ(reference.distance(u, v), apsp.distance(u, v))
+            << "pair (" << u << ", " << v << ")";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerModesTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u));
+
+TEST(SchedulerContention, ManyTinyUnitsEightThreadsExactlyOnce) {
+  // Many 1-source units with more workers than this container has cores:
+  // the adversarial regime for the chunk-claiming queue. Every unit must
+  // run exactly once and the stats must account for all of them.
+  constexpr std::uint32_t kUnits = 5000;
+  for (int round = 0; round < 3; ++round) {
+    hetero::WorkQueue queue([] {
+      std::vector<hetero::WorkUnit> units;
+      units.reserve(kUnits);
+      for (std::uint32_t i = 0; i < kUnits; ++i) units.push_back({i, i % 17});
+      return units;
+    }());
+    std::vector<std::atomic<int>> hits(kUnits);
+    const auto work = [&hits](const hetero::WorkUnit& u, unsigned) {
+      hits[u.id].fetch_add(1);
+    };
+    const auto stats = hetero::run_heterogeneous(
+        queue, {.cpu_threads = 8, .cpu_batch = 1, .device_batch = 4},
+        work, work);
+    for (std::uint32_t i = 0; i < kUnits; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "unit " << i << " round " << round;
+    }
+    EXPECT_EQ(stats.cpu_units + stats.device_units, kUnits);
+    EXPECT_TRUE(queue.empty());
+    EXPECT_EQ(queue.remaining(), 0u);
+    std::uint64_t claimed = 0;
+    for (const auto& w : stats.cpu_workers) claimed += w.units;
+    claimed += stats.device_worker.units;
+    EXPECT_EQ(claimed, kUnits);
+  }
+}
+
+TEST(SchedulerContention, OneSourceUnitsMatchSequentialPipeline) {
+  // End-to-end variant: sources_per_unit == 1 floods phase II with tiny
+  // units; 8 CPU threads plus the device drain them. The distance tables
+  // must still match the sequential run exactly.
+  const Graph g = gen::subdivide(gen::random_connected(60, 110, 42), 60, 7);
+  ApspOptions contended;
+  contended.mode = ExecutionMode::Heterogeneous;
+  contended.cpu_threads = 8;
+  contended.device = {.workers = 2, .warp_size = 16};
+  contended.sources_per_unit = 1;
+  contended.cpu_batch = 1;
+  contended.device_batch = 2;
+  const DistanceMatrix reference =
+      core::ear_apsp_matrix(g, mode_options(ExecutionMode::Sequential));
+  const DistanceMatrix got = core::ear_apsp_matrix(g, contended);
+  expect_identical(reference, got, "Heterogeneous/1-source-units");
+}
+
+}  // namespace
+}  // namespace eardec
