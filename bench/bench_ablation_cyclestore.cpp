@@ -15,6 +15,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
+
 #include "graph/generators.hpp"
 #include "mcb/cycle_store.hpp"
 #include "mcb/ear_mcb.hpp"
@@ -127,4 +129,4 @@ BENCHMARK(BM_McbBatchSize)->Arg(16)->Arg(64)->Arg(256)->Arg(1024)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+EARDEC_BENCH_MAIN();

@@ -6,6 +6,8 @@
 // while delaunay_n15 (0%) gains nothing.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
+
 #include "core/ear_apsp.hpp"
 #include "graph/generators.hpp"
 
@@ -52,4 +54,4 @@ BENCHMARK(BM_NoEarApsp)->Arg(0)->Arg(20)->Arg(40)->Arg(60)->Arg(80)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+EARDEC_BENCH_MAIN();

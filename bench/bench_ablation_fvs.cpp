@@ -5,6 +5,8 @@
 // counters show the trade.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
+
 #include "graph/generators.hpp"
 #include "mcb/ear_mcb.hpp"
 #include "mcb/fvs.hpp"
@@ -65,4 +67,4 @@ BENCHMARK(BM_FvsOnlyBbf)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+EARDEC_BENCH_MAIN();

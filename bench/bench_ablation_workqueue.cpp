@@ -20,6 +20,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
 #include "core/ear_apsp.hpp"
 #include "graph/generators.hpp"
 #include "hetero/scheduler.hpp"
@@ -149,7 +150,9 @@ void emit_json() {
   std::filesystem::create_directories("bench_results");
   std::FILE* out = std::fopen("bench_results/phase2_workqueue.json", "w");
   if (out == nullptr) return;
-  std::fprintf(out, "{\n  \"graph\": {\"n\": %u, \"m\": %u},\n  \"modes\": {\n",
+  std::fprintf(out, "{\n");
+  eardec::bench::json_stamp(out);
+  std::fprintf(out, "  \"graph\": {\"n\": %u, \"m\": %u},\n  \"modes\": {\n",
                g.num_vertices(), g.num_edges());
   bool first = true;
   for (const ModeSnapshot& snap : snapshots) {
@@ -184,6 +187,7 @@ void emit_json() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const eardec::bench::ObservabilitySession obs;
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -6,6 +6,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <functional>
@@ -15,8 +16,66 @@
 #include <vector>
 
 #include "core/ear_apsp.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace eardec::bench {
+
+/// Bumped whenever the shape of a bench_results/*.json file changes, so the
+/// plotting/diffing scripts can reject snapshots they don't understand.
+inline constexpr int kBenchSchemaVersion = 1;
+
+/// Git revision the binary was built from (baked in by bench/CMakeLists.txt;
+/// "unknown" outside a git checkout).
+inline const char* build_git_sha() {
+#ifdef EARDEC_GIT_SHA
+  return EARDEC_GIT_SHA;
+#else
+  return "unknown";
+#endif
+}
+
+/// Writes the provenance header fields of a bench_results/*.json object.
+/// Call immediately after printing the opening `{`.
+inline void json_stamp(std::FILE* out) {
+  std::fprintf(out, "  \"schema_version\": %d,\n  \"git_sha\": \"%s\",\n",
+               kBenchSchemaVersion, build_git_sha());
+}
+
+/// Opt-in observability for every bench binary: set EARDEC_TRACE and/or
+/// EARDEC_METRICS to file paths and the session records a Chrome trace /
+/// metrics dump of the whole run, written on destruction (i.e. at the end
+/// of main). No env vars -> zero behavior change.
+class ObservabilitySession {
+ public:
+  ObservabilitySession() {
+    const char* trace = std::getenv("EARDEC_TRACE");
+    const char* metrics = std::getenv("EARDEC_METRICS");
+    if (trace != nullptr) trace_path_ = trace;
+    if (metrics != nullptr) metrics_path_ = metrics;
+    if (!trace_path_.empty()) obs::Tracer::instance().set_enabled(true);
+  }
+
+  ~ObservabilitySession() {
+    if (!trace_path_.empty() &&
+        !obs::Tracer::instance().write_chrome_trace_file(trace_path_)) {
+      std::fprintf(stderr, "bench: cannot write trace %s\n",
+                   trace_path_.c_str());
+    }
+    if (!metrics_path_.empty() &&
+        !obs::MetricsRegistry::instance().write_file(metrics_path_)) {
+      std::fprintf(stderr, "bench: cannot write metrics %s\n",
+                   metrics_path_.c_str());
+    }
+  }
+
+  ObservabilitySession(const ObservabilitySession&) = delete;
+  ObservabilitySession& operator=(const ObservabilitySession&) = delete;
+
+ private:
+  std::string trace_path_;
+  std::string metrics_path_;
+};
 
 inline double time_seconds(const std::function<void()>& fn) {
   const auto t0 = std::chrono::steady_clock::now();
@@ -104,3 +163,18 @@ inline void print_rule(int width) {
 }
 
 }  // namespace eardec::bench
+
+/// Drop-in replacement for BENCHMARK_MAIN(): identical run loop, but the
+/// whole run sits inside an ObservabilitySession so EARDEC_TRACE /
+/// EARDEC_METRICS work for every bench binary. Only valid in files that
+/// include <benchmark/benchmark.h>.
+#define EARDEC_BENCH_MAIN()                                               \
+  int main(int argc, char** argv) {                                       \
+    const ::eardec::bench::ObservabilitySession eardec_bench_obs;         \
+    ::benchmark::Initialize(&argc, argv);                                 \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;   \
+    ::benchmark::RunSpecifiedBenchmarks();                                \
+    ::benchmark::Shutdown();                                              \
+    return 0;                                                             \
+  }                                                                       \
+  int main(int, char**)

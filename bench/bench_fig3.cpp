@@ -8,6 +8,7 @@
 #include "apsp_sweep.hpp"
 
 int main() {
+  const eardec::bench::ObservabilitySession obs_session;
   using namespace eardec;
   const auto rows = bench::run_apsp_sweep();
 

@@ -9,6 +9,7 @@
 #include "mcb_sweep.hpp"
 
 int main() {
+  const eardec::bench::ObservabilitySession obs_session;
   using namespace eardec;
   const auto rows = bench::run_mcb_sweep();
 

@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
+
 #include "core/distance_oracle.hpp"
 #include "graph/datasets.hpp"
 #include "sssp/dijkstra.hpp"
@@ -73,4 +75,4 @@ BENCHMARK(BM_OnDemandDijkstra)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+EARDEC_BENCH_MAIN();

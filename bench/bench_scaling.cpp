@@ -12,6 +12,7 @@
 #include "graph/generators.hpp"
 
 int main() {
+  const eardec::bench::ObservabilitySession obs_session;
   using namespace eardec;
   const auto opts = bench::bench_apsp_options(core::ExecutionMode::Heterogeneous);
 

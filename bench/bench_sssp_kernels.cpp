@@ -4,6 +4,8 @@
 // Floyd–Warshall variants for the dense-table regime.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
+
 #include "core/ear_apsp.hpp"
 #include "graph/datasets.hpp"
 #include "reduce/reduced_graph.hpp"
@@ -88,4 +90,4 @@ BENCHMARK(BM_DeviceFloydWarshall)->Arg(32)->Arg(64)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+EARDEC_BENCH_MAIN();

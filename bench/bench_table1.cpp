@@ -13,6 +13,7 @@
 #include "graph/datasets.hpp"
 
 int main() {
+  const eardec::bench::ObservabilitySession obs_session;
   using namespace eardec;
   std::printf("=== Table 1: dataset structure and memory ===\n");
   std::printf("%-18s %7s %7s %6s %9s %9s %9s %9s\n", "Graph", "|V|", "|E|",

@@ -1,10 +1,13 @@
 #include "baselines/banerjee_apsp.hpp"
 
+#include "obs/trace.hpp"
+
 namespace eardec::baselines {
 
 BanerjeeApsp::BanerjeeApsp(const graph::Graph& g,
                            const core::ApspOptions& options)
     : peel_(g) {
+  EARDEC_TRACE_SCOPE("baseline.banerjee_build", "n", g.num_vertices());
   core::ApspOptions opts = options;
   opts.use_ear_reduction = false;  // BCC decomposition only, per the paper
   engine_ = std::make_unique<core::EarApspEngine>(peel_.core(), opts);

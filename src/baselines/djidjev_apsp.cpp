@@ -6,6 +6,7 @@
 #include "graph/builder.hpp"
 #include "hetero/scheduler.hpp"
 #include "hetero/work_queue.hpp"
+#include "obs/trace.hpp"
 #include "sssp/dijkstra.hpp"
 
 namespace eardec::baselines {
@@ -19,6 +20,7 @@ DjidjevApsp::DjidjevApsp(const graph::Graph& g, std::uint32_t num_parts,
                          const core::ApspOptions& options, std::uint64_t seed)
     : g_(g), partition_(partition::bfs_grow(g, num_parts, seed)) {
   const graph::VertexId n = g.num_vertices();
+  EARDEC_TRACE_SCOPE("baseline.djidjev_build", "n", n);
   const auto nb = static_cast<std::uint32_t>(partition_.boundary.size());
   local_id_.assign(n, graph::kNullVertex);
   boundary_idx_.assign(n, kNone);

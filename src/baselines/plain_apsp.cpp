@@ -4,6 +4,7 @@
 
 #include "hetero/scheduler.hpp"
 #include "hetero/work_queue.hpp"
+#include "obs/trace.hpp"
 #include "sssp/dijkstra.hpp"
 #include "sssp/frontier_sssp.hpp"
 
@@ -11,6 +12,7 @@ namespace eardec::baselines {
 
 DistanceMatrix plain_apsp(const Graph& g, const ApspOptions& options) {
   const graph::VertexId n = g.num_vertices();
+  EARDEC_TRACE_SCOPE("baseline.plain_apsp", "n", n);
   DistanceMatrix dist(n);
   if (n == 0) return dist;
 

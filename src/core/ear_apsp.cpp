@@ -2,23 +2,17 @@
 
 #include <algorithm>
 #include <array>
-#include <chrono>
 #include <cmath>
 #include <stdexcept>
 #include <unordered_map>
 
 #include "connectivity/dfs.hpp"
+#include "obs/phase.hpp"
 #include "sssp/dijkstra.hpp"
 #include "sssp/frontier_sssp.hpp"
 
 namespace eardec::core {
 namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double seconds_since(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
-}
 
 /// (anchor reduced-id, distance-to-anchor) pairs through which a component-
 /// local vertex reaches the reduced graph: itself at 0 if kept, otherwise
@@ -99,9 +93,12 @@ struct EarApspEngine::Impl {
 
   // Phase 0: biconnected components, block-cut tree, LCA tables. The
   // component extraction and local-id maps are independent per component
-  // and run across the pool.
+  // and run across the pool. Timing (here and in every phase below) runs
+  // through obs::ScopedPhase: one clock feeds the PhaseTimings field, the
+  // "apsp.phase.*" registry gauge, and the trace span.
   void decompose() {
-    const auto t0 = Clock::now();
+    obs::ScopedPhase phase(timings.decompose, "apsp.decompose",
+                           "apsp.phase.decompose_s");
     bcc = connectivity::biconnected_components(g);
     cc = connectivity::connected_components(g);
     bct.emplace(g, bcc);
@@ -121,7 +118,6 @@ struct EarApspEngine::Impl {
         map.emplace(views[c].to_parent[l], l);
       }
     });
-    timings.decompose = seconds_since(t0);
   }
 
   // Phase I: per-component chain contraction, parallel across components.
@@ -130,7 +126,8 @@ struct EarApspEngine::Impl {
   // cross-component routing stays exact. Also materializes the per-vertex
   // exit cache that phase III and every query read.
   void reduce_components() {
-    const auto t0 = Clock::now();
+    obs::ScopedPhase phase(timings.reduce, "apsp.reduce",
+                           "apsp.phase.reduce_s");
     std::vector<std::optional<reduce::ReducedGraph>> built(views.size());
     exits.resize(views.size());
     parallel_over(views.size(), [&](std::size_t c) {
@@ -150,7 +147,6 @@ struct EarApspEngine::Impl {
     });
     reduced.reserve(built.size());
     for (auto& r : built) reduced.push_back(std::move(*r));
-    timings.reduce = seconds_since(t0);
   }
 
   // Phase II: APSP over every reduced graph. Work units are blocks of
@@ -158,7 +154,8 @@ struct EarApspEngine::Impl {
   // Every worker thread owns one pre-sized workspace (largest reduced
   // component), so the drain performs no per-unit allocation.
   void process() {
-    const auto t0 = Clock::now();
+    obs::ScopedPhase phase(timings.process, "apsp.process",
+                           "apsp.phase.process_s");
     rtables.resize(reduced.size());
     struct Unit {
       std::uint32_t comp;
@@ -188,6 +185,7 @@ struct EarApspEngine::Impl {
     if (device) device_ws.ensure(max_nr);
 
     const auto cpu_fn = [&](const hetero::WorkUnit& wu, unsigned worker) {
+      EARDEC_TRACE_SCOPE("apsp.sssp_block", "comp", units[wu.id].comp);
       const Unit& u = units[wu.id];
       const Graph& rg = reduced[u.comp].graph();
       sssp::DijkstraWorkspace& ws = cpu_ws[worker];
@@ -196,6 +194,7 @@ struct EarApspEngine::Impl {
       }
     };
     const auto device_fn = [&](const hetero::WorkUnit& wu, unsigned) {
+      EARDEC_TRACE_SCOPE("apsp.sssp_block", "comp", units[wu.id].comp);
       const Unit& u = units[wu.id];
       const Graph& rg = reduced[u.comp].graph();
       for (VertexId s = u.src_begin; s < u.src_end; ++s) {
@@ -236,7 +235,6 @@ struct EarApspEngine::Impl {
         break;
       }
     }
-    timings.process = seconds_since(t0);
   }
 
   [[nodiscard]] Weight block_distance(std::uint32_t comp, VertexId lu,
@@ -270,13 +268,15 @@ struct EarApspEngine::Impl {
   // accumulating within-block cut-to-cut distances along the (unique)
   // block-cut tree paths from each source articulation point.
   void build_ap_table() {
-    const auto t0 = Clock::now();
+    obs::ScopedPhase phase(timings.ap_table, "apsp.ap_table",
+                           "apsp.phase.ap_table_s");
     const auto& cuts = bct->cut_vertices();
     const auto a = static_cast<std::uint32_t>(cuts.size());
     ap_table.assign(static_cast<std::size_t>(a) * a, graph::kInfWeight);
 
     // One tree traversal per source AP; parallel across sources.
     const auto source_walk = [&](std::size_t ai) {
+      EARDEC_TRACE_SCOPE("apsp.ap_source_walk", "source", ai);
       Weight* row = ap_table.data() + ai * a;
       row[ai] = 0;
       // DFS over tree nodes, carrying the distance at the entry cut.
@@ -316,7 +316,6 @@ struct EarApspEngine::Impl {
     };
 
     parallel_over(a, source_walk);
-    timings.ap_table = seconds_since(t0);
   }
 
   void finalize_memory() {
@@ -491,8 +490,10 @@ EarApsp::EarApsp(const Graph& g, const ApspOptions& options)
   // components are flattened into one index space and spread over the
   // engine's shared pool, so many small components don't serialize behind
   // per-component fork/join barriers.
-  const auto t0 = std::chrono::steady_clock::now();
   auto& impl = *engine_.impl_;
+  timings_ = impl.timings;
+  obs::ScopedPhase phase(timings_.postprocess, "apsp.postprocess",
+                         "apsp.phase.postprocess_s");
   block_tables_.resize(impl.views.size());
   std::vector<std::pair<std::uint32_t, VertexId>> jobs;  // (component, row)
   for (std::uint32_t c = 0; c < impl.views.size(); ++c) {
@@ -508,10 +509,6 @@ EarApsp::EarApsp(const Graph& g, const ApspOptions& options)
       row[lv] = impl.block_distance(c, lu, lv);
     }
   });
-  timings_ = impl.timings;
-  timings_.postprocess =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
 }
 
 Weight EarApsp::distance(VertexId u, VertexId v) const {
@@ -563,6 +560,7 @@ DistanceMatrix ear_apsp_matrix(const Graph& g, const ApspOptions& options) {
   // EarApsp never need materializing. Rows are independent and run across
   // the engine's shared pool.
   const EarApspEngine engine(g, options);
+  EARDEC_TRACE_SCOPE("apsp.matrix", "n", g.num_vertices());
   DistanceMatrix d(g.num_vertices());
   engine.impl_->parallel_over(g.num_vertices(), [&](std::size_t u) {
     const auto row = d.row(static_cast<VertexId>(u));

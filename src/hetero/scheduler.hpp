@@ -49,6 +49,15 @@ struct WorkerStats {
   double busy_seconds = 0;   ///< wall clock spent inside unit callbacks
 };
 
+/// How two merged drains relate in time — decides what happens to their
+/// wall clocks in SchedulerStats::accumulate.
+enum class RunOverlap {
+  Sequential,  ///< back-to-back runs (bench repetitions): wall clocks add
+  Concurrent,  ///< overlapping drains: the merged wall clock is the max —
+               ///< summing would double-count the shared interval and
+               ///< deflate utilization (busy / (elapsed * workers))
+};
+
 /// Execution counters of one drain, for tests and the ablation benches.
 struct SchedulerStats {
   std::uint64_t cpu_units = 0;
@@ -66,8 +75,12 @@ struct SchedulerStats {
   /// ever waited on the queue or starved.
   [[nodiscard]] double utilization() const;
 
-  /// Merges the counters of another drain (benches accumulate repetitions).
-  void accumulate(const SchedulerStats& other);
+  /// Merges the counters of another drain. Counters always add; the wall
+  /// clock adds for Sequential repetitions but takes the max for
+  /// Concurrent (overlapping) drains, so merged utilization denominators
+  /// reflect real elapsed time instead of double-counting the overlap.
+  void accumulate(const SchedulerStats& other,
+                  RunOverlap overlap = RunOverlap::Sequential);
 };
 
 /// A unit callback: `unit` to execute, `worker` the stable index of the

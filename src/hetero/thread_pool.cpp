@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <memory>
+
+#include "obs/trace.hpp"
 
 namespace eardec::hetero {
 
@@ -12,7 +15,15 @@ ThreadPool::ThreadPool(unsigned num_threads) {
   }
   workers_.reserve(num_threads);
   for (unsigned i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] {
+      obs::Tracer& tracer = obs::Tracer::instance();
+      if (tracer.enabled()) {
+        char name[32];
+        std::snprintf(name, sizeof name, "pool-worker-%u", i);
+        tracer.set_current_thread_name(name);
+      }
+      worker_loop();
+    });
   }
 }
 
@@ -91,6 +102,7 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               std::size_t chunk) {
   if (begin >= end) return;
   if (chunk == 0) chunk = 1;
+  EARDEC_TRACE_SCOPE("pool.parallel_for", "items", end - begin);
   // The calling thread participates, so at most chunks-1 helpers can ever
   // claim work: don't wake more tasks than that for small ranges.
   const std::size_t chunks = (end - begin + chunk - 1) / chunk;

@@ -2,7 +2,21 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace eardec::hetero {
+namespace {
+
+/// Registry mirror of the queue's contention counter, aggregated across
+/// every queue in the process (the per-queue atomic stays authoritative
+/// for SchedulerStats deltas).
+void count_retries(std::uint64_t retries) {
+  static obs::Counter& cas_retries =
+      obs::MetricsRegistry::instance().counter("hetero.queue.cas_retries");
+  cas_retries.add(retries);
+}
+
+}  // namespace
 
 WorkQueue::WorkQueue(std::vector<WorkUnit> units) : units_(std::move(units)) {
   std::stable_sort(units_.begin(), units_.end(),
@@ -22,6 +36,7 @@ std::span<const WorkUnit> WorkQueue::claim(std::size_t batch, bool heavy) {
     if (k == 0) {
       if (retries != 0) {
         cas_retries_.fetch_add(retries, std::memory_order_relaxed);
+        count_retries(retries);
       }
       return {};
     }
@@ -31,7 +46,15 @@ std::span<const WorkUnit> WorkQueue::claim(std::size_t batch, bool heavy) {
                                      std::memory_order_relaxed)) {
       if (retries != 0) {
         cas_retries_.fetch_add(retries, std::memory_order_relaxed);
+        count_retries(retries);
       }
+      static obs::Histogram& heavy_sizes =
+          obs::MetricsRegistry::instance().histogram(
+              "hetero.queue.claim_heavy");
+      static obs::Histogram& light_sizes =
+          obs::MetricsRegistry::instance().histogram(
+              "hetero.queue.claim_light");
+      (heavy ? heavy_sizes : light_sizes).record(k);
       const std::size_t begin = heavy ? head : units_.size() - tail - k;
       return {units_.data() + begin, k};
     }

@@ -1,6 +1,5 @@
 #include "mcb/ear_mcb.hpp"
 
-#include <chrono>
 #include <cmath>
 #include <mutex>
 #include <optional>
@@ -8,12 +7,11 @@
 #include "connectivity/bcc.hpp"
 #include "hetero/scheduler.hpp"
 #include "hetero/work_queue.hpp"
+#include "obs/phase.hpp"
 #include "reduce/reduced_graph.hpp"
 
 namespace eardec::mcb {
 namespace {
-
-using Clock = std::chrono::steady_clock;
 
 /// Solves one biconnected component end to end (contract, solve, expand),
 /// returning cycles already remapped to the parent graph's edge ids.
@@ -21,15 +19,17 @@ McbResult solve_component(const Graph& g,
                           const connectivity::SubgraphView& view,
                           const McbOptions& options, hetero::ThreadPool* pool,
                           hetero::Device* device) {
-  const auto t0 = Clock::now();
+  EARDEC_TRACE_SCOPE("mcb.component", "edges", view.graph.num_edges());
+  double reduce_s = 0;
   std::optional<reduce::ReducedGraph> reduced;
   const Graph* solve_graph = &view.graph;
-  if (options.use_ear_decomposition) {
-    reduced.emplace(view.graph, reduce::ReduceMode::ForMcb);
-    solve_graph = &reduced->graph();
+  {
+    obs::ScopedPhase phase(reduce_s, "mcb.reduce", "mcb.phase.reduce_s");
+    if (options.use_ear_decomposition) {
+      reduced.emplace(view.graph, reduce::ReduceMode::ForMcb);
+      solve_graph = &reduced->graph();
+    }
   }
-  const double reduce_s =
-      std::chrono::duration<double>(Clock::now() - t0).count();
 
   McbResult comp = mm_mcb(*solve_graph, options, pool, device);
   comp.stats.reduce_seconds = reduce_s;

@@ -2,7 +2,6 @@
 
 #include <atomic>
 #include <bit>
-#include <chrono>
 #include <functional>
 #include <optional>
 #include <stdexcept>
@@ -14,15 +13,10 @@
 #include "mcb/fvs.hpp"
 #include "mcb/labelled_trees.hpp"
 #include "mcb/signed_graph.hpp"
+#include "obs/phase.hpp"
 
 namespace eardec::mcb {
 namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double seconds_since(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
-}
 
 /// Dispatches fn(i) for i in [0, count) under the execution mode.
 /// `serial_below`: run inline when the step is smaller than this — the
@@ -128,26 +122,35 @@ void McbStats::accumulate(const McbStats& o) {
 McbResult mm_mcb(const Graph& g, const McbOptions& options,
                  hetero::ThreadPool* pool, hetero::Device* device) {
   McbResult result;
-  auto t0 = Clock::now();
-
-  const SpanningTree tree = build_spanning_tree(g);
-  const std::size_t f = tree.dimension();
-  result.stats.dimension = f;
-  if (f == 0) return result;
-
-  const std::vector<VertexId> fvs =
-      options.fvs == FvsAlgorithm::BafnaBermanFujito
-          ? feedback_vertex_set_2approx(g)
-          : feedback_vertex_set(g);
-  LabelledTrees lt(g, tree, fvs);
-  result.stats.fvs_size = fvs.size();
-  result.stats.candidates = lt.candidates().size();
-  CycleStore store(static_cast<std::uint32_t>(lt.candidates().size()));
-
+  // Every McbStats field below is filled by obs::ScopedPhase: one clock
+  // shared with the "mcb.phase.*" registry gauges and the trace timeline.
+  std::optional<SpanningTree> tree;
+  std::optional<CycleStore> store;
+  std::optional<LabelledTrees> lt;
   std::vector<BitVector> witness;
-  witness.reserve(f);
-  for (std::size_t i = 0; i < f; ++i) witness.push_back(BitVector::unit(f, i));
-  result.stats.preprocess_seconds = seconds_since(t0);
+  std::size_t f = 0;
+  {
+    obs::ScopedPhase phase(result.stats.preprocess_seconds, "mcb.preprocess",
+                           "mcb.phase.preprocess_s");
+    tree.emplace(build_spanning_tree(g));
+    f = tree->dimension();
+    result.stats.dimension = f;
+    if (f == 0) return result;
+
+    const std::vector<VertexId> fvs =
+        options.fvs == FvsAlgorithm::BafnaBermanFujito
+            ? feedback_vertex_set_2approx(g)
+            : feedback_vertex_set(g);
+    lt.emplace(g, *tree, fvs);
+    result.stats.fvs_size = fvs.size();
+    result.stats.candidates = lt->candidates().size();
+    store.emplace(static_cast<std::uint32_t>(lt->candidates().size()));
+
+    witness.reserve(f);
+    for (std::size_t i = 0; i < f; ++i) {
+      witness.push_back(BitVector::unit(f, i));
+    }
+  }
 
   std::vector<std::uint32_t> batch(options.batch_size == 0
                                        ? 256
@@ -155,77 +158,91 @@ McbResult mm_mcb(const Graph& g, const McbOptions& options,
   std::vector<std::uint8_t> odd(batch.size());
 
   for (std::size_t i = 0; i < f; ++i) {
+    EARDEC_TRACE_SCOPE("mcb.iteration", "phase", i);
     const BitVector& s = witness[i];
 
     // (1) Labels: one unit of work per FVS tree.
-    t0 = Clock::now();
-    // Trees are coarse units (O(n) each); parallelize from a handful up.
-    dispatch(options.mode, pool, device, lt.num_trees(),
-             [&](std::size_t t) { lt.relabel_tree(t, s); },
-             /*serial_below=*/4);
-    result.stats.labels_seconds += seconds_since(t0);
+    {
+      obs::ScopedPhase phase(result.stats.labels_seconds, "mcb.labels",
+                             "mcb.phase.labels_s");
+      // Trees are coarse units (O(n) each); parallelize from a handful up.
+      dispatch(options.mode, pool, device, lt->num_trees(),
+               [&](std::size_t t) { lt->relabel_tree(t, s); },
+               /*serial_below=*/4);
+    }
 
     // (2) Search: batched scan in weight order, first odd candidate wins.
-    t0 = Clock::now();
     std::optional<Cycle> cycle;
-    std::uint32_t found_id = 0;
-    CycleStore::Cursor cursor = store.begin();
-    while (!cycle) {
-      const std::size_t got = store.next_batch(cursor, batch);
-      if (got == 0) break;
-      // Each orthogonality check is O(1); only very large batches are
-      // worth fanning out (the regime of the paper's full-size runs).
-      dispatch(
-          options.mode, pool, device, got,
-          [&](std::size_t k) {
-            odd[k] = lt.is_odd(lt.candidates()[batch[k]], s);
-          },
-          /*serial_below=*/512);
-      for (std::size_t k = 0; k < got; ++k) {
-        if (odd[k]) {
-          found_id = batch[k];
-          cycle = lt.materialize(lt.candidates()[found_id]);
-          break;
+    {
+      obs::ScopedPhase phase(result.stats.search_seconds, "mcb.search",
+                             "mcb.phase.search_s");
+      std::uint32_t found_id = 0;
+      CycleStore::Cursor cursor = store->begin();
+      while (!cycle) {
+        const std::size_t got = store->next_batch(cursor, batch);
+        if (got == 0) break;
+        // Each orthogonality check is O(1); only very large batches are
+        // worth fanning out (the regime of the paper's full-size runs).
+        dispatch(
+            options.mode, pool, device, got,
+            [&](std::size_t k) {
+              odd[k] = lt->is_odd(lt->candidates()[batch[k]], s);
+            },
+            /*serial_below=*/512);
+        for (std::size_t k = 0; k < got; ++k) {
+          if (odd[k]) {
+            found_id = batch[k];
+            cycle = lt->materialize(lt->candidates()[found_id]);
+            break;
+          }
+        }
+      }
+      if (cycle) {
+        store->remove(found_id);
+      } else {
+        // Safety net: the pruned candidate set should always contain an odd
+        // cycle per Mehlhorn–Michail; fall back to the exact signed-graph
+        // search if a pathological input defeats the pruning.
+        cycle = min_odd_cycle(g, *tree, s);
+        ++result.stats.fallback_searches;
+        if (!cycle) {
+          throw std::logic_error("mm_mcb: no odd cycle exists for a witness");
         }
       }
     }
-    if (cycle) {
-      store.remove(found_id);
-    } else {
-      // Safety net: the pruned candidate set should always contain an odd
-      // cycle per Mehlhorn–Michail; fall back to the exact signed-graph
-      // search if a pathological input defeats the pruning.
-      cycle = min_odd_cycle(g, tree, s);
-      ++result.stats.fallback_searches;
-      if (!cycle) {
-        throw std::logic_error("mm_mcb: no odd cycle exists for a witness");
-      }
-    }
-    result.stats.search_seconds += seconds_since(t0);
 
     // (3) Independence test / witness update.
-    t0 = Clock::now();
-    const BitVector ci = restricted_vector(*cycle, tree);
-    // Each witness update touches f/64 words; fan out once the remaining
-    // tail carries enough total work.
-    const std::size_t update_threshold =
-        std::max<std::size_t>(64, (1u << 16) / std::max<std::size_t>(1, f / 64));
-    if (options.mode == ExecutionMode::DeviceOnly && f - i - 1 >= 64) {
-      device_block_witness_update(*device, witness, ci, i);
-    } else {
-      dispatch(
-          options.mode, pool, device, f - i - 1,
-          [&](std::size_t k) {
-            const std::size_t j = i + 1 + k;
-            if (ci.dot(witness[j])) witness[j].xor_assign(witness[i]);
-          },
-          update_threshold);
+    {
+      obs::ScopedPhase phase(result.stats.update_seconds, "mcb.update",
+                             "mcb.phase.update_s");
+      const BitVector ci = restricted_vector(*cycle, *tree);
+      // Each witness update touches f/64 words; fan out once the remaining
+      // tail carries enough total work.
+      const std::size_t update_threshold = std::max<std::size_t>(
+          64, (1u << 16) / std::max<std::size_t>(1, f / 64));
+      if (options.mode == ExecutionMode::DeviceOnly && f - i - 1 >= 64) {
+        device_block_witness_update(*device, witness, ci, i);
+      } else {
+        dispatch(
+            options.mode, pool, device, f - i - 1,
+            [&](std::size_t k) {
+              const std::size_t j = i + 1 + k;
+              if (ci.dot(witness[j])) witness[j].xor_assign(witness[i]);
+            },
+            update_threshold);
+      }
     }
-    result.stats.update_seconds += seconds_since(t0);
 
     result.total_weight += cycle->weight;
     result.basis.push_back(std::move(*cycle));
   }
+
+  // Mirror the run's scalar outcomes into the registry so `--metrics`
+  // exports carry them next to the phase gauges.
+  auto& reg = obs::MetricsRegistry::instance();
+  reg.counter("mcb.fallback_searches").add(result.stats.fallback_searches);
+  reg.gauge("mcb.dimension").set(static_cast<double>(result.stats.dimension));
+  reg.gauge("mcb.candidates").set(static_cast<double>(result.stats.candidates));
   return result;
 }
 

@@ -1,0 +1,137 @@
+#include "obs/metrics.hpp"
+
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+
+namespace eardec::obs {
+
+struct MetricsRegistry::Impl {
+  mutable std::mutex mutex;  ///< guards the maps, not the instrument values
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+
+  template <typename T>
+  static T& find_or_create(
+      std::map<std::string, std::unique_ptr<T>, std::less<>>& map,
+      std::string_view name) {
+    const auto it = map.find(name);
+    if (it != map.end()) return *it->second;
+    return *map.emplace(std::string(name), std::make_unique<T>())
+                .first->second;
+  }
+};
+
+MetricsRegistry::MetricsRegistry() : impl_(new Impl) {}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  // Intentionally leaked: instruments are referenced from function-local
+  // statics that may fire during static destruction.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const std::lock_guard lock(impl_->mutex);
+  return Impl::find_or_create(impl_->counters, name);
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const std::lock_guard lock(impl_->mutex);
+  return Impl::find_or_create(impl_->gauges, name);
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  const std::lock_guard lock(impl_->mutex);
+  return Impl::find_or_create(impl_->histograms, name);
+}
+
+std::uint64_t MetricsRegistry::counter_value(std::string_view name) const {
+  const std::lock_guard lock(impl_->mutex);
+  const auto it = impl_->counters.find(name);
+  return it != impl_->counters.end() ? it->second->value() : 0;
+}
+
+double MetricsRegistry::gauge_value(std::string_view name) const {
+  const std::lock_guard lock(impl_->mutex);
+  const auto it = impl_->gauges.find(name);
+  return it != impl_->gauges.end() ? it->second->value() : 0.0;
+}
+
+void MetricsRegistry::reset_values() {
+  const std::lock_guard lock(impl_->mutex);
+  for (const auto& [name, c] : impl_->counters) c->reset();
+  for (const auto& [name, g] : impl_->gauges) g->reset();
+  for (const auto& [name, h] : impl_->histograms) h->reset();
+}
+
+void MetricsRegistry::write_json(std::ostream& out) const {
+  const std::lock_guard lock(impl_->mutex);
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : impl_->counters) {
+    out << (first ? "" : ",") << "\n    \"" << name << "\": " << c->value();
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : impl_->gauges) {
+    out << (first ? "" : ",") << "\n    \"" << name << "\": " << g->value();
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : impl_->histograms) {
+    out << (first ? "" : ",") << "\n    \"" << name
+        << "\": {\"count\": " << h->count() << ", \"sum\": " << h->sum()
+        << ", \"buckets\": [";
+    bool first_bucket = true;
+    for (std::size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      const std::uint64_t n = h->bucket_count(i);
+      if (n == 0) continue;
+      out << (first_bucket ? "" : ", ") << "{\"le\": "
+          << Histogram::bucket_max(i) << ", \"count\": " << n << "}";
+      first_bucket = false;
+    }
+    out << "]}";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "}\n}\n";
+}
+
+void MetricsRegistry::write_csv(std::ostream& out) const {
+  const std::lock_guard lock(impl_->mutex);
+  out << "kind,name,field,value\n";
+  for (const auto& [name, c] : impl_->counters) {
+    out << "counter," << name << ",value," << c->value() << '\n';
+  }
+  for (const auto& [name, g] : impl_->gauges) {
+    out << "gauge," << name << ",value," << g->value() << '\n';
+  }
+  for (const auto& [name, h] : impl_->histograms) {
+    out << "histogram," << name << ",count," << h->count() << '\n';
+    out << "histogram," << name << ",sum," << h->sum() << '\n';
+    for (std::size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      const std::uint64_t n = h->bucket_count(i);
+      if (n == 0) continue;
+      out << "histogram," << name << ",le_" << Histogram::bucket_max(i) << ','
+          << n << '\n';
+    }
+  }
+}
+
+bool MetricsRegistry::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  if (path.ends_with(".csv")) {
+    write_csv(out);
+  } else {
+    write_json(out);
+  }
+  return static_cast<bool>(out);
+}
+
+}  // namespace eardec::obs

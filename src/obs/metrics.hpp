@@ -1,0 +1,147 @@
+// Process-wide metrics registry — the counters half of the observability
+// layer (trace.hpp holds the span tracer; see docs/observability.md).
+//
+// Three instrument kinds, all safe to update from any thread with relaxed
+// atomics and no locks on the hot path:
+//   * Counter   — monotonically increasing uint64 (CAS retries, units run);
+//   * Gauge     — last-written double (phase seconds, utilization);
+//   * Histogram — log2-bucketed uint64 distribution (claim batch sizes,
+//                 queue depths): value v lands in bucket bit_width(v), so
+//                 bucket i >= 1 covers [2^(i-1), 2^i - 1] and bucket 0 is
+//                 exactly {0}.
+//
+// Instruments are created on first lookup and never move or disappear, so
+// hot paths cache the returned reference in a function-local static and
+// pay one map lookup per process:
+//
+//   static obs::Counter& retries =
+//       obs::MetricsRegistry::instance().counter("hetero.queue.cas_retries");
+//   retries.add(n);
+//
+// Exports: a flat JSON object (write_json) or CSV rows (write_csv), both
+// wired to `eardec_cli --metrics <file>` and the EARDEC_METRICS env var of
+// the bench binaries.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace eardec::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+class Histogram {
+ public:
+  /// Bucket 0 holds zeros; bucket i in [1, 64] holds [2^(i-1), 2^i - 1].
+  static constexpr std::size_t kNumBuckets = 65;
+
+  [[nodiscard]] static constexpr std::size_t bucket_index(
+      std::uint64_t v) noexcept {
+    return v == 0 ? 0 : static_cast<std::size_t>(std::bit_width(v));
+  }
+  /// Smallest value the bucket admits.
+  [[nodiscard]] static constexpr std::uint64_t bucket_min(
+      std::size_t i) noexcept {
+    return i == 0 ? 0 : std::uint64_t{1} << (i - 1);
+  }
+  /// Largest value the bucket admits (inclusive).
+  [[nodiscard]] static constexpr std::uint64_t bucket_max(
+      std::size_t i) noexcept {
+    if (i == 0) return 0;
+    if (i >= 64) return ~std::uint64_t{0};
+    return (std::uint64_t{1} << i) - 1;
+  }
+
+  void record(std::uint64_t v) noexcept {
+    buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  void reset() noexcept {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kNumBuckets]{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry. Never destroyed (safe from static and
+  /// thread-local destructors).
+  static MetricsRegistry& instance();
+
+  /// Finds or creates the named instrument. References stay valid for the
+  /// life of the process.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Current value of a named instrument, or 0 when it does not exist
+  /// (reads never create instruments).
+  [[nodiscard]] std::uint64_t counter_value(std::string_view name) const;
+  [[nodiscard]] double gauge_value(std::string_view name) const;
+
+  /// Zeroes every instrument; names and handles survive.
+  void reset_values();
+
+  /// Flat JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  void write_json(std::ostream& out) const;
+  /// CSV rows: kind,name,field,value (histograms add one row per non-empty
+  /// bucket, field = inclusive upper bound).
+  void write_csv(std::ostream& out) const;
+  /// Writes by extension: ".csv" -> CSV, anything else -> JSON. False if
+  /// the file cannot be opened.
+  bool write_file(const std::string& path) const;
+
+ private:
+  MetricsRegistry();
+  ~MetricsRegistry() = delete;  // leaked singleton
+
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace eardec::obs

@@ -283,6 +283,31 @@ TEST(SchedulerStats, AccumulateMergesPerWorkerCounters) {
   EXPECT_DOUBLE_EQ(a.device_worker.busy_seconds, 0.4);
 }
 
+TEST(SchedulerStats, AccumulateElapsedSequentialSumsConcurrentMaxes) {
+  // Regression: merging two overlapping drains used to sum their wall
+  // clocks, double-counting the shared interval and deflating utilization.
+  SchedulerStats seq_a;
+  seq_a.elapsed_seconds = 0.5;
+  SchedulerStats seq_b;
+  seq_b.elapsed_seconds = 0.25;
+  seq_a.accumulate(seq_b);  // Sequential is the default: repetitions add
+  EXPECT_DOUBLE_EQ(seq_a.elapsed_seconds, 0.75);
+
+  SchedulerStats conc_a;
+  conc_a.elapsed_seconds = 0.5;
+  conc_a.cpu_workers = {{.units = 1, .claims = 1, .busy_seconds = 0.4}};
+  SchedulerStats conc_b;
+  conc_b.elapsed_seconds = 0.3;
+  conc_b.cpu_workers = {{.units = 1, .claims = 1, .busy_seconds = 0.25}};
+  conc_a.accumulate(conc_b, RunOverlap::Concurrent);
+  EXPECT_DOUBLE_EQ(conc_a.elapsed_seconds, 0.5);
+  // The utilization denominator reflects the real 0.5 s window the drains
+  // shared, not the 0.8 s a sum would claim.
+  EXPECT_DOUBLE_EQ(conc_a.utilization(), (0.4 + 0.25) / (0.5 * 1.0));
+  ASSERT_EQ(conc_a.cpu_workers.size(), 1u);
+  EXPECT_DOUBLE_EQ(conc_a.cpu_workers[0].busy_seconds, 0.65);
+}
+
 TEST(Scheduler, DeviceSideSeesHeavyUnitsFirst) {
   // With a device batch as large as the queue, the device grabs everything
   // heavy; verify its units are the heaviest ones.

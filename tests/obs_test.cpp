@@ -1,0 +1,455 @@
+// Tests for the observability layer (src/obs): span recording and ordering,
+// ring-buffer wraparound accounting, histogram bucket boundaries, the
+// Chrome trace / metrics JSON exporters (round-tripped through a minimal
+// JSON parser), and the compile-time/runtime disable gates.
+//
+// The tracer and registry are process-wide singletons, so every test that
+// inspects them clears/resets first and runs single-threaded unless it is
+// specifically exercising cross-thread lanes.
+#include <cctype>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <type_traits>
+#include <variant>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hpp"
+#include "obs/phase.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+using namespace eardec;
+
+// --- minimal JSON parser (objects, arrays, strings, numbers, bools) -----
+//
+// Just enough to round-trip the exporters' output; rejects anything
+// malformed by throwing, which the tests surface as failures.
+
+struct JsonValue;
+using JsonObject = std::map<std::string, JsonValue>;
+using JsonArray = std::vector<JsonValue>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string,
+               std::shared_ptr<JsonObject>, std::shared_ptr<JsonArray>>
+      v;
+
+  [[nodiscard]] const JsonObject& obj() const {
+    return *std::get<std::shared_ptr<JsonObject>>(v);
+  }
+  [[nodiscard]] const JsonArray& arr() const {
+    return *std::get<std::shared_ptr<JsonArray>>(v);
+  }
+  [[nodiscard]] double num() const { return std::get<double>(v); }
+  [[nodiscard]] const std::string& str() const {
+    return std::get<std::string>(v);
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string text) : text_(std::move(text)) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) throw std::runtime_error("trailing json");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) throw std::runtime_error("eof");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      throw std::runtime_error(std::string("expected ") + c + " at " +
+                               std::to_string(pos_));
+    }
+    ++pos_;
+  }
+
+  JsonValue value() {
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return {string()};
+      case 't': literal("true"); return {true};
+      case 'f': literal("false"); return {false};
+      case 'n': literal("null"); return {nullptr};
+      default: return {number()};
+    }
+  }
+
+  void literal(const char* lit) {
+    for (const char* p = lit; *p != '\0'; ++p) {
+      if (pos_ >= text_.size() || text_[pos_++] != *p) {
+        throw std::runtime_error("bad literal");
+      }
+    }
+  }
+
+  JsonValue object() {
+    expect('{');
+    auto out = std::make_shared<JsonObject>();
+    if (peek() == '}') {
+      ++pos_;
+      return {out};
+    }
+    for (;;) {
+      const std::string key = string();
+      expect(':');
+      (*out)[key] = value();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return {out};
+    }
+  }
+
+  JsonValue array() {
+    expect('[');
+    auto out = std::make_shared<JsonArray>();
+    if (peek() == ']') {
+      ++pos_;
+      return {out};
+    }
+    for (;;) {
+      out->push_back(value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return {out};
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) throw std::runtime_error("bad escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) throw std::runtime_error("bad \\u");
+            const unsigned long cp = std::stoul(text_.substr(pos_, 4), nullptr,
+                                                16);
+            pos_ += 4;
+            c = static_cast<char>(cp);  // exporter only emits ASCII escapes
+            break;
+          }
+          default: throw std::runtime_error("bad escape");
+        }
+      }
+      out.push_back(c);
+    }
+    expect('"');
+    return out;
+  }
+
+  double number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (start == pos_) throw std::runtime_error("bad number");
+    return std::stod(text_.substr(start, pos_ - start));
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+};
+
+// --- fixtures -----------------------------------------------------------
+
+class ObsTracerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::Tracer::instance().clear();
+    obs::Tracer::instance().set_enabled(true);
+  }
+  void TearDown() override {
+    obs::Tracer::instance().set_enabled(false);
+    obs::Tracer::instance().clear();
+  }
+};
+
+// --- tracer -------------------------------------------------------------
+
+TEST(ObsCompileGate, NullSpanIsEmptyAndScopedSpanIsNot) {
+  // The disabled build's macro must cost nothing: the object EARDEC_TRACE_
+  // SCOPE degrades to is statically empty.
+  static_assert(std::is_empty_v<obs::NullSpan>);
+  static_assert(!std::is_empty_v<obs::ScopedSpan>);
+  SUCCEED();
+}
+
+TEST(ObsCompileGate, MacroMatchesCompileSwitch) {
+  // In this build tracing is compiled in iff kTracingEnabled; the macro is
+  // exercised everywhere else, here we just pin the constant to the build
+  // configuration so a wrong CMake wiring fails loudly.
+  EXPECT_EQ(obs::kTracingEnabled, EARDEC_TRACING_ENABLED != 0);
+}
+
+TEST_F(ObsTracerTest, DisabledTracerRecordsNothing) {
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.set_enabled(false);
+  { EARDEC_TRACE_SCOPE("obs_test.disabled"); }
+  tracer.record_span("obs_test.direct", 0, 1);
+  EXPECT_EQ(tracer.recorded_events(), 0u);
+}
+
+TEST_F(ObsTracerTest, NestedSpansOrderAndContainment) {
+  if (!obs::kTracingEnabled) GTEST_SKIP() << "tracing compiled out";
+  {
+    EARDEC_TRACE_SCOPE("obs_test.outer");
+    {
+      EARDEC_TRACE_SCOPE("obs_test.inner", "arg", 42);
+    }
+  }
+  const auto events = obs::Tracer::instance().snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // snapshot() sorts by start time: outer opened first.
+  EXPECT_STREQ(events[0].event.name, "obs_test.outer");
+  EXPECT_STREQ(events[1].event.name, "obs_test.inner");
+  EXPECT_STREQ(events[1].event.arg_name, "arg");
+  EXPECT_EQ(events[1].event.arg, 42u);
+  // The inner span nests inside the outer one on the timeline.
+  const auto& outer = events[0].event;
+  const auto& inner = events[1].event;
+  EXPECT_GE(inner.start_ns, outer.start_ns);
+  EXPECT_LE(inner.start_ns + inner.dur_ns, outer.start_ns + outer.dur_ns);
+  // Both recorded on the same lane.
+  EXPECT_EQ(events[0].tid, events[1].tid);
+}
+
+TEST_F(ObsTracerTest, RingWraparoundKeepsNewestAndCountsDrops) {
+  if (!obs::kTracingEnabled) GTEST_SKIP() << "tracing compiled out";
+  obs::Tracer& tracer = obs::Tracer::instance();
+  constexpr std::size_t kExtra = 100;
+  const std::size_t total = obs::Tracer::kRingCapacity + kExtra;
+  for (std::size_t i = 0; i < total; ++i) {
+    tracer.record_span("obs_test.wrap", /*start_ns=*/i, /*dur_ns=*/1);
+  }
+  EXPECT_EQ(tracer.recorded_events(), obs::Tracer::kRingCapacity);
+  EXPECT_EQ(tracer.dropped_events(), kExtra);
+  // The ring keeps the newest events: the oldest retained start time is
+  // exactly the number of dropped events.
+  const auto events = tracer.snapshot();
+  ASSERT_EQ(events.size(), obs::Tracer::kRingCapacity);
+  EXPECT_EQ(events.front().event.start_ns, kExtra);
+  EXPECT_EQ(events.back().event.start_ns, total - 1);
+  // clear() resets both gauges.
+  tracer.clear();
+  EXPECT_EQ(tracer.recorded_events(), 0u);
+  EXPECT_EQ(tracer.dropped_events(), 0u);
+}
+
+TEST_F(ObsTracerTest, LanesFromExitedThreadsAreRecycled) {
+  if (!obs::kTracingEnabled) GTEST_SKIP() << "tracing compiled out";
+  obs::Tracer& tracer = obs::Tracer::instance();
+  // Sequential short-lived threads (the scheduler's per-drain jthreads)
+  // must reuse one lane instead of growing the registry.
+  for (int round = 0; round < 8; ++round) {
+    std::thread([&] {
+      tracer.set_current_thread_name("recycled");
+      tracer.record_span("obs_test.lane", 0, 1);
+    }).join();
+  }
+  const auto events = tracer.snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  for (const auto& e : events) {
+    EXPECT_EQ(e.tid, events.front().tid);
+    EXPECT_EQ(e.thread_name, "recycled");
+  }
+}
+
+TEST_F(ObsTracerTest, ChromeTraceExportRoundTrips) {
+  if (!obs::kTracingEnabled) GTEST_SKIP() << "tracing compiled out";
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.set_current_thread_name("main-thread");
+  tracer.record_span("obs_test.export \"quoted\"", 2000, 3000, "units", 7);
+  std::ostringstream out;
+  tracer.write_chrome_trace(out);
+
+  const JsonValue doc = JsonParser(out.str()).parse();
+  const JsonArray& events = doc.obj().at("traceEvents").arr();
+  bool saw_span = false;
+  bool saw_thread_name = false;
+  for (const JsonValue& ev : events) {
+    const JsonObject& e = ev.obj();
+    const std::string& ph = e.at("ph").str();
+    if (ph == "X" && e.at("name").str() == "obs_test.export \"quoted\"") {
+      saw_span = true;
+      // Chrome trace timestamps are microseconds.
+      EXPECT_DOUBLE_EQ(e.at("ts").num(), 2.0);
+      EXPECT_DOUBLE_EQ(e.at("dur").num(), 3.0);
+      EXPECT_DOUBLE_EQ(e.at("args").obj().at("units").num(), 7.0);
+    }
+    if (ph == "M" && e.at("name").str() == "thread_name" &&
+        e.at("args").obj().at("name").str() == "main-thread") {
+      saw_thread_name = true;
+    }
+  }
+  EXPECT_TRUE(saw_span);
+  EXPECT_TRUE(saw_thread_name);
+}
+
+// --- histogram ----------------------------------------------------------
+
+TEST(ObsHistogram, BucketBoundaries) {
+  // Bucket 0 is exactly {0}; bucket i >= 1 covers [2^(i-1), 2^i - 1].
+  EXPECT_EQ(obs::Histogram::bucket_index(0), 0u);
+  EXPECT_EQ(obs::Histogram::bucket_index(1), 1u);
+  EXPECT_EQ(obs::Histogram::bucket_index(2), 2u);
+  EXPECT_EQ(obs::Histogram::bucket_index(3), 2u);
+  EXPECT_EQ(obs::Histogram::bucket_index(4), 3u);
+  EXPECT_EQ(obs::Histogram::bucket_index(7), 3u);
+  EXPECT_EQ(obs::Histogram::bucket_index(8), 4u);
+  EXPECT_EQ(obs::Histogram::bucket_index(~std::uint64_t{0}), 64u);
+  for (std::size_t i = 0; i < obs::Histogram::kNumBuckets; ++i) {
+    // Every bucket's own bounds map back into the bucket, and the bounds
+    // tile the uint64 range without gaps.
+    EXPECT_EQ(obs::Histogram::bucket_index(obs::Histogram::bucket_min(i)), i);
+    EXPECT_EQ(obs::Histogram::bucket_index(obs::Histogram::bucket_max(i)), i);
+    if (i + 1 < obs::Histogram::kNumBuckets) {
+      EXPECT_EQ(obs::Histogram::bucket_max(i) + 1,
+                obs::Histogram::bucket_min(i + 1));
+    }
+  }
+}
+
+TEST(ObsHistogram, RecordAccumulates) {
+  obs::Histogram h;
+  h.record(0);
+  h.record(1);
+  h.record(5);
+  h.record(5);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 11u);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(3), 2u);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.bucket_count(3), 0u);
+}
+
+// --- registry -----------------------------------------------------------
+
+TEST(ObsRegistry, InstrumentsAreStableAndReadable) {
+  auto& reg = obs::MetricsRegistry::instance();
+  obs::Counter& c = reg.counter("obs_test.counter");
+  c.reset();
+  c.add(3);
+  // Same name -> same instrument.
+  EXPECT_EQ(&reg.counter("obs_test.counter"), &c);
+  EXPECT_EQ(reg.counter_value("obs_test.counter"), 3u);
+  reg.gauge("obs_test.gauge").set(2.5);
+  EXPECT_DOUBLE_EQ(reg.gauge_value("obs_test.gauge"), 2.5);
+  // Reads never create: unknown names answer 0.
+  EXPECT_EQ(reg.counter_value("obs_test.never_created"), 0u);
+  EXPECT_DOUBLE_EQ(reg.gauge_value("obs_test.never_created"), 0.0);
+}
+
+TEST(ObsRegistry, JsonExportRoundTrips) {
+  auto& reg = obs::MetricsRegistry::instance();
+  reg.counter("obs_test.json_counter").reset();
+  reg.counter("obs_test.json_counter").add(41);
+  reg.gauge("obs_test.json_gauge").set(1.5);
+  obs::Histogram& h = reg.histogram("obs_test.json_histo");
+  h.reset();
+  h.record(3);
+  h.record(100);
+
+  std::ostringstream out;
+  reg.write_json(out);
+  const JsonValue doc = JsonParser(out.str()).parse();
+  const JsonObject& root = doc.obj();
+  EXPECT_DOUBLE_EQ(
+      root.at("counters").obj().at("obs_test.json_counter").num(), 41.0);
+  EXPECT_DOUBLE_EQ(root.at("gauges").obj().at("obs_test.json_gauge").num(),
+                   1.5);
+  const JsonObject& histo =
+      root.at("histograms").obj().at("obs_test.json_histo").obj();
+  EXPECT_DOUBLE_EQ(histo.at("count").num(), 2.0);
+  EXPECT_DOUBLE_EQ(histo.at("sum").num(), 103.0);
+  // Bucket list: per-bucket counts must sum back to the total.
+  double bucket_total = 0;
+  for (const JsonValue& b : histo.at("buckets").arr()) {
+    bucket_total += b.obj().at("count").num();
+  }
+  EXPECT_DOUBLE_EQ(bucket_total, 2.0);
+}
+
+TEST(ObsRegistry, CsvExportContainsInstrumentRows) {
+  auto& reg = obs::MetricsRegistry::instance();
+  reg.counter("obs_test.csv_counter").reset();
+  reg.counter("obs_test.csv_counter").add(7);
+  std::ostringstream out;
+  reg.write_csv(out);
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("kind,name,field,value"), std::string::npos);
+  EXPECT_NE(csv.find("counter,obs_test.csv_counter,value,7"),
+            std::string::npos);
+}
+
+// --- phase helper -------------------------------------------------------
+
+TEST(ObsScopedPhase, AccumulatesIntoFieldGaugeAndTrace) {
+  obs::Tracer::instance().clear();
+  obs::Tracer::instance().set_enabled(true);
+  double field = 0;
+  {
+    obs::ScopedPhase phase(field, "obs_test.phase", "obs_test.phase_s");
+  }
+  {
+    obs::ScopedPhase phase(field, "obs_test.phase", "obs_test.phase_s");
+  }
+  EXPECT_GT(field, 0.0);
+  // The gauge carries the accumulated total of both rounds.
+  EXPECT_DOUBLE_EQ(obs::MetricsRegistry::instance().gauge_value(
+                       "obs_test.phase_s"),
+                   field);
+  if (obs::kTracingEnabled) {
+    const auto events = obs::Tracer::instance().snapshot();
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_STREQ(events[0].event.name, "obs_test.phase");
+  }
+  obs::Tracer::instance().set_enabled(false);
+  obs::Tracer::instance().clear();
+}
+
+}  // namespace

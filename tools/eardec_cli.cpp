@@ -13,12 +13,20 @@
 //
 // Graphs by extension: *.mtx (Matrix Market), *.edg (binary EDG1), anything
 // else as whitespace edge list.
-// Options: --mode=seq|mc|gpu|hetero (default mc), --threads=N (default 4).
+// Options:
+//   --mode=seq|mc|gpu|hetero   execution mode (default mc)
+//   --threads=N                CPU worker threads (default 4)
+//   --trace <file>             record a Chrome trace (load in Perfetto /
+//                              chrome://tracing); also --trace=<file>
+//   --metrics <file>           dump the metrics registry (.json or .csv)
+//   --json-stats               print phase timings + scheduler counters as
+//                              one JSON object instead of the human summary
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "connectivity/bcc.hpp"
 #include "connectivity/ear_decomposition.hpp"
@@ -30,6 +38,8 @@
 #include "graph/io.hpp"
 #include "graph/stats.hpp"
 #include "mcb/ear_mcb.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sssp/brandes.hpp"
 #include "reduce/chains.hpp"
 
@@ -61,29 +71,150 @@ void save(const std::string& path, const graph::Graph& g) {
   }
 }
 
-core::ApspOptions parse_options(int argc, char** argv) {
-  core::ApspOptions opts{.mode = core::ExecutionMode::Multicore,
+struct CliOptions {
+  core::ApspOptions apsp{.mode = core::ExecutionMode::Multicore,
                          .cpu_threads = 4};
+  std::string trace_path;    ///< --trace: Chrome trace JSON destination
+  std::string metrics_path;  ///< --metrics: registry dump (.json / .csv)
+  bool json_stats = false;   ///< --json-stats: machine-readable summary
+};
+
+/// Splits argv into flags (into `cli`) and positional operands (returned in
+/// order). Value flags accept both `--flag=value` and `--flag value`.
+std::vector<std::string> parse_args(int argc, char** argv, CliOptions& cli) {
+  std::vector<std::string> pos;
+  const auto value_of = [&](const std::string& arg, const char* name,
+                            int& i) -> std::string {
+    const std::string eq = std::string(name) + "=";
+    if (arg.starts_with(eq)) return arg.substr(eq.size());
+    if (i + 1 >= argc) {
+      throw std::runtime_error(std::string(name) + " needs a value");
+    }
+    return argv[++i];
+  };
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg.starts_with("--mode=")) {
-      const std::string mode = arg.substr(7);
-      if (mode == "seq") opts.mode = core::ExecutionMode::Sequential;
-      else if (mode == "mc") opts.mode = core::ExecutionMode::Multicore;
-      else if (mode == "gpu") opts.mode = core::ExecutionMode::DeviceOnly;
-      else if (mode == "hetero") opts.mode = core::ExecutionMode::Heterogeneous;
-      else throw std::runtime_error("unknown --mode " + mode);
-    } else if (arg.starts_with("--threads=")) {
-      opts.cpu_threads = static_cast<unsigned>(std::stoul(arg.substr(10)));
+    if (arg.starts_with("--mode")) {
+      const std::string mode = value_of(arg, "--mode", i);
+      if (mode == "seq") cli.apsp.mode = core::ExecutionMode::Sequential;
+      else if (mode == "mc") cli.apsp.mode = core::ExecutionMode::Multicore;
+      else if (mode == "gpu") cli.apsp.mode = core::ExecutionMode::DeviceOnly;
+      else if (mode == "hetero") {
+        cli.apsp.mode = core::ExecutionMode::Heterogeneous;
+      } else {
+        throw std::runtime_error("unknown --mode " + mode);
+      }
+    } else if (arg.starts_with("--threads")) {
+      cli.apsp.cpu_threads =
+          static_cast<unsigned>(std::stoul(value_of(arg, "--threads", i)));
+    } else if (arg.starts_with("--trace")) {
+      cli.trace_path = value_of(arg, "--trace", i);
+    } else if (arg.starts_with("--metrics")) {
+      cli.metrics_path = value_of(arg, "--metrics", i);
+    } else if (arg == "--json-stats") {
+      cli.json_stats = true;
+    } else if (arg.starts_with("--")) {
+      throw std::runtime_error("unknown option " + arg);
+    } else {
+      pos.push_back(arg);
     }
   }
-  return opts;
+  return pos;
+}
+
+/// Writes the pending --trace / --metrics exports on scope exit, so every
+/// `return` path in the command dispatch flushes them.
+struct ObsExports {
+  const CliOptions& cli;
+  ~ObsExports() {
+    if (!cli.trace_path.empty() &&
+        !obs::Tracer::instance().write_chrome_trace_file(cli.trace_path)) {
+      std::fprintf(stderr, "error: cannot write %s\n", cli.trace_path.c_str());
+    }
+    if (!cli.metrics_path.empty() &&
+        !obs::MetricsRegistry::instance().write_file(cli.metrics_path)) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   cli.metrics_path.c_str());
+    }
+  }
+};
+
+void print_scheduler_json(const hetero::SchedulerStats& s) {
+  std::printf("  \"scheduler\": {\n");
+  std::printf("    \"cpu_units\": %llu,\n",
+              static_cast<unsigned long long>(s.cpu_units));
+  std::printf("    \"device_units\": %llu,\n",
+              static_cast<unsigned long long>(s.device_units));
+  std::printf("    \"cpu_claims\": %llu,\n",
+              static_cast<unsigned long long>(s.cpu_claims));
+  std::printf("    \"device_claims\": %llu,\n",
+              static_cast<unsigned long long>(s.device_claims));
+  std::printf("    \"queue_contention\": %llu,\n",
+              static_cast<unsigned long long>(s.queue_contention));
+  std::printf("    \"elapsed_seconds\": %.6f,\n", s.elapsed_seconds);
+  std::printf("    \"utilization\": %.4f,\n", s.utilization());
+  std::printf("    \"cpu_workers\": [");
+  for (std::size_t i = 0; i < s.cpu_workers.size(); ++i) {
+    const auto& w = s.cpu_workers[i];
+    std::printf("%s{\"units\": %llu, \"claims\": %llu, "
+                "\"busy_seconds\": %.6f}",
+                i == 0 ? "" : ", ",
+                static_cast<unsigned long long>(w.units),
+                static_cast<unsigned long long>(w.claims), w.busy_seconds);
+  }
+  std::printf("],\n");
+  std::printf("    \"device_worker\": {\"units\": %llu, \"claims\": %llu, "
+              "\"busy_seconds\": %.6f}\n",
+              static_cast<unsigned long long>(s.device_worker.units),
+              static_cast<unsigned long long>(s.device_worker.claims),
+              s.device_worker.busy_seconds);
+  std::printf("  }\n");
+}
+
+/// The --json-stats object for apsp/path/analytics: PhaseTimings and
+/// SchedulerStats of the oracle build, as one JSON document on stdout.
+void print_apsp_json(const char* command, const core::DistanceOracle& oracle) {
+  const core::PhaseTimings& t = oracle.timings();
+  std::printf("{\n  \"command\": \"%s\",\n", command);
+  std::printf("  \"phases\": {\n");
+  std::printf("    \"decompose\": %.6f,\n", t.decompose);
+  std::printf("    \"reduce\": %.6f,\n", t.reduce);
+  std::printf("    \"process\": %.6f,\n", t.process);
+  std::printf("    \"postprocess\": %.6f,\n", t.postprocess);
+  std::printf("    \"ap_table\": %.6f,\n", t.ap_table);
+  std::printf("    \"total\": %.6f\n", t.total());
+  std::printf("  },\n");
+  print_scheduler_json(oracle.engine().scheduler_stats());
+  std::printf("}\n");
+}
+
+void print_mcb_json(const mcb::McbResult& r, bool valid) {
+  const mcb::McbStats& s = r.stats;
+  std::printf("{\n  \"command\": \"mcb\",\n");
+  std::printf("  \"basis_size\": %zu,\n", r.basis.size());
+  std::printf("  \"total_weight\": %g,\n", r.total_weight);
+  std::printf("  \"valid\": %s,\n", valid ? "true" : "false");
+  std::printf("  \"phases\": {\n");
+  std::printf("    \"reduce\": %.6f,\n", s.reduce_seconds);
+  std::printf("    \"preprocess\": %.6f,\n", s.preprocess_seconds);
+  std::printf("    \"labels\": %.6f,\n", s.labels_seconds);
+  std::printf("    \"search\": %.6f,\n", s.search_seconds);
+  std::printf("    \"update\": %.6f,\n", s.update_seconds);
+  std::printf("    \"total\": %.6f\n", s.total_seconds());
+  std::printf("  },\n");
+  std::printf("  \"dimension\": %zu,\n", s.dimension);
+  std::printf("  \"candidates\": %zu,\n", s.candidates);
+  std::printf("  \"fallback_searches\": %zu,\n", s.fallback_searches);
+  std::printf("  \"fvs_size\": %zu\n", s.fvs_size);
+  std::printf("}\n");
 }
 
 int usage() {
   std::fprintf(stderr,
                "usage: eardec_cli {stats|decompose|apsp|path|mcb|analytics|"
-               "gen} <args> [--mode=seq|mc|gpu|hetero] [--threads=N]\n");
+               "gen|convert|bc} <args> [--mode=seq|mc|gpu|hetero] "
+               "[--threads=N] [--trace <file>] [--metrics <file>] "
+               "[--json-stats]\n");
   return 2;
 }
 
@@ -93,27 +224,33 @@ int main(int argc, char** argv) {
   if (argc < 3) return usage();
   const std::string cmd = argv[1];
   try {
+    CliOptions cli;
+    const std::vector<std::string> pos = parse_args(argc - 2, argv + 2, cli);
+    if (pos.empty()) return usage();
+    if (!cli.trace_path.empty()) obs::Tracer::instance().set_enabled(true);
+    const ObsExports exports{cli};  // flushes --trace/--metrics on return
+    const core::ApspOptions& opts = cli.apsp;
+
     if (cmd == "gen") {
-      if (argc < 4) return usage();
-      const auto& d = graph::datasets::by_name(argv[2]);
-      graph::io::write_matrix_market_file(argv[3], d.make());
-      std::printf("wrote %s (dataset %s)\n", argv[3], d.name.c_str());
+      if (pos.size() < 2) return usage();
+      const auto& d = graph::datasets::by_name(pos[0]);
+      graph::io::write_matrix_market_file(pos[1], d.make());
+      std::printf("wrote %s (dataset %s)\n", pos[1].c_str(), d.name.c_str());
       return 0;
     }
 
-    const graph::Graph g = load(argv[2]);
-    const auto opts = parse_options(argc - 3, argv + 3);
+    const graph::Graph g = load(pos[0]);
 
     if (cmd == "convert") {
-      if (argc < 4) return usage();
-      save(argv[3], g);
-      std::printf("wrote %s (%u vertices, %u edges)\n", argv[3],
+      if (pos.size() < 2) return usage();
+      save(pos[1], g);
+      std::printf("wrote %s (%u vertices, %u edges)\n", pos[1].c_str(),
                   g.num_vertices(), g.num_edges());
       return 0;
     }
     if (cmd == "bc") {
       const auto k = static_cast<std::size_t>(
-          argc >= 4 && argv[3][0] != '-' ? std::stoul(argv[3]) : 5);
+          pos.size() >= 2 ? std::stoul(pos[1]) : 5);
       hetero::ThreadPool pool(opts.cpu_threads);
       const auto bc = sssp::betweenness_centrality(g, &pool);
       std::vector<graph::VertexId> order(g.num_vertices());
@@ -151,48 +288,67 @@ int main(int argc, char** argv) {
     }
     if (cmd == "apsp") {
       const core::DistanceOracle oracle(g, opts);
-      std::printf("oracle ready: %u components, %llu SSSP runs, "
-                  "%.2f MB (vs %.2f MB dense)\n",
-                  oracle.engine().num_components(),
-                  static_cast<unsigned long long>(oracle.engine().sssp_runs()),
-                  oracle.memory().compact_mb(), oracle.memory().full_mb());
-      if (argc >= 5 && argv[3][0] != '-') {
-        const auto s = static_cast<graph::VertexId>(std::stoul(argv[3]));
-        const auto t = static_cast<graph::VertexId>(std::stoul(argv[4]));
-        std::printf("d(%u, %u) = %g\n", s, t, oracle.distance(s, t));
+      if (cli.json_stats) {
+        print_apsp_json("apsp", oracle);
+      } else {
+        std::printf("oracle ready: %u components, %llu SSSP runs, "
+                    "%.2f MB (vs %.2f MB dense)\n",
+                    oracle.engine().num_components(),
+                    static_cast<unsigned long long>(
+                        oracle.engine().sssp_runs()),
+                    oracle.memory().compact_mb(), oracle.memory().full_mb());
+      }
+      if (pos.size() >= 3) {
+        const auto s = static_cast<graph::VertexId>(std::stoul(pos[1]));
+        const auto t = static_cast<graph::VertexId>(std::stoul(pos[2]));
+        if (!cli.json_stats) {
+          std::printf("d(%u, %u) = %g\n", s, t, oracle.distance(s, t));
+        }
       }
       return 0;
     }
     if (cmd == "path") {
-      if (argc < 5) return usage();
-      const auto s = static_cast<graph::VertexId>(std::stoul(argv[3]));
-      const auto t = static_cast<graph::VertexId>(std::stoul(argv[4]));
+      if (pos.size() < 3) return usage();
+      const auto s = static_cast<graph::VertexId>(std::stoul(pos[1]));
+      const auto t = static_cast<graph::VertexId>(std::stoul(pos[2]));
       const core::DistanceOracle oracle(g, opts);
       const core::Path p = core::reconstruct_path(oracle, s, t);
       if (!p.found()) {
         std::printf("%u and %u are not connected\n", s, t);
         return 1;
       }
-      std::printf("weight %g, %zu hops:", p.weight, p.edges.size());
-      for (const auto v : p.vertices) std::printf(" %u", v);
-      std::printf("\n");
+      if (cli.json_stats) {
+        print_apsp_json("path", oracle);
+      } else {
+        std::printf("weight %g, %zu hops:", p.weight, p.edges.size());
+        for (const auto v : p.vertices) std::printf(" %u", v);
+        std::printf("\n");
+      }
       return 0;
     }
     if (cmd == "mcb") {
       mcb::McbOptions mopts{.mode = opts.mode, .cpu_threads = opts.cpu_threads};
       const auto r = mcb::minimum_cycle_basis(g, mopts);
-      std::printf("basis: %zu cycles, total weight %g, valid: %s\n",
-                  r.basis.size(), r.total_weight,
-                  mcb::validate_basis(g, r) ? "yes" : "NO");
-      std::printf("profile: labels %.0f%%, search %.0f%%, update %.0f%%\n",
-                  100 * r.stats.labels_seconds / r.stats.total_seconds(),
-                  100 * r.stats.search_seconds / r.stats.total_seconds(),
-                  100 * r.stats.update_seconds / r.stats.total_seconds());
+      const bool valid = mcb::validate_basis(g, r);
+      if (cli.json_stats) {
+        print_mcb_json(r, valid);
+      } else {
+        std::printf("basis: %zu cycles, total weight %g, valid: %s\n",
+                    r.basis.size(), r.total_weight, valid ? "yes" : "NO");
+        std::printf("profile: labels %.0f%%, search %.0f%%, update %.0f%%\n",
+                    100 * r.stats.labels_seconds / r.stats.total_seconds(),
+                    100 * r.stats.search_seconds / r.stats.total_seconds(),
+                    100 * r.stats.update_seconds / r.stats.total_seconds());
+      }
       return 0;
     }
     if (cmd == "analytics") {
       const core::DistanceOracle oracle(g, opts);
       const auto a = core::compute_analytics(oracle);
+      if (cli.json_stats) {
+        print_apsp_json("analytics", oracle);
+        return 0;
+      }
       std::printf("diameter: %g, radius: %g, centers:", a.diameter, a.radius);
       for (std::size_t i = 0; i < std::min<std::size_t>(8, a.centers.size());
            ++i) {

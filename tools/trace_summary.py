@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Summarize a Chrome trace written by the eardec observability layer.
+
+Usage: trace_summary.py <trace.json> [--by-thread]
+
+Prints one row per span name: call count, total/mean/max duration, and the
+share of the trace's busiest lane the name accounts for. With --by-thread,
+adds a per-lane breakdown (lane label from the thread_name metadata).
+Works on any Chrome trace-event file that uses "X" complete events.
+"""
+import json
+import sys
+from collections import defaultdict
+
+
+def load_events(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    return doc["traceEvents"] if isinstance(doc, dict) else doc
+
+
+def summarize(events):
+    spans = defaultdict(lambda: {"count": 0, "total_us": 0.0, "max_us": 0.0})
+    threads = {}  # tid -> label
+    lane_busy = defaultdict(float)
+    for e in events:
+        ph = e.get("ph")
+        if ph == "M" and e.get("name") == "thread_name":
+            threads[e.get("tid")] = e["args"]["name"]
+        elif ph == "X":
+            dur = float(e.get("dur", 0.0))
+            s = spans[e["name"]]
+            s["count"] += 1
+            s["total_us"] += dur
+            s["max_us"] = max(s["max_us"], dur)
+            lane_busy[e.get("tid")] += dur
+    return spans, threads, lane_busy
+
+
+def by_thread(events, threads):
+    lanes = defaultdict(lambda: defaultdict(lambda: {"count": 0,
+                                                     "total_us": 0.0}))
+    for e in events:
+        if e.get("ph") != "X":
+            continue
+        label = threads.get(e.get("tid"), f"tid-{e.get('tid')}")
+        s = lanes[label][e["name"]]
+        s["count"] += 1
+        s["total_us"] += float(e.get("dur", 0.0))
+    return lanes
+
+
+def fmt_us(us):
+    if us >= 1e6:
+        return f"{us / 1e6:.3f}s"
+    if us >= 1e3:
+        return f"{us / 1e3:.3f}ms"
+    return f"{us:.1f}us"
+
+
+def main(argv):
+    if len(argv) < 2 or argv[1].startswith("-"):
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    events = load_events(argv[1])
+    spans, threads, lane_busy = summarize(events)
+    if not spans:
+        print("no complete ('X') events in trace")
+        return 1
+
+    print(f"{'span':<28}{'count':>8}{'total':>12}{'mean':>12}{'max':>12}")
+    print("-" * 72)
+    for name, s in sorted(spans.items(), key=lambda kv: -kv[1]["total_us"]):
+        mean = s["total_us"] / s["count"]
+        print(f"{name:<28}{s['count']:>8}{fmt_us(s['total_us']):>12}"
+              f"{fmt_us(mean):>12}{fmt_us(s['max_us']):>12}")
+
+    if "--by-thread" in argv[2:]:
+        print()
+        for label, names in sorted(by_thread(events, threads).items()):
+            busy = sum(s["total_us"] for s in names.values())
+            print(f"[{label}] busy {fmt_us(busy)}")
+            for name, s in sorted(names.items(),
+                                  key=lambda kv: -kv[1]["total_us"]):
+                print(f"  {name:<26}{s['count']:>8}"
+                      f"{fmt_us(s['total_us']):>12}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
