@@ -17,8 +17,15 @@ BlockCutTree::BlockCutTree(const Graph& g, const BiconnectedComponents& bcc)
   }
   adj_.resize(num_nodes());
   for (std::uint32_t b = 0; b < num_blocks_; ++b) {
+    // A self-loop forms a single-vertex pseudo-block. Its vertex need not be
+    // an articulation point, so the pseudo-block can sit in a different tree
+    // component than the vertex's real block; block_of must keep pointing at
+    // the real block or cross-block routing walks off the tree.
+    const bool loop_block = bcc.component_vertices[b].size() == 1;
     for (const VertexId v : bcc.component_vertices[b]) {
-      block_of_[v] = b;  // harmless overwrite for cut vertices
+      if (block_of_[v] == kNoComponent || !loop_block) {
+        block_of_[v] = b;  // overwrite is harmless for true cut vertices
+      }
       const std::uint32_t a = cut_index_[v];
       if (a != kNoComponent) {
         adj_[block_node(b)].push_back(cut_node(a));

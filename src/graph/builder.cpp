@@ -1,6 +1,7 @@
 #include "graph/builder.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <unordered_map>
 
@@ -9,6 +10,12 @@ namespace eardec::graph {
 EdgeId Builder::add_edge(VertexId u, VertexId v, Weight w) {
   if (u >= n_ || v >= n_) {
     throw std::out_of_range("Builder::add_edge: endpoint out of range");
+  }
+  // Finite non-negative weights only (zero is fine). Catching NaN here also
+  // keeps the KeepMinWeight bundle comparison below well-defined.
+  if (!(w >= 0) || !std::isfinite(w)) {
+    throw std::invalid_argument(
+        "Builder::add_edge: weight must be finite and non-negative");
   }
   const auto id = static_cast<EdgeId>(edges_.size());
   edges_.emplace_back(u, v);
@@ -22,6 +29,8 @@ void Builder::ensure_vertex(VertexId v) {
 
 Graph Builder::build(ParallelEdgePolicy policy) && {
   if (policy == ParallelEdgePolicy::KeepMinWeight) {
+    // One surviving edge per unordered endpoint pair (self-loop bundles
+    // collapse per vertex), renumbered by first occurrence of the bundle.
     std::unordered_map<std::uint64_t, std::size_t> best;  // pair key -> index
     best.reserve(edges_.size() * 2);
     std::vector<std::pair<VertexId, VertexId>> edges;
@@ -35,6 +44,7 @@ Graph Builder::build(ParallelEdgePolicy policy) && {
         edges.emplace_back(u, v);
         weights.push_back(weights_[i]);
       } else if (weights_[i] < weights[it->second]) {
+        // Strict < : equal-weight duplicates keep the first-added edge.
         weights[it->second] = weights_[i];
       }
     }

@@ -10,11 +10,38 @@
 namespace eardec::graph {
 
 /// Policy applied to parallel edges when a Builder finalizes.
+///
+/// Duplicate edges — several edges over the same unordered endpoint pair,
+/// possibly with identical weights — and zero-weight edges are both legal
+/// inputs; the two policies give them different, documented treatments:
+///
+///  * Keep            — the multigraph is preserved exactly as accumulated:
+///                      every duplicate keeps its own EdgeId (in insertion
+///                      order) and its own weight, and self-loops survive.
+///                      This is the policy MCB construction requires: each
+///                      parallel edge and self-loop adds one dimension to the
+///                      cycle space (Lemma 3.1 contracts chains into exactly
+///                      such multi-edges).
+///  * KeepMinWeight   — each parallel bundle (including a bundle of
+///                      self-loops at one vertex) collapses to its single
+///                      minimum-weight member; on ties the edge added first
+///                      wins, so the result is deterministic and independent
+///                      of weight perturbations. Surviving edges are
+///                      renumbered by the first occurrence of their bundle.
+///                      Self-loops are kept (collapsed per vertex) — they are
+///                      inert for shortest paths (a non-negative loop never
+///                      shortens a walk) but IO round-trips rely on them.
+///                      This is the right policy for shortest-path
+///                      computations (paper, Section 2.1.1: "retain the edge
+///                      with the shortest weight").
+///
+/// Zero-weight edges are valid under both policies (Dijkstra only requires
+/// non-negative weights); they participate in bundles like any other edge.
 enum class ParallelEdgePolicy {
   /// Keep every edge as given (multigraph). Required for MCB reduced graphs.
   Keep,
-  /// Of each parallel bundle keep only the minimum-weight edge. This is the
-  /// right policy for shortest-path computations (paper, Section 2.1.1).
+  /// Of each parallel bundle keep only the minimum-weight edge (first-added
+  /// wins ties). This is the right policy for shortest-path computations.
   KeepMinWeight,
 };
 
@@ -30,6 +57,11 @@ class Builder {
 
   /// Adds an undirected edge {u, v} with weight w; returns its EdgeId under
   /// ParallelEdgePolicy::Keep (ids shift if KeepMinWeight drops edges).
+  /// Throws std::out_of_range for endpoints >= num_vertices() and
+  /// std::invalid_argument for negative, NaN, or infinite weights — the
+  /// whole library requires finite non-negative weights, and rejecting them
+  /// here (rather than at Graph construction) points at the offending
+  /// add_edge call. Zero weights are accepted.
   EdgeId add_edge(VertexId u, VertexId v, Weight w = 1.0);
 
   /// Grows the vertex set so that `v` is a valid vertex.

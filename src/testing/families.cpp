@@ -1,0 +1,287 @@
+#include "testing/families.hpp"
+
+#include <algorithm>
+#include <random>
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace eardec::testing {
+namespace {
+
+namespace gen = graph::generators;
+using graph::Builder;
+using graph::EdgeId;
+using graph::VertexId;
+using graph::Weight;
+
+VertexId at_least(std::uint32_t size, VertexId lo) {
+  return std::max<VertexId>(size, lo);
+}
+
+/// Chain-heavy 2-edge-connected graph: a random biconnected core with two
+/// thirds of the final vertices inserted as degree-two subdivisions — the
+/// paper's sweet spot (Table 1's high "Nodes Removed %" rows).
+Graph make_chain_heavy(std::uint64_t seed, std::uint32_t size) {
+  const VertexId core = at_least(size / 3, 6);
+  const auto m = static_cast<EdgeId>(core + core / 2 + 2);
+  const Graph g = gen::random_biconnected(core, m, seed);
+  return gen::subdivide(g, size - core, seed ^ 0x9e3779b97f4a7c15ULL);
+}
+
+/// Pure ring: one maximal degree-two chain that is a cycle (left == right
+/// at the designated anchor) — the degenerate case of the chain walker.
+Graph make_ring(std::uint64_t seed, std::uint32_t size) {
+  return gen::cycle(at_least(size, 3), {}, seed);
+}
+
+/// Theta graph: two hubs joined by several internally disjoint chains of
+/// random lengths. Reduction produces parallel edges between the hubs.
+Graph make_theta(std::uint64_t seed, std::uint32_t size) {
+  gen::Rng rng(seed);
+  std::uniform_int_distribution<std::uint32_t> strand_count(3, 5);
+  std::uniform_int_distribution<std::uint32_t> wdist(1, 20);
+  const std::uint32_t interior = std::max<std::uint32_t>(size, 7) - 2;
+  // At most interior+1 strands keep the graph simple (no two bare edges).
+  const std::uint32_t strands =
+      std::min<std::uint32_t>(strand_count(rng), interior + 1);
+  Builder b(2 + interior);
+  VertexId next = 2;
+  for (std::uint32_t s = 0; s < strands; ++s) {
+    // Strand s gets a roughly even share of the interior vertices; the
+    // first strand may be a bare hub-to-hub edge (length-0 chain).
+    std::uint32_t len = interior / strands + (s < interior % strands ? 1 : 0);
+    if (s == 0 && len > 0 && interior >= strands) len = 0;
+    VertexId prev = 0;
+    for (std::uint32_t i = 0; i < len; ++i, ++next) {
+      b.add_edge(prev, next, static_cast<Weight>(wdist(rng)));
+      prev = next;
+    }
+    b.add_edge(prev, 1, static_cast<Weight>(wdist(rng)));
+  }
+  // Unused interior budget (when strands got length 0): hang a path off
+  // hub 0 so every vertex id is used and degree-1 fringes are covered.
+  VertexId prev = 0;
+  for (; next < 2 + interior; ++next) {
+    b.add_edge(prev, next, static_cast<Weight>(wdist(rng)));
+    prev = next;
+  }
+  return std::move(b).build();
+}
+
+/// Lollipop: a cycle welded to an anchor that also carries spokes, so the
+/// cycle's chain has left(x) == right(x) at a vertex of degree > 2.
+Graph make_lollipop(std::uint64_t seed, std::uint32_t size) {
+  gen::Rng rng(seed);
+  std::uniform_int_distribution<std::uint32_t> wdist(1, 15);
+  const VertexId n = at_least(size, 6);
+  const VertexId ring = std::max<VertexId>(n / 2, 3);
+  Builder b(n);
+  // Cycle 0..ring-1; vertex 0 is the anchor.
+  for (VertexId i = 0; i < ring; ++i) {
+    b.add_edge(i, (i + 1) % ring, static_cast<Weight>(wdist(rng)));
+  }
+  // A path of spokes hanging off the anchor uses the remaining vertices.
+  VertexId prev = 0;
+  for (VertexId v = ring; v < n; ++v) {
+    b.add_edge(prev, v, static_cast<Weight>(wdist(rng)));
+    prev = v;
+  }
+  return std::move(b).build();
+}
+
+/// Articulation-rich block-cut tree with a pendant fringe.
+Graph make_block_cut(std::uint64_t seed, std::uint32_t size) {
+  const std::uint32_t blocks = 3 + size / 12;
+  return gen::block_tree({.num_blocks = blocks,
+                          .largest_block = at_least(size / 3, 5),
+                          .small_block_min = 3,
+                          .small_block_max = 6,
+                          .intra_degree = 2.8,
+                          .pendants = size / 6},
+                         seed);
+}
+
+/// Bridge-only graph: a random spanning tree, i.e. every edge is a bridge
+/// and every internal vertex an articulation point. The block-cut tree is
+/// as deep as it gets and the cycle space is empty.
+Graph make_bridge_tree(std::uint64_t seed, std::uint32_t size) {
+  const VertexId n = at_least(size, 2);
+  return gen::random_connected(n, n - 1, seed);
+}
+
+/// Planar grid-with-diagonals, edges randomly thinned (OGDF substitute).
+Graph make_grid_planar(std::uint64_t seed, std::uint32_t size) {
+  const VertexId rows = std::clamp<VertexId>(1 + size / 5, 2, 8);
+  const VertexId cols = std::max<VertexId>(at_least(size, 4) / rows, 2);
+  return gen::random_planar(rows, cols, 0.4, 0.15, seed);
+}
+
+/// Multigraph: biconnected base plus duplicated edges (some lighter, some
+/// equal-weight) and a few self-loops — the parallel-edge weight classes
+/// the Keep/KeepMinWeight builder policies distinguish.
+Graph make_parallel_multi(std::uint64_t seed, std::uint32_t size) {
+  gen::Rng rng(seed);
+  const VertexId n = at_least(size / 2, 4);
+  const auto m = static_cast<EdgeId>(n + n / 2);
+  const Graph base = gen::random_biconnected(n, m, seed, {1, 30});
+  Builder b(base.num_vertices());
+  for (EdgeId e = 0; e < base.num_edges(); ++e) {
+    const auto [u, v] = base.endpoints(e);
+    b.add_edge(u, v, base.weight(e));
+  }
+  std::uniform_int_distribution<EdgeId> pick_edge(0, base.num_edges() - 1);
+  std::uniform_int_distribution<VertexId> pick_vertex(0, n - 1);
+  std::uniform_real_distribution<double> frac(0.0, 1.0);
+  const EdgeId dups = std::max<EdgeId>(2, base.num_edges() / 4);
+  for (EdgeId k = 0; k < dups; ++k) {
+    const EdgeId e = pick_edge(rng);
+    const auto [u, v] = base.endpoints(e);
+    const double r = frac(rng);
+    // One third lighter than the original, one third equal (exact
+    // duplicate), one third heavier.
+    const Weight w = r < 1.0 / 3 ? base.weight(e) * 0.5
+                     : r < 2.0 / 3 ? base.weight(e)
+                                   : base.weight(e) * 2;
+    b.add_edge(u, v, w);
+  }
+  const VertexId extra = 1 + n / 8;
+  for (VertexId k = 0; k < extra; ++k) {
+    b.add_edge(pick_vertex(rng), pick_vertex(rng), 0);  // may self-loop
+  }
+  const VertexId lv = pick_vertex(rng);
+  b.add_edge(lv, lv, static_cast<Weight>(1 + frac(rng) * 9));
+  return std::move(b).build();
+}
+
+/// Near-degenerate weights: a connected graph whose weights mix exact
+/// zeros, tiny, moderate, and huge values — stresses comparator and
+/// accumulation order assumptions (zero-weight chains, 1e12 spans).
+Graph make_degenerate_weights(std::uint64_t seed, std::uint32_t size) {
+  gen::Rng rng(seed);
+  const VertexId n = at_least(size, 5);
+  const auto m = static_cast<EdgeId>(n + n / 3 + 1);
+  const Graph base = gen::random_connected(n, m, seed);
+  std::uniform_int_distribution<int> cls(0, 4);
+  Builder b(n);
+  for (EdgeId e = 0; e < base.num_edges(); ++e) {
+    const auto [u, v] = base.endpoints(e);
+    Weight w = 0;
+    switch (cls(rng)) {
+      case 0: w = 0.0; break;
+      case 1: w = 1e-9; break;
+      case 2: w = 1.0; break;
+      case 3: w = 7.5; break;
+      default: w = 1e12; break;
+    }
+    b.add_edge(u, v, w);
+  }
+  return std::move(b).build();
+}
+
+/// Sparse connected graph with a mix of bridges and small blocks.
+Graph make_sparse_connected(std::uint64_t seed, std::uint32_t size) {
+  const VertexId n = at_least(size, 4);
+  return gen::random_connected(n, static_cast<EdgeId>(n + n / 4), seed);
+}
+
+/// Small complete graph: zero degree-two vertices, reduction is a no-op.
+Graph make_complete_dense(std::uint64_t seed, std::uint32_t size) {
+  return gen::complete(std::clamp<VertexId>(size / 3, 4, 11), {1, 50}, seed);
+}
+
+/// Subdivided Petersen graph: fixed 3-regular girth-5 topology, seed
+/// drives weights and subdivision placement.
+Graph make_petersen_sub(std::uint64_t seed, std::uint32_t size) {
+  const Graph p = gen::petersen({1, 40}, seed);
+  return gen::subdivide(p, std::max<VertexId>(size, 10) - 10, seed + 1);
+}
+
+/// Two components plus an isolated vertex: cross-component queries must
+/// report infinity and per-component answers must be unaffected.
+Graph make_disconnected(std::uint64_t seed, std::uint32_t size) {
+  const VertexId half = at_least(size / 2, 4);
+  const Graph a = gen::random_biconnected(
+      half, static_cast<EdgeId>(half + 2), seed);
+  const Graph c = gen::cycle(std::max<VertexId>(half / 2, 3), {}, seed + 7);
+  Builder b(a.num_vertices() + c.num_vertices() + 1);
+  for (EdgeId e = 0; e < a.num_edges(); ++e) {
+    const auto [u, v] = a.endpoints(e);
+    b.add_edge(u, v, a.weight(e));
+  }
+  const VertexId off = a.num_vertices();
+  for (EdgeId e = 0; e < c.num_edges(); ++e) {
+    const auto [u, v] = c.endpoints(e);
+    b.add_edge(off + u, off + v, c.weight(e));
+  }
+  return std::move(b).build();
+}
+
+std::vector<GraphFamily> build_registry() {
+  std::vector<GraphFamily> r;
+  r.push_back({"chain_heavy",
+               "biconnected core, ~2/3 of vertices on degree-two chains",
+               {},
+               make_chain_heavy});
+  r.push_back({"ring", "pure cycle: one chain with left == right", {},
+               make_ring});
+  r.push_back({"theta",
+               "two hubs joined by 3-5 chains; reduces to parallel edges",
+               {},
+               make_theta});
+  r.push_back({"lollipop",
+               "cycle welded to a spoked anchor (left == right, degree > 2)",
+               {},
+               make_lollipop});
+  r.push_back({"block_cut",
+               "many biconnected blocks glued in a tree, pendant fringe",
+               {},
+               make_block_cut});
+  r.push_back({"bridge_tree", "random tree: every edge a bridge", {},
+               make_bridge_tree});
+  r.push_back({"grid_planar", "thinned grid with diagonals (planar)", {},
+               make_grid_planar});
+  r.push_back({"parallel_multi",
+               "multigraph: duplicated edges (lighter/equal/heavier) and "
+               "self-loops",
+               {.multigraph = true, .degenerate_weights = true},
+               make_parallel_multi});
+  r.push_back({"degenerate_weights",
+               "weights mixing exact zeros, 1e-9, and 1e12",
+               {.degenerate_weights = true},
+               make_degenerate_weights});
+  r.push_back({"sparse_connected", "n + n/4 edges: bridges + small blocks",
+               {},
+               make_sparse_connected});
+  r.push_back({"complete_dense", "complete graph, no degree-two vertices",
+               {},
+               make_complete_dense});
+  r.push_back({"petersen_sub", "subdivided Petersen graph", {},
+               make_petersen_sub});
+  r.push_back({"disconnected",
+               "two components plus an isolated vertex",
+               {.disconnected = true},
+               make_disconnected});
+  return r;
+}
+
+}  // namespace
+
+const std::vector<GraphFamily>& families() {
+  static const std::vector<GraphFamily> registry = build_registry();
+  return registry;
+}
+
+const GraphFamily& family(std::string_view name) {
+  for (const GraphFamily& f : families()) {
+    if (f.name == name) return f;
+  }
+  std::ostringstream msg;
+  msg << "unknown graph family '" << name << "'; valid families:";
+  for (const GraphFamily& f : families()) msg << ' ' << f.name;
+  throw std::invalid_argument(msg.str());
+}
+
+}  // namespace eardec::testing

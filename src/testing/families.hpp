@@ -1,0 +1,50 @@
+// Seeded graph-family registry for the property-testing harness.
+//
+// Each family is a deterministic generator (same seed -> bit-identical
+// graph) tuned to stress one layer of the pipeline: chain-heavy biconnected
+// graphs exercise the degree-two contraction, block-cut families the
+// articulation routing, multigraph families the parallel-edge/self-loop
+// handling of MCB, degenerate-weight families the zero/huge-weight corner
+// of the comparators, and so on. The fuzz runner (runner.hpp) crosses every
+// family with every property check; the `tags` let checks opt out of
+// families whose structure they cannot judge (e.g. Horton's candidate-set
+// argument assumes generic weights).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace eardec::testing {
+
+using graph::Graph;
+
+/// Structural traits a check may use to skip a family.
+struct FamilyTags {
+  bool multigraph = false;         ///< produces parallel edges / self-loops
+  bool degenerate_weights = false; ///< zero / near-zero / huge weight mix
+  bool disconnected = false;       ///< may produce several components
+};
+
+struct GraphFamily {
+  std::string name;
+  std::string description;
+  FamilyTags tags;
+  /// Deterministic generator. `size` is a vertex-count hint: the graph has
+  /// Theta(size) vertices (families may over/undershoot by small factors).
+  std::function<Graph(std::uint64_t seed, std::uint32_t size)> make;
+};
+
+/// All registered families, in a fixed order (the runner's iteration and
+/// report order). The registry is immutable after first use.
+[[nodiscard]] const std::vector<GraphFamily>& families();
+
+/// Lookup by name; throws std::invalid_argument with the list of valid
+/// names when `name` is unknown.
+[[nodiscard]] const GraphFamily& family(std::string_view name);
+
+}  // namespace eardec::testing

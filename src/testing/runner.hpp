@@ -1,0 +1,112 @@
+// The property-test runner: crosses every selected graph family with every
+// selected property check over a deterministic seed schedule, shrinks any
+// failure to a minimal counterexample, and reports coverage through both
+// the returned report and the process-wide obs metrics registry
+// (fuzz.runs, fuzz.failures, fuzz.shrink.steps, fuzz.family.<name>.runs,
+// fuzz.check.<name>.runs). Every run is reproducible from its printed
+// seed: `eardec_fuzz --seed S --family F --check C --runs 1` replays one
+// failing instance bit-identically.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "testing/families.hpp"
+#include "testing/oracles.hpp"  // CheckResult
+
+namespace eardec::testing {
+
+/// What a check validates; selects default size hints and family skips.
+enum class CheckKind {
+  Differential,  ///< pipeline vs independent reference implementation
+  Metamorphic,   ///< pipeline vs itself across a transformation
+  Fault,         ///< adversarial scheduler configurations (hetero runtime)
+  Injected,      ///< deliberately broken; validates the harness itself
+};
+
+struct PropertyCheck {
+  std::string name;
+  std::string description;
+  CheckKind kind = CheckKind::Differential;
+  /// Included when no explicit --check selection is given. Fault checks
+  /// join the default set only under --fault-injection; injected checks
+  /// must always be selected explicitly.
+  bool default_enabled = true;
+  bool skip_multigraph = false;
+  bool skip_degenerate_weights = false;
+  /// Vertex-count hint handed to the family generator (MCB-heavy checks
+  /// use smaller graphs than pure APSP checks).
+  std::uint32_t size_hint = 24;
+  std::function<CheckResult(const Graph&, std::uint64_t seed)> run;
+};
+
+/// All registered checks in fixed (iteration/report) order.
+[[nodiscard]] const std::vector<PropertyCheck>& property_checks();
+
+/// Lookup by name; throws std::invalid_argument listing valid names.
+[[nodiscard]] const PropertyCheck& property_check(std::string_view name);
+
+struct RunnerOptions {
+  std::uint64_t seed = 1;
+  /// Seeds per (family, check) pair.
+  std::uint32_t runs = 10;
+  /// Overrides every check's size hint when non-zero.
+  std::uint32_t size = 0;
+  /// Family / check name selections; empty = defaults.
+  std::vector<std::string> families;
+  std::vector<std::string> checks;
+  /// Adds the Fault-kind checks to the default selection.
+  bool fault_injection = false;
+  /// Shrink failing inputs before reporting.
+  bool shrink = true;
+  std::size_t max_shrink_attempts = 4000;
+  /// Progress / failure stream (null = silent).
+  std::ostream* out = nullptr;
+};
+
+struct Counterexample {
+  std::string family;
+  std::string check;
+  std::uint64_t seed = 0;       ///< replay seed of the failing run
+  std::string message;          ///< failure message on the original input
+  std::string minimal_message;  ///< failure message on the shrunken input
+  graph::Graph minimal;         ///< shrunken witness (== input if !shrink)
+  std::size_t shrink_steps = 0;
+  std::size_t shrink_attempts = 0;
+};
+
+struct RunnerReport {
+  std::uint64_t runs_executed = 0;
+  std::vector<Counterexample> failures;
+  /// Coverage: runs per family name / per check name (every generated
+  /// graph counts once per check executed on it).
+  std::map<std::string, std::uint64_t> family_runs;
+  std::map<std::string, std::uint64_t> check_runs;
+  /// Families that exercised each check at least once.
+  std::map<std::string, std::uint64_t> families_per_check;
+
+  [[nodiscard]] bool ok() const { return failures.empty(); }
+};
+
+/// Executes the schedule. Deterministic end to end: the same options
+/// produce bit-identical reports (and bit-identical `out` text).
+[[nodiscard]] RunnerReport run_properties(const RunnerOptions& options);
+
+/// The graph/check seed of run index i under master seed s. Defined so
+/// that index 0 IS the master seed: a failure printed with seed S replays
+/// exactly via `--seed S --runs 1 --family F --check C`.
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t master,
+                                        std::uint32_t run_index);
+
+/// Writes the deterministic textual report (the eardec_fuzz output).
+void write_report(std::ostream& out, const RunnerOptions& options,
+                  const RunnerReport& report);
+
+}  // namespace eardec::testing

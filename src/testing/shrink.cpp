@@ -1,0 +1,159 @@
+#include "testing/shrink.hpp"
+
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "graph/builder.hpp"
+
+namespace eardec::testing {
+namespace {
+
+using graph::Builder;
+using graph::Weight;
+
+/// Rebuilds g with a per-edge keep/rewrite filter and an optional vertex
+/// drop (ids above the dropped vertex shift down by one).
+Graph rebuild_without_vertex(const Graph& g, VertexId drop) {
+  Builder b(g.num_vertices() - 1);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [u, v] = g.endpoints(e);
+    if (u == drop || v == drop) continue;
+    b.add_edge(u > drop ? u - 1 : u, v > drop ? v - 1 : v, g.weight(e));
+  }
+  return std::move(b).build();
+}
+
+}  // namespace
+
+std::optional<Graph> delete_vertex(const Graph& g, VertexId v) {
+  if (g.num_vertices() <= 1 || v >= g.num_vertices()) return std::nullopt;
+  return rebuild_without_vertex(g, v);
+}
+
+std::optional<Graph> delete_edge(const Graph& g, EdgeId e) {
+  if (e >= g.num_edges()) return std::nullopt;
+  Builder b(g.num_vertices());
+  for (EdgeId other = 0; other < g.num_edges(); ++other) {
+    if (other == e) continue;
+    const auto [u, v] = g.endpoints(other);
+    b.add_edge(u, v, g.weight(other));
+  }
+  return std::move(b).build();
+}
+
+std::optional<Graph> smooth_vertex(const Graph& g, VertexId v) {
+  if (v >= g.num_vertices() || g.degree(v) != 2) return std::nullopt;
+  const auto nb = g.neighbors(v);
+  if (nb[0].to == v || nb[1].to == v) return std::nullopt;  // self-loop
+  const VertexId a = nb[0].to, c = nb[1].to;
+  const Weight w = nb[0].weight + nb[1].weight;
+  Builder b(g.num_vertices() - 1);
+  const auto map = [v](VertexId x) { return x > v ? x - 1 : x; };
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [x, y] = g.endpoints(e);
+    if (x == v || y == v) continue;
+    b.add_edge(map(x), map(y), g.weight(e));
+  }
+  b.add_edge(map(a), map(c), w);  // may be a self-loop when a == c
+  return std::move(b).build();
+}
+
+std::optional<Graph> normalize_weight(const Graph& g, EdgeId e) {
+  if (e >= g.num_edges() || g.weight(e) == 1.0) return std::nullopt;
+  Builder b(g.num_vertices());
+  for (EdgeId other = 0; other < g.num_edges(); ++other) {
+    const auto [u, v] = g.endpoints(other);
+    b.add_edge(u, v, other == e ? Weight{1} : g.weight(other));
+  }
+  return std::move(b).build();
+}
+
+ShrinkResult shrink(const Graph& g, const FailurePredicate& pred,
+                    const ShrinkOptions& options) {
+  ShrinkResult result;
+  result.minimal = g;
+
+  const auto reproduces = [&](const Graph& candidate) {
+    ++result.attempts;
+    try {
+      return pred(candidate);
+    } catch (...) {
+      return true;  // a crash on the candidate is a failure too
+    }
+  };
+  const auto budget_left = [&] {
+    if (result.attempts < options.max_attempts) return true;
+    result.attempt_budget_hit = true;
+    return false;
+  };
+
+  bool changed = true;
+  while (changed && budget_left()) {
+    changed = false;
+
+    // Pass 1: vertex deletions — the biggest structural wins first.
+    for (VertexId v = 0; v < result.minimal.num_vertices() && budget_left();) {
+      auto candidate = delete_vertex(result.minimal, v);
+      if (candidate && reproduces(*candidate)) {
+        result.minimal = std::move(*candidate);
+        ++result.steps;
+        changed = true;  // ids shifted: retry the same index
+      } else {
+        ++v;
+      }
+    }
+
+    // Pass 2: edge deletions.
+    for (EdgeId e = 0; e < result.minimal.num_edges() && budget_left();) {
+      auto candidate = delete_edge(result.minimal, e);
+      if (candidate && reproduces(*candidate)) {
+        result.minimal = std::move(*candidate);
+        ++result.steps;
+        changed = true;
+      } else {
+        ++e;
+      }
+    }
+
+    // Pass 3: smooth degree-two vertices (undo ear subdivisions).
+    for (VertexId v = 0; v < result.minimal.num_vertices() && budget_left();) {
+      auto candidate = smooth_vertex(result.minimal, v);
+      if (candidate && reproduces(*candidate)) {
+        result.minimal = std::move(*candidate);
+        ++result.steps;
+        changed = true;
+      } else {
+        ++v;
+      }
+    }
+
+    // Pass 4: weight normalization (only once the structure is minimal,
+    // so counterexamples print with the simplest weights that still fail).
+    if (!changed) {
+      for (EdgeId e = 0; e < result.minimal.num_edges() && budget_left();
+           ++e) {
+        auto candidate = normalize_weight(result.minimal, e);
+        if (candidate && reproduces(*candidate)) {
+          result.minimal = std::move(*candidate);
+          ++result.steps;
+          changed = true;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+std::string format_graph(const Graph& g) {
+  std::ostringstream out;
+  out.precision(17);
+  out << g.num_vertices() << ' ' << g.num_edges() << '\n';
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [u, v] = g.endpoints(e);
+    out << u << ' ' << v << ' ' << g.weight(e) << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace eardec::testing

@@ -1,0 +1,66 @@
+// Greedy counterexample shrinking: given a failing graph and the predicate
+// that reproduces the failure, repeatedly apply structure-removing edits —
+// delete a vertex (with its star), delete an edge, smooth a degree-two
+// vertex into a single edge (an inverse ear step), normalize a weight to 1
+// — keeping any edit after which the failure still reproduces, until no
+// single edit reproduces it. Deterministic: fixed edit order, no RNG, so
+// the same (graph, predicate) always shrinks to the same minimal witness.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace eardec::testing {
+
+using graph::EdgeId;
+using graph::Graph;
+using graph::VertexId;
+
+/// True iff the failure reproduces on the candidate graph. Predicates are
+/// run on partially demolished graphs, so the shrinker treats a thrown
+/// exception as "reproduces" (a crash is at least as interesting a bug).
+using FailurePredicate = std::function<bool(const Graph&)>;
+
+struct ShrinkOptions {
+  /// Cap on predicate evaluations (the expensive part).
+  std::size_t max_attempts = 4000;
+};
+
+struct ShrinkResult {
+  Graph minimal;             ///< smallest graph still failing the predicate
+  std::size_t steps = 0;     ///< edits that were kept
+  std::size_t attempts = 0;  ///< predicate evaluations performed
+  bool attempt_budget_hit = false;
+};
+
+/// Requires pred(g) == true (the caller observed the failure); returns the
+/// greedy 1-minimal witness. Never returns a graph on which pred is false.
+[[nodiscard]] ShrinkResult shrink(const Graph& g, const FailurePredicate& pred,
+                                  const ShrinkOptions& options = {});
+
+// Edit primitives, exposed for direct testing. Each returns std::nullopt
+// when the edit does not apply.
+
+/// Deletes vertex v and every incident edge; higher ids shift down by one.
+[[nodiscard]] std::optional<Graph> delete_vertex(const Graph& g, VertexId v);
+
+/// Deletes edge e (ids above it shift down).
+[[nodiscard]] std::optional<Graph> delete_edge(const Graph& g, EdgeId e);
+
+/// Smooths a degree-two vertex: replaces its two incident edges by one
+/// edge of summed weight between its neighbours (which may coincide,
+/// producing a self-loop). Not applicable to self-loop vertices.
+[[nodiscard]] std::optional<Graph> smooth_vertex(const Graph& g, VertexId v);
+
+/// Sets the weight of edge e to 1 (not applicable if it already is 1).
+[[nodiscard]] std::optional<Graph> normalize_weight(const Graph& g, EdgeId e);
+
+/// Printable form of a counterexample: "n m" header then one "u v w" line
+/// per edge with round-trip float precision — paste-able into a test.
+[[nodiscard]] std::string format_graph(const Graph& g);
+
+}  // namespace eardec::testing

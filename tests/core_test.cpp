@@ -4,6 +4,8 @@
 // execution modes, and seeds.
 #include <gtest/gtest.h>
 
+#include <random>
+
 #include "connectivity/tree_lca.hpp"
 #include "core/distance_oracle.hpp"
 #include "core/ear_apsp.hpp"
@@ -118,6 +120,91 @@ TEST(EarApsp, TwoBlocksSharedCutVertex) {
   b.add_edge(2, 3, 1.0);
   b.add_edge(3, 4, 2.0);
   b.add_edge(4, 2, 3.0);
+  expect_matches_dijkstra(std::move(b).build(),
+                          {.mode = ExecutionMode::Sequential});
+}
+
+// Three triangles glued in a path: B1={0,1,2}, B2={2,3,4}, B3={4,5,6} with
+// articulation points a1=2 and a2=4. Weights are chosen so each per-block
+// distance is unambiguous: d(0,2)=1.5, d(2,4)=4, d(4,5)=1.
+Graph three_block_path() {
+  Builder b(7);
+  b.add_edge(0, 1, 1.0);
+  b.add_edge(1, 2, 1.0);
+  b.add_edge(0, 2, 1.5);
+  b.add_edge(2, 3, 2.0);
+  b.add_edge(3, 4, 2.0);
+  b.add_edge(2, 4, 5.0);
+  b.add_edge(4, 5, 1.0);
+  b.add_edge(5, 6, 1.0);
+  b.add_edge(4, 6, 3.0);
+  return std::move(b).build();
+}
+
+TEST(EarApsp, CrossBlockFormulaBoundaries) {
+  // Cross-component routing is d(n1,a1) + A[a1][a2] + d(a2,n2); pin each
+  // term, including the boundary cases where an endpoint IS one of the
+  // articulation points (the corresponding term must vanish).
+  const Graph g = three_block_path();
+  const DistanceOracle oracle(g, {.mode = ExecutionMode::Sequential});
+  EXPECT_DOUBLE_EQ(oracle.distance(0, 5), 6.5);  // 1.5 + 4 + 1
+  EXPECT_DOUBLE_EQ(oracle.distance(0, 6), 7.5);  // 1.5 + 4 + 2
+  EXPECT_DOUBLE_EQ(oracle.distance(2, 5), 5.0);  // n1 == a1: first term 0
+  EXPECT_DOUBLE_EQ(oracle.distance(1, 4), 5.0);  // n2 == a2: last term 0
+  EXPECT_DOUBLE_EQ(oracle.distance(2, 4), 4.0);  // both endpoints cuts
+  EXPECT_DOUBLE_EQ(oracle.distance(3, 1), 3.0);  // adjacent blocks only
+  expect_matches_dijkstra(g, {.mode = ExecutionMode::Sequential});
+}
+
+TEST(EarApsp, QueryEndpointIsArticulationPoint) {
+  // Every pair with an articulation endpoint, against Dijkstra, in both
+  // directions — the routing code takes a distinct branch for these.
+  const Graph g = three_block_path();
+  const DistanceOracle oracle(g, {.mode = ExecutionMode::Sequential});
+  for (const graph::VertexId a : {2u, 4u}) {
+    const auto ref = sssp::dijkstra(g, a);
+    for (graph::VertexId t = 0; t < g.num_vertices(); ++t) {
+      EXPECT_DOUBLE_EQ(oracle.distance(a, t), ref.dist[t]);
+      EXPECT_DOUBLE_EQ(oracle.distance(t, a), ref.dist[t]);
+    }
+  }
+}
+
+TEST(EarApsp, BridgeOnlyTreeGraphs) {
+  // Trees are the all-bridges extreme of the block-cut tree: every edge is
+  // its own block and every internal vertex is an articulation point.
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    std::mt19937_64 rng(seed);
+    Builder b(16);
+    for (graph::VertexId v = 1; v < 16; ++v) {
+      const auto parent = static_cast<graph::VertexId>(rng() % v);
+      b.add_edge(parent, v, 1.0 + static_cast<double>(rng() % 9));
+    }
+    expect_matches_dijkstra(std::move(b).build(),
+                            {.mode = ExecutionMode::Sequential});
+  }
+}
+
+TEST(EarApsp, SingleBiconnectedBlockGraphs) {
+  // The no-articulation extreme: the whole graph is one block and the
+  // block-cut tree is a single node, so routing never leaves phase I.
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const Graph g = gen::random_biconnected(10, 18, seed);
+    expect_matches_dijkstra(g, {.mode = ExecutionMode::Sequential});
+  }
+}
+
+TEST(EarApsp, SelfLoopPseudoBlockDoesNotBreakRouting) {
+  // Regression (found by eardec_fuzz, family=parallel_multi): a self-loop
+  // forms a single-vertex pseudo-block whose vertex need not be an
+  // articulation point. block_of used to point at the pseudo-block, and
+  // cross-block routing then asked TreeLca about two tree nodes with no
+  // connecting cut node.
+  Builder b(3);
+  b.add_edge(0, 0, 5.0);  // loop at the lowest id used to steal block_of
+  b.add_edge(0, 1, 1.0);
+  b.add_edge(1, 2, 2.0);
+  b.add_edge(1, 1, 7.0);  // loop at a true articulation point: still fine
   expect_matches_dijkstra(std::move(b).build(),
                           {.mode = ExecutionMode::Sequential});
 }

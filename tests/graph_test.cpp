@@ -1,6 +1,7 @@
 // Unit and property tests for the graph substrate: CSR construction,
 // builder policies, generators, statistics, and IO round-trips.
 #include <algorithm>
+#include <limits>
 #include <map>
 #include <set>
 #include <sstream>
@@ -112,6 +113,72 @@ TEST(Builder, KeepMinWeightCollapsesParallels) {
     }
   }
   EXPECT_TRUE(found);
+}
+
+TEST(Builder, KeepMinWeightTieKeepsFirstAddedEdge) {
+  // Equal-weight duplicates: the strict < comparison keeps the edge added
+  // first, so the surviving graph is deterministic under reinsertion order.
+  Builder b(2);
+  b.add_edge(0, 1, 3.0);
+  b.add_edge(1, 0, 3.0);  // same unordered pair, same weight
+  b.add_edge(0, 1, 3.0);
+  const Graph g = std::move(b).build(ParallelEdgePolicy::KeepMinWeight);
+  ASSERT_EQ(g.num_edges(), 1u);
+  EXPECT_DOUBLE_EQ(g.weight(0), 3.0);
+  EXPECT_EQ(g.endpoints(0), (std::pair<VertexId, VertexId>{0, 1}));
+}
+
+TEST(Builder, KeepMinWeightCollapsesSelfLoopBundles) {
+  // Self-loops survive KeepMinWeight (IO round-trips need them; they are
+  // inert for shortest paths) but a bundle of loops collapses to the
+  // lightest one, like any other bundle.
+  Builder b(2);
+  b.add_edge(0, 0, 5.0);
+  b.add_edge(0, 0, 2.0);
+  b.add_edge(0, 1, 1.0);
+  const Graph g = std::move(b).build(ParallelEdgePolicy::KeepMinWeight);
+  ASSERT_EQ(g.num_edges(), 2u);
+  ASSERT_EQ(g.num_self_loops(), 1u);
+  EXPECT_DOUBLE_EQ(g.weight(0), 2.0);  // surviving loop is the lighter one
+}
+
+TEST(Builder, KeepPreservesDuplicateMultiplicityAndZeroWeights) {
+  // The Keep policy is the MCB contract: exact duplicates (same endpoints,
+  // same weight) and zero-weight edges all keep their own EdgeId.
+  Builder b(2);
+  const EdgeId e0 = b.add_edge(0, 1, 0.0);
+  const EdgeId e1 = b.add_edge(0, 1, 0.0);
+  const EdgeId e2 = b.add_edge(1, 0, 4.0);
+  EXPECT_EQ(e0, 0u);
+  EXPECT_EQ(e1, 1u);
+  EXPECT_EQ(e2, 2u);
+  const Graph g = std::move(b).build(ParallelEdgePolicy::Keep);
+  ASSERT_EQ(g.num_edges(), 3u);
+  EXPECT_TRUE(g.has_parallel_edges());
+  EXPECT_DOUBLE_EQ(g.weight(0), 0.0);
+  EXPECT_DOUBLE_EQ(g.weight(1), 0.0);
+  EXPECT_DOUBLE_EQ(g.weight(2), 4.0);
+}
+
+TEST(Builder, KeepMinWeightZeroBeatsPositive) {
+  Builder b(2);
+  b.add_edge(0, 1, 1.0);
+  b.add_edge(0, 1, 0.0);
+  const Graph g = std::move(b).build(ParallelEdgePolicy::KeepMinWeight);
+  ASSERT_EQ(g.num_edges(), 1u);
+  EXPECT_DOUBLE_EQ(g.weight(0), 0.0);
+}
+
+TEST(Builder, AddEdgeRejectsInvalidWeights) {
+  Builder b(2);
+  EXPECT_THROW(b.add_edge(0, 1, -1.0), std::invalid_argument);
+  EXPECT_THROW(b.add_edge(0, 1, std::numeric_limits<Weight>::quiet_NaN()),
+               std::invalid_argument);
+  EXPECT_THROW(b.add_edge(0, 1, std::numeric_limits<Weight>::infinity()),
+               std::invalid_argument);
+  EXPECT_EQ(b.num_edges(), 0u);  // rejected edges were not recorded
+  b.add_edge(0, 1, 0.0);         // zero is explicitly allowed
+  EXPECT_EQ(b.num_edges(), 1u);
 }
 
 TEST(Builder, EnsureVertexGrows) {

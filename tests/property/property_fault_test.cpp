@@ -1,0 +1,71 @@
+// Property suite: fault injection. Drives the heterogeneous scheduler
+// through adversarial configurations — batch sizes of one, single-thread
+// pools, tiny device warps, forced CPU-only and device-only splits — and
+// checks results against reference algorithms plus bitwise same-config
+// determinism. Labelled `hetero` as well as `property` so the
+// ThreadSanitizer CI preset races these paths.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "testing/runner.hpp"
+#include "testing/shrink.hpp"
+
+namespace et = eardec::testing;
+
+namespace {
+
+std::string failure_digest(const et::RunnerReport& report) {
+  std::ostringstream out;
+  for (const auto& f : report.failures) {
+    out << f.family << '/' << f.check << " seed=" << f.seed << ": "
+        << f.message << '\n'
+        << et::format_graph(f.minimal);
+  }
+  return out.str();
+}
+
+}  // namespace
+
+TEST(PropertyFault, AdversarialSchedulerApsp) {
+  et::RunnerOptions options;
+  options.seed = 611;
+  options.runs = 2;
+  options.size = 12;
+  options.families = {"chain_heavy", "block_cut", "parallel_multi", "ring"};
+  options.checks = {"sched_apsp"};
+  const auto report = et::run_properties(options);
+  EXPECT_TRUE(report.ok()) << failure_digest(report);
+  EXPECT_GE(report.families_per_check.at("sched_apsp"), 3u);
+}
+
+TEST(PropertyFault, AdversarialSchedulerMcb) {
+  et::RunnerOptions options;
+  options.seed = 612;
+  options.runs = 2;
+  options.size = 10;
+  options.families = {"chain_heavy", "theta", "sparse_connected"};
+  options.checks = {"sched_mcb"};
+  const auto report = et::run_properties(options);
+  EXPECT_TRUE(report.ok()) << failure_digest(report);
+  EXPECT_GE(report.families_per_check.at("sched_mcb"), 3u);
+}
+
+TEST(PropertyFault, FaultChecksJoinDefaultsOnlyWhenRequested) {
+  // Without --fault-injection the Fault-kind checks stay out of the
+  // default schedule; with it they join.
+  et::RunnerOptions off;
+  off.seed = 3;
+  off.runs = 1;
+  off.size = 8;
+  off.families = {"ring"};
+  const auto r_off = et::run_properties(off);
+  EXPECT_EQ(r_off.check_runs.count("sched_apsp"), 0u);
+
+  et::RunnerOptions on = off;
+  on.fault_injection = true;
+  const auto r_on = et::run_properties(on);
+  EXPECT_EQ(r_on.check_runs.count("sched_apsp"), 1u);
+  EXPECT_EQ(r_on.check_runs.count("sched_mcb"), 1u);
+  EXPECT_TRUE(r_on.ok()) << failure_digest(r_on);
+}

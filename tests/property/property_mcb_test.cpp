@@ -1,0 +1,72 @@
+// Property suite: minimum-cycle-basis differential oracles (weight,
+// dimension, basis validity) against Horton and De Pina, plus the
+// Lemma 3.1 contraction invariance folded into the De Pina check.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "testing/families.hpp"
+#include "testing/runner.hpp"
+#include "testing/shrink.hpp"
+
+namespace et = eardec::testing;
+
+namespace {
+
+std::string failure_digest(const et::RunnerReport& report) {
+  std::ostringstream out;
+  for (const auto& f : report.failures) {
+    out << f.family << '/' << f.check << " seed=" << f.seed << ": "
+        << f.message << '\n'
+        << et::format_graph(f.minimal);
+  }
+  return out.str();
+}
+
+}  // namespace
+
+TEST(PropertyMcb, HortonOracleHoldsAcrossFamilies) {
+  et::RunnerOptions options;
+  options.seed = 4242;
+  options.runs = 3;
+  options.checks = {"mcb_horton"};
+  const auto report = et::run_properties(options);
+  EXPECT_TRUE(report.ok()) << failure_digest(report);
+  EXPECT_GE(report.families_per_check.at("mcb_horton"), 3u);
+}
+
+TEST(PropertyMcb, DePinaOracleHoldsAcrossFamilies) {
+  et::RunnerOptions options;
+  options.seed = 1717;
+  options.runs = 3;
+  options.checks = {"mcb_depina"};
+  const auto report = et::run_properties(options);
+  EXPECT_TRUE(report.ok()) << failure_digest(report);
+  EXPECT_GE(report.families_per_check.at("mcb_depina"), 3u);
+}
+
+TEST(PropertyMcb, DePinaHandlesMultigraphFamilies) {
+  // Parallel edges and self-loops are cycle-space citizens (dimension one
+  // each); the De Pina oracle must agree on families that produce them.
+  et::RunnerOptions options;
+  options.seed = 31;
+  options.runs = 3;
+  options.families = {"parallel_multi", "theta", "lollipop"};
+  options.checks = {"mcb_depina"};
+  const auto report = et::run_properties(options);
+  EXPECT_TRUE(report.ok()) << failure_digest(report);
+}
+
+TEST(PropertyMcb, HortonSkipsDegenerateWeightFamilies) {
+  // Horton's candidate-set completeness argument assumes generic weights;
+  // the runner must honour the skip tag instead of reporting a false
+  // oracle disagreement.
+  et::RunnerOptions options;
+  options.seed = 5;
+  options.runs = 2;
+  options.families = {"degenerate_weights"};
+  options.checks = {"mcb_horton"};
+  const auto report = et::run_properties(options);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.runs_executed, 0u);
+}

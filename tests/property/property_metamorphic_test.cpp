@@ -1,0 +1,103 @@
+// Property suite: metamorphic invariants (vertex relabeling, uniform
+// weight scaling, edge subdivision) plus direct unit tests of the
+// transforms themselves.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <sstream>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "testing/metamorphic.hpp"
+#include "testing/runner.hpp"
+#include "testing/shrink.hpp"
+
+namespace et = eardec::testing;
+using eardec::graph::Graph;
+
+namespace {
+
+std::string failure_digest(const et::RunnerReport& report) {
+  std::ostringstream out;
+  for (const auto& f : report.failures) {
+    out << f.family << '/' << f.check << " seed=" << f.seed << ": "
+        << f.message << '\n'
+        << et::format_graph(f.minimal);
+  }
+  return out.str();
+}
+
+void expect_invariant_holds(const char* check, std::uint64_t seed) {
+  et::RunnerOptions options;
+  options.seed = seed;
+  options.runs = 3;
+  options.checks = {check};
+  const auto report = et::run_properties(options);
+  EXPECT_TRUE(report.ok()) << failure_digest(report);
+  EXPECT_GE(report.families_per_check.at(check), 3u);
+}
+
+}  // namespace
+
+TEST(PropertyMetamorphic, RelabelInvarianceAcrossFamilies) {
+  expect_invariant_holds("relabel", 808);
+}
+
+TEST(PropertyMetamorphic, ScaleLinearityAcrossFamilies) {
+  expect_invariant_holds("scale", 1234);
+}
+
+TEST(PropertyMetamorphic, SubdivisionInvarianceAcrossFamilies) {
+  expect_invariant_holds("subdivide", 5150);
+}
+
+TEST(PropertyMetamorphic, ScaleWeightsTransform) {
+  const Graph g = eardec::graph::generators::path(4);
+  const Graph h = et::scale_weights(g, 3.0);
+  ASSERT_EQ(h.num_edges(), g.num_edges());
+  for (eardec::graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_DOUBLE_EQ(h.weight(e), 3.0 * g.weight(e));
+  }
+}
+
+TEST(PropertyMetamorphic, SubdivideEdgeSplitsWeight) {
+  const Graph g = eardec::graph::generators::cycle(3);
+  const Graph h = et::subdivide_edge(g, 0, 0.25);
+  EXPECT_EQ(h.num_vertices(), g.num_vertices() + 1);
+  EXPECT_EQ(h.num_edges(), g.num_edges() + 1);
+  // Total weight is preserved exactly for t = 0.25 (no rounding).
+  double before = 0, after = 0;
+  for (eardec::graph::EdgeId e = 0; e < g.num_edges(); ++e)
+    before += g.weight(e);
+  for (eardec::graph::EdgeId e = 0; e < h.num_edges(); ++e)
+    after += h.weight(e);
+  EXPECT_DOUBLE_EQ(before, after);
+}
+
+TEST(PropertyMetamorphic, SubdividingSelfLoopYieldsParallelPair) {
+  eardec::graph::Builder b(2);
+  b.add_edge(0, 1, 1.0);
+  b.add_edge(1, 1, 4.0);
+  const Graph g = std::move(b).build();
+  const Graph h = et::subdivide_edge(g, 1, 0.5);
+  EXPECT_EQ(h.num_vertices(), 3u);
+  EXPECT_EQ(h.num_self_loops(), 0u);
+  EXPECT_TRUE(h.has_parallel_edges());
+}
+
+TEST(PropertyMetamorphic, RelabelPreservesDegreeMultiset) {
+  const Graph g = et::family("block_cut").make(11, 20);
+  const Graph h = et::relabel_vertices(g, 99);
+  ASSERT_EQ(h.num_vertices(), g.num_vertices());
+  ASSERT_EQ(h.num_edges(), g.num_edges());
+  std::vector<std::size_t> dg, dh;
+  for (eardec::graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    dg.push_back(g.degree(v));
+    dh.push_back(h.degree(v));
+  }
+  std::sort(dg.begin(), dg.end());
+  std::sort(dh.begin(), dh.end());
+  EXPECT_EQ(dg, dh);
+}

@@ -107,6 +107,66 @@ TEST(Chains, PureCycleDesignatesAnchor) {
   EXPECT_DOUBLE_EQ(c.total, g.total_weight());
 }
 
+TEST(Chains, RingPrefixBookkeepingSumsToTotal) {
+  // A pure ring is the single-maximal-chain extreme: one cycle chain whose
+  // designated anchor is both endpoints. The two directed prefix distances
+  // of every interior vertex must partition the chain total, and the
+  // smaller one must be the true shortest distance from the anchor.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Graph g = gen::cycle(8, {.lo = 1, .hi = 20}, seed);
+    const ChainSet cs = find_chains(g);
+    ASSERT_EQ(cs.chains.size(), 1u);
+    const Chain& c = cs.chains[0];
+    ASSERT_TRUE(c.is_cycle());
+    EXPECT_EQ(c.left, c.right);
+    const auto ref = oracle_sssp(g, c.left);
+    for (const VertexId x : c.interior) {
+      EXPECT_EQ(cs.left(x), c.left);
+      EXPECT_EQ(cs.right(x), c.left);
+      EXPECT_DOUBLE_EQ(cs.dist_left(x) + cs.dist_right(x), c.total);
+      EXPECT_DOUBLE_EQ(std::min(cs.dist_left(x), cs.dist_right(x)), ref[x]);
+    }
+    // Prefixes are strictly increasing along the traversal direction.
+    for (std::size_t i = 1; i < c.prefix.size(); ++i) {
+      EXPECT_GT(c.prefix[i], c.prefix[i - 1]);
+    }
+  }
+}
+
+TEST(Chains, LollipopAnchorHasLeftEqualRight) {
+  // Two cycles welded at vertex 0 (degree 4): both chains close back onto
+  // the same anchor, so left(x) == right(x) at a vertex of degree > 2 —
+  // the case the chain formulas must not conflate with a bridge endpoint.
+  Builder b(6);
+  b.add_edge(0, 1, 1.0);
+  b.add_edge(1, 2, 2.0);
+  b.add_edge(2, 3, 3.0);
+  b.add_edge(3, 0, 4.0);
+  b.add_edge(0, 4, 1.0);
+  b.add_edge(4, 5, 1.0);
+  b.add_edge(5, 0, 1.0);
+  const Graph g = std::move(b).build();
+  const ChainSet cs = find_chains(g);
+  ASSERT_EQ(cs.chains.size(), 2u);
+  EXPECT_EQ(cs.chain_of[0], kNoChain);  // the shared anchor stays
+  for (const Chain& c : cs.chains) {
+    EXPECT_TRUE(c.is_cycle());
+    EXPECT_EQ(c.left, 0u);
+    EXPECT_EQ(c.right, 0u);
+  }
+  // Vertex 2 sits 3 from the anchor one way (1+2) and 7 the other (3+4).
+  ASSERT_NE(cs.chain_of[2], kNoChain);
+  EXPECT_EQ(cs.left(2), 0u);
+  EXPECT_EQ(cs.right(2), 0u);
+  const Weight lo = std::min(cs.dist_left(2), cs.dist_right(2));
+  const Weight hi = std::max(cs.dist_left(2), cs.dist_right(2));
+  EXPECT_DOUBLE_EQ(lo, 3.0);
+  EXPECT_DOUBLE_EQ(hi, 7.0);
+  // The same bookkeeping drives real distances end to end.
+  const auto ref = oracle_sssp(g, 2);
+  EXPECT_DOUBLE_EQ(lo, ref[0]);
+}
+
 TEST(Chains, SelfLoopVertexIsAnchor) {
   Builder b(3);
   b.add_edge(0, 1, 1.0);

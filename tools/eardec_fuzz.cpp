@@ -1,0 +1,173 @@
+// eardec_fuzz — property-based differential fuzzer for the ear-decomposition
+// pipeline. Crosses seeded graph families with differential / metamorphic /
+// fault-injection checks, shrinks failures to minimal counterexamples, and
+// prints a deterministic report. The same command line always produces
+// bit-identical output; every failure line includes the exact replay command.
+//
+// Usage:
+//   eardec_fuzz [--seed N] [--runs N] [--size N]
+//               [--family NAME]... [--check NAME]...
+//               [--fault-injection] [--no-shrink] [--max-shrink-attempts N]
+//               [--out FILE] [--metrics FILE] [--list]
+//
+// Exit status: 0 when every run passed, 1 when a counterexample was found,
+// 2 on usage errors.
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "testing/families.hpp"
+#include "testing/runner.hpp"
+
+namespace {
+
+using eardec::testing::CheckKind;
+using eardec::testing::RunnerOptions;
+
+[[noreturn]] void usage_error(const std::string& message) {
+  std::fprintf(stderr, "eardec_fuzz: %s\n", message.c_str());
+  std::fprintf(
+      stderr,
+      "usage: eardec_fuzz [--seed N] [--runs N] [--size N]\n"
+      "                   [--family NAME]... [--check NAME]...\n"
+      "                   [--fault-injection] [--no-shrink]\n"
+      "                   [--max-shrink-attempts N] [--out FILE]\n"
+      "                   [--metrics FILE] [--list]\n");
+  std::exit(2);
+}
+
+/// Value of "--flag=v" or "--flag v"; advances i in the latter form.
+std::string value_of(std::string_view arg, std::string_view flag, int& i,
+                     int argc, char** argv) {
+  if (arg.size() > flag.size() && arg[flag.size()] == '=')
+    return std::string(arg.substr(flag.size() + 1));
+  if (++i >= argc) usage_error(std::string(flag) + " needs a value");
+  return argv[i];
+}
+
+std::uint64_t parse_u64(const std::string& text, std::string_view flag) {
+  try {
+    std::size_t pos = 0;
+    const std::uint64_t v = std::stoull(text, &pos);
+    if (pos != text.size()) throw std::invalid_argument(text);
+    return v;
+  } catch (const std::exception&) {
+    usage_error(std::string(flag) + ": not a number: " + text);
+  }
+}
+
+const char* kind_name(CheckKind kind) {
+  switch (kind) {
+    case CheckKind::Differential: return "differential";
+    case CheckKind::Metamorphic: return "metamorphic";
+    case CheckKind::Fault: return "fault";
+    case CheckKind::Injected: return "injected";
+  }
+  return "?";
+}
+
+void list_registry(std::ostream& out) {
+  out << "graph families:\n";
+  for (const auto& f : eardec::testing::families()) {
+    out << "  " << f.name;
+    if (f.tags.multigraph) out << " [multigraph]";
+    if (f.tags.degenerate_weights) out << " [degenerate-weights]";
+    if (f.tags.disconnected) out << " [disconnected]";
+    out << "\n      " << f.description << '\n';
+  }
+  out << "property checks:\n";
+  for (const auto& c : eardec::testing::property_checks()) {
+    out << "  " << c.name << " [" << kind_name(c.kind) << ']';
+    if (!c.default_enabled) out << " [off by default]";
+    out << "\n      " << c.description << '\n';
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RunnerOptions options;
+  std::string out_path;
+  std::string metrics_path;
+  bool list_only = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.starts_with("--seed")) {
+      options.seed = parse_u64(value_of(arg, "--seed", i, argc, argv), arg);
+    } else if (arg.starts_with("--runs")) {
+      options.runs = static_cast<std::uint32_t>(
+          parse_u64(value_of(arg, "--runs", i, argc, argv), arg));
+    } else if (arg.starts_with("--size")) {
+      options.size = static_cast<std::uint32_t>(
+          parse_u64(value_of(arg, "--size", i, argc, argv), arg));
+    } else if (arg.starts_with("--family")) {
+      options.families.push_back(value_of(arg, "--family", i, argc, argv));
+    } else if (arg.starts_with("--check")) {
+      options.checks.push_back(value_of(arg, "--check", i, argc, argv));
+    } else if (arg == "--fault-injection") {
+      options.fault_injection = true;
+    } else if (arg == "--no-shrink") {
+      options.shrink = false;
+    } else if (arg.starts_with("--max-shrink-attempts")) {
+      options.max_shrink_attempts = static_cast<std::size_t>(parse_u64(
+          value_of(arg, "--max-shrink-attempts", i, argc, argv), arg));
+    } else if (arg.starts_with("--out")) {
+      out_path = value_of(arg, "--out", i, argc, argv);
+    } else if (arg.starts_with("--metrics")) {
+      metrics_path = value_of(arg, "--metrics", i, argc, argv);
+    } else if (arg == "--list") {
+      list_only = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage_error("property-based fuzzer for the ear-decomposition pipeline");
+    } else {
+      usage_error("unknown argument: " + std::string(arg));
+    }
+  }
+
+  if (list_only) {
+    list_registry(std::cout);
+    return 0;
+  }
+  if (options.runs == 0) usage_error("--runs must be at least 1");
+
+  // Progress goes to stderr so --out / stdout stay a clean report.
+  options.out = &std::cerr;
+
+  int status = 0;
+  try {
+    const auto report = eardec::testing::run_properties(options);
+
+    std::ostringstream text;
+    eardec::testing::write_report(text, options, report);
+    std::cout << text.str();
+    if (!out_path.empty()) {
+      std::ofstream file(out_path, std::ios::binary);
+      if (!file) {
+        std::fprintf(stderr, "eardec_fuzz: cannot open %s\n",
+                     out_path.c_str());
+        return 2;
+      }
+      file << text.str();
+    }
+    status = report.ok() ? 0 : 1;
+  } catch (const std::invalid_argument& e) {
+    usage_error(e.what());  // unknown family/check names list valid ones
+  }
+
+  if (!metrics_path.empty() &&
+      !eardec::obs::MetricsRegistry::instance().write_file(metrics_path)) {
+    std::fprintf(stderr, "eardec_fuzz: cannot write metrics to %s\n",
+                 metrics_path.c_str());
+    return 2;
+  }
+  return status;
+}
