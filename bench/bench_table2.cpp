@@ -4,17 +4,29 @@
 // decomposition, on the first seven datasets. The paper's shape: the 'w'
 // columns beat 'w/o' in proportion to the degree-2 fraction (as-22july06
 // ~10x, c-50 and cond_mat ~1.3-1.6x, nopoly/OPF/delaunay ~1x).
+//
+// Besides the text table, every run emits the canonical JSON snapshot
+// bench_results/table2_mcb.json (schema_version + git_sha) that CI and
+// PR descriptions diff. `--smoke` restricts the sweep to the chain-rich
+// as-22july06/c-50 pair and bypasses the measurement cache (see
+// mcb_sweep.hpp), for fast always-fresh CI runs.
 #include <cstdio>
+#include <cstring>
 
 #include "mcb_sweep.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   const eardec::bench::ObservabilitySession obs_session;
   using namespace eardec;
-  const auto rows = bench::run_mcb_sweep();
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const auto rows = bench::run_mcb_sweep(smoke);
 
   std::printf("=== Table 2: MCB timings (seconds), w = with ears, w/o = "
-              "without ===\n");
+              "without%s ===\n",
+              smoke ? " [smoke subset]" : "");
   std::printf("%-15s", "Graph");
   for (const auto& m : bench::implementation_modes()) {
     std::printf(" | %10s w %10s w/o", m.name, "");
@@ -42,5 +54,8 @@ int main() {
     std::printf("  %-11s %.2fx\n", bench::implementation_modes()[m].name,
                 ear_speedup[m] / static_cast<double>(rows.size()));
   }
+
+  bench::write_mcb_sweep_json(rows, smoke,
+                              bench::sweep_path("table2_mcb.json"));
   return 0;
 }

@@ -14,8 +14,11 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 
@@ -80,12 +83,48 @@ class Device {
   void launch_blocks(std::size_t num_blocks, std::size_t shared_words,
                      const std::function<void(Block&)>& kernel);
 
+  /// Completion handle of an asynchronous block launch. Default-constructed
+  /// handles are valid and already complete; wait() is idempotent.
+  class Async {
+   public:
+    Async() = default;
+    /// Blocks until every block of the launch retired.
+    void wait();
+
+   private:
+    friend class Device;
+    struct State {
+      std::mutex mutex;
+      std::condition_variable done_cv;
+      bool done = false;
+    };
+    explicit Async(std::shared_ptr<State> state) : state_(std::move(state)) {}
+    std::shared_ptr<State> state_;
+  };
+
+  /// launch_blocks without the final synchronize: the grid is driven by a
+  /// device worker while the caller keeps running — the software analogue
+  /// of an async CUDA launch on a side stream. The heterogeneous MCB
+  /// driver uses this to overlap CPU candidate search with device witness
+  /// maintenance. The returned handle must be waited on before any data
+  /// the kernel touches is read or freed.
+  Async launch_blocks_async(std::size_t num_blocks, std::size_t shared_words,
+                            std::function<void(Block&)> kernel);
+
   /// Kernel-launch counter (diagnostics / tests).
   [[nodiscard]] std::uint64_t kernels_launched() const noexcept {
     return kernels_.load();
   }
 
  private:
+  /// Shared body of launch_blocks / launch_blocks_async. `allow_parallel`
+  /// is false when the caller already occupies the last device worker (the
+  /// async driver on a one-worker device), where fanning out would
+  /// deadlock the pool.
+  void run_blocks(std::size_t num_blocks, std::size_t shared_words,
+                  const std::function<void(Block&)>& kernel,
+                  bool allow_parallel);
+
   DeviceConfig config_;
   ThreadPool pool_;
   std::atomic<std::uint64_t> kernels_{0};

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <thread>
 #include <vector>
 
 #include "hetero/device.hpp"
@@ -26,6 +27,16 @@
 #include "hetero/work_queue.hpp"
 
 namespace eardec::hetero {
+
+/// True when the host exposes more than one hardware thread. Heterogeneous
+/// drivers consult this before fanning out: on a single core the software
+/// device and the CPU threads time-slice the same execution unit, so every
+/// "overlap" is pure scheduling overhead and the dynamic both-ends-compete
+/// discipline degenerates to its all-CPU limit. (hardware_concurrency may
+/// report 0 when unknown; treat that as no parallelism.)
+[[nodiscard]] inline bool host_has_parallelism() noexcept {
+  return std::thread::hardware_concurrency() > 1;
+}
 
 /// How a hetero computation is split.
 struct SchedulerConfig {

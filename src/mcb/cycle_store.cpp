@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace eardec::mcb {
 
 CycleStore::CycleStore(std::uint32_t count) : live_(count) {
@@ -45,6 +47,17 @@ void CycleStore::remove(std::uint32_t id) {
   }
   *it |= kDeadBit;
   --live_;
+  ++stats_.removals;
+  // Registry instruments are resolved once per process (function-local
+  // statics); remove() runs once per MCB phase, so the relaxed adds are
+  // noise even in the ablation's 18K-removal replay.
+  auto& reg = obs::MetricsRegistry::instance();
+  static obs::Counter& removals_c = reg.counter("mcb.cycle_store.removals");
+  static obs::Counter& compactions_c =
+      reg.counter("mcb.cycle_store.compactions");
+  static obs::Counter& dropped_c =
+      reg.counter("mcb.cycle_store.slots_dropped");
+  removals_c.add();
   if (++node.dead * 2 >= kNodeCapacity) {
     // Compact: drop dead slots, keeping live order.
     std::vector<std::uint32_t> keep;
@@ -52,6 +65,10 @@ void CycleStore::remove(std::uint32_t id) {
     for (const std::uint32_t raw : node.slots) {
       if (!(raw & kDeadBit)) keep.push_back(raw);
     }
+    ++stats_.compactions;
+    stats_.slots_dropped += node.dead;
+    compactions_c.add();
+    dropped_c.add(node.dead);
     node.slots = std::move(keep);
     node.dead = 0;
   }

@@ -40,6 +40,16 @@ class CycleStore {
   [[nodiscard]] std::size_t live() const { return live_; }
   [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
 
+  /// Structural maintenance counters. Mirrored into the obs metrics
+  /// registry (mcb.cycle_store.*) as they happen, so `--metrics` exports
+  /// carry them next to the GF(2) kernel counters.
+  struct Stats {
+    std::uint64_t removals = 0;       ///< remove() calls
+    std::uint64_t compactions = 0;    ///< half-dead node rebuilds
+    std::uint64_t slots_dropped = 0;  ///< dead slots freed by compaction
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
  private:
   struct Node {
     std::vector<std::uint32_t> slots;  // ids, MSB = dead
@@ -49,6 +59,7 @@ class CycleStore {
   /// Per id: node index (slot found by scan during remove-compaction).
   std::vector<std::uint32_t> node_of_;
   std::size_t live_ = 0;
+  Stats stats_;
 };
 
 }  // namespace eardec::mcb

@@ -4,6 +4,14 @@
 // then restores orthogonality of the remaining witnesses. Exact for any
 // non-negative weighting; used to validate the faster Mehlhorn–Michail
 // pipeline and as the "Sequential" column of Table 2.
+//
+// Two drivers share the phase structure:
+//   * depina_mcb           — the bit-sliced WitnessMatrix path (blocked
+//     orthogonalization, word-range early-exit, sparse supports);
+//   * depina_mcb_reference — the pre-overhaul one-BitVector-at-a-time
+//     scalar loop, kept verbatim as the differential-fuzz oracle for the
+//     optimized kernels (testing/oracles.cpp).
+// Both are exact and must produce bit-for-bit identical bases.
 #pragma once
 
 #include <vector>
@@ -21,5 +29,9 @@ struct DePinaResult {
 /// Exact MCB by De Pina's method. Throws std::logic_error if a phase finds
 /// no odd cycle (impossible for a well-formed input; guards corruption).
 [[nodiscard]] DePinaResult depina_mcb(const Graph& g);
+
+/// The pre-overhaul scalar loop (std::vector<BitVector> witnesses,
+/// per-vector dot/xor). Slow; exists only as the differential oracle.
+[[nodiscard]] DePinaResult depina_mcb_reference(const Graph& g);
 
 }  // namespace eardec::mcb

@@ -57,8 +57,18 @@ McbResult solve_component(const Graph& g,
 
 }  // namespace
 
-McbResult minimum_cycle_basis(const Graph& g, const McbOptions& options) {
+McbResult minimum_cycle_basis(const Graph& g, const McbOptions& options_in) {
   McbResult result;
+
+  // The heterogeneous schedule is dynamic: whichever side is faster takes
+  // the work. On a host with a single hardware thread the software device
+  // only time-slices against the CPU, so the optimal dynamic schedule IS
+  // the sequential one — degrade instead of oversubscribing.
+  McbOptions options = options_in;
+  if (options.mode == ExecutionMode::Heterogeneous &&
+      !hetero::host_has_parallelism()) {
+    options.mode = ExecutionMode::Sequential;
+  }
 
   std::optional<hetero::ThreadPool> pool;
   std::optional<hetero::Device> device;

@@ -21,7 +21,6 @@ LabelledTrees::LabelledTrees(const Graph& g, const SpanningTree& tree,
     lt.parent = std::move(sp.parent);
     lt.parent_edge = std::move(sp.parent_edge);
     lt.dist = std::move(sp.dist);
-    lt.label.assign(n, 0);
 
     // Parent-before-child order via BFS over the tree's children lists.
     std::vector<std::vector<VertexId>> children(n);
@@ -41,6 +40,16 @@ LabelledTrees::LabelledTrees(const Graph& g, const SpanningTree& tree,
       }
     }
 
+    // Crossing slots: the only vertices pass 1 can ever mark. Sorted by
+    // non-tree index so a sparse witness can binary-search its support.
+    for (const VertexId u : lt.order) {
+      const EdgeId pe = lt.parent_edge[u];
+      if (pe == graph::kNullEdge) continue;
+      const std::uint32_t idx = tree.non_tree_index[pe];
+      if (idx != kNotNonTree) lt.crossing_slots.emplace_back(idx, u);
+    }
+    std::sort(lt.crossing_slots.begin(), lt.crossing_slots.end());
+
     // Candidates rooted at z: non-tree edges of T_z whose endpoints have z
     // as their least common ancestor in T_z.
     const auto tree_index = static_cast<std::uint32_t>(trees_.size());
@@ -57,8 +66,9 @@ LabelledTrees::LabelledTrees(const Graph& g, const SpanningTree& tree,
         a = lt.parent[a];
       }
       if (a != z) continue;
-      candidates_.push_back(
-          {tree_index, e, lt.dist[u] + g.weight(e) + lt.dist[v]});
+      candidates_.push_back({tree_index, e,
+                             lt.dist[u] + g.weight(e) + lt.dist[v], u, v,
+                             tree.non_tree_index[e]});
     }
     trees_.push_back(std::move(lt));
   }
@@ -67,35 +77,99 @@ LabelledTrees::LabelledTrees(const Graph& g, const SpanningTree& tree,
                    [](const McbCandidate& a, const McbCandidate& b) {
                      return a.weight < b.weight;
                    });
+
+  labels_.assign(trees_.size() * static_cast<std::size_t>(n), 0);
+  all_zero_.assign(trees_.size(), 1);  // every label starts at 0
 }
 
-void LabelledTrees::relabel_tree(std::size_t t, const BitVector& s) {
+void LabelledTrees::relabel_tree(std::size_t t, const WitnessView& s) {
   LabelledTree& lt = trees_[t];
-  // Pass 1 (Algorithm 3, lines 4-8): c_z(u) = S(parent edge) if that edge
-  // is a non-tree edge of the global spanning tree, else 0.
+  const std::size_t n = static_cast<std::size_t>(g_.num_vertices());
+  std::uint8_t* label = labels_.data() + t * n;
+
+  // Pass 1 (Algorithm 3, lines 4-8): c_z(u) = S(parent edge) for crossing
+  // slots, 0 elsewhere. The scratch is thread_local and cleared via the
+  // touched list, so skipped trees pay nothing proportional to n.
   thread_local std::vector<std::uint8_t> c;
-  c.assign(lt.label.size(), 0);
-  for (const VertexId u : lt.order) {
-    const EdgeId pe = lt.parent_edge[u];
-    if (pe == graph::kNullEdge) continue;
-    const std::uint32_t idx = tree_.non_tree_index[pe];
-    if (idx != kNotNonTree) c[u] = s.get(idx);
+  thread_local std::vector<VertexId> touched;
+  if (c.size() < n) c.resize(n, 0);
+  touched.clear();
+
+  if (s.has_support() && s.support().size() * 8 < lt.crossing_slots.size()) {
+    // Sparse witness, big tree: walk the support and binary-search the
+    // slots instead of testing every crossing slot against S.
+    for (const std::uint32_t idx : s.support()) {
+      auto it = std::lower_bound(
+          lt.crossing_slots.begin(), lt.crossing_slots.end(), idx,
+          [](const auto& slot, std::uint32_t key) { return slot.first < key; });
+      for (; it != lt.crossing_slots.end() && it->first == idx; ++it) {
+        c[it->second] = 1;
+        touched.push_back(it->second);
+      }
+    }
+  } else {
+    for (const auto& [idx, u] : lt.crossing_slots) {
+      if (s.get(idx)) {
+        c[u] = 1;
+        touched.push_back(u);
+      }
+    }
   }
+
+  if (touched.empty()) {
+    // No crossing slot is set: every l_z is 0. Skip pass 2; is_odd reads
+    // the flag instead of the (stale) label array.
+    all_zero_[t] = 1;
+    return;
+  }
+  all_zero_[t] = 0;
+
   // Pass 2 (lines 9-11): level-order accumulate l_z(u) = l_z(parent) ⊕ c(u).
   for (const VertexId u : lt.order) {
     const VertexId p = lt.parent[u];
-    lt.label[u] = p == graph::kNullVertex ? 0 : (lt.label[p] ^ c[u]);
+    label[u] = p == graph::kNullVertex
+                   ? std::uint8_t{0}
+                   : static_cast<std::uint8_t>(label[p] ^ c[u]);
   }
+  for (const VertexId u : touched) c[u] = 0;
 }
 
 bool LabelledTrees::is_odd(const McbCandidate& cand,
-                           const BitVector& s) const {
-  const LabelledTree& lt = trees_[cand.tree];
-  const auto [u, v] = g_.endpoints(cand.edge);
-  std::uint8_t parity = lt.label[u] ^ lt.label[v];
-  const std::uint32_t idx = tree_.non_tree_index[cand.edge];
-  if (idx != kNotNonTree) parity ^= s.get(idx);
-  return parity & 1u;
+                           const WitnessView& s) const {
+  unsigned parity = 0;
+  if (!all_zero_[cand.tree]) {
+    const std::uint8_t* label =
+        labels_.data() +
+        cand.tree * static_cast<std::size_t>(g_.num_vertices());
+    parity = static_cast<unsigned>(label[cand.u] ^ label[cand.v]);
+  }
+  if (cand.sign_index != kNotNonTree) {
+    parity ^= static_cast<unsigned>(s.get(cand.sign_index));
+  }
+  return (parity & 1u) != 0;
+}
+
+std::size_t LabelledTrees::first_odd(const std::uint32_t* ids,
+                                     std::size_t count,
+                                     const WitnessView& s) const {
+  const std::size_t n = static_cast<std::size_t>(g_.num_vertices());
+  const std::uint8_t* labels = labels_.data();
+  const std::uint8_t* az = all_zero_.data();
+  const std::uint64_t* sw = s.words().data();
+  for (std::size_t k = 0; k < count; ++k) {
+    const McbCandidate& cand = candidates_[ids[k]];
+    unsigned parity = 0;
+    if (!az[cand.tree]) {
+      const std::uint8_t* label = labels + cand.tree * n;
+      parity = static_cast<unsigned>(label[cand.u] ^ label[cand.v]);
+    }
+    if (cand.sign_index != kNotNonTree) {
+      parity ^= static_cast<unsigned>(
+          (sw[cand.sign_index >> 6] >> (cand.sign_index & 63)) & 1u);
+    }
+    if ((parity & 1u) != 0) return k;
+  }
+  return count;
 }
 
 Cycle LabelledTrees::materialize(const McbCandidate& cand) const {
@@ -108,9 +182,8 @@ Cycle LabelledTrees::materialize(const McbCandidate& cand) const {
       x = lt.parent[x];
     }
   };
-  const auto [u, v] = g_.endpoints(cand.edge);
-  climb(u);
-  climb(v);
+  climb(cand.u);
+  climb(cand.v);
   c.weight = cycle_weight(g_, c.edges);
   return c;
 }

@@ -4,6 +4,13 @@
 // compute l_z(u) = <path_z(u), S>; then any candidate cycle C_ze can be
 // tested for non-orthogonality to S in O(1):
 //   <C_ze, S> = l_z(u) ⊕ l_z(v) ⊕ (e ∈ E' ? S(e) : 0).
+//
+// The relabel pass consumes the witness through its sparse support list
+// when one is available: each tree pre-extracts its "crossing slots" (the
+// parent edges that are non-tree edges of the global spanning tree, keyed
+// by non-tree index), so a witness with k set bits relabels a tree in
+// O(k log |slots|) instead of O(n) — and a tree no witness bit touches is
+// skipped outright (its labels are identically zero).
 #pragma once
 
 #include <vector>
@@ -12,10 +19,11 @@
 #include "mcb/cycle.hpp"
 #include "mcb/gf2.hpp"
 #include "mcb/spanning_tree.hpp"
+#include "mcb/witness_matrix.hpp"
 
 namespace eardec::mcb {
 
-/// One rooted shortest-path tree plus the scratch label array.
+/// One rooted shortest-path tree.
 struct LabelledTree {
   VertexId root = 0;
   std::vector<VertexId> parent;
@@ -24,16 +32,23 @@ struct LabelledTree {
   /// Vertices in parent-before-child order (root first; unreachable
   /// vertices excluded).
   std::vector<VertexId> order;
-  /// l_z(u) with respect to the witness of the last relabel() call.
-  std::vector<std::uint8_t> label;
+  /// Parent edges that are non-tree edges of the global spanning tree:
+  /// (non-tree index, child vertex), sorted by index. Pass 1 of Algorithm 3
+  /// only ever sets c_z at these vertices.
+  std::vector<std::pair<std::uint32_t, VertexId>> crossing_slots;
 };
 
 /// A candidate cycle C_ze: non-tree edge e of T_z, with z the LCA of e's
-/// endpoints in T_z (the Mehlhorn–Michail pruning).
+/// endpoints in T_z (the Mehlhorn–Michail pruning). Endpoints and the
+/// global non-tree index are cached so the batched scan reads one
+/// contiguous candidate stream instead of chasing the edge arrays.
 struct McbCandidate {
   std::uint32_t tree = 0;  ///< index into LabelledTrees::trees
   EdgeId edge = graph::kNullEdge;
   Weight weight = 0;
+  VertexId u = 0;  ///< endpoints of `edge` (cached from the graph)
+  VertexId v = 0;
+  std::uint32_t sign_index = kNotNonTree;  ///< non-tree index, or sentinel
 };
 
 class LabelledTrees {
@@ -50,11 +65,20 @@ class LabelledTrees {
 
   /// Recomputes the labels of tree `t` for witness S (Algorithm 3's two
   /// passes). Each tree is independent — callers parallelize over trees.
-  void relabel_tree(std::size_t t, const BitVector& s);
+  void relabel_tree(std::size_t t, const WitnessView& s);
 
   /// O(1) orthogonality test of candidate `c` against the witness used in
   /// the last relabel of c's tree.
-  [[nodiscard]] bool is_odd(const McbCandidate& c, const BitVector& s) const;
+  [[nodiscard]] bool is_odd(const McbCandidate& c, const WitnessView& s) const;
+
+  /// Batched serial scan: the position in `ids` of the first candidate that
+  /// is odd against S, or `count` when none is. One tight loop with the
+  /// label base and witness words hoisted out — the fast path of the search
+  /// phase, which exits mid-batch on the first hit instead of evaluating
+  /// the whole batch.
+  [[nodiscard]] std::size_t first_odd(const std::uint32_t* ids,
+                                      std::size_t count,
+                                      const WitnessView& s) const;
 
   /// Materializes the cycle of a candidate: e plus the two tree paths.
   [[nodiscard]] Cycle materialize(const McbCandidate& c) const;
@@ -64,6 +88,12 @@ class LabelledTrees {
   const SpanningTree& tree_;
   std::vector<LabelledTree> trees_;
   std::vector<McbCandidate> candidates_;
+  /// l_z(u) for all trees, flattened: labels_[t * n + u]. One allocation,
+  /// and per-phase relabels stay in the same hot pages.
+  std::vector<std::uint8_t> labels_;
+  /// all_zero_[t]: the current witness sets no bit on tree t's crossing
+  /// slots, so every label of t is 0 and pass 2 was skipped.
+  std::vector<std::uint8_t> all_zero_;
 };
 
 }  // namespace eardec::mcb

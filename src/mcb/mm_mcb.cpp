@@ -1,11 +1,10 @@
 #include "mcb/mm_mcb.hpp"
 
 #include <atomic>
-#include <bit>
 #include <functional>
+#include <mutex>
 #include <optional>
 #include <stdexcept>
-#include <thread>
 
 #include "hetero/scheduler.hpp"
 #include "hetero/work_queue.hpp"
@@ -13,6 +12,7 @@
 #include "mcb/fvs.hpp"
 #include "mcb/labelled_trees.hpp"
 #include "mcb/signed_graph.hpp"
+#include "mcb/witness_matrix.hpp"
 #include "obs/phase.hpp"
 
 namespace eardec::mcb {
@@ -71,40 +71,6 @@ void dispatch(ExecutionMode mode, hetero::ThreadPool* pool,
   }
 }
 
-/// The paper's GPU witness update (Section 3.3.2): one block per witness;
-/// the block's lanes compute the pairwise AND of the witness with the new
-/// cycle vector into shared memory, a tree reduction XORs the partials
-/// (popcount parity of XOR-combined words equals the GF(2) inner product),
-/// and on a hit the block applies the symmetric difference in parallel.
-void device_block_witness_update(hetero::Device& device,
-                                 std::vector<BitVector>& witness,
-                                 const BitVector& ci, std::size_t phase) {
-  const std::size_t remaining = witness.size() - phase - 1;
-  const auto ci_words = ci.words();
-  const std::size_t words = ci_words.size();
-  const auto si_words = witness[phase].words();
-  device.launch_blocks(remaining, words, [&](hetero::Device::Block& blk) {
-    const std::size_t j = phase + 1 + blk.id();
-    auto sj = witness[j].words();
-    auto shared = blk.shared();
-    // Pass 1: pairwise component product.
-    blk.for_each_lane(words, [&](std::size_t w) {
-      shared[w] = sj[w] & ci_words[w];
-    });
-    // Passes 2..log: tree XOR reduction.
-    for (std::size_t stride = 1; stride < words; stride *= 2) {
-      blk.for_each_lane(words / (2 * stride) + 1, [&](std::size_t k) {
-        const std::size_t lo = 2 * stride * k;
-        if (lo + stride < words) shared[lo] ^= shared[lo + stride];
-      });
-    }
-    if (std::popcount(shared[0]) % 2 == 1) {
-      // Final pass: symmetric difference with S_i across the block's lanes.
-      blk.for_each_lane(words, [&](std::size_t w) { sj[w] ^= si_words[w]; });
-    }
-  });
-}
-
 }  // namespace
 
 void McbStats::accumulate(const McbStats& o) {
@@ -122,12 +88,20 @@ void McbStats::accumulate(const McbStats& o) {
 McbResult mm_mcb(const Graph& g, const McbOptions& options,
                  hetero::ThreadPool* pool, hetero::Device* device) {
   McbResult result;
+  // Same degradation as minimum_cycle_basis (for direct callers): with no
+  // host parallelism the CPU/device overlap cannot exist, so the
+  // heterogeneous driver's dynamic schedule collapses to all-CPU.
+  const ExecutionMode mode =
+      options.mode == ExecutionMode::Heterogeneous &&
+              !hetero::host_has_parallelism()
+          ? ExecutionMode::Sequential
+          : options.mode;
   // Every McbStats field below is filled by obs::ScopedPhase: one clock
   // shared with the "mcb.phase.*" registry gauges and the trace timeline.
   std::optional<SpanningTree> tree;
   std::optional<CycleStore> store;
   std::optional<LabelledTrees> lt;
-  std::vector<BitVector> witness;
+  std::optional<WitnessMatrix> witness;
   std::size_t f = 0;
   {
     obs::ScopedPhase phase(result.stats.preprocess_seconds, "mcb.preprocess",
@@ -146,10 +120,9 @@ McbResult mm_mcb(const Graph& g, const McbOptions& options,
     result.stats.candidates = lt->candidates().size();
     store.emplace(static_cast<std::uint32_t>(lt->candidates().size()));
 
-    witness.reserve(f);
-    for (std::size_t i = 0; i < f; ++i) {
-      witness.push_back(BitVector::unit(f, i));
-    }
+    // The f witnesses live as rows of one bit-sliced arena; row i starts
+    // as the unit vector e_i (and as a one-entry sparse support list).
+    witness.emplace(f);
   }
 
   std::vector<std::uint32_t> batch(options.batch_size == 0
@@ -157,16 +130,29 @@ McbResult mm_mcb(const Graph& g, const McbOptions& options,
                                        : options.batch_size);
   std::vector<std::uint8_t> odd(batch.size());
 
+  Gf2KernelStats gf2;
+  // In-flight device sweep of witness rows [i+2, f), launched by the
+  // previous update step. While it runs, the CPU side relabels trees and
+  // scans candidates against row i+1 (which was updated inline before the
+  // launch) — the genuine CPU/device overlap of the heterogeneous driver.
+  std::optional<WitnessMatrix::PendingDeviceUpdate> pending;
+
   for (std::size_t i = 0; i < f; ++i) {
     EARDEC_TRACE_SCOPE("mcb.iteration", "phase", i);
-    const BitVector& s = witness[i];
+    const WitnessView s = witness->view(i);
+    // While a device sweep is in flight, the CPU steps must not route
+    // through the heterogeneous dispatch: its device-driver task would
+    // contend with the kernel and its wait_idle() would serialize on it.
+    // The pool-only path IS the overlap.
+    const ExecutionMode step_mode =
+        pending ? ExecutionMode::Multicore : mode;
 
     // (1) Labels: one unit of work per FVS tree.
     {
       obs::ScopedPhase phase(result.stats.labels_seconds, "mcb.labels",
                              "mcb.phase.labels_s");
       // Trees are coarse units (O(n) each); parallelize from a handful up.
-      dispatch(options.mode, pool, device, lt->num_trees(),
+      dispatch(step_mode, pool, device, lt->num_trees(),
                [&](std::size_t t) { lt->relabel_tree(t, s); },
                /*serial_below=*/4);
     }
@@ -183,12 +169,19 @@ McbResult mm_mcb(const Graph& g, const McbOptions& options,
         if (got == 0) break;
         // Each orthogonality check is O(1); only very large batches are
         // worth fanning out (the regime of the paper's full-size runs).
-        dispatch(
-            options.mode, pool, device, got,
-            [&](std::size_t k) {
-              odd[k] = lt->is_odd(lt->candidates()[batch[k]], s);
-            },
-            /*serial_below=*/512);
+        // Below that, the hoisted-pointer serial scan with its mid-batch
+        // early exit beats any dispatch indirection.
+        if (step_mode == ExecutionMode::Sequential || got < 512) {
+          const std::size_t hit = lt->first_odd(batch.data(), got, s);
+          if (hit < got) {
+            found_id = batch[hit];
+            cycle = lt->materialize(lt->candidates()[found_id]);
+          }
+          continue;
+        }
+        dispatch(step_mode, pool, device, got, [&](std::size_t k) {
+          odd[k] = lt->is_odd(lt->candidates()[batch[k]], s);
+        });
         for (std::size_t k = 0; k < got; ++k) {
           if (odd[k]) {
             found_id = batch[k];
@@ -211,38 +204,74 @@ McbResult mm_mcb(const Graph& g, const McbOptions& options,
       }
     }
 
-    // (3) Independence test / witness update.
+    // (3) Independence test / witness update: one blocked pass over the
+    // witness arena (batched dots + masked conditional XOR).
     {
       obs::ScopedPhase phase(result.stats.update_seconds, "mcb.update",
                              "mcb.phase.update_s");
+      // Any in-flight device sweep must retire before this phase mutates
+      // the rows it covers.
+      if (pending) {
+        gf2.accumulate(pending->join());
+        pending.reset();
+      }
       const BitVector ci = restricted_vector(*cycle, *tree);
-      // Each witness update touches f/64 words; fan out once the remaining
+      const std::size_t remaining = f - i - 1;
+      // Each row update touches f/64 words; fan out once the remaining
       // tail carries enough total work.
       const std::size_t update_threshold = std::max<std::size_t>(
           64, (1u << 16) / std::max<std::size_t>(1, f / 64));
-      if (options.mode == ExecutionMode::DeviceOnly && f - i - 1 >= 64) {
-        device_block_witness_update(*device, witness, ci, i);
+      const bool device_worthwhile =
+          device != nullptr && remaining >= options.device_witness_rows;
+      if (mode == ExecutionMode::Heterogeneous && device_worthwhile) {
+        // Row i+1 (the next phase's witness) updates inline; the tail ships
+        // to the device and retires during the next labels/search steps.
+        gf2.accumulate(witness->orthogonalize(i, ci, i + 1, i + 2));
+        pending = witness->orthogonalize_device_async(i, ci, i + 2, f,
+                                                      *device);
+      } else if (mode == ExecutionMode::DeviceOnly && device_worthwhile) {
+        gf2.accumulate(witness->orthogonalize_device(i, ci, i + 1, f,
+                                                     *device));
+      } else if (mode == ExecutionMode::Multicore && pool != nullptr &&
+                 remaining >= update_threshold) {
+        // Disjoint row chunks; each chunk is an independent blocked pass.
+        const std::size_t chunk = std::max<std::size_t>(
+            64, remaining / (4 * (pool->size() + 1)));
+        const std::size_t chunks = (remaining + chunk - 1) / chunk;
+        std::mutex stats_mutex;
+        pool->parallel_for(0, chunks, [&](std::size_t c) {
+          const std::size_t begin = i + 1 + c * chunk;
+          const std::size_t end = std::min(begin + chunk, f);
+          const auto st = witness->orthogonalize(i, ci, begin, end);
+          const std::lock_guard lock(stats_mutex);
+          gf2.accumulate(st);
+        });
       } else {
-        dispatch(
-            options.mode, pool, device, f - i - 1,
-            [&](std::size_t k) {
-              const std::size_t j = i + 1 + k;
-              if (ci.dot(witness[j])) witness[j].xor_assign(witness[i]);
-            },
-            update_threshold);
+        gf2.accumulate(witness->orthogonalize(i, ci, i + 1, f));
       }
     }
 
     result.total_weight += cycle->weight;
     result.basis.push_back(std::move(*cycle));
   }
+  if (pending) {
+    gf2.accumulate(pending->join());
+    pending.reset();
+  }
 
   // Mirror the run's scalar outcomes into the registry so `--metrics`
   // exports carry them next to the phase gauges.
+  gf2.export_to_metrics();
   auto& reg = obs::MetricsRegistry::instance();
   reg.counter("mcb.fallback_searches").add(result.stats.fallback_searches);
   reg.gauge("mcb.dimension").set(static_cast<double>(result.stats.dimension));
   reg.gauge("mcb.candidates").set(static_cast<double>(result.stats.candidates));
+  const std::uint64_t swept_rows = gf2.cpu_rows + gf2.device_rows;
+  if (swept_rows != 0) {
+    reg.gauge("mcb.gf2.device_offload_fraction")
+        .set(static_cast<double>(gf2.device_rows) /
+             static_cast<double>(swept_rows));
+  }
   return result;
 }
 

@@ -30,6 +30,12 @@ struct McbOptions {
   hetero::DeviceConfig device{};
   /// Candidates checked per scan batch (paper: "logical batches").
   std::uint32_t batch_size = 256;
+  /// Remaining-witness count at which the orthogonalization sweep is
+  /// shipped to the device's block-XOR kernel (DeviceOnly and
+  /// Heterogeneous modes). Below it, launch overhead dominates and the
+  /// sweep stays on the CPU. In Heterogeneous mode the device tail runs
+  /// asynchronously, overlapped with the next phase's candidate search.
+  std::uint32_t device_witness_rows = 64;
   /// Contract degree-two chains first (Lemma 3.1). Off = the paper's
   /// "w/o ear-decomposition" columns in Table 2.
   bool use_ear_decomposition = true;

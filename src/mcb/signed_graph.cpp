@@ -24,12 +24,29 @@ std::vector<EdgeId> xor_support(std::vector<EdgeId> edges) {
 }  // namespace
 
 std::optional<Cycle> min_odd_cycle(const Graph& g, const SpanningTree& tree,
-                                   const BitVector& s) {
+                                   const WitnessView& s) {
   const VertexId n = g.num_vertices();
-  const auto signed_bit = [&](EdgeId e) {
-    const std::uint32_t idx = tree.non_tree_index[e];
-    return idx != kNotNonTree && s.get(idx);
-  };
+
+  // The crossing edges (S(e) = 1). A sparse witness hands them over
+  // directly — its support indexes the non-tree order — so nothing scans
+  // the m edges (or the zero words of S) to find them.
+  std::vector<std::uint8_t> crossing(g.num_edges(), 0);
+  bool any_crossing = false;
+  if (s.has_support()) {
+    for (const std::uint32_t idx : s.support()) {
+      crossing[tree.non_tree_edges[idx]] = 1;
+      any_crossing = true;
+    }
+  } else {
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      const std::uint32_t idx = tree.non_tree_index[e];
+      if (idx != kNotNonTree && s.get(idx)) {
+        crossing[e] = 1;
+        any_crossing = true;
+      }
+    }
+  }
+  if (!any_crossing) return std::nullopt;  // S = 0: no odd cycle exists
 
   // Build the +/- auxiliary graph: vertex x maps to x (plus) and x + n
   // (minus). Edge weights carry over; the aux edge remembers its origin.
@@ -38,7 +55,7 @@ std::optional<Cycle> min_odd_cycle(const Graph& g, const SpanningTree& tree,
   for (EdgeId e = 0; e < g.num_edges(); ++e) {
     const auto [u, v] = g.endpoints(e);
     if (g.is_self_loop(e)) {
-      if (signed_bit(e)) {
+      if (crossing[e]) {
         // A sign-crossing self-loop connects u+ and u-.
         b.add_edge(u, u + n, g.weight(e));
         origin.push_back(e);
@@ -46,7 +63,7 @@ std::optional<Cycle> min_odd_cycle(const Graph& g, const SpanningTree& tree,
       // An even self-loop is useless for odd-parity cycles; skip it.
       continue;
     }
-    if (signed_bit(e)) {
+    if (crossing[e]) {
       b.add_edge(u, v + n, g.weight(e));
       origin.push_back(e);
       b.add_edge(u + n, v, g.weight(e));
@@ -63,7 +80,7 @@ std::optional<Cycle> min_odd_cycle(const Graph& g, const SpanningTree& tree,
   // Only vertices incident to a crossing edge can lie on an odd cycle.
   std::vector<VertexId> starts;
   for (EdgeId e = 0; e < g.num_edges(); ++e) {
-    if (signed_bit(e)) {
+    if (crossing[e]) {
       const auto [u, v] = g.endpoints(e);
       starts.push_back(u);
       starts.push_back(v);
@@ -89,6 +106,11 @@ std::optional<Cycle> min_odd_cycle(const Graph& g, const SpanningTree& tree,
     if (!best || c.weight < best->weight) best = std::move(c);
   }
   return best;
+}
+
+std::optional<Cycle> min_odd_cycle(const Graph& g, const SpanningTree& tree,
+                                   const BitVector& s) {
+  return min_odd_cycle(g, tree, WitnessView(s));
 }
 
 }  // namespace eardec::mcb

@@ -12,12 +12,20 @@
 #include "mcb/cycle.hpp"
 #include "mcb/gf2.hpp"
 #include "mcb/spanning_tree.hpp"
+#include "mcb/witness_matrix.hpp"
 
 namespace eardec::mcb {
 
 /// Minimum-weight cycle C with <C, S> = 1, where S is indexed by the
 /// non-tree order of `tree` (bits for tree edges are implicitly 0).
 /// Returns nullopt iff no such cycle exists (S = 0 or graph is a forest).
+/// When the view carries a sparse support list the crossing edges are read
+/// straight off it — no scan over the zero words of S.
+[[nodiscard]] std::optional<Cycle> min_odd_cycle(const Graph& g,
+                                                 const SpanningTree& tree,
+                                                 const WitnessView& s);
+
+/// BitVector convenience overload (dense view, no support list).
 [[nodiscard]] std::optional<Cycle> min_odd_cycle(const Graph& g,
                                                  const SpanningTree& tree,
                                                  const BitVector& s);

@@ -155,6 +155,43 @@ CheckResult check_mcb_vs_depina(const Graph& g) {
   return std::nullopt;
 }
 
+CheckResult check_depina_vs_scalar_reference(const Graph& g) {
+  const auto ref = mcb::depina_mcb_reference(g);
+  const auto opt = mcb::depina_mcb(g);
+  if (opt.basis.size() != ref.basis.size()) {
+    std::ostringstream msg;
+    msg << "optimized De Pina dimension " << opt.basis.size()
+        << " != scalar reference " << ref.basis.size();
+    return msg.str();
+  }
+  if (opt.total_weight != ref.total_weight) {  // bit-for-bit, no tolerance
+    std::ostringstream msg;
+    msg.precision(17);
+    msg << "optimized De Pina weight " << opt.total_weight
+        << " != scalar reference " << ref.total_weight;
+    return msg.str();
+  }
+  // Phase order and the signed-graph search are deterministic, so the two
+  // drivers must select the very same cycles, not just equal totals.
+  for (std::size_t i = 0; i < ref.basis.size(); ++i) {
+    if (opt.basis[i].edges != ref.basis[i].edges) {
+      std::ostringstream msg;
+      msg << "optimized De Pina picked a different cycle at phase " << i
+          << " (" << opt.basis[i].edges.size() << " vs "
+          << ref.basis[i].edges.size() << " edges)";
+      return msg.str();
+    }
+  }
+  // The Mehlhorn–Michail driver shares the new GF(2) kernels; its basis
+  // selection differs (candidate store vs signed graph) but dimension and
+  // minimum weight are unique.
+  const auto mm = mcb::minimum_cycle_basis(
+      g, {.mode = core::ExecutionMode::Sequential,
+          .use_ear_decomposition = false});
+  return compare_mcb(g, mm, ref.basis.size(), ref.total_weight,
+                     "scalar DePina");
+}
+
 namespace {
 
 /// The deliberately broken SSSP: per vertex, only the first half-edge to

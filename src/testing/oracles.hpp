@@ -52,6 +52,15 @@ using CheckResult = std::optional<std::string>;
 /// Lemma 3.1 invariance: with/without ear contraction must agree.
 [[nodiscard]] CheckResult check_mcb_vs_depina(const Graph& g);
 
+/// The GF(2)-overhaul differential: the optimized bit-sliced De Pina
+/// (WitnessMatrix, sparse supports, range early-exit) must be bit-for-bit
+/// identical — dimension, total weight, and every cycle's edge set — to
+/// the preserved pre-overhaul scalar loop (depina_mcb_reference). Also
+/// pins the Mehlhorn–Michail driver's dimension and weight to the same
+/// reference. Runs on every family, multigraph and degenerate weights
+/// included (the kernels are weight-agnostic).
+[[nodiscard]] CheckResult check_depina_vs_scalar_reference(const Graph& g);
+
 /// Intentionally broken differential check used to validate the harness
 /// end-to-end (acceptance: the bug must be caught and shrunk to <= 10
 /// vertices). The "implementation under test" is a Dijkstra variant that

@@ -194,6 +194,14 @@ std::vector<PropertyCheck> build_checks() {
                .run = [](const Graph& g, std::uint64_t) {
                  return check_mcb_vs_depina(g);
                }});
+  r.push_back({.name = "mcb_depina_scalar",
+               .description =
+                   "bit-sliced De Pina bit-for-bit vs pre-overhaul scalar loop",
+               .kind = CheckKind::Differential,
+               .size_hint = 14,
+               .run = [](const Graph& g, std::uint64_t) {
+                 return check_depina_vs_scalar_reference(g);
+               }});
   r.push_back({.name = "relabel",
                .description = "vertex-relabeling invariance (APSP + MCB)",
                .kind = CheckKind::Metamorphic,

@@ -45,6 +45,21 @@ TEST(PropertyMcb, DePinaOracleHoldsAcrossFamilies) {
   EXPECT_GE(report.families_per_check.at("mcb_depina"), 3u);
 }
 
+TEST(PropertyMcb, BitSlicedDePinaMatchesScalarReferenceOnAllFamilies) {
+  // The GF(2) overhaul differential: the WitnessMatrix-based De Pina must
+  // be bit-for-bit identical to the preserved scalar loop on EVERY family
+  // — multigraph, self-loop, and degenerate-weight ones included (the
+  // kernels are weight-agnostic, so nothing is skipped).
+  et::RunnerOptions options;
+  options.seed = 90210;
+  options.runs = 3;
+  options.checks = {"mcb_depina_scalar"};
+  const auto report = et::run_properties(options);
+  EXPECT_TRUE(report.ok()) << failure_digest(report);
+  EXPECT_EQ(report.families_per_check.at("mcb_depina_scalar"),
+            et::families().size());
+}
+
 TEST(PropertyMcb, DePinaHandlesMultigraphFamilies) {
   // Parallel edges and self-loops are cycle-space citizens (dimension one
   // each); the De Pina oracle must agree on families that produce them.

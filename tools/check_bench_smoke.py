@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Validates the bench-smoke JSON snapshots (CI gate).
+
+Usage: check_bench_smoke.py <table2_mcb.json> <mcb_gf2.json> [--tolerance X]
+
+Two layers of checking:
+
+1. Schema: both files must carry the provenance header
+   (schema_version/git_sha) and every record must have the full key set
+   with positive timings — a bench refactor that silently drops a field
+   fails here, not in a downstream plotting script.
+
+2. Performance tripwire: on the chain-rich smoke datasets the
+   heterogeneous MCB must not fall behind sequential by more than the
+   jitter tolerance. Only enforced when the runner exposes >= 4 hardware
+   threads — below that the heterogeneous driver legitimately degrades to
+   the sequential schedule (see hetero::host_has_parallelism), so the
+   comparison measures nothing; we warn instead.
+"""
+
+import json
+import sys
+
+TABLE2_MODE_KEYS = ("sequential", "multicore", "device", "heterogeneous")
+TABLE2_TIMING_KEYS = ("with_ears_s", "without_ears_s")
+GF2_CELL_KEYS = (
+    "witnesses", "density", "impl", "device_threshold", "seconds",
+    "dots", "sparse_dots", "words_xored", "range_skips", "promotions",
+    "device_rows",
+)
+CHAIN_RICH = ("as-22july06", "c-50")
+
+
+def fail(msg):
+    print(f"check_bench_smoke: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def require(cond, msg):
+    if not cond:
+        fail(msg)
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+    require(doc.get("schema_version") == 1,
+            f"{path}: schema_version missing or != 1")
+    require(isinstance(doc.get("git_sha"), str) and doc["git_sha"],
+            f"{path}: git_sha missing")
+    require("smoke" in doc, f"{path}: smoke flag missing")
+    return doc
+
+
+def check_table2(path):
+    doc = load(path)
+    require(isinstance(doc.get("hardware_concurrency"), int),
+            f"{path}: hardware_concurrency missing")
+    datasets = doc.get("datasets")
+    require(isinstance(datasets, dict) and datasets,
+            f"{path}: datasets missing or empty")
+    for name, d in datasets.items():
+        for key in ("n", "m"):
+            require(isinstance(d.get(key), int) and d[key] > 0,
+                    f"{path}: {name}.{key} missing or non-positive")
+        modes = d.get("modes")
+        require(isinstance(modes, dict), f"{path}: {name}.modes missing")
+        for mode in TABLE2_MODE_KEYS:
+            require(mode in modes, f"{path}: {name}.modes.{mode} missing")
+            for timing in TABLE2_TIMING_KEYS:
+                v = modes[mode].get(timing)
+                require(isinstance(v, (int, float)) and v > 0,
+                        f"{path}: {name}.{mode}.{timing} missing or <= 0")
+    return doc
+
+
+def check_gf2(path):
+    doc = load(path)
+    cells = doc.get("cells")
+    require(isinstance(cells, list) and cells,
+            f"{path}: cells missing or empty")
+    for i, cell in enumerate(cells):
+        for key in GF2_CELL_KEYS:
+            require(key in cell, f"{path}: cells[{i}].{key} missing")
+        require(cell["seconds"] > 0, f"{path}: cells[{i}].seconds <= 0")
+        require(cell["impl"] in ("naive", "matrix_cpu", "matrix_device"),
+                f"{path}: cells[{i}].impl unknown: {cell['impl']}")
+
+
+def check_hetero_not_slower(doc, path, tolerance):
+    hw = doc["hardware_concurrency"]
+    if hw < 4:
+        print(f"check_bench_smoke: WARN: only {hw} hardware thread(s); "
+              "the heterogeneous driver degrades to sequential there, so "
+              "the hetero-vs-sequential gate is skipped")
+        return
+    for name in CHAIN_RICH:
+        if name not in doc["datasets"]:
+            continue
+        modes = doc["datasets"][name]["modes"]
+        seq = modes["sequential"]["with_ears_s"]
+        het = modes["heterogeneous"]["with_ears_s"]
+        require(het <= seq * tolerance,
+                f"{path}: heterogeneous MCB on {name} ({het:.6f}s) is more "
+                f"than {tolerance:.2f}x slower than sequential ({seq:.6f}s)")
+        print(f"check_bench_smoke: {name}: hetero {het:.6f}s vs "
+              f"sequential {seq:.6f}s (ratio {het / seq:.2f})")
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    tolerance = 1.2
+    for a in argv[1:]:
+        if a.startswith("--tolerance="):
+            tolerance = float(a.split("=", 1)[1])
+    if len(args) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    table2 = check_table2(args[0])
+    check_gf2(args[1])
+    check_hetero_not_slower(table2, args[0], tolerance)
+    print("check_bench_smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
