@@ -17,13 +17,17 @@
 
 #include "core/ear_apsp.hpp"
 #include "obs/metrics.hpp"
+#include "obs/pmu.hpp"
+#include "obs/sampler.hpp"
 #include "obs/trace.hpp"
 
 namespace eardec::bench {
 
 /// Bumped whenever the shape of a bench_results/*.json file changes, so the
 /// plotting/diffing scripts can reject snapshots they don't understand.
-inline constexpr int kBenchSchemaVersion = 1;
+/// v2: every snapshot carries a "pmu" provenance block (availability tier +
+/// counter totals from obs/pmu.hpp).
+inline constexpr int kBenchSchemaVersion = 2;
 
 /// Git revision the binary was built from (baked in by bench/CMakeLists.txt;
 /// "unknown" outside a git checkout).
@@ -36,16 +40,45 @@ inline const char* build_git_sha() {
 }
 
 /// Writes the provenance header fields of a bench_results/*.json object.
-/// Call immediately after printing the opening `{`.
+/// Call immediately after printing the opening `{`. Since schema v2 this
+/// includes the "pmu" block — availability tier plus whole-run counter
+/// totals — so every snapshot says what the hardware was doing (or why we
+/// could not ask it).
 inline void json_stamp(std::FILE* out) {
   std::fprintf(out, "  \"schema_version\": %d,\n  \"git_sha\": \"%s\",\n",
                kBenchSchemaVersion, build_git_sha());
+  const obs::PmuEngine& pmu = obs::PmuEngine::instance();
+  const obs::PmuStatus status = pmu.status();
+  std::fprintf(out,
+               "  \"pmu\": {\n"
+               "    \"available\": %d,\n"
+               "    \"status\": \"%s\",\n",
+               static_cast<int>(status) > 0 ? 1 : 0, obs::to_string(status));
+  const obs::PmuSample totals = pmu.totals();
+  for (std::size_t s = 0; s < obs::kNumPmuSlots; ++s) {
+    std::fprintf(out, "    \"%s\": %llu,\n", obs::kPmuSlotNames[s],
+                 static_cast<unsigned long long>(totals.v[s]));
+  }
+  const double cycles = static_cast<double>(totals.v[obs::kPmuCycles]);
+  const double refs = static_cast<double>(totals.v[obs::kPmuCacheReferences]);
+  std::fprintf(
+      out,
+      "    \"ipc\": %.4f,\n    \"cache_miss_rate\": %.4f\n  },\n",
+      cycles > 0.0
+          ? static_cast<double>(totals.v[obs::kPmuInstructions]) / cycles
+          : 0.0,
+      refs > 0.0
+          ? static_cast<double>(totals.v[obs::kPmuCacheMisses]) / refs
+          : 0.0);
 }
 
 /// Opt-in observability for every bench binary: set EARDEC_TRACE and/or
 /// EARDEC_METRICS to file paths and the session records a Chrome trace /
 /// metrics dump of the whole run, written on destruction (i.e. at the end
-/// of main). No env vars -> zero behavior change.
+/// of main). EARDEC_PMU arms the hardware-counter engine ("1"/"auto";
+/// "off" pins it disabled) and EARDEC_SAMPLER starts the background
+/// counter-track sampler ("<ms>" or "auto"). No env vars -> zero behavior
+/// change.
 class ObservabilitySession {
  public:
   ObservabilitySession() {
@@ -54,9 +87,14 @@ class ObservabilitySession {
     if (trace != nullptr) trace_path_ = trace;
     if (metrics != nullptr) metrics_path_ = metrics;
     if (!trace_path_.empty()) obs::Tracer::instance().set_enabled(true);
+    obs::PmuEngine::instance().configure_from_env();
+    obs::Sampler::instance().configure_from_env();
   }
 
   ~ObservabilitySession() {
+    // Stop the sampler before exporting: exports would quiesce it anyway,
+    // but stopping first also captures its final sample.
+    obs::Sampler::instance().stop();
     if (!trace_path_.empty() &&
         !obs::Tracer::instance().write_chrome_trace_file(trace_path_)) {
       std::fprintf(stderr, "bench: cannot write trace %s\n",

@@ -8,6 +8,7 @@
 
 #include "connectivity/dfs.hpp"
 #include "obs/phase.hpp"
+#include "obs/pmu.hpp"
 #include "sssp/dijkstra.hpp"
 #include "sssp/frontier_sssp.hpp"
 
@@ -185,7 +186,7 @@ struct EarApspEngine::Impl {
     if (device) device_ws.ensure(max_nr);
 
     const auto cpu_fn = [&](const hetero::WorkUnit& wu, unsigned worker) {
-      EARDEC_TRACE_SCOPE("apsp.sssp_block", "comp", units[wu.id].comp);
+      EARDEC_TRACE_SCOPE_PMU("apsp.sssp_block", "comp", units[wu.id].comp);
       const Unit& u = units[wu.id];
       const Graph& rg = reduced[u.comp].graph();
       sssp::DijkstraWorkspace& ws = cpu_ws[worker];
@@ -194,7 +195,7 @@ struct EarApspEngine::Impl {
       }
     };
     const auto device_fn = [&](const hetero::WorkUnit& wu, unsigned) {
-      EARDEC_TRACE_SCOPE("apsp.sssp_block", "comp", units[wu.id].comp);
+      EARDEC_TRACE_SCOPE_PMU("apsp.sssp_block", "comp", units[wu.id].comp);
       const Unit& u = units[wu.id];
       const Graph& rg = reduced[u.comp].graph();
       for (VertexId s = u.src_begin; s < u.src_end; ++s) {

@@ -1,0 +1,385 @@
+#include "obs/pmu.hpp"
+
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#endif
+
+namespace eardec::obs {
+namespace {
+
+/// True when EARDEC_PMU explicitly forces the layer off. Checked on every
+/// enable() so `EARDEC_PMU=off eardec_cli ... --pmu` stays a no-op.
+bool env_forces_off() {
+  const char* v = std::getenv("EARDEC_PMU");
+  if (v == nullptr) return false;
+  std::string s(v);
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s == "off" || s == "0" || s == "false";
+}
+
+#if defined(__linux__)
+
+/// perf_event type/config per PmuSlot, in slot order.
+struct EventSpec {
+  std::uint32_t type;
+  std::uint64_t config;
+};
+constexpr EventSpec kSpecs[kNumPmuSlots] = {
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_REFERENCES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES},
+    {PERF_TYPE_SOFTWARE, PERF_COUNT_SW_TASK_CLOCK},
+};
+
+int perf_open(const EventSpec& spec, bool leader, int group_fd) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof attr);
+  attr.size = sizeof attr;
+  attr.type = spec.type;
+  attr.config = spec.config;
+  attr.disabled = leader ? 1 : 0;  // members follow the leader's gate
+  attr.exclude_kernel = 1;         // works under perf_event_paranoid <= 2
+  attr.exclude_hv = 1;
+  attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED |
+                     PERF_FORMAT_TOTAL_TIME_RUNNING;
+  return static_cast<int>(syscall(SYS_perf_event_open, &attr, /*pid=*/0,
+                                  /*cpu=*/-1, group_fd, PERF_FLAG_FD_CLOEXEC));
+}
+
+PmuStatus classify_errno(int err) {
+  if (err == EPERM || err == EACCES) return PmuStatus::kPermissionDenied;
+  return PmuStatus::kNoCounters;  // ENOENT/ENODEV/EOPNOTSUPP/ENOSYS/EINVAL
+}
+
+/// One thread's counter group: the leader fd plus the slot each group read
+/// value maps back to (open order == read order under PERF_FORMAT_GROUP).
+struct ThreadGroup {
+  int leader = -1;
+  std::size_t num_values = 0;
+  std::size_t slot_of_value[kNumPmuSlots] = {};
+  bool attempted = false;
+  bool ok = false;
+  std::uint32_t generation = 0;
+  int leader_errno = 0;
+
+  bool open(PmuStatus tier) {
+    const std::size_t first =
+        tier == PmuStatus::kSoftwareOnly ? kPmuTaskClockNs : kPmuCycles;
+    leader = perf_open(kSpecs[first], /*leader=*/true, /*group_fd=*/-1);
+    if (leader < 0) {
+      leader_errno = errno;
+      return false;
+    }
+    slot_of_value[num_values++] = first;
+    if (tier != PmuStatus::kSoftwareOnly) {
+      // Members that fail to open (counter pressure, missing events) are
+      // skipped: their slots simply stay out of the sample mask.
+      for (std::size_t s = 1; s < kNumPmuSlots; ++s) {
+        const int fd = perf_open(kSpecs[s], /*leader=*/false, leader);
+        if (fd < 0) continue;
+        slot_of_value[num_values++] = s;
+        ::close(fd);  // group reads go through the leader; fd not needed
+      }
+    }
+    ioctl(leader, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+    ioctl(leader, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+    ok = true;
+    return true;
+  }
+
+  bool read_sample(PmuSample& out) const {
+    struct {
+      std::uint64_t nr;
+      std::uint64_t time_enabled;
+      std::uint64_t time_running;
+      std::uint64_t values[kNumPmuSlots];
+    } buf;
+    const ssize_t n = ::read(leader, &buf, sizeof buf);
+    if (n < static_cast<ssize_t>(3 * sizeof(std::uint64_t))) return false;
+    // Multiplex scaling: when the kernel rotated the group off the PMU for
+    // part of the window, extrapolate to the enabled time.
+    double scale = 1.0;
+    if (buf.time_running > 0 && buf.time_running < buf.time_enabled) {
+      scale = static_cast<double>(buf.time_enabled) /
+              static_cast<double>(buf.time_running);
+    }
+    const std::size_t nr =
+        std::min(static_cast<std::size_t>(buf.nr), num_values);
+    for (std::size_t i = 0; i < nr; ++i) {
+      const std::size_t slot = slot_of_value[i];
+      out.v[slot] =
+          static_cast<std::uint64_t>(static_cast<double>(buf.values[i]) * scale);
+      out.mask = static_cast<std::uint8_t>(out.mask | (1u << slot));
+    }
+    return true;
+  }
+
+  void close_group() {
+    if (leader >= 0) ::close(leader);
+    leader = -1;
+    num_values = 0;
+    attempted = false;
+    ok = false;
+    leader_errno = 0;
+  }
+};
+
+/// Closes the group when the thread exits (mirrors the tracer's lane
+/// handle).
+struct ThreadGroupHandle {
+  ThreadGroup group;
+  ~ThreadGroupHandle() { group.close_group(); }
+};
+
+thread_local ThreadGroupHandle t_pmu;
+
+#endif  // defined(__linux__)
+
+}  // namespace
+
+const char* to_string(PmuStatus status) noexcept {
+  switch (status) {
+    case PmuStatus::kUnsupported: return "unsupported-platform";
+    case PmuStatus::kNoCounters: return "no-counters";
+    case PmuStatus::kPermissionDenied: return "permission-denied";
+    case PmuStatus::kDisabled: return "disabled";
+    case PmuStatus::kHardware: return "hardware";
+    case PmuStatus::kSoftwareOnly: return "software-only";
+  }
+  return "unknown";
+}
+
+struct PmuEngine::Impl {
+  std::mutex mutex;  ///< guards probing / status transitions
+  std::atomic<int> status{static_cast<int>(PmuStatus::kDisabled)};
+  std::atomic<bool> active{false};
+  bool probed = false;
+  std::atomic<std::uint32_t> generation{0};
+  std::atomic<std::uint64_t> totals[kNumPmuSlots]{};
+  std::atomic<unsigned> totals_mask{0};
+
+  /// Publishes the availability gauges; the one place status changes.
+  void set_status(PmuStatus s) {
+    status.store(static_cast<int>(s), std::memory_order_relaxed);
+    active.store(static_cast<int>(s) > 0, std::memory_order_relaxed);
+    auto& reg = MetricsRegistry::instance();
+    reg.gauge("obs.pmu.available").set(static_cast<int>(s) > 0 ? 1.0 : 0.0);
+    reg.gauge("obs.pmu.status").set(static_cast<double>(static_cast<int>(s)));
+  }
+};
+
+PmuEngine::PmuEngine() : impl_(new Impl) {}
+
+PmuEngine& PmuEngine::instance() {
+  // Intentionally leaked, like the tracer: scopes may finish during static
+  // destruction.
+  static PmuEngine* engine = new PmuEngine();
+  return *engine;
+}
+
+PmuStatus PmuEngine::enable(bool on) {
+  const std::lock_guard lock(impl_->mutex);
+  if (env_forces_off()) {
+    impl_->set_status(PmuStatus::kDisabled);
+    return PmuStatus::kDisabled;
+  }
+  if (!on) {
+    impl_->set_status(PmuStatus::kDisabled);
+    return PmuStatus::kDisabled;
+  }
+  if (impl_->probed) {
+    // Re-arming after a plain disable (status was pinned to kDisabled but
+    // the probe result is sticky) re-runs the probe below.
+    if (impl_->status.load(std::memory_order_relaxed) != 0) {
+      return status();
+    }
+  }
+  impl_->probed = true;
+#if defined(__linux__)
+  // Probe with a throwaway group on this thread: per-thread groups open
+  // lazily at first read() with whatever tier the probe lands on.
+  ThreadGroup probe;
+  if (probe.open(PmuStatus::kHardware)) {
+    probe.close_group();
+    impl_->set_status(PmuStatus::kHardware);
+  } else if (classify_errno(probe.leader_errno) ==
+             PmuStatus::kPermissionDenied) {
+    impl_->set_status(PmuStatus::kPermissionDenied);
+  } else {
+    ThreadGroup sw;
+    if (sw.open(PmuStatus::kSoftwareOnly)) {
+      sw.close_group();
+      impl_->set_status(PmuStatus::kSoftwareOnly);
+    } else {
+      impl_->set_status(classify_errno(sw.leader_errno));
+    }
+  }
+#else
+  impl_->set_status(PmuStatus::kUnsupported);
+#endif
+  impl_->generation.fetch_add(1, std::memory_order_relaxed);
+  return status();
+}
+
+PmuStatus PmuEngine::configure_from_env() {
+  const char* v = std::getenv("EARDEC_PMU");
+  if (v == nullptr) {
+    // Publish the current (likely kDisabled) status so metrics dumps
+    // always carry the availability gauges.
+    const std::lock_guard lock(impl_->mutex);
+    impl_->set_status(status());
+    return status();
+  }
+  if (env_forces_off()) return enable(false);
+  return enable(true);  // "1" / "on" / "true" / "auto"
+}
+
+PmuStatus PmuEngine::status() const noexcept {
+  return static_cast<PmuStatus>(impl_->status.load(std::memory_order_relaxed));
+}
+
+bool PmuEngine::active() const noexcept {
+  return impl_->active.load(std::memory_order_relaxed);
+}
+
+bool PmuEngine::read(PmuSample& out) noexcept {
+  if (!active()) return false;
+#if defined(__linux__)
+  ThreadGroup& g = t_pmu.group;
+  const std::uint32_t gen = impl_->generation.load(std::memory_order_relaxed);
+  if (g.attempted && g.generation != gen) g.close_group();
+  if (!g.attempted) {
+    g.attempted = true;
+    g.generation = gen;
+    g.open(status());
+  }
+  if (!g.ok) return false;
+  return g.read_sample(out);
+#else
+  (void)out;
+  return false;
+#endif
+}
+
+PmuSample PmuEngine::totals() const noexcept {
+  PmuSample s;
+  for (std::size_t i = 0; i < kNumPmuSlots; ++i) {
+    s.v[i] = impl_->totals[i].load(std::memory_order_relaxed);
+  }
+  s.mask = static_cast<std::uint8_t>(
+      impl_->totals_mask.load(std::memory_order_relaxed));
+  return s;
+}
+
+void PmuEngine::finish_scope(const char* span_name, std::uint64_t start_ns,
+                             std::uint64_t dur_ns, const PmuSample& begin,
+                             const char* arg_name, std::uint64_t arg) {
+  PmuSample end;
+  if (!read(end)) {
+    Tracer::instance().record_span(span_name, start_ns, dur_ns, arg_name, arg);
+    return;
+  }
+  PmuSample delta;
+  delta.mask = static_cast<std::uint8_t>(begin.mask & end.mask);
+  for (std::size_t i = 0; i < kNumPmuSlots; ++i) {
+    if ((delta.mask & (1u << i)) == 0) continue;
+    // Multiplex scaling can make a counter appear to step backwards by a
+    // little; clamp instead of wrapping to ~2^64.
+    delta.v[i] = end.v[i] >= begin.v[i] ? end.v[i] - begin.v[i] : 0;
+  }
+  Tracer::instance().record_span_pmu(span_name, start_ns, dur_ns, delta.v,
+                                     delta.mask, arg_name, arg);
+
+  auto& reg = MetricsRegistry::instance();
+  static Counter* const slot_totals[kNumPmuSlots] = {
+      &reg.counter("obs.pmu.cycles"),
+      &reg.counter("obs.pmu.instructions"),
+      &reg.counter("obs.pmu.cache_references"),
+      &reg.counter("obs.pmu.cache_misses"),
+      &reg.counter("obs.pmu.branch_misses"),
+      &reg.counter("obs.pmu.task_clock_ns"),
+  };
+  for (std::size_t i = 0; i < kNumPmuSlots; ++i) {
+    if ((delta.mask & (1u << i)) == 0) continue;
+    impl_->totals[i].fetch_add(delta.v[i], std::memory_order_relaxed);
+    slot_totals[i]->add(delta.v[i]);
+  }
+  impl_->totals_mask.fetch_or(delta.mask, std::memory_order_relaxed);
+
+  // Per-phase derived gauges. The lookup builds two short strings — noise
+  // next to the perf read() syscalls this scope just issued, and only paid
+  // while PMU profiling is switched on.
+  constexpr std::uint8_t kIpcSlots = (1u << kPmuCycles) |
+                                     (1u << kPmuInstructions);
+  constexpr std::uint8_t kMissSlots = (1u << kPmuCacheReferences) |
+                                      (1u << kPmuCacheMisses);
+  std::string base = "pmu.";
+  base += span_name;
+  if ((delta.mask & kIpcSlots) == kIpcSlots && delta.v[kPmuCycles] > 0) {
+    reg.gauge(base + ".ipc")
+        .set(static_cast<double>(delta.v[kPmuInstructions]) /
+             static_cast<double>(delta.v[kPmuCycles]));
+  }
+  if ((delta.mask & kMissSlots) == kMissSlots &&
+      delta.v[kPmuCacheReferences] > 0) {
+    reg.gauge(base + ".cache_miss_rate")
+        .set(static_cast<double>(delta.v[kPmuCacheMisses]) /
+             static_cast<double>(delta.v[kPmuCacheReferences]));
+  }
+}
+
+void PmuEngine::force_status_for_test(PmuStatus status) {
+  const std::lock_guard lock(impl_->mutex);
+  impl_->probed = true;
+  impl_->set_status(status);
+  impl_->generation.fetch_add(1, std::memory_order_relaxed);
+}
+
+void PmuEngine::reset_for_test() {
+  const std::lock_guard lock(impl_->mutex);
+  impl_->probed = false;
+  impl_->set_status(PmuStatus::kDisabled);
+  impl_->generation.fetch_add(1, std::memory_order_relaxed);
+}
+
+PmuScopedSpan::PmuScopedSpan(const char* name, const char* arg_name,
+                             std::uint64_t arg)
+    : name_(name), arg_name_(arg_name), arg_(arg) {
+  PmuEngine& engine = PmuEngine::instance();
+  pmu_ = engine.active() && engine.read(begin_);
+  if (pmu_ || Tracer::instance().enabled()) {
+    start_ns_ = Tracer::now_ns();
+  } else {
+    name_ = nullptr;
+  }
+}
+
+PmuScopedSpan::~PmuScopedSpan() {
+  if (name_ == nullptr) return;
+  const std::uint64_t end_ns = Tracer::now_ns();
+  if (pmu_) {
+    PmuEngine::instance().finish_scope(name_, start_ns_, end_ns - start_ns_,
+                                       begin_, arg_name_, arg_);
+  } else {
+    Tracer::instance().record_span(name_, start_ns_, end_ns - start_ns_,
+                                   arg_name_, arg_);
+  }
+}
+
+}  // namespace eardec::obs

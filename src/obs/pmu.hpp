@@ -1,0 +1,161 @@
+// Hardware-counter self-profiling — the perf_event half of the
+// observability layer (trace.hpp / metrics.hpp are the others; see
+// docs/profiling.md).
+//
+// PmuEngine wraps perf_event_open with zero dependencies: one counter
+// group per thread (cycles-led, with instructions / cache-references /
+// cache-misses / branch-misses and the software task-clock as members),
+// opened lazily on the first read from each thread, multiplex-scaled via
+// TIME_ENABLED/TIME_RUNNING, torn down when the thread exits. Scopes read
+// the group at entry and exit; the delta is attached to the trace span as
+// args (plus derived IPC / cache-miss-rate), accumulated into process-wide
+// totals, and folded into `pmu.<span>.{ipc,cache_miss_rate}` gauges.
+//
+// The whole layer degrades gracefully, in tiers:
+//   * kHardware      — the full group opened; every slot live;
+//   * kSoftwareOnly  — no hardware PMU exposed (VMs, some containers) but
+//                      software events work: task-clock only;
+//   * kPermissionDenied / kNoCounters / kUnsupported / kDisabled —
+//                      every call is a cheap no-op (one relaxed load).
+// Whatever happens, the `obs.pmu.available` gauge records 0/1 and
+// `obs.pmu.status` records the tier, so a metrics dump always says *why*
+// counters are (or are not) there.
+//
+// Runtime gating mirrors the tracer: nothing is probed or opened until
+// PmuEngine::enable() (what `eardec_cli --pmu` and the EARDEC_PMU env var
+// flip). EARDEC_PMU=off wins over any programmatic enable, so CI can force
+// the fallback path.
+#pragma once
+
+#include <cstdint>
+
+#include "obs/trace.hpp"
+
+namespace eardec::obs {
+
+/// Availability tier. Positive values mean counters are live.
+enum class PmuStatus : int {
+  kUnsupported = -3,      ///< not a Linux build: no perf_event syscall
+  kNoCounters = -2,       ///< neither hardware nor software events opened
+  kPermissionDenied = -1, ///< EPERM/EACCES (perf_event_paranoid, seccomp)
+  kDisabled = 0,          ///< never enabled, or forced off via EARDEC_PMU
+  kHardware = 1,          ///< full hardware group live
+  kSoftwareOnly = 2,      ///< software events only (no PMU exposed)
+};
+
+/// Human-readable reason string ("hardware", "permission-denied", ...).
+[[nodiscard]] const char* to_string(PmuStatus status) noexcept;
+
+/// Counter slot indices; must match obs::kPmuSlotNames / TraceEvent::pmu.
+enum PmuSlot : std::size_t {
+  kPmuCycles = 0,
+  kPmuInstructions = 1,
+  kPmuCacheReferences = 2,
+  kPmuCacheMisses = 3,
+  kPmuBranchMisses = 4,
+  kPmuTaskClockNs = 5,
+  kNumPmuSlots = TraceEvent::kNumPmuSlots,
+};
+
+/// One reading of the calling thread's counter group. `mask` bit i flags
+/// slot i as live (a slot can be missing when its event failed to open).
+struct PmuSample {
+  std::uint64_t v[kNumPmuSlots] = {};
+  std::uint8_t mask = 0;
+};
+
+class PmuEngine {
+ public:
+  /// The process-wide engine. Never destroyed (worker threads may read
+  /// counters arbitrarily late in shutdown).
+  static PmuEngine& instance();
+
+  /// Probes and arms the layer (idempotent; the probe runs once). Returns
+  /// the resulting status. EARDEC_PMU=off/0/false in the environment wins:
+  /// the engine stays kDisabled no matter how often enable() is called.
+  /// Publishes `obs.pmu.available` / `obs.pmu.status` either way.
+  PmuStatus enable(bool on = true);
+
+  /// Applies the EARDEC_PMU env var: "off"/"0"/"false" force-disables,
+  /// "1"/"on"/"true"/"auto" enable (probing as needed), unset leaves the
+  /// engine alone. Returns the resulting status.
+  PmuStatus configure_from_env();
+
+  [[nodiscard]] PmuStatus status() const noexcept;
+
+  /// True when counters are live (status > 0): the one check every hot
+  /// path performs (a relaxed atomic load).
+  [[nodiscard]] bool active() const noexcept;
+
+  /// Reads the calling thread's counter group (opening it on first use).
+  /// Returns false — leaving `out` empty — when inactive or the per-thread
+  /// open failed.
+  bool read(PmuSample& out) noexcept;
+
+  /// Process-wide totals of every finished scope's deltas. `mask` is the
+  /// union of the contributing masks.
+  [[nodiscard]] PmuSample totals() const noexcept;
+
+  /// Closes a scope opened with read(): reads the group again, records the
+  /// span with the counter deltas attached (tracer gates apply), folds the
+  /// deltas into totals and the `obs.pmu.*` registry counters, and updates
+  /// the `pmu.<span_name>.{ipc,cache_miss_rate}` gauges. `span_name` must
+  /// be a static-lifetime string.
+  void finish_scope(const char* span_name, std::uint64_t start_ns,
+                    std::uint64_t dur_ns, const PmuSample& begin,
+                    const char* arg_name = nullptr, std::uint64_t arg = 0);
+
+  /// Test hooks: pin the status (simulating EPERM, missing PMUs, ...)
+  /// without touching perf_event, or re-arm the probe so the next enable()
+  /// runs it again. Not for production callers.
+  void force_status_for_test(PmuStatus status);
+  void reset_for_test();
+
+  struct Impl;  ///< opaque; defined in pmu.cpp
+
+ private:
+  PmuEngine();
+  ~PmuEngine() = delete;  // leaked singleton
+
+  Impl* impl_;
+};
+
+/// RAII PMU span: a ScopedSpan that additionally reads the thread's
+/// counter group at entry/exit when the engine is active. Prefer the
+/// EARDEC_TRACE_SCOPE_PMU macro, which compiles out with tracing.
+class PmuScopedSpan {
+ public:
+  explicit PmuScopedSpan(const char* name) : PmuScopedSpan(name, nullptr, 0) {}
+  PmuScopedSpan(const char* name, const char* arg_name, std::uint64_t arg);
+  ~PmuScopedSpan();
+
+  PmuScopedSpan(const PmuScopedSpan&) = delete;
+  PmuScopedSpan& operator=(const PmuScopedSpan&) = delete;
+
+ private:
+  const char* name_;  // null when both the tracer and the PMU are off
+  const char* arg_name_;
+  std::uint64_t arg_;
+  std::uint64_t start_ns_ = 0;
+  PmuSample begin_;
+  bool pmu_ = false;
+};
+
+}  // namespace eardec::obs
+
+/// EARDEC_TRACE_SCOPE_PMU("name") or ("name", "arg", value): like
+/// EARDEC_TRACE_SCOPE, plus PMU counter deltas as span args and derived
+/// per-phase IPC / miss-rate gauges when the engine is active. Compiles
+/// out with tracing (phase-level PMU attribution survives through
+/// obs::ScopedPhase, which uses PmuScopedSpan directly).
+#if EARDEC_TRACING_ENABLED
+#define EARDEC_TRACE_SCOPE_PMU(...)                           \
+  const ::eardec::obs::PmuScopedSpan EARDEC_OBS_CONCAT(       \
+      eardec_obs_pmu_span_, __LINE__) {                       \
+    __VA_ARGS__                                               \
+  }
+#else
+#define EARDEC_TRACE_SCOPE_PMU(...)               \
+  [[maybe_unused]] const ::eardec::obs::NullSpan  \
+      EARDEC_OBS_CONCAT(eardec_obs_pmu_span_, __LINE__) {}
+#endif

@@ -1,0 +1,151 @@
+#include "obs/sampler.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <stop_token>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "obs/pmu.hpp"
+#include "obs/trace.hpp"
+
+#if defined(__linux__)
+#include <unistd.h>
+#endif
+
+namespace eardec::obs {
+namespace {
+
+/// Resident set size in MiB from /proc/self/statm, or a negative value
+/// when unavailable (non-Linux).
+double read_rss_mb() {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return -1.0;
+  unsigned long total_pages = 0;  // NOLINT(google-runtime-int): scanf ABI
+  unsigned long resident_pages = 0;
+  const int matched = std::fscanf(f, "%lu %lu", &total_pages, &resident_pages);
+  std::fclose(f);
+  if (matched != 2) return -1.0;
+  const long page = sysconf(_SC_PAGESIZE);
+  if (page <= 0) return -1.0;
+  return static_cast<double>(resident_pages) * static_cast<double>(page) /
+         (1024.0 * 1024.0);
+#else
+  return -1.0;
+#endif
+}
+
+}  // namespace
+
+struct Sampler::Impl {
+  std::mutex lifecycle;  ///< serializes start()/stop()
+  std::jthread thread;
+  std::atomic<bool> running{false};
+  std::atomic<std::uint64_t> ticks{0};
+  Options options;  ///< written under `lifecycle` before the thread starts
+
+  void tick() {
+    Tracer& tracer = Tracer::instance();
+    // One gate hold per tick: exports acquire the gate first, so a tick is
+    // atomic with respect to snapshot()/write_chrome_trace()/clear().
+    const std::lock_guard gate(tracer.sampler_gate());
+    const std::uint64_t ts = Tracer::now_ns();
+    if (options.sample_rss) {
+      const double rss = read_rss_mb();
+      if (rss >= 0.0) tracer.record_counter_at("rss_mb", ts, rss);
+    }
+    if (options.sample_pmu) {
+      PmuEngine& engine = PmuEngine::instance();
+      if (engine.active()) {
+        const PmuSample totals = engine.totals();
+        for (std::size_t s = 0; s < kNumPmuSlots; ++s) {
+          if ((totals.mask & (1u << s)) == 0) continue;
+          tracer.record_counter_at(std::string("pmu.") + kPmuSlotNames[s], ts,
+                                   static_cast<double>(totals.v[s]));
+        }
+      }
+    }
+    auto& reg = MetricsRegistry::instance();
+    for (const std::string& name : options.counters) {
+      tracer.record_counter_at(name, ts,
+                               static_cast<double>(reg.counter_value(name)));
+    }
+    ticks.fetch_add(1, std::memory_order_relaxed);
+    static Counter& sampled = reg.counter("obs.sampler.samples");
+    sampled.add(1);
+  }
+
+  void run(const std::stop_token& st) {
+    std::mutex wake_mutex;
+    std::condition_variable_any wake;
+    const auto period = std::chrono::milliseconds(options.period_ms);
+    while (!st.stop_requested()) {
+      tick();
+      std::unique_lock lk(wake_mutex);
+      // Wakes early on stop_request via the stop_token overload.
+      wake.wait_for(lk, st, period, [&st] { return st.stop_requested(); });
+    }
+    tick();  // final sample, so stop() always leaves fresh data behind
+  }
+};
+
+Sampler::Sampler() : impl_(new Impl) {}
+
+Sampler& Sampler::instance() {
+  // Intentionally leaked, like the tracer and the PMU engine.
+  static Sampler* sampler = new Sampler();
+  return *sampler;
+}
+
+void Sampler::start() { start(Options{}); }
+
+void Sampler::start(const Options& options) {
+  const std::lock_guard lock(impl_->lifecycle);
+  if (impl_->running.load(std::memory_order_relaxed)) return;
+  impl_->options = options;
+  if (impl_->options.period_ms == 0) impl_->options.period_ms = 1;
+  impl_->running.store(true, std::memory_order_relaxed);
+  impl_->thread =
+      std::jthread([impl = impl_](const std::stop_token& st) { impl->run(st); });
+}
+
+bool Sampler::configure_from_env() {
+  const char* v = std::getenv("EARDEC_SAMPLER");
+  if (v == nullptr || *v == '\0') return false;
+  const std::string s(v);
+  if (s == "off" || s == "false" || s == "0") return false;
+  Options options;
+  char* end = nullptr;
+  const long period = std::strtol(v, &end, 10);
+  if (end != v && *end == '\0') {
+    if (period <= 0) return false;
+    options.period_ms = static_cast<std::uint32_t>(period);
+  }
+  // Non-numeric truthy values ("on", "auto", "true") keep the default.
+  start(options);
+  return true;
+}
+
+void Sampler::stop() {
+  const std::lock_guard lock(impl_->lifecycle);
+  if (!impl_->running.load(std::memory_order_relaxed)) return;
+  impl_->thread.request_stop();
+  impl_->thread.join();
+  impl_->running.store(false, std::memory_order_relaxed);
+}
+
+bool Sampler::running() const noexcept {
+  return impl_->running.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Sampler::ticks() const noexcept {
+  return impl_->ticks.load(std::memory_order_relaxed);
+}
+
+}  // namespace eardec::obs

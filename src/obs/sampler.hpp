@@ -1,0 +1,78 @@
+// Background time-series sampler — the counter-track half of the tracing
+// story (see docs/profiling.md).
+//
+// An opt-in thread that wakes every `period_ms` and appends one batch of
+// counter samples to the tracer:
+//   * "rss_mb"            — resident set size from /proc/self/statm;
+//   * "pmu.<slot>"        — process-wide PMU totals (obs/pmu.hpp), one
+//                           track per live counter slot;
+//   * "<registry name>"   — selected MetricsRegistry counters (scheduler
+//                           unit throughput by default).
+// The Chrome exporter emits them as "ph":"C" events, which Perfetto
+// renders as time-series tracks above the worker span lanes.
+//
+// Concurrency contract: every tick happens entirely under the tracer's
+// sampler_gate() (gate first, tracer mutex second — the same order the
+// export paths use), so snapshot()/write_chrome_trace()/clear() quiesce a
+// still-running sampler instead of racing it. Samples are dropped, not
+// blocked on, past Tracer::kMaxCounterSamples. Like the tracer itself, the
+// sampler records nothing while tracing is disabled — ticks still run, but
+// they are cheap.
+//
+// Wired to `eardec_cli --pmu` and the EARDEC_SAMPLER env var of the bench
+// binaries ("<ms>" sets the period, "on"/"auto" picks the default,
+// "off"/"0" leaves it stopped).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace eardec::obs {
+
+class Sampler {
+ public:
+  struct Options {
+    std::uint32_t period_ms = 10;
+    bool sample_rss = true;
+    bool sample_pmu = true;
+    /// Registry counters mirrored as counter tracks each tick.
+    std::vector<std::string> counters = {
+        "hetero.scheduler.cpu_units",
+        "hetero.scheduler.device_units",
+    };
+  };
+
+  /// The process-wide sampler. Never destroyed; the thread is joined by
+  /// stop(), not by a destructor.
+  static Sampler& instance();
+
+  /// Starts the sampling thread (idempotent; a running sampler keeps its
+  /// current options). The first sample is taken immediately, and one
+  /// final sample is taken on stop(), so even sub-period runs get data.
+  void start(const Options& options);
+  void start();  ///< start(Options{}) — defaults throughout
+
+  /// Applies the EARDEC_SAMPLER env var (see header comment). Returns true
+  /// when the sampler was started.
+  bool configure_from_env();
+
+  /// Requests stop and joins the sampling thread. Safe to call when not
+  /// running.
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept;
+
+  /// Ticks taken since process start (monotonic; survives stop/start).
+  [[nodiscard]] std::uint64_t ticks() const noexcept;
+
+  struct Impl;  ///< opaque; defined in sampler.cpp
+
+ private:
+  Sampler();
+  ~Sampler() = delete;  // leaked singleton
+
+  Impl* impl_;
+};
+
+}  // namespace eardec::obs

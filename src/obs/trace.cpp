@@ -50,8 +50,13 @@ struct Tracer::Impl {
   Clock::time_point epoch = Clock::now();
   std::atomic<bool> enabled{false};
   mutable std::mutex mutex;  ///< guards buffers/free_list/lane names
+  /// Held by the sampler across each tick and by export paths first (lock
+  /// order: sampler_gate before mutex), so exports quiesce the sampler.
+  mutable std::mutex sampler_gate;
   std::vector<std::unique_ptr<ThreadBuffer>> buffers;
   std::vector<ThreadBuffer*> free_list;  ///< lanes of exited threads
+  std::vector<CounterSample> counter_samples;  ///< guarded by mutex
+  std::uint64_t dropped_counter_samples = 0;   ///< guarded by mutex
 
   ThreadBuffer* acquire() {
     const std::lock_guard lock(mutex);
@@ -133,6 +138,50 @@ void Tracer::record_span(const char* name, std::uint64_t start_ns,
   buf.count.store(c + 1, std::memory_order_release);
 }
 
+void Tracer::record_span_pmu(const char* name, std::uint64_t start_ns,
+                             std::uint64_t dur_ns,
+                             const std::uint64_t pmu[TraceEvent::kNumPmuSlots],
+                             std::uint8_t pmu_mask, const char* arg_name,
+                             std::uint64_t arg) {
+  if (!enabled()) return;
+  ThreadBuffer& buf = current_buffer(*impl_);
+  const std::uint64_t c = buf.count.load(std::memory_order_relaxed);
+  TraceEvent& slot = buf.events[c % kRingCapacity];
+  slot = {name, arg_name, start_ns, dur_ns, arg};
+  for (std::size_t i = 0; i < TraceEvent::kNumPmuSlots; ++i) {
+    slot.pmu[i] = pmu[i];
+  }
+  slot.pmu_mask = pmu_mask;
+  buf.count.store(c + 1, std::memory_order_release);
+}
+
+void Tracer::record_counter_at(const std::string& track, std::uint64_t ts_ns,
+                               double value) {
+  if (!enabled()) return;
+  const std::lock_guard lock(impl_->mutex);
+  if (impl_->counter_samples.size() >= kMaxCounterSamples) {
+    ++impl_->dropped_counter_samples;
+    return;
+  }
+  impl_->counter_samples.push_back({track, ts_ns, value});
+}
+
+void Tracer::record_counter(const std::string& track, double value) {
+  record_counter_at(track, now_ns(), value);
+}
+
+std::vector<CounterSample> Tracer::counter_samples() const {
+  const std::lock_guard lock(impl_->mutex);
+  return impl_->counter_samples;
+}
+
+std::uint64_t Tracer::dropped_counter_samples() const {
+  const std::lock_guard lock(impl_->mutex);
+  return impl_->dropped_counter_samples;
+}
+
+std::mutex& Tracer::sampler_gate() noexcept { return impl_->sampler_gate; }
+
 void Tracer::set_current_thread_name(std::string name) {
   if (!enabled()) return;
   ThreadBuffer& buf = current_buffer(*impl_);
@@ -141,10 +190,13 @@ void Tracer::set_current_thread_name(std::string name) {
 }
 
 void Tracer::clear() {
+  const std::lock_guard gate(impl_->sampler_gate);
   const std::lock_guard lock(impl_->mutex);
   for (const auto& buf : impl_->buffers) {
     buf->count.store(0, std::memory_order_relaxed);
   }
+  impl_->counter_samples.clear();
+  impl_->dropped_counter_samples = 0;
 }
 
 std::size_t Tracer::recorded_events() const {
@@ -170,6 +222,7 @@ std::uint64_t Tracer::dropped_events() const {
 std::vector<SnapshotEvent> Tracer::snapshot() const {
   std::vector<SnapshotEvent> out;
   {
+    const std::lock_guard gate(impl_->sampler_gate);
     const std::lock_guard lock(impl_->mutex);
     for (const auto& buf : impl_->buffers) {
       const std::uint64_t c = buf->count.load(std::memory_order_acquire);
@@ -187,6 +240,9 @@ std::vector<SnapshotEvent> Tracer::snapshot() const {
 }
 
 void Tracer::write_chrome_trace(std::ostream& out) const {
+  // Quiesce a running sampler for the whole export (lock order: gate, then
+  // the tracer mutex — the same order every sampling tick uses).
+  const std::lock_guard gate(impl_->sampler_gate);
   const std::lock_guard lock(impl_->mutex);
   out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
   bool first = true;
@@ -216,13 +272,50 @@ void Tracer::write_chrome_trace(std::ostream& out) const {
       // fractional part.
       out << R"(","ts":)" << static_cast<double>(e.start_ns) / 1000.0
           << ",\"dur\":" << static_cast<double>(e.dur_ns) / 1000.0;
-      if (e.arg_name != nullptr) {
-        out << ",\"args\":{\"";
-        write_json_escaped(out, e.arg_name);
-        out << "\":" << e.arg << "}";
+      if (e.arg_name != nullptr || e.pmu_mask != 0) {
+        out << ",\"args\":{";
+        bool first_arg = true;
+        const auto arg_comma = [&] {
+          if (!first_arg) out << ",";
+          first_arg = false;
+        };
+        if (e.arg_name != nullptr) {
+          arg_comma();
+          out << "\"";
+          write_json_escaped(out, e.arg_name);
+          out << "\":" << e.arg;
+        }
+        for (std::size_t s = 0; s < TraceEvent::kNumPmuSlots; ++s) {
+          if ((e.pmu_mask & (1u << s)) == 0) continue;
+          arg_comma();
+          out << "\"" << kPmuSlotNames[s] << "\":" << e.pmu[s];
+        }
+        // Derived ratios, when the contributing slots are both present
+        // (slot order: cycles, instructions, cache_references,
+        // cache_misses, branch_misses, task_clock_ns).
+        if ((e.pmu_mask & 0x3) == 0x3 && e.pmu[0] > 0) {
+          arg_comma();
+          out << "\"ipc\":"
+              << static_cast<double>(e.pmu[1]) / static_cast<double>(e.pmu[0]);
+        }
+        if ((e.pmu_mask & 0xc) == 0xc && e.pmu[2] > 0) {
+          arg_comma();
+          out << "\"cache_miss_rate\":"
+              << static_cast<double>(e.pmu[3]) / static_cast<double>(e.pmu[2]);
+        }
+        out << "}";
       }
       out << "}";
     }
+  }
+  // Counter tracks ("ph":"C"): Perfetto renders one time-series track per
+  // name, above the span lanes.
+  for (const CounterSample& s : impl_->counter_samples) {
+    comma();
+    out << R"({"ph":"C","pid":1,"tid":0,"name":")";
+    write_json_escaped(out, s.track);
+    out << R"(","ts":)" << static_cast<double>(s.ts_ns) / 1000.0
+        << ",\"args\":{\"value\":" << s.value << "}}";
   }
   out << "\n]}\n";
 }

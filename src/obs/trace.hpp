@@ -21,13 +21,25 @@
 //
 // Exports use the Chrome trace-event JSON format, loadable in Perfetto
 // (https://ui.perfetto.dev) or chrome://tracing. Exporting and clear() are
-// meant for quiescent moments (after worker threads joined); recording and
-// exporting concurrently is not a data-race-free combination.
+// meant for quiescent moments (after worker threads joined); *span*
+// recording and exporting concurrently is not a data-race-free
+// combination. The one sanctioned concurrent recorder is the background
+// obs::Sampler: its counter samples go through the tracer mutex, and the
+// export path additionally acquires sampler_gate() first, so an export
+// never observes a sampling tick mid-flight (see obs/sampler.hpp).
+//
+// Besides "X" spans, the tracer stores counter samples ("ph":"C" events):
+// timestamped (track, value) pairs that Perfetto renders as time-series
+// counter tracks (RSS, PMU totals, registry counters) above the worker
+// lanes. Spans can also carry a fixed block of PMU counter deltas
+// (obs/pmu.hpp fills it); the exporter emits them as span args together
+// with derived IPC / cache-miss-rate ratios.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <type_traits>
 #include <vector>
@@ -44,11 +56,33 @@ inline constexpr bool kTracingEnabled = EARDEC_TRACING_ENABLED != 0;
 /// One completed span. `name`/`arg_name` must be static-lifetime strings
 /// (string literals): the ring buffer stores only the pointers.
 struct TraceEvent {
+  /// Fixed PMU payload slots a span may carry (obs/pmu.hpp owns the
+  /// semantics; the order here must match obs::PmuSlot).
+  static constexpr std::size_t kNumPmuSlots = 6;
+
   const char* name = nullptr;
   const char* arg_name = nullptr;  ///< optional argument label (may be null)
   std::uint64_t start_ns = 0;      ///< steady-clock ns since tracer epoch
   std::uint64_t dur_ns = 0;
   std::uint64_t arg = 0;  ///< argument value (meaningful iff arg_name set)
+  std::uint64_t pmu[kNumPmuSlots] = {};  ///< counter deltas over the span
+  std::uint8_t pmu_mask = 0;  ///< bit i set => pmu[i] is meaningful
+};
+
+/// Exported arg names of the TraceEvent::pmu slots, in slot order
+/// (obs::PmuSlot). Defined here so the exporter has no pmu.hpp dependency.
+inline constexpr const char* kPmuSlotNames[TraceEvent::kNumPmuSlots] = {
+    "cycles",        "instructions",  "cache_references",
+    "cache_misses",  "branch_misses", "task_clock_ns",
+};
+
+/// One counter-track sample ("ph":"C" in the Chrome export): a named
+/// time-series point. Recorded by the background obs::Sampler; rendered by
+/// Perfetto as a counter track above the span lanes.
+struct CounterSample {
+  std::string track;        ///< counter-track name ("rss_mb", "pmu.cycles")
+  std::uint64_t ts_ns = 0;  ///< steady-clock ns since tracer epoch
+  double value = 0.0;
 };
 
 /// A span paired with the lane it was recorded on, for snapshot()/tests.
@@ -82,11 +116,46 @@ class Tracer {
                    std::uint64_t dur_ns, const char* arg_name = nullptr,
                    std::uint64_t arg = 0);
 
+  /// record_span plus a PMU payload: `pmu` holds one delta per
+  /// TraceEvent::kNumPmuSlots slot, `pmu_mask` flags the meaningful ones.
+  /// The exporter emits flagged slots (and derived IPC / miss-rate ratios)
+  /// as span args.
+  void record_span_pmu(const char* name, std::uint64_t start_ns,
+                       std::uint64_t dur_ns,
+                       const std::uint64_t pmu[TraceEvent::kNumPmuSlots],
+                       std::uint8_t pmu_mask, const char* arg_name = nullptr,
+                       std::uint64_t arg = 0);
+
+  /// Retained counter samples before the oldest are dropped (bounds the
+  /// sampler's memory on very long runs).
+  static constexpr std::size_t kMaxCounterSamples = std::size_t{1} << 20;
+
+  /// Appends one counter-track sample at an explicit timestamp. Thread-safe
+  /// (tracer mutex); no-op while disabled, like record_span.
+  void record_counter_at(const std::string& track, std::uint64_t ts_ns,
+                         double value);
+  /// Convenience: record_counter_at(track, now_ns(), value).
+  void record_counter(const std::string& track, double value);
+
+  /// All retained counter samples, in recording order.
+  [[nodiscard]] std::vector<CounterSample> counter_samples() const;
+
+  /// Counter samples lost to the kMaxCounterSamples cap since last clear().
+  [[nodiscard]] std::uint64_t dropped_counter_samples() const;
+
+  /// Mutex the background sampler holds for the duration of each sampling
+  /// tick. snapshot()/write_chrome_trace()/clear() acquire it before the
+  /// tracer mutex, so exports quiesce a still-running sampler instead of
+  /// relying on callers stopping it first. Lock order: sampler_gate() then
+  /// the tracer mutex — never the reverse.
+  [[nodiscard]] std::mutex& sampler_gate() noexcept;
+
   /// Labels the calling thread's lane in exports ("cpu-worker-3"). No-op
   /// while disabled.
   void set_current_thread_name(std::string name);
 
-  /// Drops every recorded event (lane labels survive). Quiescent use only.
+  /// Drops every recorded span and counter sample (lane labels survive).
+  /// Quiescent use only (a running obs::Sampler is quiesced internally).
   void clear();
 
   /// Events currently held across all lanes.

@@ -1,0 +1,148 @@
+// Tests for the perf_event PMU layer (src/obs/pmu.*): the graceful
+// degradation contract (EARDEC_PMU=off and simulated permission denial
+// must make every call a cheap no-op while the availability gauges record
+// why), plus live-counter behavior on machines where the probe lands on a
+// real tier (skipped elsewhere — CI containers typically deny perf).
+//
+// The engine is a process-wide singleton; every test pins its status via
+// the *_for_test hooks and restores the disabled state on exit.
+#include <cstdlib>
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hpp"
+#include "obs/phase.hpp"
+#include "obs/pmu.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+using namespace eardec;
+
+class PmuTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    unsetenv("EARDEC_PMU");
+    obs::PmuEngine::instance().reset_for_test();
+    obs::Tracer::instance().clear();
+    obs::Tracer::instance().set_enabled(true);
+  }
+  void TearDown() override {
+    unsetenv("EARDEC_PMU");
+    obs::PmuEngine::instance().reset_for_test();
+    obs::Tracer::instance().set_enabled(false);
+    obs::Tracer::instance().clear();
+  }
+};
+
+TEST_F(PmuTest, StatusStringsCoverEveryTier) {
+  EXPECT_STREQ(obs::to_string(obs::PmuStatus::kDisabled), "disabled");
+  EXPECT_STREQ(obs::to_string(obs::PmuStatus::kHardware), "hardware");
+  EXPECT_STREQ(obs::to_string(obs::PmuStatus::kSoftwareOnly),
+               "software-only");
+  EXPECT_STREQ(obs::to_string(obs::PmuStatus::kPermissionDenied),
+               "permission-denied");
+  EXPECT_STREQ(obs::to_string(obs::PmuStatus::kNoCounters), "no-counters");
+  EXPECT_STREQ(obs::to_string(obs::PmuStatus::kUnsupported),
+               "unsupported-platform");
+}
+
+TEST_F(PmuTest, EnvOffForcesDisabledAndPublishesWhy) {
+  setenv("EARDEC_PMU", "off", 1);
+  obs::PmuEngine& engine = obs::PmuEngine::instance();
+  // enable() must lose against EARDEC_PMU=off — the CI fallback contract.
+  EXPECT_EQ(engine.enable(true), obs::PmuStatus::kDisabled);
+  EXPECT_EQ(engine.configure_from_env(), obs::PmuStatus::kDisabled);
+  EXPECT_FALSE(engine.active());
+
+  obs::PmuSample sample;
+  EXPECT_FALSE(engine.read(sample));
+  EXPECT_EQ(sample.mask, 0u);
+
+  auto& reg = obs::MetricsRegistry::instance();
+  EXPECT_DOUBLE_EQ(reg.gauge_value("obs.pmu.available"), 0.0);
+  EXPECT_DOUBLE_EQ(reg.gauge_value("obs.pmu.status"),
+                   static_cast<double>(obs::PmuStatus::kDisabled));
+}
+
+TEST_F(PmuTest, SimulatedPermissionDenialIsANoOp) {
+  obs::PmuEngine& engine = obs::PmuEngine::instance();
+  engine.force_status_for_test(obs::PmuStatus::kPermissionDenied);
+  EXPECT_FALSE(engine.active());
+
+  obs::PmuSample sample;
+  EXPECT_FALSE(engine.read(sample));
+
+  // A PMU span under a denied engine degrades to a plain span: recorded,
+  // but with no counter payload.
+  { obs::PmuScopedSpan span("pmu_test.denied"); }
+  const auto events = obs::Tracer::instance().snapshot();
+  if (obs::kTracingEnabled) {
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_STREQ(events[0].event.name, "pmu_test.denied");
+    EXPECT_EQ(events[0].event.pmu_mask, 0u);
+  }
+
+  auto& reg = obs::MetricsRegistry::instance();
+  EXPECT_DOUBLE_EQ(reg.gauge_value("obs.pmu.available"), 0.0);
+  EXPECT_DOUBLE_EQ(reg.gauge_value("obs.pmu.status"),
+                   static_cast<double>(obs::PmuStatus::kPermissionDenied));
+}
+
+TEST_F(PmuTest, ScopedPhaseStillWorksWithoutCounters) {
+  obs::PmuEngine::instance().force_status_for_test(
+      obs::PmuStatus::kPermissionDenied);
+  double field = 0;
+  {
+    obs::ScopedPhase phase(field, "pmu_test.phase", "pmu_test.phase_s");
+  }
+  EXPECT_GT(field, 0.0);
+  EXPECT_DOUBLE_EQ(
+      obs::MetricsRegistry::instance().gauge_value("pmu_test.phase_s"),
+      field);
+}
+
+TEST_F(PmuTest, LiveCountersWhenAvailable) {
+  obs::PmuEngine& engine = obs::PmuEngine::instance();
+  const obs::PmuStatus status = engine.enable(true);
+  if (static_cast<int>(status) <= 0) {
+    GTEST_SKIP() << "no usable perf events here (status: "
+                 << obs::to_string(status) << ")";
+  }
+  EXPECT_TRUE(engine.active());
+  EXPECT_DOUBLE_EQ(
+      obs::MetricsRegistry::instance().gauge_value("obs.pmu.available"), 1.0);
+
+  obs::PmuSample before;
+  ASSERT_TRUE(engine.read(before));
+  ASSERT_NE(before.mask, 0u);
+  // Burn some cycles so the counters move.
+  volatile std::uint64_t sink = 0;
+  for (std::uint64_t i = 0; i < 200000; ++i) sink = sink + i;
+  obs::PmuSample after;
+  ASSERT_TRUE(engine.read(after));
+  // Every tier includes the software task-clock; it must advance.
+  ASSERT_NE(after.mask & (1u << obs::kPmuTaskClockNs), 0u);
+  EXPECT_GT(after.v[obs::kPmuTaskClockNs], before.v[obs::kPmuTaskClockNs]);
+
+  // A finished PMU span lands in the trace with a payload and feeds the
+  // process-wide totals.
+  const obs::PmuSample totals_before = engine.totals();
+  {
+    obs::PmuScopedSpan span("pmu_test.live");
+    for (std::uint64_t i = 0; i < 200000; ++i) sink = sink + i;
+  }
+  const obs::PmuSample totals_after = engine.totals();
+  EXPECT_NE(totals_after.mask, 0u);
+  EXPECT_GT(totals_after.v[obs::kPmuTaskClockNs],
+            totals_before.v[obs::kPmuTaskClockNs]);
+  if (obs::kTracingEnabled) {
+    const auto events = obs::Tracer::instance().snapshot();
+    ASSERT_FALSE(events.empty());
+    EXPECT_STREQ(events.back().event.name, "pmu_test.live");
+    EXPECT_NE(events.back().event.pmu_mask, 0u);
+  }
+}
+
+}  // namespace

@@ -10,6 +10,7 @@
 //   eardec_cli gen       <name> <out.mtx>  write a Table-1 dataset to a file
 //   eardec_cli convert   <in> <out>        convert between formats
 //   eardec_cli bc        <graph> [k]       top-k betweenness-central vertices
+//   eardec_cli version                     build provenance + feature flags
 //
 // Graphs by extension: *.mtx (Matrix Market), *.edg (binary EDG1), anything
 // else as whitespace edge list.
@@ -21,6 +22,9 @@
 //   --metrics <file>           dump the metrics registry (.json or .csv)
 //   --json-stats               print phase timings + scheduler counters as
 //                              one JSON object instead of the human summary
+//   --pmu                      arm the perf_event counter engine and the
+//                              background sampler (see docs/profiling.md);
+//                              EARDEC_PMU=off still wins
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -37,8 +41,11 @@
 #include "graph/datasets.hpp"
 #include "graph/io.hpp"
 #include "graph/stats.hpp"
+#include "bench_common.hpp"
 #include "mcb/ear_mcb.hpp"
 #include "obs/metrics.hpp"
+#include "obs/pmu.hpp"
+#include "obs/sampler.hpp"
 #include "obs/trace.hpp"
 #include "sssp/brandes.hpp"
 #include "reduce/chains.hpp"
@@ -77,6 +84,7 @@ struct CliOptions {
   std::string trace_path;    ///< --trace: Chrome trace JSON destination
   std::string metrics_path;  ///< --metrics: registry dump (.json / .csv)
   bool json_stats = false;   ///< --json-stats: machine-readable summary
+  bool pmu = false;          ///< --pmu: arm counters + background sampler
 };
 
 /// Splits argv into flags (into `cli`) and positional operands (returned in
@@ -113,6 +121,8 @@ std::vector<std::string> parse_args(int argc, char** argv, CliOptions& cli) {
       cli.metrics_path = value_of(arg, "--metrics", i);
     } else if (arg == "--json-stats") {
       cli.json_stats = true;
+    } else if (arg == "--pmu") {
+      cli.pmu = true;
     } else if (arg.starts_with("--")) {
       throw std::runtime_error("unknown option " + arg);
     } else {
@@ -127,6 +137,9 @@ std::vector<std::string> parse_args(int argc, char** argv, CliOptions& cli) {
 struct ObsExports {
   const CliOptions& cli;
   ~ObsExports() {
+    // The export path would quiesce a still-running sampler on its own;
+    // stopping first also captures the sampler's final sample.
+    obs::Sampler::instance().stop();
     if (!cli.trace_path.empty() &&
         !obs::Tracer::instance().write_chrome_trace_file(cli.trace_path)) {
       std::fprintf(stderr, "error: cannot write %s\n", cli.trace_path.c_str());
@@ -209,18 +222,44 @@ void print_mcb_json(const mcb::McbResult& r, bool valid) {
   std::printf("}\n");
 }
 
+/// `eardec_cli version`: build provenance — the same fields
+/// bench::json_stamp() bakes into bench_results/*.json snapshots, plus the
+/// compiled feature flags, so a snapshot can always be matched back to a
+/// binary.
+int print_version() {
+  std::printf("eardec_cli\n");
+  std::printf("git_sha: %s\n", bench::build_git_sha());
+  std::printf("bench_schema_version: %d\n", bench::kBenchSchemaVersion);
+  std::printf("tracing: %s\n", obs::kTracingEnabled ? "on" : "off");
+#if defined(EARDEC_SANITIZE_BUILD)
+  std::printf("sanitize: on\n");
+#else
+  std::printf("sanitize: off\n");
+#endif
+#if defined(EARDEC_NATIVE_BUILD)
+  std::printf("native: on\n");
+#else
+  std::printf("native: off\n");
+#endif
+  return 0;
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage: eardec_cli {stats|decompose|apsp|path|mcb|analytics|"
-               "gen|convert|bc} <args> [--mode=seq|mc|gpu|hetero] "
+               "gen|convert|bc|version} <args> [--mode=seq|mc|gpu|hetero] "
                "[--threads=N] [--trace <file>] [--metrics <file>] "
-               "[--json-stats]\n");
+               "[--json-stats] [--pmu]\n");
   return 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && (std::strcmp(argv[1], "version") == 0 ||
+                    std::strcmp(argv[1], "--version") == 0)) {
+    return print_version();
+  }
   if (argc < 3) return usage();
   const std::string cmd = argv[1];
   try {
@@ -228,6 +267,18 @@ int main(int argc, char** argv) {
     const std::vector<std::string> pos = parse_args(argc - 2, argv + 2, cli);
     if (pos.empty()) return usage();
     if (!cli.trace_path.empty()) obs::Tracer::instance().set_enabled(true);
+    if (cli.pmu) {
+      // enable() still defers to EARDEC_PMU=off, so CI can pin the
+      // fallback path; the status line says which tier we actually got.
+      const obs::PmuStatus st = obs::PmuEngine::instance().enable(true);
+      std::fprintf(stderr, "pmu: %s\n", obs::to_string(st));
+      if (!obs::Sampler::instance().configure_from_env()) {
+        obs::Sampler::instance().start();
+      }
+    } else {
+      obs::PmuEngine::instance().configure_from_env();
+      obs::Sampler::instance().configure_from_env();
+    }
     const ObsExports exports{cli};  // flushes --trace/--metrics on return
     const core::ApspOptions& opts = cli.apsp;
 

@@ -1,11 +1,16 @@
 #!/usr/bin/env python3
 """Summarize a Chrome trace written by the eardec observability layer.
 
-Usage: trace_summary.py <trace.json> [--by-thread]
+Usage: trace_summary.py <trace.json> [--by-thread] [--pmu]
 
 Prints one row per span name: call count, total/mean/max duration, and the
 share of the trace's busiest lane the name accounts for. With --by-thread,
 adds a per-lane breakdown (lane label from the thread_name metadata).
+Counter ("C") events — the tracks the background sampler records (rss_mb,
+pmu.* totals, registry counters) — get a per-track min/mean/max digest.
+With --pmu, spans that carry PMU args (EARDEC_TRACE_SCOPE_PMU /
+ScopedPhase with the engine armed) get a per-span rollup of cycles,
+instructions, IPC and cache-miss rate.
 Works on any Chrome trace-event file that uses "X" complete events.
 """
 import json
@@ -50,6 +55,56 @@ def by_thread(events, threads):
     return lanes
 
 
+def counter_tracks(events):
+    """Per-track stats over the "C" counter events: (count, min, mean, max,
+    last), keyed by track name."""
+    tracks = defaultdict(list)
+    for e in events:
+        if e.get("ph") != "C":
+            continue
+        args = e.get("args", {})
+        if "value" in args:
+            tracks[e["name"]].append(float(args["value"]))
+    out = {}
+    for name, values in tracks.items():
+        out[name] = {
+            "count": len(values),
+            "min": min(values),
+            "mean": sum(values) / len(values),
+            "max": max(values),
+            "last": values[-1],
+        }
+    return out
+
+
+PMU_ARGS = ("cycles", "instructions", "cache_references", "cache_misses",
+            "branch_misses", "task_clock_ns")
+
+
+def pmu_rollup(events):
+    """Sums each span name's PMU args and derives aggregate IPC and
+    cache-miss rate. Spans without PMU args are skipped."""
+    rollup = defaultdict(lambda: {k: 0 for k in PMU_ARGS} | {"count": 0})
+    for e in events:
+        if e.get("ph") != "X":
+            continue
+        args = e.get("args", {})
+        if not any(k in args for k in PMU_ARGS):
+            continue
+        s = rollup[e["name"]]
+        s["count"] += 1
+        for k in PMU_ARGS:
+            s[k] += int(args.get(k, 0))
+    return rollup
+
+
+def fmt_count(v):
+    for scale, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "k")):
+        if v >= scale:
+            return f"{v / scale:.2f}{suffix}"
+    return f"{v:.0f}"
+
+
 def fmt_us(us):
     if us >= 1e6:
         return f"{us / 1e6:.3f}s"
@@ -84,6 +139,37 @@ def main(argv):
                                   key=lambda kv: -kv[1]["total_us"]):
                 print(f"  {name:<26}{s['count']:>8}"
                       f"{fmt_us(s['total_us']):>12}")
+
+    tracks = counter_tracks(events)
+    if tracks:
+        print()
+        print(f"{'counter track':<28}{'samples':>8}{'min':>12}"
+              f"{'mean':>12}{'max':>12}")
+        print("-" * 72)
+        for name, t in sorted(tracks.items()):
+            print(f"{name:<28}{t['count']:>8}{t['min']:>12.2f}"
+                  f"{t['mean']:>12.2f}{t['max']:>12.2f}")
+
+    if "--pmu" in argv[2:]:
+        rollup = pmu_rollup(events)
+        print()
+        if not rollup:
+            print("no spans with PMU args in trace (run with --pmu / "
+                  "EARDEC_PMU=1 and hardware counters available)")
+        else:
+            print(f"{'span (pmu)':<28}{'spans':>8}{'cycles':>10}"
+                  f"{'instrs':>10}{'ipc':>8}{'miss%':>8}")
+            print("-" * 72)
+            for name, s in sorted(rollup.items(),
+                                  key=lambda kv: -kv[1]["cycles"]):
+                ipc = (s["instructions"] / s["cycles"]
+                       if s["cycles"] else 0.0)
+                missr = (100.0 * s["cache_misses"] / s["cache_references"]
+                         if s["cache_references"] else 0.0)
+                print(f"{name:<28}{s['count']:>8}"
+                      f"{fmt_count(s['cycles']):>10}"
+                      f"{fmt_count(s['instructions']):>10}"
+                      f"{ipc:>8.2f}{missr:>8.2f}")
     return 0
 
 
