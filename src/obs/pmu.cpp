@@ -71,6 +71,11 @@ PmuStatus classify_errno(int err) {
 /// value maps back to (open order == read order under PERF_FORMAT_GROUP).
 struct ThreadGroup {
   int leader = -1;
+  // Member fds must stay open for the group's lifetime: closing one
+  // releases its event and the leader's PERF_FORMAT_GROUP read shrinks to
+  // the surviving members.
+  int member_fds[kNumPmuSlots] = {};
+  std::size_t num_members = 0;
   std::size_t num_values = 0;
   std::size_t slot_of_value[kNumPmuSlots] = {};
   bool attempted = false;
@@ -94,7 +99,7 @@ struct ThreadGroup {
         const int fd = perf_open(kSpecs[s], /*leader=*/false, leader);
         if (fd < 0) continue;
         slot_of_value[num_values++] = s;
-        ::close(fd);  // group reads go through the leader; fd not needed
+        member_fds[num_members++] = fd;
       }
     }
     ioctl(leader, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
@@ -123,16 +128,23 @@ struct ThreadGroup {
         std::min(static_cast<std::size_t>(buf.nr), num_values);
     for (std::size_t i = 0; i < nr; ++i) {
       const std::size_t slot = slot_of_value[i];
+      // Software events (task-clock) are never rotated off the PMU, so
+      // only hardware slots get the multiplex extrapolation.
       out.v[slot] =
-          static_cast<std::uint64_t>(static_cast<double>(buf.values[i]) * scale);
+          slot == kPmuTaskClockNs
+              ? buf.values[i]
+              : static_cast<std::uint64_t>(static_cast<double>(buf.values[i]) *
+                                           scale);
       out.mask = static_cast<std::uint8_t>(out.mask | (1u << slot));
     }
     return true;
   }
 
   void close_group() {
+    for (std::size_t i = 0; i < num_members; ++i) ::close(member_fds[i]);
     if (leader >= 0) ::close(leader);
     leader = -1;
+    num_members = 0;
     num_values = 0;
     attempted = false;
     ok = false;
@@ -195,12 +207,12 @@ PmuEngine& PmuEngine::instance() {
 
 PmuStatus PmuEngine::enable(bool on) {
   const std::lock_guard lock(impl_->mutex);
-  if (env_forces_off()) {
+  if (env_forces_off() || !on) {
     impl_->set_status(PmuStatus::kDisabled);
-    return PmuStatus::kDisabled;
-  }
-  if (!on) {
-    impl_->set_status(PmuStatus::kDisabled);
+    // Invalidate open per-thread groups so they are re-opened (not reused)
+    // if the engine is later re-armed; threads that read() while disabled
+    // close their group immediately.
+    impl_->generation.fetch_add(1, std::memory_order_relaxed);
     return PmuStatus::kDisabled;
   }
   if (impl_->probed) {
@@ -259,7 +271,14 @@ bool PmuEngine::active() const noexcept {
 }
 
 bool PmuEngine::read(PmuSample& out) noexcept {
-  if (!active()) return false;
+  if (!active()) {
+#if defined(__linux__)
+    // Drop this thread's counter group as soon as the disable is observed
+    // instead of letting the fds count until thread exit or re-enable.
+    if (t_pmu.group.attempted) t_pmu.group.close_group();
+#endif
+    return false;
+  }
 #if defined(__linux__)
   ThreadGroup& g = t_pmu.group;
   const std::uint32_t gen = impl_->generation.load(std::memory_order_relaxed);

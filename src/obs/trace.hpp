@@ -126,8 +126,10 @@ class Tracer {
                        std::uint8_t pmu_mask, const char* arg_name = nullptr,
                        std::uint64_t arg = 0);
 
-  /// Retained counter samples before the oldest are dropped (bounds the
-  /// sampler's memory on very long runs).
+  /// Retention cap on counter samples: once it is reached further appends
+  /// are refused (the *newest* samples are dropped and counted in
+  /// dropped_counter_samples()), bounding the sampler's memory on very
+  /// long runs.
   static constexpr std::size_t kMaxCounterSamples = std::size_t{1} << 20;
 
   /// Appends one counter-track sample at an explicit timestamp. Thread-safe

@@ -16,9 +16,26 @@
 #include "obs/pmu.hpp"
 #include "obs/trace.hpp"
 
+#if defined(__linux__)
+#include <dirent.h>
+#endif
+
 namespace {
 
 using namespace eardec;
+
+#if defined(__linux__)
+/// Number of open file descriptors in this process (for asserting that
+/// counter groups are actually released).
+std::size_t open_fd_count() {
+  DIR* dir = opendir("/proc/self/fd");
+  if (dir == nullptr) return 0;
+  std::size_t n = 0;
+  while (readdir(dir) != nullptr) ++n;
+  closedir(dir);
+  return n;
+}
+#endif
 
 class PmuTest : public ::testing::Test {
  protected:
@@ -125,6 +142,12 @@ TEST_F(PmuTest, LiveCountersWhenAvailable) {
   // Every tier includes the software task-clock; it must advance.
   ASSERT_NE(after.mask & (1u << obs::kPmuTaskClockNs), 0u);
   EXPECT_GT(after.v[obs::kPmuTaskClockNs], before.v[obs::kPmuTaskClockNs]);
+  if (status == obs::PmuStatus::kHardware) {
+    // Group members survive past open(): the read must carry more than the
+    // cycles leader (a closed member fd silently drops out of the group).
+    EXPECT_NE(after.mask & (1u << obs::kPmuInstructions), 0u);
+    EXPECT_GT(after.v[obs::kPmuInstructions], before.v[obs::kPmuInstructions]);
+  }
 
   // A finished PMU span lands in the trace with a payload and feeds the
   // process-wide totals.
@@ -144,5 +167,38 @@ TEST_F(PmuTest, LiveCountersWhenAvailable) {
     EXPECT_NE(events.back().event.pmu_mask, 0u);
   }
 }
+
+#if defined(__linux__)
+TEST_F(PmuTest, DisableReleasesThreadCounterGroups) {
+  obs::PmuEngine& engine = obs::PmuEngine::instance();
+  const obs::PmuStatus status = engine.enable(true);
+  if (static_cast<int>(status) <= 0) {
+    GTEST_SKIP() << "no usable perf events here (status: "
+                 << obs::to_string(status) << ")";
+  }
+  // Settle to a clean baseline first: earlier tests can leave this
+  // thread's group open (read() only reconciles lazily).
+  obs::PmuSample sample;
+  ASSERT_TRUE(engine.read(sample));
+  engine.enable(false);
+  EXPECT_FALSE(engine.read(sample));
+  const std::size_t baseline = open_fd_count();
+
+  ASSERT_GT(static_cast<int>(engine.enable(true)), 0);
+  ASSERT_TRUE(engine.read(sample));  // opens this thread's group
+  EXPECT_GT(open_fd_count(), baseline);
+
+  // After disable, the first read() observing the inactive engine must
+  // close the group — the fds must not linger until thread exit.
+  EXPECT_EQ(engine.enable(false), obs::PmuStatus::kDisabled);
+  EXPECT_FALSE(engine.read(sample));
+  EXPECT_EQ(open_fd_count(), baseline);
+
+  // Re-arming still works: a fresh group opens on the next read.
+  ASSERT_GT(static_cast<int>(engine.enable(true)), 0);
+  EXPECT_TRUE(engine.read(sample));
+  EXPECT_GT(open_fd_count(), baseline);
+}
+#endif
 
 }  // namespace
