@@ -11,7 +11,8 @@
 // block-tree APSP workload, plus the CPU/device unit split, claim counts
 // and utilization from SchedulerStats. Successive PRs diff these files to
 // track the Phase-II throughput trajectory (the seed's numbers live in
-// bench_results/phase2_workqueue_seed.json).
+// bench_results/phase2_workqueue_seed.json, the pre-kernel-overhaul ones
+// in bench_results/phase2_workqueue_main.json).
 #include <atomic>
 #include <chrono>
 #include <cstdio>

@@ -1,18 +1,37 @@
 // SSSP/APSP kernel comparison on the kind of reduced graphs phase II
-// actually processes: binary-heap Dijkstra (the CPU kernel), the device
-// frontier kernel (Harish–Narayanan), delta-stepping, and the two
-// Floyd–Warshall variants for the dense-table regime.
+// actually processes: binary-heap Dijkstra (the paper's CPU kernel), the
+// batched multi-source kernel, delta-stepping (workspace form, fanned out
+// over a shared pool), the device frontier kernel (Harish–Narayanan), and
+// the two Floyd–Warshall variants for the dense-table regime.
+//
+// Besides the google-benchmark timings, the binary always emits a
+// machine-readable ablation into bench_results/sssp_kernels.json: full
+// source sweeps per (graph, kernel, batch width k) cell, with per-source
+// throughput and the multi-source frontier-round counts. This is the
+// evidence behind the Auto kernel selector's thresholds (docs/sssp_perf.md)
+// — the batched kernel must beat per-source Dijkstra from k >= 4 on the
+// large reduced components. `--smoke` shrinks the sweep for the CI gate
+// (tools/check_bench_smoke.py validates the snapshot's shape).
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <functional>
+#include <string>
+#include <vector>
+
 #include <benchmark/benchmark.h>
 
 #include "bench_common.hpp"
 
 #include "core/ear_apsp.hpp"
 #include "graph/datasets.hpp"
+#include "graph/generators.hpp"
 #include "reduce/reduced_graph.hpp"
 #include "sssp/delta_stepping.hpp"
 #include "sssp/device_floyd_warshall.hpp"
 #include "sssp/dijkstra.hpp"
 #include "sssp/frontier_sssp.hpp"
+#include "sssp/multi_source.hpp"
 
 namespace {
 
@@ -28,6 +47,13 @@ const graph::Graph& reduced_graph() {
   return g;
 }
 
+/// Shared pool for the parallel kernel paths (sized like the phase-II
+/// drain: bench_apsp_options' cpu_threads).
+hetero::ThreadPool& shared_pool() {
+  static hetero::ThreadPool pool(3);
+  return pool;
+}
+
 void BM_DijkstraSweep(benchmark::State& state) {
   const auto& g = reduced_graph();
   sssp::DijkstraWorkspace ws(g.num_vertices());
@@ -37,6 +63,20 @@ void BM_DijkstraSweep(benchmark::State& state) {
       ws.distances(g, s, dist);
     }
     benchmark::DoNotOptimize(dist.data());
+  }
+}
+
+void BM_MultiSourceSweep(benchmark::State& state) {
+  const auto& g = reduced_graph();
+  const auto k = static_cast<std::uint32_t>(state.range(0));
+  sssp::MultiSourceWorkspace ws(g.num_vertices(), k);
+  sssp::DistanceMatrix out(g.num_vertices());
+  for (auto _ : state) {
+    for (graph::VertexId s = 0; s < g.num_vertices(); s += k) {
+      ws.distances(g, s, std::min<graph::VertexId>(s + k, g.num_vertices()),
+                   out);
+    }
+    benchmark::DoNotOptimize(out.row(0).data());
   }
 }
 
@@ -55,10 +95,17 @@ void BM_FrontierSweep(benchmark::State& state) {
 
 void BM_DeltaSteppingSweep(benchmark::State& state) {
   const auto& g = reduced_graph();
+  // Workspace + shared pool: the per-call atomics allocation of the old
+  // free-function form is gone and the light-edge rounds exercise the
+  // per-slot request buffers (the path the phase-II device driver uses).
+  hetero::ThreadPool* pool = state.range(0) != 0 ? &shared_pool() : nullptr;
+  sssp::DeltaSteppingWorkspace ws(g.num_vertices());
+  std::vector<graph::Weight> dist(g.num_vertices());
   for (auto _ : state) {
     for (graph::VertexId s = 0; s < g.num_vertices(); s += 8) {
-      benchmark::DoNotOptimize(sssp::delta_stepping(g, s));
+      ws.distances(g, s, dist, 0, pool);
     }
+    benchmark::DoNotOptimize(dist.data());
   }
 }
 
@@ -81,13 +128,152 @@ void BM_DeviceFloydWarshall(benchmark::State& state) {
 }
 
 BENCHMARK(BM_DijkstraSweep)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MultiSourceSweep)->Arg(4)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_FrontierSweep)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_DeltaSteppingSweep)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DeltaSteppingSweep)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_BlockedFloydWarshall)->Arg(32)->Arg(64)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_DeviceFloydWarshall)->Arg(32)->Arg(64)
     ->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// JSON ablation: kernel x batch width x reduced-component size.
+
+struct Cell {
+  std::string graph;
+  graph::VertexId n = 0;
+  graph::EdgeId m = 0;
+  const char* kernel = "";
+  std::uint32_t k = 1;
+  double seconds = 0;        ///< best-of-reps full source sweep
+  double sources_per_s = 0;
+  std::uint32_t rounds = 0;  ///< multi-source frontier rounds (last batch)
+};
+
+/// Best-of-`reps` wall clock of `sweep` (which must cover all n sources).
+double best_seconds(int reps, const std::function<void()>& sweep) {
+  double best = 1e100;
+  for (int r = 0; r < reps; ++r) {
+    best = std::min(best, eardec::bench::time_seconds(sweep));
+  }
+  return best;
+}
+
+void measure_graph(const std::string& name, const graph::Graph& g, bool smoke,
+                   std::vector<Cell>& cells) {
+  const graph::VertexId n = g.num_vertices();
+  if (n == 0) return;
+  const int reps = smoke ? 2 : 3;
+  const auto add = [&](const char* kernel, std::uint32_t k, double seconds,
+                       std::uint32_t rounds) {
+    cells.push_back({name, n, g.num_edges(), kernel, k, seconds,
+                     seconds > 0 ? static_cast<double>(n) / seconds : 0.0,
+                     rounds});
+  };
+
+  {
+    EARDEC_TRACE_SCOPE_PMU("apsp.sssp_block");
+    sssp::DijkstraWorkspace ws(n);
+    std::vector<graph::Weight> dist(n);
+    add("dijkstra", 1, best_seconds(reps, [&] {
+          for (graph::VertexId s = 0; s < n; ++s) ws.distances(g, s, dist);
+        }),
+        0);
+  }
+  {
+    EARDEC_TRACE_SCOPE_PMU("apsp.sssp_block");
+    sssp::DeltaSteppingWorkspace ws(n);
+    std::vector<graph::Weight> dist(n);
+    add("delta", 1, best_seconds(reps, [&] {
+          for (graph::VertexId s = 0; s < n; ++s) {
+            ws.distances(g, s, dist, 0, &shared_pool());
+          }
+        }),
+        0);
+  }
+  sssp::MultiSourceWorkspace ws;
+  sssp::DistanceMatrix out(n);
+  const std::vector<std::uint32_t> widths =
+      smoke ? std::vector<std::uint32_t>{1, 4, 8}
+            : std::vector<std::uint32_t>{1, 4, 8, 16, 32};
+  for (const std::uint32_t k : widths) {
+    EARDEC_TRACE_SCOPE_PMU("apsp.sssp_block");
+    ws.ensure(n, k);
+    // Sequence the measurement before reading last_rounds(): function
+    // argument evaluation order would otherwise be free to read it first.
+    const double seconds = best_seconds(reps, [&] {
+      for (graph::VertexId s = 0; s < n; s += k) {
+        ws.distances(g, s, std::min<graph::VertexId>(s + k, n), out);
+      }
+    });
+    add("multi_source", k, seconds, ws.last_rounds());
+  }
+}
+
+void emit_json(bool smoke) {
+  std::vector<Cell> cells;
+  measure_graph("c50_reduced", reduced_graph(), smoke, cells);
+  {
+    // Dense-chain synthetic: a subdivided biconnected graph reduced for
+    // APSP — the dominant-component shape where the Auto selector must
+    // pick the batched kernel.
+    const graph::Graph base = graph::generators::random_biconnected(
+        smoke ? 160 : 700, smoke ? 400 : 1800, 5);
+    const graph::Graph full =
+        graph::generators::subdivide(base, smoke ? 300 : 1400, 6);
+    const graph::Graph g =
+        reduce::ReducedGraph(full, reduce::ReduceMode::ForApsp).graph();
+    measure_graph("biconnected_reduced", g, smoke, cells);
+  }
+  if (!smoke) {
+    // Small-component regime: where per-source Dijkstra should stay ahead
+    // and the selector's floor (kAutoMultiSourceMinVertices) comes from.
+    const graph::Graph g = graph::generators::random_biconnected(16, 32, 9);
+    measure_graph("small_component", g, smoke, cells);
+  }
+
+  std::filesystem::create_directories("bench_results");
+  std::FILE* out = std::fopen("bench_results/sssp_kernels.json", "w");
+  if (out == nullptr) return;
+  std::fprintf(out, "{\n");
+  eardec::bench::json_stamp(out);
+  std::fprintf(out, "  \"smoke\": %s,\n  \"cells\": [\n",
+               smoke ? "true" : "false");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    std::fprintf(out,
+                 "    {\"graph\": \"%s\", \"n\": %u, \"m\": %u, "
+                 "\"kernel\": \"%s\", \"k\": %u, \"seconds\": %.6f, "
+                 "\"sources_per_s\": %.1f, \"rounds\": %u}%s\n",
+                 c.graph.c_str(), c.n, c.m, c.kernel, c.k, c.seconds,
+                 c.sources_per_s, c.rounds, i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote bench_results/sssp_kernels.json (%zu cells)\n",
+              cells.size());
+}
+
 }  // namespace
 
-EARDEC_BENCH_MAIN();
+int main(int argc, char** argv) {
+  const eardec::bench::ObservabilitySession obs;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+      // Consume the flag so google-benchmark doesn't reject it.
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  if (!smoke) benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  emit_json(smoke);
+  return 0;
+}

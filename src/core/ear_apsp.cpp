@@ -9,11 +9,20 @@
 #include "connectivity/dfs.hpp"
 #include "obs/phase.hpp"
 #include "obs/pmu.hpp"
+#include "sssp/delta_stepping.hpp"
 #include "sssp/dijkstra.hpp"
 #include "sssp/frontier_sssp.hpp"
+#include "sssp/multi_source.hpp"
 
 namespace eardec::core {
 namespace {
+
+/// CpuSsspKernel::Auto thresholds: the lane block only amortizes the CSR
+/// traversal when the unit is wide enough and the component large enough
+/// for the extra label-correcting relaxations to be repaid; below these
+/// the binary heap wins and Auto falls back to Dijkstra.
+constexpr VertexId kAutoMultiSourceMinLanes = 4;
+constexpr VertexId kAutoMultiSourceMinVertices = 24;
 
 /// (anchor reduced-id, distance-to-anchor) pairs through which a component-
 /// local vertex reaches the reduced graph: itself at 0 if kept, otherwise
@@ -182,16 +191,55 @@ struct EarApspEngine::Impl {
         pool ? std::max(1u, opts.cpu_threads) : 1;
     std::vector<sssp::DijkstraWorkspace> cpu_ws(cpu_workers);
     for (auto& ws : cpu_ws) ws.ensure(max_nr);
+    // The batched kernel processes at most kMaxSourceLanes sources per
+    // sweep; wider units are split into lane-block passes inside cpu_fn.
+    const std::uint32_t ms_lanes =
+        std::min<std::uint32_t>(std::max<std::uint32_t>(
+                                    opts.sources_per_unit, 1),
+                                sssp::kMaxSourceLanes);
+    std::vector<sssp::MultiSourceWorkspace> ms_ws;
+    if (opts.cpu_kernel != CpuSsspKernel::Dijkstra) {
+      ms_ws.resize(cpu_workers);
+      for (auto& ws : ms_ws) ws.ensure(max_nr, ms_lanes);
+    }
     sssp::FrontierWorkspace device_ws;  // single device driver thread
-    if (device) device_ws.ensure(max_nr);
+    sssp::DeltaSteppingWorkspace device_delta_ws;
+    if (device) {
+      if (opts.device_kernel == DeviceSsspKernel::Frontier) {
+        device_ws.ensure(max_nr);
+      } else {
+        device_delta_ws.ensure(max_nr);
+      }
+    }
+
+    const auto use_multi_source = [this](VertexId width, VertexId nr) {
+      switch (opts.cpu_kernel) {
+        case CpuSsspKernel::Dijkstra:
+          return false;
+        case CpuSsspKernel::MultiSource:
+          return true;
+        case CpuSsspKernel::Auto:
+          return width >= kAutoMultiSourceMinLanes &&
+                 nr >= kAutoMultiSourceMinVertices;
+      }
+      return false;
+    };
 
     const auto cpu_fn = [&](const hetero::WorkUnit& wu, unsigned worker) {
       EARDEC_TRACE_SCOPE_PMU("apsp.sssp_block", "comp", units[wu.id].comp);
       const Unit& u = units[wu.id];
       const Graph& rg = reduced[u.comp].graph();
-      sssp::DijkstraWorkspace& ws = cpu_ws[worker];
-      for (VertexId s = u.src_begin; s < u.src_end; ++s) {
-        ws.distances(rg, s, rtables[u.comp].row(s));
+      if (use_multi_source(u.src_end - u.src_begin, rg.num_vertices())) {
+        sssp::MultiSourceWorkspace& ws = ms_ws[worker];
+        for (VertexId s = u.src_begin; s < u.src_end; s += ms_lanes) {
+          ws.distances(rg, s, std::min<VertexId>(s + ms_lanes, u.src_end),
+                       rtables[u.comp]);
+        }
+      } else {
+        sssp::DijkstraWorkspace& ws = cpu_ws[worker];
+        for (VertexId s = u.src_begin; s < u.src_end; ++s) {
+          ws.distances(rg, s, rtables[u.comp].row(s));
+        }
       }
     };
     const auto device_fn = [&](const hetero::WorkUnit& wu, unsigned) {
@@ -199,7 +247,12 @@ struct EarApspEngine::Impl {
       const Unit& u = units[wu.id];
       const Graph& rg = reduced[u.comp].graph();
       for (VertexId s = u.src_begin; s < u.src_end; ++s) {
-        device_ws.distances(rg, s, *device, rtables[u.comp].row(s));
+        if (opts.device_kernel == DeviceSsspKernel::DeltaStepping) {
+          device_delta_ws.distances(rg, s, rtables[u.comp].row(s), 0,
+                                    nullptr, &*device);
+        } else {
+          device_ws.distances(rg, s, *device, rtables[u.comp].row(s));
+        }
       }
     };
 
@@ -263,6 +316,67 @@ struct EarApspEngine::Impl {
       best = std::min(best, direct);
     }
     return best;
+  }
+
+  // Row form of block_distance: d(lu, lv) for every lv of the component in
+  // one sweep. Instead of evaluating the 2x2 anchor formula per pair, the
+  // row's exit distances are folded into a per-reduced-vertex array once
+  // (anchor_row[rv] = min_i d(lu, exit_i) + S(exit_i, rv)), then every
+  // chain contributes its interior by walking the prefix array linearly —
+  // a branch-free two-term min per vertex — and lu's own chain adds the
+  // direct in-chain candidate with one more prefix walk. Cache-linear and
+  // vectorizable where the per-pair form was a gather per cell.
+  //
+  // Bit-identical to per-pair block_distance: the sweep preserves each
+  // candidate's addition order ((d_exit + S) + d_entry), min is exact, and
+  // rounded addition is monotone, so folding the min early cannot change
+  // the final min.
+  void block_distance_row(std::uint32_t comp, VertexId lu,
+                          std::span<Weight> out,
+                          std::vector<Weight>& anchor_row) const {
+    const reduce::ReducedGraph& r = reduced[comp];
+    const DistanceMatrix& s = rtables[comp];
+    const VertexId nr = r.graph().num_vertices();
+    const Exits& eu = exits[comp][lu];
+
+    anchor_row.resize(nr);
+    const std::span<const Weight> s0 = s.row(eu.e[0].first);
+    const Weight d0 = eu.e[0].second;
+    for (VertexId rv = 0; rv < nr; ++rv) anchor_row[rv] = d0 + s0[rv];
+    if (eu.count == 2) {
+      const std::span<const Weight> s1 = s.row(eu.e[1].first);
+      const Weight d1 = eu.e[1].second;
+      for (VertexId rv = 0; rv < nr; ++rv) {
+        anchor_row[rv] = std::min(anchor_row[rv], d1 + s1[rv]);
+      }
+    }
+
+    // Kept vertices read their reduced entry directly; chain interiors
+    // enter through either anchor.
+    for (VertexId rv = 0; rv < nr; ++rv) {
+      out[r.to_original(rv)] = anchor_row[rv];
+    }
+    const reduce::ChainSet& cs = r.chains();
+    for (const reduce::Chain& chain : cs.chains) {
+      const Weight dl = anchor_row[r.to_reduced(chain.left)];
+      const Weight dr = anchor_row[r.to_reduced(chain.right)];
+      const Weight total = chain.total;
+      const std::size_t len = chain.interior.size();
+      for (std::size_t i = 0; i < len; ++i) {
+        out[chain.interior[i]] = std::min(dl + chain.prefix[i],
+                                          dr + (total - chain.prefix[i]));
+      }
+    }
+    if (cs.chain_of[lu] != reduce::kNoChain) {
+      const reduce::Chain& chain = cs.chains[cs.chain_of[lu]];
+      const Weight pu = chain.prefix[cs.position[lu]];
+      const std::size_t len = chain.interior.size();
+      for (std::size_t i = 0; i < len; ++i) {
+        out[chain.interior[i]] =
+            std::min(out[chain.interior[i]], std::abs(pu - chain.prefix[i]));
+      }
+    }
+    out[lu] = 0;
   }
 
   // Phase III stage 2: distances between all articulation points, by
@@ -338,12 +452,16 @@ struct EarApspEngine::Impl {
       return out;  // isolated vertex
     }
 
-    // Fill a whole block given the distance to one of its vertices.
+    // Fill a whole block given the distance to one of its vertices: one
+    // chain-prefix row sweep, then merge the offsets into the output.
     const auto fill_block = [&](std::uint32_t b, VertexId entry_local,
                                 Weight entry_dist) {
       const auto& verts = views[b].to_parent;
+      static thread_local std::vector<Weight> row, anchor_row;
+      row.resize(verts.size());
+      block_distance_row(b, entry_local, row, anchor_row);
       for (VertexId lv = 0; lv < verts.size(); ++lv) {
-        const Weight d = entry_dist + block_distance(b, entry_local, lv);
+        const Weight d = entry_dist + row[lv];
         if (d < out[verts[lv]]) out[verts[lv]] = d;
       }
     };
@@ -399,9 +517,17 @@ struct EarApspEngine::Impl {
     return ap_table[static_cast<std::size_t>(iu) * a + iv];
   }
 
-  [[nodiscard]] Weight query(VertexId u, VertexId v) const {
+  /// The one copy of the closed-form point-to-point routing. Same-block
+  /// pairs go straight to `bd`; cross-block pairs route through the first
+  /// and last articulation points of the block-cut tree path (c_first /
+  /// c_last) and the AP table. `bd(block, lu, lv)` supplies the
+  /// within-block metric — formula evaluation for the compact engine,
+  /// materialized-table lookup for EarApsp.
+  template <typename BlockDist>
+  [[nodiscard]] Weight routed_distance(VertexId u, VertexId v,
+                                       const BlockDist& bd) const {
     if (u >= g.num_vertices() || v >= g.num_vertices()) {
-      throw std::out_of_range("EarApsp::query: vertex out of range");
+      throw std::out_of_range("EarApsp: vertex out of range");
     }
     if (u == v) return 0;
     if (cc.component[u] != cc.component[v]) return graph::kInfWeight;
@@ -413,7 +539,7 @@ struct EarApspEngine::Impl {
     const std::uint32_t nv =
         cv != connectivity::kNoComponent ? bct->cut_node(cv) : bct->block_of(v);
     if (nu == nv) {  // both plain vertices of the same block
-      return block_distance(nu, local_of[nu].at(u), local_of[nv].at(v));
+      return bd(nu, local_of[nu].at(u), local_of[nv].at(v));
     }
     // First / last articulation points on the block-cut tree path.
     const VertexId c_first =
@@ -428,13 +554,20 @@ struct EarApspEngine::Impl {
                                   bct->num_blocks()];
     const Weight du = cu != connectivity::kNoComponent
                           ? 0
-                          : block_distance(nu, local_of[nu].at(u),
-                                           local_of[nu].at(c_first));
+                          : bd(nu, local_of[nu].at(u),
+                               local_of[nu].at(c_first));
     const Weight dv = cv != connectivity::kNoComponent
                           ? 0
-                          : block_distance(nv, local_of[nv].at(v),
-                                           local_of[nv].at(c_last));
+                          : bd(nv, local_of[nv].at(v),
+                               local_of[nv].at(c_last));
     return du + ap_distance(c_first, c_last) + dv;
+  }
+
+  [[nodiscard]] Weight query(VertexId u, VertexId v) const {
+    return routed_distance(
+        u, v, [this](std::uint32_t b, VertexId lu, VertexId lv) {
+          return block_distance(b, lu, lv);
+        });
   }
 };
 
@@ -504,54 +637,18 @@ EarApsp::EarApsp(const Graph& g, const ApspOptions& options)
   }
   impl.parallel_over(jobs.size(), [&](std::size_t j) {
     const auto [c, lu] = jobs[j];
-    const VertexId n = impl.views[c].graph.num_vertices();
-    auto row = block_tables_[c].row(lu);
-    for (VertexId lv = 0; lv < n; ++lv) {
-      row[lv] = impl.block_distance(c, lu, lv);
-    }
+    static thread_local std::vector<Weight> anchor_row;
+    impl.block_distance_row(c, lu, block_tables_[c].row(lu), anchor_row);
   });
 }
 
 Weight EarApsp::distance(VertexId u, VertexId v) const {
-  const auto& impl = *engine_.impl_;
-  if (u == v) return 0;
-  if (u >= impl.g.num_vertices() || v >= impl.g.num_vertices()) {
-    throw std::out_of_range("EarApsp::distance: vertex out of range");
-  }
-  if (impl.cc.component[u] != impl.cc.component[v]) return graph::kInfWeight;
-  const std::uint32_t cu = impl.bct->cut_index(u);
-  const std::uint32_t cv = impl.bct->cut_index(v);
-  const std::uint32_t nu = cu != connectivity::kNoComponent
-                               ? impl.bct->cut_node(cu)
-                               : impl.bct->block_of(u);
-  const std::uint32_t nv = cv != connectivity::kNoComponent
-                               ? impl.bct->cut_node(cv)
-                               : impl.bct->block_of(v);
-  if (nu == nv) {
-    return block_tables_[nu].at(impl.local_of[nu].at(u),
-                                impl.local_of[nv].at(v));
-  }
-  const VertexId c_first =
-      cu != connectivity::kNoComponent
-          ? u
-          : impl.bct->cut_vertices()[impl.lca->next_on_path(nu, nv) -
-                                     impl.bct->num_blocks()];
-  const VertexId c_last =
-      cv != connectivity::kNoComponent
-          ? v
-          : impl.bct->cut_vertices()[impl.lca->next_on_path(nv, nu) -
-                                     impl.bct->num_blocks()];
-  const Weight du =
-      cu != connectivity::kNoComponent
-          ? 0
-          : block_tables_[nu].at(impl.local_of[nu].at(u),
-                                 impl.local_of[nu].at(c_first));
-  const Weight dv =
-      cv != connectivity::kNoComponent
-          ? 0
-          : block_tables_[nv].at(impl.local_of[nv].at(v),
-                                 impl.local_of[nv].at(c_last));
-  return du + impl.ap_distance(c_first, c_last) + dv;
+  // Same route as the engine's compact query; the within-block metric is
+  // an O(1) lookup into the materialized A_i tables.
+  return engine_.impl_->routed_distance(
+      u, v, [this](std::uint32_t b, VertexId lu, VertexId lv) {
+        return block_tables_[b].at(lu, lv);
+      });
 }
 
 DistanceMatrix ear_apsp_matrix(const Graph& g, const ApspOptions& options) {

@@ -51,6 +51,24 @@ enum class ExecutionMode {
   Heterogeneous,  ///< work queue drained by CPU threads + device (paper mode)
 };
 
+/// Which SSSP kernel the phase-II CPU workers run per work unit.
+enum class CpuSsspKernel {
+  /// Batched multi-source for wide units on large reduced components,
+  /// per-source Dijkstra otherwise (small/irregular components where the
+  /// lane block cannot amortize the traversal).
+  Auto,
+  Dijkstra,     ///< per-source binary heap (the paper's baseline)
+  MultiSource,  ///< k-lane batched label-correcting kernel
+};
+
+/// Which bulk kernel the phase-II device driver runs.
+enum class DeviceSsspKernel {
+  /// Bucketed delta-stepping whose light-edge rounds launch frontier
+  /// slices as bulk device work — real per-level parallelism.
+  DeltaStepping,
+  Frontier,  ///< Harish–Narayanan level-synchronous kernel
+};
+
 struct ApspOptions {
   ExecutionMode mode = ExecutionMode::Heterogeneous;
   unsigned cpu_threads = 4;
@@ -63,6 +81,10 @@ struct ApspOptions {
   std::uint32_t sources_per_unit = 16;
   std::size_t cpu_batch = 1;
   std::size_t device_batch = 4;
+  /// Phase-II kernel selection. Every kernel produces bit-identical
+  /// distances (see docs/sssp_perf.md); these pick throughput per shape.
+  CpuSsspKernel cpu_kernel = CpuSsspKernel::Auto;
+  DeviceSsspKernel device_kernel = DeviceSsspKernel::DeltaStepping;
 };
 
 /// Wall-clock seconds per phase, for the benches.

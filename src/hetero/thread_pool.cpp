@@ -80,17 +80,17 @@ struct ParallelForState {
   std::atomic<std::size_t> next;
   std::size_t end;
   std::size_t chunk;
-  std::function<void(std::size_t)> f;
+  std::function<void(std::size_t, unsigned)> f;
   std::mutex mutex;
   std::condition_variable done;
   unsigned pending_helpers;
 
-  void drain() {
+  void drain(unsigned slot) {
     while (true) {
       const std::size_t lo = next.fetch_add(chunk);
       if (lo >= end) break;
       const std::size_t hi = std::min(lo + chunk, end);
-      for (std::size_t i = lo; i < hi; ++i) f(i);
+      for (std::size_t i = lo; i < hi; ++i) f(i, slot);
     }
   }
 };
@@ -100,6 +100,13 @@ struct ParallelForState {
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               const std::function<void(std::size_t)>& f,
                               std::size_t chunk) {
+  parallel_for_slots(
+      begin, end, [&f](std::size_t i, unsigned) { f(i); }, chunk);
+}
+
+void ThreadPool::parallel_for_slots(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, unsigned)>& f, std::size_t chunk) {
   if (begin >= end) return;
   if (chunk == 0) chunk = 1;
   EARDEC_TRACE_SCOPE("pool.parallel_for", "items", end - begin);
@@ -116,13 +123,14 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   st->pending_helpers = helpers;
 
   for (unsigned t = 0; t < helpers; ++t) {
-    submit([st] {
-      st->drain();
+    // Slot 0 belongs to the calling thread; helpers take 1..helpers.
+    submit([st, slot = t + 1] {
+      st->drain(slot);
       const std::lock_guard lock(st->mutex);
       if (--st->pending_helpers == 0) st->done.notify_all();
     });
   }
-  st->drain();  // the caller participates
+  st->drain(0);  // the caller participates
   std::unique_lock lock(st->mutex);
   st->done.wait(lock, [&] { return st->pending_helpers == 0; });
 }

@@ -43,6 +43,22 @@ class ThreadPool {
                     const std::function<void(std::size_t)>& f,
                     std::size_t chunk = 1);
 
+  /// parallel_for variant whose callback also receives a stable *slot*
+  /// index: every participating execution stream (the calling thread plus
+  /// each helper task) gets a distinct slot in [0, max_slots()), and all
+  /// indices a stream claims are run under its slot. Callers use the slot
+  /// to index per-worker scratch (request buffers, workspaces) without any
+  /// synchronization — the lock-free alternative to funnelling results
+  /// through a shared mutex.
+  void parallel_for_slots(
+      std::size_t begin, std::size_t end,
+      const std::function<void(std::size_t index, unsigned slot)>& f,
+      std::size_t chunk = 1);
+
+  /// Upper bound (inclusive of the calling thread) on the slot indices
+  /// parallel_for_slots hands out: pool workers + 1.
+  [[nodiscard]] unsigned max_slots() const noexcept { return size() + 1; }
+
  private:
   void worker_loop();
 

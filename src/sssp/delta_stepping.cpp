@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
-#include <mutex>
 #include <stdexcept>
 
 namespace eardec::sssp {
@@ -21,92 +20,144 @@ void atomic_min(std::atomic<Weight>& cell, Weight value) {
   }
 }
 
+/// Frontier size below which fanning a light-edge round out costs more
+/// than the relaxations themselves.
+constexpr std::size_t kParallelFrontierMin = 64;
+
 }  // namespace
 
-std::vector<Weight> delta_stepping(const Graph& g, VertexId source,
-                                   Weight delta, hetero::ThreadPool* pool) {
+void DeltaSteppingWorkspace::ensure(VertexId num_vertices) {
+  if (dist_.size() < num_vertices) {
+    // std::atomic is neither movable nor resizable in place: rebuild the
+    // array once here so the per-call hot path never allocates it again.
+    dist_ = std::vector<std::atomic<Weight>>(num_vertices);
+  }
+  frontier_.reserve(num_vertices);
+  settled_.reserve(num_vertices);
+  if (buckets_.empty()) buckets_.resize(1);
+}
+
+void DeltaSteppingWorkspace::distances(const Graph& g, VertexId source,
+                                       std::span<Weight> dist_out,
+                                       Weight delta, hetero::ThreadPool* pool,
+                                       hetero::Device* device) {
   const VertexId n = g.num_vertices();
   if (source >= n) throw std::out_of_range("delta_stepping: bad source");
+  if (dist_out.size() != n) {
+    throw std::invalid_argument("DeltaSteppingWorkspace: bad output span");
+  }
+  if (dist_.size() < n) ensure(n);
   if (delta <= 0) {
-    // Heuristic: average edge weight (clamped away from zero).
+    // Heuristic: average edge weight (clamped away from zero). Distances
+    // are bounded by the total weight, so bucket indices stay <= m.
     delta = g.num_edges() > 0
                 ? std::max<Weight>(1e-9, g.total_weight() / g.num_edges())
                 : 1.0;
   }
 
-  std::vector<std::atomic<Weight>> dist(n);
-  for (auto& d : dist) d.store(graph::kInfWeight, std::memory_order_relaxed);
-  dist[source].store(0, std::memory_order_relaxed);
+  for (VertexId v = 0; v < n; ++v) {
+    dist_[v].store(graph::kInfWeight, std::memory_order_relaxed);
+  }
+  dist_[source].store(0, std::memory_order_relaxed);
 
   // Buckets hold candidate vertices; stale entries are filtered on pop.
-  std::vector<std::vector<VertexId>> buckets(1);
-  buckets[0].push_back(source);
+  // Every bucket is fully drained before the round advances, so the pool
+  // of inner vectors (and their capacity) carries over between calls.
+  for (auto& bucket : buckets_) bucket.clear();
+  buckets_[0].push_back(source);
   const auto bucket_of = [delta](Weight d) {
     return static_cast<std::size_t>(d / delta);
   };
-  const auto push = [&](VertexId v, Weight d) {
+  const auto push = [this, bucket_of](VertexId v, Weight d) {
     const std::size_t b = bucket_of(d);
-    if (b >= buckets.size()) buckets.resize(b + 1);
-    buckets[b].push_back(v);
+    if (b >= buckets_.size()) buckets_.resize(b + 1);
+    buckets_[b].push_back(v);
   };
 
-  std::mutex requests_mutex;
-  for (std::size_t b = 0; b < buckets.size(); ++b) {
-    std::vector<VertexId> settled_here;
+  // One request buffer per execution slot (pool) or frontier slice
+  // (device): relaxation targets are collected lock-free and merged on
+  // the coordinating thread after each round.
+  const std::size_t slots = std::max<std::size_t>(
+      1, pool != nullptr
+             ? pool->max_slots()
+             : (device != nullptr ? device->config().workers * 4 : 1));
+  if (slice_requests_.size() < slots) slice_requests_.resize(slots);
+
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    settled_.clear();
     // Light-edge phase: re-relax until the bucket stops refilling.
-    while (!buckets[b].empty()) {
-      std::vector<VertexId> frontier = std::move(buckets[b]);
-      buckets[b].clear();
-      std::vector<std::pair<VertexId, Weight>> requests;
-      const auto relax_light = [&](std::size_t i) {
-        const VertexId v = frontier[i];
-        const Weight dv = dist[v].load(std::memory_order_relaxed);
+    while (!buckets_[b].empty()) {
+      frontier_.swap(buckets_[b]);
+      buckets_[b].clear();
+      for (auto& requests : slice_requests_) requests.clear();
+      const auto relax_light = [&](std::size_t i, std::size_t slice) {
+        const VertexId v = frontier_[i];
+        const Weight dv = dist_[v].load(std::memory_order_relaxed);
         if (bucket_of(dv) != b) return;  // stale or promoted
-        std::vector<std::pair<VertexId, Weight>> local;
+        RequestBuffer& requests = slice_requests_[slice];
         for (const graph::HalfEdge& he : g.neighbors(v)) {
           if (he.weight > delta) continue;
           const Weight nd = dv + he.weight;
-          if (nd < dist[he.to].load(std::memory_order_relaxed)) {
-            atomic_min(dist[he.to], nd);
-            local.emplace_back(he.to, nd);
+          if (nd < dist_[he.to].load(std::memory_order_relaxed)) {
+            atomic_min(dist_[he.to], nd);
+            requests.emplace_back(he.to, nd);
           }
         }
-        if (!local.empty()) {
-          const std::lock_guard lock(requests_mutex);
-          requests.insert(requests.end(), local.begin(), local.end());
-        }
       };
-      if (pool != nullptr && frontier.size() >= 64) {
-        pool->parallel_for(0, frontier.size(), relax_light, 16);
+      if (pool != nullptr && frontier_.size() >= kParallelFrontierMin) {
+        pool->parallel_for_slots(
+            0, frontier_.size(),
+            [&](std::size_t i, unsigned slot) { relax_light(i, slot); }, 16);
+      } else if (device != nullptr &&
+                 frontier_.size() >= kParallelFrontierMin) {
+        // Bulk launch: one lane per contiguous frontier slice, so each
+        // level of the kernel does real per-level work on the device.
+        const std::size_t slices =
+            std::min<std::size_t>(slots, frontier_.size());
+        const std::size_t per_slice =
+            (frontier_.size() + slices - 1) / slices;
+        device->launch(slices, [&](std::size_t s) {
+          const std::size_t lo = s * per_slice;
+          const std::size_t hi =
+              std::min(lo + per_slice, frontier_.size());
+          for (std::size_t i = lo; i < hi; ++i) relax_light(i, s);
+        });
       } else {
-        for (std::size_t i = 0; i < frontier.size(); ++i) relax_light(i);
+        for (std::size_t i = 0; i < frontier_.size(); ++i) relax_light(i, 0);
       }
-      settled_here.insert(settled_here.end(), frontier.begin(),
-                          frontier.end());
-      for (const auto& [v, d] : requests) {
-        // Only re-queue what still belongs in some bucket at distance d.
-        if (dist[v].load(std::memory_order_relaxed) == d) push(v, d);
+      settled_.insert(settled_.end(), frontier_.begin(), frontier_.end());
+      for (const auto& requests : slice_requests_) {
+        for (const auto& [v, d] : requests) {
+          // Only re-queue what still belongs in some bucket at distance d.
+          if (dist_[v].load(std::memory_order_relaxed) == d) push(v, d);
+        }
       }
     }
     // Heavy-edge phase: one pass from everything settled in this bucket.
-    for (const VertexId v : settled_here) {
-      const Weight dv = dist[v].load(std::memory_order_relaxed);
+    for (const VertexId v : settled_) {
+      const Weight dv = dist_[v].load(std::memory_order_relaxed);
       if (bucket_of(dv) != b) continue;
       for (const graph::HalfEdge& he : g.neighbors(v)) {
         if (he.weight <= delta) continue;
         const Weight nd = dv + he.weight;
-        if (nd < dist[he.to].load(std::memory_order_relaxed)) {
-          atomic_min(dist[he.to], nd);
+        if (nd < dist_[he.to].load(std::memory_order_relaxed)) {
+          atomic_min(dist_[he.to], nd);
           push(he.to, nd);
         }
       }
     }
   }
 
-  std::vector<Weight> out(n);
   for (VertexId v = 0; v < n; ++v) {
-    out[v] = dist[v].load(std::memory_order_relaxed);
+    dist_out[v] = dist_[v].load(std::memory_order_relaxed);
   }
+}
+
+std::vector<Weight> delta_stepping(const Graph& g, VertexId source,
+                                   Weight delta, hetero::ThreadPool* pool) {
+  DeltaSteppingWorkspace ws(g.num_vertices());
+  std::vector<Weight> out(g.num_vertices());
+  ws.distances(g, source, out, delta, pool);
   return out;
 }
 

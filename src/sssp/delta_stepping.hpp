@@ -3,20 +3,65 @@
 // relaxing its light edges (w <= delta), then relaxes the heavy ones once.
 // The classic bridge between Dijkstra (delta -> 0) and Bellman–Ford
 // (delta -> inf) and the standard CPU-parallel SSSP in the literature the
-// paper builds on; here the intra-bucket relaxations optionally fan out
-// over the thread pool.
+// paper builds on.
+//
+// The workspace form is the bulk kernel of the Phase-II device path: each
+// light-edge round slices the frontier and fans the slices out as one bulk
+// launch (thread pool or software device), with one request buffer per
+// slice — no shared mutex, no per-call atomics allocation.
 #pragma once
 
 #include <span>
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "hetero/device.hpp"
 #include "hetero/thread_pool.hpp"
 
 namespace eardec::sssp {
 
-/// Single-source distances. `delta` <= 0 picks a heuristic (average edge
-/// weight). `pool` optional: bucket relaxations fan out when provided.
+/// Reusable buffers for APSP-style delta-stepping loops. One workspace may
+/// serve graphs of different sizes (size it once to the largest via
+/// ensure()); the Phase-II scheduler pools one per worker / device driver
+/// so the drain performs no per-call allocation — in particular the
+/// atomic distance array, whose element type makes std::vector construction
+/// the dominant cost of the free-function form, is built once and reused.
+class DeltaSteppingWorkspace {
+ public:
+  DeltaSteppingWorkspace() = default;
+  explicit DeltaSteppingWorkspace(graph::VertexId num_vertices) {
+    ensure(num_vertices);
+  }
+
+  /// Grows the internal buffers to cover graphs of up to `num_vertices`
+  /// vertices; never shrinks.
+  void ensure(graph::VertexId num_vertices);
+
+  /// Computes distances from `source` into `dist_out` (size n).
+  /// `delta` <= 0 picks a heuristic (average edge weight). Frontier
+  /// relaxations fan out over `pool` (per-slot request buffers) or, when
+  /// `device` is given instead, as bulk slice launches on the software
+  /// device — pass at most one of the two. Results are bit-identical to
+  /// sssp::dijkstra in every configuration.
+  void distances(const graph::Graph& g, graph::VertexId source,
+                 std::span<graph::Weight> dist_out, graph::Weight delta = 0,
+                 hetero::ThreadPool* pool = nullptr,
+                 hetero::Device* device = nullptr);
+
+ private:
+  /// Relaxation targets produced by one frontier slice.
+  using RequestBuffer = std::vector<std::pair<graph::VertexId, graph::Weight>>;
+
+  std::vector<std::atomic<graph::Weight>> dist_;  ///< capacity, reused
+  std::vector<std::vector<graph::VertexId>> buckets_;
+  std::vector<graph::VertexId> frontier_;
+  std::vector<graph::VertexId> settled_;
+  std::vector<RequestBuffer> slice_requests_;  ///< one per slot/slice
+};
+
+/// Single-source distances through a throwaway workspace. `delta` <= 0
+/// picks the heuristic; `pool` optional (bucket relaxations fan out when
+/// provided). Prefer the workspace in loops.
 [[nodiscard]] std::vector<graph::Weight> delta_stepping(
     const graph::Graph& g, graph::VertexId source, graph::Weight delta = 0,
     hetero::ThreadPool* pool = nullptr);

@@ -1,0 +1,94 @@
+#include "sssp/multi_source.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace eardec::sssp {
+
+void MultiSourceWorkspace::ensure(VertexId num_vertices, std::uint32_t lanes) {
+  if (lanes > kMaxSourceLanes) {
+    throw std::invalid_argument("MultiSourceWorkspace: lanes > 64");
+  }
+  lane_capacity_ = std::max(lane_capacity_, lanes);
+  const std::size_t want =
+      static_cast<std::size_t>(num_vertices) * lane_capacity_;
+  if (dist_.size() < want) dist_.resize(want);
+  if (pending_.size() < num_vertices) pending_.resize(num_vertices);
+  frontier_.reserve(num_vertices);
+  next_.reserve(num_vertices);
+}
+
+void MultiSourceWorkspace::distances(const Graph& g, VertexId src_begin,
+                                     VertexId src_end, DistanceMatrix& out) {
+  const VertexId n = g.num_vertices();
+  if (src_begin >= src_end || src_end > n) {
+    throw std::out_of_range("MultiSourceWorkspace: bad source range");
+  }
+  const std::uint32_t k = src_end - src_begin;
+  if (k > lane_capacity_ ||
+      dist_.size() < static_cast<std::size_t>(n) * lane_capacity_) {
+    throw std::invalid_argument(
+        "MultiSourceWorkspace: ensure() capacity too small for this batch");
+  }
+  if (out.size() != n) {
+    throw std::invalid_argument("MultiSourceWorkspace: bad output matrix");
+  }
+
+  // Lane-strided init: lane L holds source src_begin + L. The block is laid
+  // out with stride k (not lane_capacity_) so one frontier round touches
+  // the densest possible cache lines for this batch width.
+  std::fill(dist_.begin(), dist_.begin() + static_cast<std::size_t>(n) * k,
+            graph::kInfWeight);
+  std::fill(pending_.begin(), pending_.begin() + n, 0);
+  frontier_.clear();
+  next_.clear();
+  for (std::uint32_t lane = 0; lane < k; ++lane) {
+    const VertexId s = src_begin + lane;
+    dist_[static_cast<std::size_t>(s) * k + lane] = 0;
+    if (pending_[s] == 0) frontier_.push_back(s);
+    pending_[s] |= std::uint64_t{1} << lane;
+  }
+
+  rounds_ = 0;
+  while (!frontier_.empty()) {
+    ++rounds_;
+    for (const VertexId v : frontier_) {
+      pending_[v] = 0;
+      const Weight* dv = dist_.data() + static_cast<std::size_t>(v) * k;
+      for (const graph::HalfEdge& he : g.neighbors(v)) {
+        const Weight w = he.weight;
+        Weight* dt = dist_.data() + static_cast<std::size_t>(he.to) * k;
+        // Relax every lane unconditionally: relaxation is idempotent, so
+        // skipping clean lanes is only an optimization — doing them all
+        // keeps the loop branch-light and lets the compiler vectorize the
+        // add+compare+select over the lane block.
+        std::uint64_t changed = 0;
+        for (std::uint32_t lane = 0; lane < k; ++lane) {
+          const Weight nd = dv[lane] + w;
+          if (nd < dt[lane]) {
+            dt[lane] = nd;
+            changed |= std::uint64_t{1} << lane;
+          }
+        }
+        if (changed != 0) {
+          if (pending_[he.to] == 0) next_.push_back(he.to);
+          pending_[he.to] |= changed;
+        }
+      }
+    }
+    frontier_.swap(next_);
+    next_.clear();
+  }
+
+  // Transpose the lane block into the row-major output: lane-major so the
+  // writes stream sequentially through each row.
+  for (std::uint32_t lane = 0; lane < k; ++lane) {
+    const std::span<Weight> row = out.row(src_begin + lane);
+    const Weight* col = dist_.data() + lane;
+    for (VertexId v = 0; v < n; ++v) {
+      row[v] = col[static_cast<std::size_t>(v) * k];
+    }
+  }
+}
+
+}  // namespace eardec::sssp

@@ -1,12 +1,20 @@
-// Tests for the alternative SSSP/APSP kernels: delta-stepping and the
-// device blocked Floyd–Warshall. Both must agree exactly with Dijkstra.
+// Tests for the alternative SSSP/APSP kernels: delta-stepping, the batched
+// multi-source kernel and the device blocked Floyd–Warshall. All must agree
+// exactly — bit for bit — with Dijkstra.
 #include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+#include <tuple>
 
 #include "graph/builder.hpp"
 #include "graph/generators.hpp"
 #include "sssp/delta_stepping.hpp"
 #include "sssp/device_floyd_warshall.hpp"
 #include "sssp/dijkstra.hpp"
+#include "sssp/multi_source.hpp"
+#include "testing/families.hpp"
 
 namespace eardec::sssp {
 namespace {
@@ -67,6 +75,110 @@ TEST(DeltaStepping, ZeroWeightEdgesTerminate) {
   const auto d = delta_stepping(g, 0, 2.0);
   EXPECT_DOUBLE_EQ(d[2], 0.0);
   EXPECT_DOUBLE_EQ(d[3], 5.0);
+}
+
+// ---------------------------------------------------------------------------
+// Differential suites: every property family (including multigraph,
+// disconnected and degenerate-weight ones) must yield bit-identical
+// distances from every alternative kernel. EXPECT_EQ, not EXPECT_NEAR —
+// the fixpoint argument (docs/sssp_perf.md) promises exact agreement.
+
+class KernelFamilyTest
+    : public ::testing::TestWithParam<
+          std::tuple<std::size_t, std::uint64_t>> {
+ protected:
+  [[nodiscard]] Graph make_graph() const {
+    const auto& fam = eardec::testing::families()[std::get<0>(GetParam())];
+    return fam.make(std::get<1>(GetParam()), 48);
+  }
+  [[nodiscard]] std::string family_name() const {
+    return eardec::testing::families()[std::get<0>(GetParam())].name;
+  }
+};
+
+TEST_P(KernelFamilyTest, MultiSourceBitMatchesDijkstra) {
+  const Graph g = make_graph();
+  const graph::VertexId n = g.num_vertices();
+  if (n == 0) GTEST_SKIP() << "empty instance";
+  // One workspace reused across batch widths: also exercises ensure()
+  // growth and proves stale lane data never leaks between runs.
+  MultiSourceWorkspace ws;
+  for (const std::uint32_t k : {1u, 3u, 8u, kMaxSourceLanes}) {
+    DistanceMatrix out(n);
+    ws.ensure(n, k);
+    for (graph::VertexId s = 0; s < n; s += k) {
+      ws.distances(g, s, std::min<graph::VertexId>(s + k, n), out);
+    }
+    for (graph::VertexId s = 0; s < n; ++s) {
+      const auto ref = dijkstra(g, s);
+      for (graph::VertexId v = 0; v < n; ++v) {
+        ASSERT_EQ(out.at(s, v), ref.dist[v])
+            << family_name() << " k=" << k << " source " << s << " vertex "
+            << v;
+      }
+    }
+  }
+}
+
+TEST_P(KernelFamilyTest, DeltaSteppingWorkspaceBitMatchesDijkstra) {
+  const Graph g = make_graph();
+  const graph::VertexId n = g.num_vertices();
+  if (n == 0) GTEST_SKIP() << "empty instance";
+  hetero::ThreadPool pool(3);
+  DeltaSteppingWorkspace serial_ws(n);
+  DeltaSteppingWorkspace pool_ws(n);
+  std::vector<graph::Weight> serial(n);
+  std::vector<graph::Weight> parallel(n);
+  for (graph::VertexId s = 0; s < n; ++s) {
+    const auto ref = dijkstra(g, s);
+    // delta = 0 -> heuristic width; degenerate-weight families rely on it
+    // to keep the bucket count bounded by the edge count.
+    serial_ws.distances(g, s, serial);
+    pool_ws.distances(g, s, parallel, 0, &pool);
+    for (graph::VertexId v = 0; v < n; ++v) {
+      ASSERT_EQ(serial[v], ref.dist[v])
+          << family_name() << " serial source " << s << " vertex " << v;
+      ASSERT_EQ(parallel[v], ref.dist[v])
+          << family_name() << " pooled source " << s << " vertex " << v;
+    }
+  }
+}
+
+std::string kernel_family_test_name(
+    const ::testing::TestParamInfo<KernelFamilyTest::ParamType>& info) {
+  std::string name = eardec::testing::families()[std::get<0>(info.param)].name;
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name + "_seed" + std::to_string(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, KernelFamilyTest,
+    ::testing::Combine(
+        ::testing::Range<std::size_t>(0, eardec::testing::families().size()),
+        ::testing::Values<std::uint64_t>(1, 2)),
+    kernel_family_test_name);
+
+TEST(MultiSource, RejectsBadBatches) {
+  const Graph g = gen::cycle(6);
+  MultiSourceWorkspace ws(g.num_vertices(), 4);
+  DistanceMatrix out(g.num_vertices());
+  EXPECT_THROW(ws.distances(g, 2, 1, out), std::out_of_range);  // empty
+  EXPECT_THROW(ws.distances(g, 0, 5, out), std::invalid_argument);  // > lanes
+  EXPECT_THROW(ws.distances(g, 4, 8, out), std::out_of_range);
+}
+
+TEST(MultiSource, ReportsFrontierRounds) {
+  // A path graph forces one frontier round per hop.
+  Builder b(5);
+  for (graph::VertexId v = 0; v + 1 < 5; ++v) b.add_edge(v, v + 1, 1.0);
+  const Graph g = std::move(b).build();
+  MultiSourceWorkspace ws(g.num_vertices(), 1);
+  DistanceMatrix out(g.num_vertices());
+  ws.distances(g, 0, 1, out);
+  EXPECT_GE(ws.last_rounds(), 4u);
+  EXPECT_DOUBLE_EQ(out.at(0, 4), 4.0);
 }
 
 class DeviceFwTest : public ::testing::TestWithParam<graph::VertexId> {};

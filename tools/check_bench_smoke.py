@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """Validates the bench-smoke JSON snapshots (CI gate).
 
-Usage: check_bench_smoke.py <table2_mcb.json> <mcb_gf2.json> [--tolerance X]
+Usage: check_bench_smoke.py <table2_mcb.json> <mcb_gf2.json>
+                            [<sssp_kernels.json>] [--tolerance X]
 
 Two layers of checking:
 
@@ -127,6 +128,43 @@ def check_gf2(path):
                 f"{path}: cells[{i}].impl unknown: {cell['impl']}")
 
 
+SSSP_CELL_KEYS = ("graph", "n", "m", "kernel", "k", "seconds",
+                  "sources_per_s", "rounds")
+SSSP_KERNELS = ("dijkstra", "delta", "multi_source")
+
+
+def check_sssp_kernels(path):
+    """Shape check for the phase-II kernel ablation: every cell carries the
+    full axis set, the kernel axis covers all three kernels, and the
+    multi-source batch-width axis has at least two widths (the selector's
+    k >= 4 claim is meaningless from a single-point sweep)."""
+    doc = load(path)
+    cells = doc.get("cells")
+    require(isinstance(cells, list) and cells,
+            f"{path}: cells missing or empty")
+    kernels_seen = set()
+    widths = set()
+    for i, cell in enumerate(cells):
+        for key in SSSP_CELL_KEYS:
+            require(key in cell, f"{path}: cells[{i}].{key} missing")
+        require(cell["kernel"] in SSSP_KERNELS,
+                f"{path}: cells[{i}].kernel unknown: {cell['kernel']}")
+        require(isinstance(cell["seconds"], (int, float))
+                and cell["seconds"] > 0,
+                f"{path}: cells[{i}].seconds missing or <= 0")
+        require(isinstance(cell["k"], int) and cell["k"] >= 1,
+                f"{path}: cells[{i}].k missing or < 1")
+        require(cell["n"] > 0 and cell["m"] > 0,
+                f"{path}: cells[{i}] n/m non-positive")
+        kernels_seen.add(cell["kernel"])
+        if cell["kernel"] == "multi_source":
+            widths.add(cell["k"])
+    for kernel in SSSP_KERNELS:
+        require(kernel in kernels_seen, f"{path}: no {kernel} cells")
+    require(len(widths) >= 2,
+            f"{path}: multi_source k axis needs >= 2 widths, got {widths}")
+
+
 def check_hetero_not_slower(doc, path, tolerance):
     hw = doc["hardware_concurrency"]
     if hw < 4:
@@ -153,11 +191,13 @@ def main(argv):
     for a in argv[1:]:
         if a.startswith("--tolerance="):
             tolerance = float(a.split("=", 1)[1])
-    if len(args) != 2:
+    if len(args) not in (2, 3):
         print(__doc__, file=sys.stderr)
         return 2
     table2 = check_table2(args[0])
     check_gf2(args[1])
+    if len(args) == 3:
+        check_sssp_kernels(args[2])
     check_hetero_not_slower(table2, args[0], tolerance)
     print("check_bench_smoke: OK")
     return 0
