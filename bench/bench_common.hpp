@@ -19,6 +19,7 @@
 #include "obs/metrics.hpp"
 #include "obs/pmu.hpp"
 #include "obs/sampler.hpp"
+#include "obs/stats_server.hpp"
 #include "obs/trace.hpp"
 
 namespace eardec::bench {
@@ -77,8 +78,9 @@ inline void json_stamp(std::FILE* out) {
 /// metrics dump of the whole run, written on destruction (i.e. at the end
 /// of main). EARDEC_PMU arms the hardware-counter engine ("1"/"auto";
 /// "off" pins it disabled) and EARDEC_SAMPLER starts the background
-/// counter-track sampler ("<ms>" or "auto"). No env vars -> zero behavior
-/// change.
+/// counter-track sampler ("<ms>" or "auto"). EARDEC_STATS_PORT serves the
+/// registry live over HTTP for the duration of the run. No env vars ->
+/// zero behavior change.
 class ObservabilitySession {
  public:
   ObservabilitySession() {
@@ -89,9 +91,11 @@ class ObservabilitySession {
     if (!trace_path_.empty()) obs::Tracer::instance().set_enabled(true);
     obs::PmuEngine::instance().configure_from_env();
     obs::Sampler::instance().configure_from_env();
+    obs::StatsServer::instance().configure_from_env();
   }
 
   ~ObservabilitySession() {
+    obs::StatsServer::instance().stop();
     // Stop the sampler before exporting: exports would quiesce it anyway,
     // but stopping first also captures its final sample.
     obs::Sampler::instance().stop();

@@ -3,9 +3,24 @@
 // lookups), and on-demand Dijkstra (what you would do without any
 // preprocessing). Validates the O(1)-ish query claim that justifies
 // building the oracle at all.
+//
+// Every query is timed individually into a log2 latency histogram, so the
+// snapshot reports the tail (p50/p90/p99), not just the mean — for an
+// online oracle server the p99 is the claim that matters. The same
+// distributions land in the metrics registry
+// (oracle.query.{compact,full_table,dijkstra}.latency_ns), so a
+// `--stats-port`/EARDEC_STATS_PORT scrape during the run shows them live.
+// The snapshot bench_results/oracle_query.json (schema v2, validated by
+// tools/check_bench_smoke.py, diffed by tools/compare_bench.py) carries
+// qps + mean/p50/p90/p99 nanoseconds per method. `--smoke` shrinks the
+// query counts for the CI gate.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <functional>
 #include <random>
-
-#include <benchmark/benchmark.h>
+#include <string>
+#include <vector>
 
 #include "bench_common.hpp"
 
@@ -35,44 +50,127 @@ std::vector<std::pair<graph::VertexId, graph::VertexId>> query_mix() {
   return q;
 }
 
-void BM_CompactOracleQuery(benchmark::State& state) {
-  const core::DistanceOracle oracle(
-      bench_graph(), {.mode = core::ExecutionMode::Multicore,
-                      .cpu_threads = 3});
-  const auto queries = query_mix();
-  std::size_t i = 0;
-  for (auto _ : state) {
-    const auto& [s, t] = queries[i++ & 4095];
-    benchmark::DoNotOptimize(oracle.distance(s, t));
+struct MethodResult {
+  const char* method = "";
+  std::uint64_t queries = 0;
+  double seconds = 0;   ///< wall clock of the whole query loop
+  double qps = 0;
+  double mean_ns = 0;
+  double p50_ns = 0;
+  double p90_ns = 0;
+  double p99_ns = 0;
+};
+
+/// Runs `queries` timed calls of `query` round-robin over the mix, each
+/// recorded into the shared registry histogram for that method (visible on
+/// a live /metrics scrape) and summarized from it afterwards.
+MethodResult run_method(
+    const char* method, std::uint64_t queries,
+    const std::vector<std::pair<graph::VertexId, graph::VertexId>>& mix,
+    const std::function<double(graph::VertexId, graph::VertexId)>& query) {
+  obs::Histogram& lat = obs::MetricsRegistry::instance().histogram(
+      std::string("oracle.query.") + method + ".latency_ns");
+  volatile double sink = 0;  // keep the distance computation observable
+  const auto t0 = obs::Tracer::now_ns();
+  for (std::uint64_t i = 0; i < queries; ++i) {
+    const auto& [s, t] = mix[i & (mix.size() - 1)];
+    const std::uint64_t q0 = obs::Tracer::now_ns();
+    sink = query(s, t);
+    lat.record(obs::Tracer::now_ns() - q0);
   }
+  const double seconds = static_cast<double>(obs::Tracer::now_ns() - t0) / 1e9;
+  (void)sink;
+
+  MethodResult r;
+  r.method = method;
+  r.queries = queries;
+  r.seconds = seconds;
+  r.qps = seconds > 0 ? static_cast<double>(queries) / seconds : 0.0;
+  r.mean_ns = lat.count() > 0 ? static_cast<double>(lat.sum()) /
+                                    static_cast<double>(lat.count())
+                              : 0.0;
+  r.p50_ns = lat.quantile(0.50);
+  r.p90_ns = lat.quantile(0.90);
+  r.p99_ns = lat.quantile(0.99);
+  return r;
 }
 
-void BM_FullTableQuery(benchmark::State& state) {
-  const core::EarApsp apsp(bench_graph(),
-                           {.mode = core::ExecutionMode::Multicore,
-                            .cpu_threads = 3});
-  const auto queries = query_mix();
-  std::size_t i = 0;
-  for (auto _ : state) {
-    const auto& [s, t] = queries[i++ & 4095];
-    benchmark::DoNotOptimize(apsp.distance(s, t));
-  }
-}
-
-void BM_OnDemandDijkstra(benchmark::State& state) {
+void emit_json(const std::vector<MethodResult>& rows, bool smoke) {
+  std::filesystem::create_directories("bench_results");
+  std::FILE* out = std::fopen("bench_results/oracle_query.json", "w");
+  if (out == nullptr) return;
   const auto& g = bench_graph();
-  const auto queries = query_mix();
-  std::size_t i = 0;
-  for (auto _ : state) {
-    const auto& [s, t] = queries[i++ & 4095];
-    benchmark::DoNotOptimize(sssp::dijkstra(g, s).dist[t]);
+  std::fprintf(out, "{\n");
+  bench::json_stamp(out);
+  std::fprintf(out,
+               "  \"smoke\": %s,\n  \"graph\": \"cond_mat_2003\",\n"
+               "  \"n\": %u,\n  \"m\": %u,\n  \"cells\": [\n",
+               smoke ? "true" : "false", g.num_vertices(), g.num_edges());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const MethodResult& r = rows[i];
+    std::fprintf(out,
+                 "    {\"method\": \"%s\", \"queries\": %llu, "
+                 "\"seconds\": %.6f, \"qps\": %.1f, \"mean_ns\": %.1f, "
+                 "\"p50_ns\": %.1f, \"p90_ns\": %.1f, \"p99_ns\": %.1f}%s\n",
+                 r.method, static_cast<unsigned long long>(r.queries),
+                 r.seconds, r.qps, r.mean_ns, r.p50_ns, r.p90_ns, r.p99_ns,
+                 i + 1 < rows.size() ? "," : "");
   }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote bench_results/oracle_query.json (%zu methods)\n",
+              rows.size());
 }
-
-BENCHMARK(BM_CompactOracleQuery);
-BENCHMARK(BM_FullTableQuery);
-BENCHMARK(BM_OnDemandDijkstra)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-EARDEC_BENCH_MAIN();
+int main(int argc, char** argv) {
+  const bench::ObservabilitySession obs_session;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  const auto& g = bench_graph();
+  const auto mix = query_mix();
+  const core::ApspOptions opts{.mode = core::ExecutionMode::Multicore,
+                               .cpu_threads = 3};
+  std::vector<MethodResult> rows;
+
+  {
+    const core::DistanceOracle oracle(g, opts);
+    rows.push_back(run_method(
+        "compact", smoke ? 5000 : 100000, mix,
+        [&](graph::VertexId s, graph::VertexId t) {
+          return oracle.distance(s, t);
+        }));
+  }
+  {
+    const core::EarApsp apsp(g, opts);
+    rows.push_back(run_method(
+        "full_table", smoke ? 5000 : 100000, mix,
+        [&](graph::VertexId s, graph::VertexId t) {
+          return apsp.distance(s, t);
+        }));
+  }
+  rows.push_back(run_method(
+      "dijkstra", smoke ? 100 : 1000, mix,
+      [&](graph::VertexId s, graph::VertexId t) {
+        return sssp::dijkstra(g, s).dist[t];
+      }));
+
+  std::printf("=== Oracle query latency, cond_mat_2003 (%u vertices)%s ===\n",
+              g.num_vertices(), smoke ? " [smoke]" : "");
+  std::printf("%-12s %10s %12s %10s %10s %10s %10s\n", "Method", "Queries",
+              "QPS", "mean ns", "p50 ns", "p90 ns", "p99 ns");
+  bench::print_rule(12 + 6 * 11 + 12);
+  for (const MethodResult& r : rows) {
+    std::printf("%-12s %10llu %12.0f %10.0f %10.0f %10.0f %10.0f\n", r.method,
+                static_cast<unsigned long long>(r.queries), r.qps, r.mean_ns,
+                r.p50_ns, r.p90_ns, r.p99_ns);
+  }
+  bench::print_rule(12 + 6 * 11 + 12);
+
+  emit_json(rows, smoke);
+  return 0;
+}

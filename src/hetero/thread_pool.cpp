@@ -5,14 +5,30 @@
 #include <cstdio>
 #include <memory>
 
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace eardec::hetero {
+
+namespace {
+
+/// Worker headcount across all live pools, visible on a /metrics scrape so
+/// an operator can see pool churn without attaching a debugger. The gauge
+/// is a leaked-singleton registry instrument, so updating it from pool
+/// construction/teardown never races a concurrent scrape.
+obs::Gauge& live_workers_gauge() {
+  static obs::Gauge& g =
+      obs::MetricsRegistry::instance().gauge("hetero.pool.live_workers");
+  return g;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(unsigned num_threads) {
   if (num_threads == 0) {
     num_threads = std::max(1u, std::thread::hardware_concurrency());
   }
+  live_workers_gauge().add(static_cast<double>(num_threads));
   workers_.reserve(num_threads);
   for (unsigned i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this, i] {
@@ -36,7 +52,9 @@ ThreadPool::~ThreadPool() {
   // Join here, not via the implicit jthread destructors: workers_ is the
   // first-declared member and would otherwise be destroyed *after* the
   // condition variables the workers still signal on their way out.
+  const auto joined = workers_.size();
   workers_.clear();
+  live_workers_gauge().add(-static_cast<double>(joined));
 }
 
 void ThreadPool::submit(std::function<void()> task) {
@@ -110,6 +128,9 @@ void ThreadPool::parallel_for_slots(
   if (begin >= end) return;
   if (chunk == 0) chunk = 1;
   EARDEC_TRACE_SCOPE("pool.parallel_for", "items", end - begin);
+  static obs::Counter& calls =
+      obs::MetricsRegistry::instance().counter("hetero.pool.parallel_for_calls");
+  calls.add(1);
   // The calling thread participates, so at most chunks-1 helpers can ever
   // claim work: don't wake more tasks than that for small ranges.
   const std::size_t chunks = (end - begin + chunk - 1) / chunk;

@@ -5,8 +5,43 @@
 #include <memory>
 #include <mutex>
 #include <ostream>
+#include <utility>
 
 namespace eardec::obs {
+
+double Histogram::quantile(double q) const noexcept {
+  // One coherent-ish snapshot: the per-bucket loads are relaxed, so a
+  // concurrent record() can land between them — acceptable for telemetry.
+  std::uint64_t counts[kNumBuckets];
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0.0;
+  if (!(q > 0.0)) q = 0.0;  // also catches NaN
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(total);
+  double cum = 0.0;
+  std::size_t last_nonempty = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    if (counts[i] == 0) continue;
+    last_nonempty = i;
+    const auto n = static_cast<double>(counts[i]);
+    if (cum + n >= target) {
+      // Fraction of this bucket's mass below the target rank, linearly
+      // spread over the bucket's value range.
+      const double frac = (target - cum) / n;
+      const auto lo = static_cast<double>(bucket_min(i));
+      const auto hi = static_cast<double>(bucket_max(i));
+      return lo + frac * (hi - lo);
+    }
+    cum += n;
+  }
+  // Rounding pushed the target past the accumulated mass: clamp to the top
+  // of the last populated bucket (the q = 1 answer).
+  return static_cast<double>(bucket_max(last_nonempty));
+}
 
 struct MetricsRegistry::Impl {
   mutable std::mutex mutex;  ///< guards the maps, not the instrument values
@@ -87,7 +122,9 @@ void MetricsRegistry::write_json(std::ostream& out) const {
   for (const auto& [name, h] : impl_->histograms) {
     out << (first ? "" : ",") << "\n    \"" << name
         << "\": {\"count\": " << h->count() << ", \"sum\": " << h->sum()
-        << ", \"buckets\": [";
+        << ", \"p50\": " << h->quantile(0.50)
+        << ", \"p90\": " << h->quantile(0.90)
+        << ", \"p99\": " << h->quantile(0.99) << ", \"buckets\": [";
     bool first_bucket = true;
     for (std::size_t i = 0; i < Histogram::kNumBuckets; ++i) {
       const std::uint64_t n = h->bucket_count(i);
@@ -114,11 +151,78 @@ void MetricsRegistry::write_csv(std::ostream& out) const {
   for (const auto& [name, h] : impl_->histograms) {
     out << "histogram," << name << ",count," << h->count() << '\n';
     out << "histogram," << name << ",sum," << h->sum() << '\n';
+    out << "histogram," << name << ",p50," << h->quantile(0.50) << '\n';
+    out << "histogram," << name << ",p90," << h->quantile(0.90) << '\n';
+    out << "histogram," << name << ",p99," << h->quantile(0.99) << '\n';
     for (std::size_t i = 0; i < Histogram::kNumBuckets; ++i) {
       const std::uint64_t n = h->bucket_count(i);
       if (n == 0) continue;
       out << "histogram," << name << ",le_" << Histogram::bucket_max(i) << ','
           << n << '\n';
+    }
+  }
+}
+
+namespace {
+
+/// Mangles a registry name into a legal Prometheus metric name:
+/// `eardec_` prefix, every character outside [a-zA-Z0-9_] becomes '_'.
+std::string prometheus_name(const std::string& name) {
+  std::string out = "eardec_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+void MetricsRegistry::write_prometheus(std::ostream& out) const {
+  const std::lock_guard lock(impl_->mutex);
+  out.precision(10);
+  for (const auto& [name, c] : impl_->counters) {
+    const std::string p = prometheus_name(name);
+    out << "# TYPE " << p << " counter\n" << p << ' ' << c->value() << '\n';
+  }
+  for (const auto& [name, g] : impl_->gauges) {
+    const std::string p = prometheus_name(name);
+    out << "# TYPE " << p << " gauge\n" << p << ' ' << g->value() << '\n';
+  }
+  for (const auto& [name, h] : impl_->histograms) {
+    const std::string p = prometheus_name(name);
+    out << "# TYPE " << p << " histogram\n";
+    // Prometheus buckets are cumulative. Snapshot the bucket counts once so
+    // the le series stays monotone and agrees with +Inf/_count even while
+    // other threads keep recording.
+    std::uint64_t counts[Histogram::kNumBuckets];
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      counts[i] = h->bucket_count(i);
+      total += counts[i];
+    }
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      if (counts[i] == 0) continue;
+      cum += counts[i];
+      out << p << "_bucket{le=\"" << Histogram::bucket_max(i) << "\"} " << cum
+          << '\n';
+    }
+    out << p << "_bucket{le=\"+Inf\"} " << total << '\n';
+    out << p << "_sum " << h->sum() << '\n';
+    out << p << "_count " << total << '\n';
+    // Derived quantile gauges: Prometheus histograms carry no quantiles of
+    // their own, and the log2 buckets make server-side estimation coarse;
+    // exporting the library's own interpolated estimates keeps dashboards
+    // and the JSON exporter in agreement.
+    for (const auto& [suffix, q] :
+         {std::pair<const char*, double>{"_p50", 0.50},
+          {"_p90", 0.90},
+          {"_p99", 0.99}}) {
+      out << "# TYPE " << p << suffix << " gauge\n"
+          << p << suffix << ' ' << h->quantile(q) << '\n';
     }
   }
 }

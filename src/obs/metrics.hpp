@@ -49,6 +49,14 @@ class Counter {
 class Gauge {
  public:
   void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  /// Atomic increment (CAS loop): the up/down variant set() cannot express,
+  /// e.g. live-worker counts maintained from concurrent pool lifecycles.
+  void add(double delta) noexcept {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
   [[nodiscard]] double value() const noexcept {
     return value_.load(std::memory_order_relaxed);
   }
@@ -95,6 +103,18 @@ class Histogram {
   [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const noexcept {
     return buckets_[i].load(std::memory_order_relaxed);
   }
+
+  /// Estimated q-quantile (q clamped to [0, 1]) by linear interpolation
+  /// inside the owning log2 bucket — log-linear interpolation overall.
+  /// Returns 0 for an empty histogram. The estimate always lands in the
+  /// same bucket as the true sample quantile, so it is within a factor of
+  /// two of it: for a true quantile x in bucket i, both values sit in
+  /// [2^(i-1), 2^i - 1] and |estimate - x| < 2^(i-1) <= x (see
+  /// docs/observability.md for the full bound). Safe to call concurrently
+  /// with record(); concurrent updates make the answer approximate, not
+  /// wrong.
+  [[nodiscard]] double quantile(double q) const noexcept;
+
   void reset() noexcept {
     for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
     count_.store(0, std::memory_order_relaxed);
@@ -128,10 +148,17 @@ class MetricsRegistry {
   void reset_values();
 
   /// Flat JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  /// Histograms carry count/sum/p50/p90/p99 plus the non-empty buckets.
   void write_json(std::ostream& out) const;
-  /// CSV rows: kind,name,field,value (histograms add one row per non-empty
-  /// bucket, field = inclusive upper bound).
+  /// CSV rows: kind,name,field,value (histograms add count/sum/p50/p90/p99
+  /// rows plus one row per non-empty bucket, field = inclusive upper bound).
   void write_csv(std::ostream& out) const;
+  /// Prometheus text exposition format (version 0.0.4): every instrument,
+  /// names mangled to `eardec_<name>` with non-[a-zA-Z0-9_] characters
+  /// replaced by '_'. Histograms emit cumulative `_bucket{le="..."}`
+  /// series plus `_sum`/`_count` and derived `_p50`/`_p90`/`_p99` gauges.
+  /// This is what the obs::StatsServer `/metrics` endpoint serves.
+  void write_prometheus(std::ostream& out) const;
   /// Writes by extension: ".csv" -> CSV, anything else -> JSON. False if
   /// the file cannot be opened.
   bool write_file(const std::string& path) const;

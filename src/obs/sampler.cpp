@@ -19,10 +19,7 @@
 #endif
 
 namespace eardec::obs {
-namespace {
 
-/// Resident set size in MiB from /proc/self/statm, or a negative value
-/// when unavailable (non-Linux).
 double read_rss_mb() {
 #if defined(__linux__)
   std::FILE* f = std::fopen("/proc/self/statm", "r");
@@ -40,8 +37,6 @@ double read_rss_mb() {
   return -1.0;
 #endif
 }
-
-}  // namespace
 
 struct Sampler::Impl {
   std::mutex lifecycle;  ///< serializes start()/stop()

@@ -30,6 +30,11 @@
 
 namespace eardec::obs {
 
+/// Resident set size in MiB from /proc/self/statm, or a negative value
+/// when unavailable (non-Linux). Shared by the sampler's "rss_mb" counter
+/// track and the stats server's scrape-time `eardec_process_rss_mb` gauge.
+[[nodiscard]] double read_rss_mb();
+
 class Sampler {
  public:
   struct Options {

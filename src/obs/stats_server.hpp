@@ -1,0 +1,85 @@
+// Live stats exposition — the scrape-endpoint half of the observability
+// layer (metrics.hpp holds the instruments it serves; see
+// docs/observability.md).
+//
+// StatsServer is a zero-dependency HTTP/1.1 endpoint on a background
+// thread, built directly on POSIX sockets (loopback only). Three routes:
+//   * GET /metrics    — Prometheus text exposition format (version 0.0.4):
+//                       every registry counter/gauge/histogram (histograms
+//                       with cumulative buckets, _sum/_count and derived
+//                       p50/p90/p99 gauges — see
+//                       MetricsRegistry::write_prometheus), plus
+//                       scrape-time process gauges (RSS MiB, uptime);
+//   * GET /healthz    — 200 "ok" liveness probe;
+//   * GET /stats.json — the registry's JSON export (what `eardec_cli
+//                       --metrics file.json` writes), served live.
+// Anything else answers 404. Connections are handled serially on the
+// server thread with short socket timeouts — this is a scrape endpoint
+// for one Prometheus/curl client, not a traffic-serving frontend.
+//
+// Concurrency contract: request handling only reads the metrics registry
+// (leaked-singleton instruments updated with relaxed atomics), so a scrape
+// is race-free against every hot path, including thread pools being
+// constructed or torn down mid-request — there is no shared state with
+// worker lifecycles to sequence against. The server thread itself is
+// joined by stop(); eardec_cli stops it after the optional --stats-linger
+// window, bench binaries on ObservabilitySession destruction.
+//
+// Opt-in wiring: `eardec_cli --stats-port <p>` (plus `--stats-linger <s>`
+// to keep serving after the command finishes) and the EARDEC_STATS_PORT
+// env var, which every bench binary honors through ObservabilitySession.
+// Port 0 binds an ephemeral port; port() reports the real one.
+//
+// Compile-out: under -DEARDEC_ENABLE_TRACING=OFF the whole HTTP
+// implementation is compiled out along with the tracer — start() returns
+// false and the binary contains no serving code (CI grep-asserts this).
+#pragma once
+
+#include <cstdint>
+
+#include "obs/trace.hpp"  // kTracingEnabled — the compile-out switch
+
+namespace eardec::obs {
+
+class StatsServer {
+ public:
+  /// True when the serving implementation is compiled in (mirrors the
+  /// tracer's compile-time gate).
+  static constexpr bool kCompiledIn = kTracingEnabled;
+
+  /// The process-wide server. Never destroyed; the thread is joined by
+  /// stop(), not by a destructor.
+  static StatsServer& instance();
+
+  /// Binds 127.0.0.1:<port> (0 = ephemeral) and starts the serving thread.
+  /// Returns false when compiled out, already running, or the socket
+  /// cannot be bound (the reason goes to stderr). Idempotent in the sense
+  /// that a second start() while running is a no-op returning false.
+  bool start(std::uint16_t port);
+
+  /// Applies the EARDEC_STATS_PORT env var ("<port>"; unset/empty/"off"
+  /// leaves the server stopped). Returns true when the server was started.
+  bool configure_from_env();
+
+  /// Requests stop, unblocks the accept loop, and joins the serving
+  /// thread. Safe to call when not running.
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept;
+
+  /// The actually bound port (resolves port 0), or 0 when not running.
+  [[nodiscard]] std::uint16_t port() const noexcept;
+
+  /// Requests served since process start (all routes, including 404s).
+  [[nodiscard]] std::uint64_t requests_served() const noexcept;
+
+  struct Impl;  ///< opaque; defined in stats_server.cpp
+
+ private:
+  StatsServer();
+  ~StatsServer() = delete;  // leaked singleton
+
+  Impl* impl_;
+};
+
+}  // namespace eardec::obs

@@ -462,6 +462,78 @@ TEST(ObsHistogram, RecordAccumulates) {
   EXPECT_EQ(h.bucket_count(3), 0u);
 }
 
+TEST(ObsHistogram, QuantileEmptyHistogramIsZero) {
+  const obs::Histogram h;
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.0);
+}
+
+TEST(ObsHistogram, QuantileSingleSampleInterpolatesWithinBucket) {
+  obs::Histogram h;
+  h.record(5);  // bucket 3: [4, 7]
+  // With one sample the estimate sweeps the owning bucket linearly in q:
+  // q -> 0 gives the bucket floor, q = 1 its ceiling. Both ends stay
+  // within a factor of two of the true value 5 (the documented bound).
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 4.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 7.0);
+  const double median = h.quantile(0.5);
+  EXPECT_GE(median, 4.0);
+  EXPECT_LE(median, 7.0);
+  EXPECT_GE(median, 5.0 / 2.0);
+  EXPECT_LE(median, 5.0 * 2.0);
+}
+
+TEST(ObsHistogram, QuantileClampsOutOfRangeQ) {
+  obs::Histogram h;
+  h.record(5);
+  EXPECT_DOUBLE_EQ(h.quantile(-3.0), h.quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.quantile(7.5), h.quantile(1.0));
+}
+
+TEST(ObsHistogram, QuantileTracksDistributionShape) {
+  obs::Histogram h;
+  // 90 fast samples around 10 and 10 slow ones around 1000: the median
+  // must sit in the fast bucket and the p99 in the slow one.
+  for (int i = 0; i < 90; ++i) h.record(10);
+  for (int i = 0; i < 10; ++i) h.record(1000);
+  const double p50 = h.quantile(0.50);
+  const double p99 = h.quantile(0.99);
+  EXPECT_GE(p50, static_cast<double>(obs::Histogram::bucket_min(4)));
+  EXPECT_LE(p50, static_cast<double>(obs::Histogram::bucket_max(4)));
+  EXPECT_GE(p99, static_cast<double>(obs::Histogram::bucket_min(10)));
+  EXPECT_LE(p99, static_cast<double>(obs::Histogram::bucket_max(10)));
+  EXPECT_LT(p50, p99);
+}
+
+TEST(ObsHistogram, QuantileAllSamplesInOverflowBucket) {
+  obs::Histogram h;
+  // The top bucket's range is astronomically wide; the estimate must stay
+  // inside it and not overflow to inf or wrap.
+  h.record(~std::uint64_t{0});
+  h.record(~std::uint64_t{0} - 1);
+  for (const double q : {0.0, 0.5, 0.99, 1.0}) {
+    const double v = h.quantile(q);
+    EXPECT_GE(v, static_cast<double>(obs::Histogram::bucket_min(64)));
+    EXPECT_LE(v, static_cast<double>(obs::Histogram::bucket_max(64)));
+  }
+}
+
+TEST(ObsHistogram, QuantilesAreMonotoneInQ) {
+  obs::Histogram h;
+  std::uint64_t v = 1;
+  for (int i = 0; i < 300; ++i) {
+    h.record(v);
+    v = v * 29 % 9973;  // deterministic spread over several buckets
+  }
+  double prev = h.quantile(0.0);
+  for (const double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    const double cur = h.quantile(q);
+    EXPECT_GE(cur, prev) << "quantile not monotone at q=" << q;
+    prev = cur;
+  }
+}
+
 // --- registry -----------------------------------------------------------
 
 TEST(ObsRegistry, InstrumentsAreStableAndReadable) {
@@ -501,6 +573,11 @@ TEST(ObsRegistry, JsonExportRoundTrips) {
       root.at("histograms").obj().at("obs_test.json_histo").obj();
   EXPECT_DOUBLE_EQ(histo.at("count").num(), 2.0);
   EXPECT_DOUBLE_EQ(histo.at("sum").num(), 103.0);
+  // The derived quantiles ride along and agree with the instrument.
+  EXPECT_DOUBLE_EQ(histo.at("p50").num(), h.quantile(0.50));
+  EXPECT_DOUBLE_EQ(histo.at("p90").num(), h.quantile(0.90));
+  EXPECT_DOUBLE_EQ(histo.at("p99").num(), h.quantile(0.99));
+  EXPECT_LE(histo.at("p50").num(), histo.at("p99").num());
   // Bucket list: per-bucket counts must sum back to the total.
   double bucket_total = 0;
   for (const JsonValue& b : histo.at("buckets").arr()) {

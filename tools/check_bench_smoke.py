@@ -2,7 +2,8 @@
 """Validates the bench-smoke JSON snapshots (CI gate).
 
 Usage: check_bench_smoke.py <table2_mcb.json> <mcb_gf2.json>
-                            [<sssp_kernels.json>] [--tolerance X]
+                            [<sssp_kernels.json>] [<oracle_query.json>]
+                            [--tolerance X]
 
 Two layers of checking:
 
@@ -165,6 +166,38 @@ def check_sssp_kernels(path):
             f"{path}: multi_source k axis needs >= 2 widths, got {widths}")
 
 
+ORACLE_CELL_KEYS = ("method", "queries", "seconds", "qps", "mean_ns",
+                    "p50_ns", "p90_ns", "p99_ns")
+ORACLE_METHODS = ("compact", "full_table", "dijkstra")
+
+
+def check_oracle_query(path):
+    """Shape check for the query-latency snapshot: all three methods
+    present, positive throughput, and internally consistent quantiles
+    (p50 <= p90 <= p99 — a broken quantile estimator fails here)."""
+    doc = load(path)
+    cells = doc.get("cells")
+    require(isinstance(cells, list) and cells,
+            f"{path}: cells missing or empty")
+    methods_seen = set()
+    for i, cell in enumerate(cells):
+        for key in ORACLE_CELL_KEYS:
+            require(key in cell, f"{path}: cells[{i}].{key} missing")
+        require(cell["method"] in ORACLE_METHODS,
+                f"{path}: cells[{i}].method unknown: {cell['method']}")
+        require(cell["seconds"] > 0, f"{path}: cells[{i}].seconds <= 0")
+        require(cell["qps"] > 0, f"{path}: cells[{i}].qps <= 0")
+        require(cell["queries"] > 0, f"{path}: cells[{i}].queries <= 0")
+        require(cell["p50_ns"] <= cell["p90_ns"] <= cell["p99_ns"],
+                f"{path}: cells[{i}] quantiles not monotone: "
+                f"p50={cell['p50_ns']} p90={cell['p90_ns']} "
+                f"p99={cell['p99_ns']}")
+        require(cell["mean_ns"] > 0, f"{path}: cells[{i}].mean_ns <= 0")
+        methods_seen.add(cell["method"])
+    for method in ORACLE_METHODS:
+        require(method in methods_seen, f"{path}: no {method} cell")
+
+
 def check_hetero_not_slower(doc, path, tolerance):
     hw = doc["hardware_concurrency"]
     if hw < 4:
@@ -191,13 +224,15 @@ def main(argv):
     for a in argv[1:]:
         if a.startswith("--tolerance="):
             tolerance = float(a.split("=", 1)[1])
-    if len(args) not in (2, 3):
+    if len(args) not in (2, 3, 4):
         print(__doc__, file=sys.stderr)
         return 2
     table2 = check_table2(args[0])
     check_gf2(args[1])
-    if len(args) == 3:
+    if len(args) >= 3:
         check_sssp_kernels(args[2])
+    if len(args) >= 4:
+        check_oracle_query(args[3])
     check_hetero_not_slower(table2, args[0], tolerance)
     print("check_bench_smoke: OK")
     return 0

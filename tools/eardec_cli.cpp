@@ -25,11 +25,21 @@
 //   --pmu                      arm the perf_event counter engine and the
 //                              background sampler (see docs/profiling.md);
 //                              EARDEC_PMU=off still wins
+//   --stats-port <p>           serve live stats over HTTP on 127.0.0.1:<p>
+//                              (/metrics Prometheus text, /healthz,
+//                              /stats.json; 0 picks an ephemeral port, the
+//                              chosen one is printed to stderr); also
+//                              honored from EARDEC_STATS_PORT
+//   --stats-linger <sec>       keep the stats endpoint alive <sec> seconds
+//                              after the command finishes, so scrapers can
+//                              read the final state
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "connectivity/bcc.hpp"
@@ -46,6 +56,7 @@
 #include "obs/metrics.hpp"
 #include "obs/pmu.hpp"
 #include "obs/sampler.hpp"
+#include "obs/stats_server.hpp"
 #include "obs/trace.hpp"
 #include "sssp/brandes.hpp"
 #include "reduce/chains.hpp"
@@ -85,6 +96,8 @@ struct CliOptions {
   std::string metrics_path;  ///< --metrics: registry dump (.json / .csv)
   bool json_stats = false;   ///< --json-stats: machine-readable summary
   bool pmu = false;          ///< --pmu: arm counters + background sampler
+  int stats_port = -1;       ///< --stats-port: live HTTP endpoint (-1 = off)
+  unsigned stats_linger = 0; ///< --stats-linger: seconds to serve after done
 };
 
 /// Splits argv into flags (into `cli`) and positional operands (returned in
@@ -123,6 +136,14 @@ std::vector<std::string> parse_args(int argc, char** argv, CliOptions& cli) {
       cli.json_stats = true;
     } else if (arg == "--pmu") {
       cli.pmu = true;
+    } else if (arg.starts_with("--stats-port")) {
+      const unsigned long port =
+          std::stoul(value_of(arg, "--stats-port", i));
+      if (port > 65535) throw std::runtime_error("--stats-port out of range");
+      cli.stats_port = static_cast<int>(port);
+    } else if (arg.starts_with("--stats-linger")) {
+      cli.stats_linger =
+          static_cast<unsigned>(std::stoul(value_of(arg, "--stats-linger", i)));
     } else if (arg.starts_with("--")) {
       throw std::runtime_error("unknown option " + arg);
     } else {
@@ -137,6 +158,16 @@ std::vector<std::string> parse_args(int argc, char** argv, CliOptions& cli) {
 struct ObsExports {
   const CliOptions& cli;
   ~ObsExports() {
+    // Short commands finish before a scraper gets a look in; the linger
+    // window keeps the endpoint (and its final numbers) up before we stop
+    // the serving thread.
+    auto& stats = obs::StatsServer::instance();
+    if (stats.running() && cli.stats_linger > 0) {
+      std::fprintf(stderr, "stats: lingering %u s on port %u\n",
+                   cli.stats_linger, static_cast<unsigned>(stats.port()));
+      std::this_thread::sleep_for(std::chrono::seconds(cli.stats_linger));
+    }
+    stats.stop();
     // The export path would quiesce a still-running sampler on its own;
     // stopping first also captures the sampler's final sample.
     obs::Sampler::instance().stop();
@@ -249,7 +280,8 @@ int usage() {
                "usage: eardec_cli {stats|decompose|apsp|path|mcb|analytics|"
                "gen|convert|bc|version} <args> [--mode=seq|mc|gpu|hetero] "
                "[--threads=N] [--trace <file>] [--metrics <file>] "
-               "[--json-stats] [--pmu]\n");
+               "[--json-stats] [--pmu] [--stats-port <p>] "
+               "[--stats-linger <sec>]\n");
   return 2;
 }
 
@@ -278,6 +310,12 @@ int main(int argc, char** argv) {
     } else {
       obs::PmuEngine::instance().configure_from_env();
       obs::Sampler::instance().configure_from_env();
+    }
+    if (cli.stats_port >= 0) {
+      obs::StatsServer::instance().start(
+          static_cast<std::uint16_t>(cli.stats_port));
+    } else {
+      obs::StatsServer::instance().configure_from_env();
     }
     const ObsExports exports{cli};  // flushes --trace/--metrics on return
     const core::ApspOptions& opts = cli.apsp;

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Summarize a Chrome trace written by the eardec observability layer.
 
-Usage: trace_summary.py <trace.json> [--by-thread] [--pmu]
+Usage: trace_summary.py <trace.json|stats.json> [--by-thread] [--pmu]
 
 Prints one row per span name: call count, total/mean/max duration, and the
 share of the trace's busiest lane the name accounts for. With --by-thread,
@@ -12,16 +12,15 @@ With --pmu, spans that carry PMU args (EARDEC_TRACE_SCOPE_PMU /
 ScopedPhase with the engine armed) get a per-span rollup of cycles,
 instructions, IPC and cache-miss rate.
 Works on any Chrome trace-event file that uses "X" complete events.
+
+Also accepts a metrics dump (`eardec_cli --metrics x.json`, EARDEC_METRICS,
+or a saved `/stats.json` scrape from the live stats endpoint): renders the
+counters/gauges and a histogram table with count, sum, mean and the
+p50/p90/p99 latency quantiles the registry derives from its log2 buckets.
 """
 import json
 import sys
 from collections import defaultdict
-
-
-def load_events(path):
-    with open(path, encoding="utf-8") as f:
-        doc = json.load(f)
-    return doc["traceEvents"] if isinstance(doc, dict) else doc
 
 
 def summarize(events):
@@ -113,11 +112,52 @@ def fmt_us(us):
     return f"{us:.1f}us"
 
 
+def summarize_metrics(doc):
+    """Renders a metrics-registry dump (the /stats.json route or
+    --metrics/EARDEC_METRICS output): histogram quantile table first —
+    that is what you scraped the endpoint for — then non-zero counters
+    and gauges."""
+    hists = doc.get("histograms", {})
+    populated = {k: v for k, v in hists.items() if v.get("count", 0) > 0}
+    if populated:
+        print(f"{'histogram':<36}{'count':>8}{'mean':>10}"
+              f"{'p50':>10}{'p90':>10}{'p99':>10}")
+        print("-" * 84)
+        for name, h in sorted(populated.items()):
+            mean = h["sum"] / h["count"]
+            print(f"{name:<36}{h['count']:>8}{fmt_count(mean):>10}"
+                  f"{fmt_count(h['p50']):>10}{fmt_count(h['p90']):>10}"
+                  f"{fmt_count(h['p99']):>10}")
+    counters = {k: v for k, v in doc.get("counters", {}).items() if v}
+    if counters:
+        print()
+        print(f"{'counter':<48}{'value':>12}")
+        print("-" * 60)
+        for name, v in sorted(counters.items()):
+            print(f"{name:<48}{fmt_count(v):>12}")
+    gauges = {k: v for k, v in doc.get("gauges", {}).items() if v}
+    if gauges:
+        print()
+        print(f"{'gauge':<48}{'value':>12}")
+        print("-" * 60)
+        for name, v in sorted(gauges.items()):
+            print(f"{name:<48}{v:>12.4f}")
+    if not (populated or counters or gauges):
+        print("metrics dump holds no populated instruments")
+        return 1
+    return 0
+
+
 def main(argv):
     if len(argv) < 2 or argv[1].startswith("-"):
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    events = load_events(argv[1])
+    with open(argv[1], encoding="utf-8") as f:
+        doc = json.load(f)
+    if isinstance(doc, dict) and "traceEvents" not in doc and (
+            "histograms" in doc or "counters" in doc):
+        return summarize_metrics(doc)
+    events = doc["traceEvents"] if isinstance(doc, dict) else doc
     spans, threads, lane_busy = summarize(events)
     if not spans:
         print("no complete ('X') events in trace")
@@ -174,4 +214,9 @@ def main(argv):
 
 
 if __name__ == "__main__":
+    # Piping the summary into head/less must not traceback on SIGPIPE.
+    import contextlib
+    import signal
+    with contextlib.suppress(AttributeError, ValueError):
+        signal.signal(signal.SIGPIPE, signal.SIG_DFL)
     sys.exit(main(sys.argv))
