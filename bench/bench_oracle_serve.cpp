@@ -1,0 +1,324 @@
+// Sustained-load benchmark of the online serving layer (src/serve): an
+// open-loop harness that schedules queries as a Poisson arrival process at
+// a configurable QPS target and drives them through OracleServer's scalar
+// and batched paths, per query mix (same-block / cross-block / uniform).
+//
+// Open loop means arrival times are drawn up front from the exponential
+// inter-arrival distribution and never pushed back by slow answers: when
+// the server falls behind, the backlog shows up as open-loop latency
+// (completion minus *scheduled* arrival) instead of silently throttling the
+// offered load — the difference between "the p99 under load" and "the p99
+// the server felt like serving". Service latency comes from the serving
+// layer's own registry histograms (oracle.query.{scalar,batch}.latency_ns),
+// so a live /metrics scrape during the run shows the same numbers.
+//
+// Every kSampleStride-th answer is checked bit-for-bit against a cached
+// Dijkstra row on the original graph; any mismatch fails the run. On the
+// integer-weighted bench dataset the closed form is exact, so bitwise
+// equality is the contract, not a tolerance.
+//
+// Snapshot: bench_results/oracle_serve.json (schema v2, validated by
+// tools/check_bench_smoke.py, diffed by tools/compare_bench.py). The full
+// run sustains >= 1M queries across its cells; `--smoke` shrinks each cell
+// for the CI gate. Knobs: --qps=<target per cell>, --queries=<per cell>,
+// --batch=<batched-path batch size>, --mix=same_block|cross_block|uniform.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <random>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "bench_common.hpp"
+
+#include "graph/datasets.hpp"
+#include "serve/oracle_server.hpp"
+#include "sssp/dijkstra.hpp"
+
+namespace {
+
+using namespace eardec;
+
+constexpr std::uint64_t kSampleStride = 401;  // prime: covers all mix slots
+
+const graph::Graph& bench_graph() {
+  static const graph::Graph g =
+      graph::datasets::by_name("cond_mat_2003").make();
+  return g;
+}
+
+/// Distances from s on the original graph, computed once per source.
+const std::vector<graph::Weight>& dijkstra_row(graph::VertexId s) {
+  static std::unordered_map<graph::VertexId, std::vector<graph::Weight>> cache;
+  auto it = cache.find(s);
+  if (it == cache.end()) {
+    it = cache.emplace(s, sssp::dijkstra(bench_graph(), s).dist).first;
+  }
+  return it->second;
+}
+
+struct Mix {
+  const char* name = "";
+  std::vector<serve::Query> pairs;
+};
+
+/// Stratified pair pools: `uniform` is unconditioned, the other two are
+/// rejection-sampled on the engine's own route classification, so the mix
+/// label states exactly which evaluation path the queries exercise.
+std::vector<Mix> build_mixes(const core::EarApspEngine& eng) {
+  const auto& g = bench_graph();
+  std::mt19937_64 rng(17);
+  std::uniform_int_distribution<graph::VertexId> pick(0,
+                                                      g.num_vertices() - 1);
+  const auto sample = [&](const char* name, auto want) {
+    Mix mix{name, {}};
+    mix.pairs.reserve(4096);
+    std::uint64_t attempts = 0;
+    while (mix.pairs.size() < 4096 && ++attempts < 4096ull * 400) {
+      const serve::Query q{pick(rng), pick(rng)};
+      if (want(eng.route(q.s, q.t).kind)) mix.pairs.push_back(q);
+    }
+    if (mix.pairs.empty()) mix.pairs.push_back({0, 0});
+    return mix;
+  };
+  std::vector<Mix> mixes;
+  mixes.push_back(sample("same_block", [](core::QueryRoute::Kind k) {
+    return k == core::QueryRoute::Kind::SameBlock;
+  }));
+  mixes.push_back(sample("cross_block", [](core::QueryRoute::Kind k) {
+    return k == core::QueryRoute::Kind::CrossBlock;
+  }));
+  mixes.push_back(sample("uniform", [](core::QueryRoute::Kind) {
+    return true;
+  }));
+  return mixes;
+}
+
+struct CellResult {
+  std::string mix;
+  const char* path = "";  ///< "scalar" or "batch"
+  std::uint64_t queries = 0;
+  std::uint64_t batch = 1;  ///< batched-path batch size (1 for scalar)
+  double target_qps = 0;
+  double seconds = 0;
+  double qps = 0;
+  double mean_ns = 0;
+  double p50_ns = 0, p90_ns = 0, p99_ns = 0;              ///< service latency
+  double open_p50_ns = 0, open_p90_ns = 0, open_p99_ns = 0;  ///< incl. backlog
+  std::uint64_t sampled = 0;
+  std::uint64_t mismatches = 0;
+};
+
+/// Busy-waits past the scheduled arrival (sleeping in sub-ms slices while
+/// far out); returns the completion-time reference point.
+void wait_until(std::uint64_t arrival_ns) {
+  while (true) {
+    const std::uint64_t now = obs::Tracer::now_ns();
+    if (now >= arrival_ns) return;
+    const std::uint64_t ahead = arrival_ns - now;
+    if (ahead > 200000) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(ahead / 2));
+    }
+  }
+}
+
+CellResult run_cell(const serve::OracleServer& server, const Mix& mix,
+                    bool batched, std::uint64_t queries, double target_qps,
+                    std::uint64_t batch_size) {
+  obs::Histogram& service = obs::MetricsRegistry::instance().histogram(
+      batched ? "oracle.query.batch.latency_ns"
+              : "oracle.query.scalar.latency_ns");
+  obs::Histogram& open = obs::MetricsRegistry::instance().histogram(
+      "oracle.serve.openloop.latency_ns");
+  service.reset();
+  open.reset();
+
+  std::mt19937_64 rng(99);
+  // Inter-arrival gaps of a Poisson process at the offered rate; for the
+  // batched path a whole batch arrives at once, so batches arrive at
+  // target_qps / batch_size.
+  const double events_per_s =
+      batched ? target_qps / static_cast<double>(batch_size) : target_qps;
+  std::exponential_distribution<double> gap(
+      events_per_s > 0 ? events_per_s : 1.0);
+
+  std::uint64_t sampled = 0, mismatches = 0, issued = 0;
+  const auto verify = [&](const serve::Query& q, graph::Weight got) {
+    ++sampled;
+    const graph::Weight want = dijkstra_row(q.s)[q.t];
+    if (std::memcmp(&got, &want, sizeof(got)) != 0) ++mismatches;
+  };
+
+  const std::uint64_t t0 = obs::Tracer::now_ns();
+  double arrival = static_cast<double>(t0);
+  if (batched) {
+    std::vector<serve::Query> batch;
+    batch.reserve(batch_size);
+    std::size_t at = 0;
+    while (issued < queries) {
+      batch.clear();
+      while (batch.size() < batch_size && issued + batch.size() < queries) {
+        batch.push_back(mix.pairs[at++ % mix.pairs.size()]);
+      }
+      if (target_qps > 0) {
+        arrival += gap(rng) * 1e9;
+        wait_until(static_cast<std::uint64_t>(arrival));
+      } else {
+        arrival = static_cast<double>(obs::Tracer::now_ns());
+      }
+      const std::vector<graph::Weight> answers = server.query_batch(batch);
+      const std::uint64_t done = obs::Tracer::now_ns();
+      const auto open_ns = static_cast<std::uint64_t>(
+          static_cast<double>(done) - arrival);
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        open.record(open_ns);
+        if ((issued + i) % kSampleStride == 0) verify(batch[i], answers[i]);
+      }
+      issued += batch.size();
+    }
+  } else {
+    for (; issued < queries; ++issued) {
+      const serve::Query q = mix.pairs[issued % mix.pairs.size()];
+      if (target_qps > 0) {
+        arrival += gap(rng) * 1e9;
+        wait_until(static_cast<std::uint64_t>(arrival));
+      } else {
+        arrival = static_cast<double>(obs::Tracer::now_ns());
+      }
+      const graph::Weight d = server.query(q.s, q.t);
+      const std::uint64_t done = obs::Tracer::now_ns();
+      open.record(
+          static_cast<std::uint64_t>(static_cast<double>(done) - arrival));
+      if (issued % kSampleStride == 0) verify(q, d);
+    }
+  }
+  const double seconds =
+      static_cast<double>(obs::Tracer::now_ns() - t0) / 1e9;
+
+  CellResult r;
+  r.mix = mix.name;
+  r.path = batched ? "batch" : "scalar";
+  r.queries = issued;
+  r.batch = batched ? batch_size : 1;
+  r.target_qps = target_qps;
+  r.seconds = seconds;
+  r.qps = seconds > 0 ? static_cast<double>(issued) / seconds : 0.0;
+  r.mean_ns = service.count() > 0 ? static_cast<double>(service.sum()) /
+                                        static_cast<double>(service.count())
+                                  : 0.0;
+  r.p50_ns = service.quantile(0.50);
+  r.p90_ns = service.quantile(0.90);
+  r.p99_ns = service.quantile(0.99);
+  r.open_p50_ns = open.quantile(0.50);
+  r.open_p90_ns = open.quantile(0.90);
+  r.open_p99_ns = open.quantile(0.99);
+  r.sampled = sampled;
+  r.mismatches = mismatches;
+  return r;
+}
+
+void emit_json(const std::vector<CellResult>& rows, bool smoke) {
+  std::filesystem::create_directories("bench_results");
+  std::FILE* out = std::fopen("bench_results/oracle_serve.json", "w");
+  if (out == nullptr) return;
+  const auto& g = bench_graph();
+  std::fprintf(out, "{\n");
+  bench::json_stamp(out);
+  std::fprintf(out,
+               "  \"smoke\": %s,\n  \"graph\": \"cond_mat_2003\",\n"
+               "  \"n\": %u,\n  \"m\": %u,\n  \"cells\": [\n",
+               smoke ? "true" : "false", g.num_vertices(), g.num_edges());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const CellResult& r = rows[i];
+    std::fprintf(
+        out,
+        "    {\"mix\": \"%s\", \"path\": \"%s\", \"queries\": %llu, "
+        "\"batch\": %llu, \"target_qps\": %.0f, \"seconds\": %.6f, "
+        "\"qps\": %.1f, \"mean_ns\": %.1f, \"p50_ns\": %.1f, "
+        "\"p90_ns\": %.1f, \"p99_ns\": %.1f, \"open_p50_ns\": %.1f, "
+        "\"open_p90_ns\": %.1f, \"open_p99_ns\": %.1f, \"sampled\": %llu, "
+        "\"mismatches\": %llu}%s\n",
+        r.mix.c_str(), r.path, static_cast<unsigned long long>(r.queries),
+        static_cast<unsigned long long>(r.batch), r.target_qps, r.seconds,
+        r.qps, r.mean_ns, r.p50_ns, r.p90_ns, r.p99_ns, r.open_p50_ns,
+        r.open_p90_ns, r.open_p99_ns,
+        static_cast<unsigned long long>(r.sampled),
+        static_cast<unsigned long long>(r.mismatches),
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote bench_results/oracle_serve.json (%zu cells)\n",
+              rows.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::ObservabilitySession obs_session;
+  bool smoke = false;
+  double qps = -1;
+  std::uint64_t queries = 0, batch_size = 64;
+  std::string only_mix;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") smoke = true;
+    else if (arg.starts_with("--qps=")) qps = std::stod(arg.substr(6));
+    else if (arg.starts_with("--queries=")) queries = std::stoull(arg.substr(10));
+    else if (arg.starts_with("--batch=")) batch_size = std::stoull(arg.substr(8));
+    else if (arg.starts_with("--mix=")) only_mix = arg.substr(6);
+  }
+  if (queries == 0) queries = smoke ? 2000 : 200000;
+  if (qps < 0) qps = smoke ? 50000 : 100000;
+  if (batch_size == 0) batch_size = 1;
+
+  const auto& g = bench_graph();
+  serve::ServeOptions sopts;
+  sopts.build = {.mode = core::ExecutionMode::Multicore, .cpu_threads = 3};
+  const serve::OracleServer server(g, sopts);
+  const auto snap = server.snapshot();
+  std::vector<Mix> mixes = build_mixes(snap->engine());
+
+  std::vector<CellResult> rows;
+  for (const Mix& mix : mixes) {
+    if (!only_mix.empty() && only_mix != mix.name) continue;
+    rows.push_back(run_cell(server, mix, false, queries, qps, batch_size));
+    rows.push_back(run_cell(server, mix, true, queries, qps, batch_size));
+  }
+
+  std::uint64_t total = 0, mismatches = 0;
+  std::printf("=== Oracle serving under load, cond_mat_2003 "
+              "(%u vertices)%s ===\n",
+              g.num_vertices(), smoke ? " [smoke]" : "");
+  std::printf("%-12s %-7s %9s %11s %9s %9s %9s %11s %6s %4s\n", "Mix", "Path",
+              "Queries", "QPS", "p50 ns", "p99 ns", "open p99", "target",
+              "sampl", "bad");
+  bench::print_rule(96);
+  for (const CellResult& r : rows) {
+    total += r.queries;
+    mismatches += r.mismatches;
+    std::printf("%-12s %-7s %9llu %11.0f %9.0f %9.0f %9.0f %11.0f %6llu "
+                "%4llu\n",
+                r.mix.c_str(), r.path,
+                static_cast<unsigned long long>(r.queries), r.qps, r.p50_ns,
+                r.p99_ns, r.open_p99_ns, r.target_qps,
+                static_cast<unsigned long long>(r.sampled),
+                static_cast<unsigned long long>(r.mismatches));
+  }
+  bench::print_rule(96);
+  std::printf("total queries: %llu, mismatches vs Dijkstra: %llu\n",
+              static_cast<unsigned long long>(total),
+              static_cast<unsigned long long>(mismatches));
+
+  emit_json(rows, smoke);
+  if (mismatches > 0) {
+    std::fprintf(stderr,
+                 "FAIL: %llu sampled answers differ from Dijkstra\n",
+                 static_cast<unsigned long long>(mismatches));
+    return 1;
+  }
+  return 0;
+}

@@ -569,6 +569,72 @@ struct EarApspEngine::Impl {
           return block_distance(b, lu, lv);
         });
   }
+
+  // The classification half of routed_distance, with the same node/AP
+  // derivation but no distance evaluation: everything the serving layer
+  // needs to batch the block legs and recompose the answer bit-identically.
+  [[nodiscard]] QueryRoute route(VertexId u, VertexId v) const {
+    if (u >= g.num_vertices() || v >= g.num_vertices()) {
+      throw std::out_of_range("EarApsp: vertex out of range");
+    }
+    QueryRoute rt;
+    if (u == v) return rt;  // Trivial
+    if (cc.component[u] != cc.component[v]) {
+      rt.kind = QueryRoute::Kind::Disconnected;
+      return rt;
+    }
+    const std::uint32_t cu = bct->cut_index(u);
+    const std::uint32_t cv = bct->cut_index(v);
+    const std::uint32_t nu =
+        cu != connectivity::kNoComponent ? bct->cut_node(cu) : bct->block_of(u);
+    const std::uint32_t nv =
+        cv != connectivity::kNoComponent ? bct->cut_node(cv) : bct->block_of(v);
+    if (nu == nv) {  // both plain vertices of the same block
+      rt.kind = QueryRoute::Kind::SameBlock;
+      rt.leg_u = {true, nu, local_of[nu].at(u), local_of[nv].at(v)};
+      return rt;
+    }
+    rt.kind = QueryRoute::Kind::CrossBlock;
+    rt.ap_u = cu != connectivity::kNoComponent
+                  ? u
+                  : bct->cut_vertices()[lca->next_on_path(nu, nv) -
+                                        bct->num_blocks()];
+    rt.ap_v = cv != connectivity::kNoComponent
+                  ? v
+                  : bct->cut_vertices()[lca->next_on_path(nv, nu) -
+                                        bct->num_blocks()];
+    if (cu == connectivity::kNoComponent) {
+      rt.leg_u = {true, nu, local_of[nu].at(u), local_of[nu].at(rt.ap_u)};
+    }
+    if (cv == connectivity::kNoComponent) {
+      rt.leg_v = {true, nv, local_of[nv].at(v), local_of[nv].at(rt.ap_v)};
+    }
+    return rt;
+  }
+
+  [[nodiscard]] BlockQueryPlan block_query_plan(std::uint32_t comp,
+                                                VertexId lu,
+                                                VertexId lv) const {
+    BlockQueryPlan plan;
+    if (lu == lv) {
+      plan.chain_direct = 0;  // evaluate() then yields exactly 0
+      return plan;
+    }
+    const Exits& eu = exits.at(comp).at(lu);
+    const Exits& ev = exits.at(comp).at(lv);
+    plan.exits_u = eu.e;
+    plan.exits_v = ev.e;
+    plan.count_u = static_cast<std::uint32_t>(eu.count);
+    plan.count_v = static_cast<std::uint32_t>(ev.count);
+    const reduce::ChainSet& cs = reduced[comp].chains();
+    if (cs.chain_of[lu] != reduce::kNoChain &&
+        cs.chain_of[lu] == cs.chain_of[lv]) {
+      const reduce::Chain& chain = cs.chains[cs.chain_of[lu]];
+      plan.chain_direct = std::abs(chain.prefix[cs.position[lu]] -
+                                   chain.prefix[cs.position[lv]]);
+    }
+    return plan;
+  }
 };
 
 EarApspEngine::EarApspEngine(const Graph& g, const ApspOptions& options)
@@ -606,6 +672,17 @@ Weight EarApspEngine::ap_distance(VertexId ap_u, VertexId ap_v) const {
 }
 Weight EarApspEngine::query(VertexId u, VertexId v) const {
   return impl_->query(u, v);
+}
+QueryRoute EarApspEngine::route(VertexId u, VertexId v) const {
+  return impl_->route(u, v);
+}
+BlockQueryPlan EarApspEngine::block_query_plan(std::uint32_t comp,
+                                               VertexId local_u,
+                                               VertexId local_v) const {
+  return impl_->block_query_plan(comp, local_u, local_v);
+}
+VertexId EarApspEngine::component_local(std::uint32_t comp, VertexId u) const {
+  return impl_->local_of.at(comp).at(u);
 }
 std::vector<Weight> EarApspEngine::distances_from(VertexId u) const {
   return impl_->distances_from(u);

@@ -21,9 +21,12 @@
 //                        formulas per query (memory O(a^2 + Σ (n^r_i)^2)).
 #pragma once
 
+#include <algorithm>
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "connectivity/bcc.hpp"
@@ -99,6 +102,66 @@ struct PhaseTimings {
   }
 };
 
+/// How one point-to-point query routes through the decomposition, computed
+/// without evaluating any distance. The serving layer (src/serve) uses it
+/// to classify queries into evaluation paths and to group the within-block
+/// legs by block before dispatching them through the hetero scheduler.
+struct QueryRoute {
+  enum class Kind : std::uint8_t {
+    Trivial,       ///< u == v: distance 0, nothing to evaluate
+    Disconnected,  ///< different connected components: +infinity
+    SameBlock,     ///< one within-block evaluation (leg_u)
+    CrossBlock,    ///< leg_u + one AP-table hop + leg_v
+  };
+  /// One within-block evaluation d_block(block; local_from, local_to).
+  /// Absent legs contribute exactly 0 (the endpoint *is* the articulation
+  /// point it would route through).
+  struct Leg {
+    bool present = false;
+    std::uint32_t block = 0;
+    VertexId local_from = 0;
+    VertexId local_to = 0;
+  };
+  Kind kind = Kind::Trivial;
+  Leg leg_u;  ///< SameBlock: the whole query; CrossBlock: u -> first AP
+  Leg leg_v;  ///< CrossBlock only: v -> last AP
+  VertexId ap_u = 0;  ///< CrossBlock: first AP on the tree path (global id)
+  VertexId ap_v = 0;  ///< CrossBlock: last AP on the tree path (global id)
+};
+
+/// The closed-form inputs of one within-block distance: the two endpoints'
+/// reduced-graph exits plus the optional same-chain direct candidate.
+/// Lets an external evaluator (the serving batch path) compute
+/// block_distance from reduced-source rows it obtained elsewhere — e.g. a
+/// fresh SSSP recomputation on the reduced graph — bit-identically to the
+/// engine, because evaluate() preserves the engine's candidate shapes
+/// ((d_exit + S) + d_entry, exact min; see block_distance).
+struct BlockQueryPlan {
+  std::array<std::pair<VertexId, Weight>, 2> exits_u{};  ///< (reduced id, d)
+  std::array<std::pair<VertexId, Weight>, 2> exits_v{};
+  std::uint32_t count_u = 0;
+  std::uint32_t count_v = 0;
+  /// |prefix_u - prefix_v| when both endpoints share a chain (0 when the
+  /// endpoints coincide), +infinity otherwise.
+  Weight chain_direct = graph::kInfWeight;
+
+  /// Evaluates the plan; `row(r)` must yield the distances-from-r row of
+  /// the block's reduced graph (span- or pointer-like, indexed by reduced
+  /// vertex id) as produced by any of the bit-identical SSSP kernels.
+  template <typename RowFn>
+  [[nodiscard]] Weight evaluate(const RowFn& row) const {
+    Weight best = graph::kInfWeight;
+    for (std::uint32_t i = 0; i < count_u; ++i) {
+      const auto [ru, du] = exits_u[i];
+      const auto r = row(ru);
+      for (std::uint32_t j = 0; j < count_v; ++j) {
+        best = std::min(best, du + r[exits_v[j].first] + exits_v[j].second);
+      }
+    }
+    return std::min(best, chain_direct);
+  }
+};
+
 /// Shared engine: everything up to and including the reduced-graph APSP
 /// tables and the articulation-point table. Both query products build on it.
 class EarApspEngine {
@@ -131,6 +194,23 @@ class EarApspEngine {
   /// Full compact query over the original graph: same-component pairs via
   /// block_distance, cross-component pairs via the block-cut tree route.
   [[nodiscard]] Weight query(VertexId u, VertexId v) const;
+
+  /// Classifies the (u, v) query — same routing decisions as query(), but
+  /// no distance evaluation. Throws std::out_of_range like query(). The
+  /// route's legs compose as leg_u + ap_distance(ap_u, ap_v) + leg_v in
+  /// exactly that association (absent legs are literal 0), matching
+  /// query() bit for bit.
+  [[nodiscard]] QueryRoute route(VertexId u, VertexId v) const;
+
+  /// The closed-form inputs of block_distance(comp, lu, lv), for external
+  /// evaluation against reduced-source rows (BlockQueryPlan::evaluate).
+  [[nodiscard]] BlockQueryPlan block_query_plan(std::uint32_t comp,
+                                                VertexId local_u,
+                                                VertexId local_v) const;
+
+  /// Component-local id of global vertex `u` inside block `comp`; throws
+  /// std::out_of_range when u is not a vertex of that block.
+  [[nodiscard]] VertexId component_local(std::uint32_t comp, VertexId u) const;
 
   /// Distances from u to every vertex, assembled from the per-component
   /// tables by one block-cut-tree traversal: O(Σ n_i + a) — an SSSP

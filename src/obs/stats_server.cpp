@@ -1,11 +1,14 @@
 #include "obs/stats_server.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
 #include <sstream>
 #include <string>
+#include <utility>
 
 #include "obs/metrics.hpp"
 #include "obs/sampler.hpp"
@@ -38,6 +41,8 @@ struct StatsServer::Impl {
   std::atomic<bool> running{false};
   std::atomic<std::uint16_t> bound_port{0};
   std::atomic<std::uint64_t> requests{0};
+  std::mutex routes_mutex;  ///< guards route_handler swaps vs. dispatch
+  HttpRouteHandler route_handler;
 #if EARDEC_STATS_SERVER_IMPL
   int listen_fd = -1;
   std::jthread thread;
@@ -65,6 +70,11 @@ std::uint16_t StatsServer::port() const noexcept {
 
 std::uint64_t StatsServer::requests_served() const noexcept {
   return impl_->requests.load(std::memory_order_relaxed);
+}
+
+void StatsServer::set_route_handler(HttpRouteHandler handler) {
+  const std::lock_guard lock(impl_->routes_mutex);
+  impl_->route_handler = std::move(handler);
 }
 
 bool StatsServer::configure_from_env() {
@@ -144,13 +154,45 @@ std::string stats_json_body() {
   return os.str();
 }
 
+const char* reason_of(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Payload Too Large";
+    default: return status < 400 ? "OK" : "Error";
+  }
+}
+
+/// Content-Length of the request, parsed case-insensitively from the header
+/// block; 0 when absent or malformed.
+std::size_t content_length_of(const std::string& headers) {
+  std::string lower(headers.size(), '\0');
+  for (std::size_t i = 0; i < headers.size(); ++i) {
+    lower[i] = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(headers[i])));
+  }
+  const std::size_t pos = lower.find("\r\ncontent-length:");
+  if (pos == std::string::npos) return 0;
+  const char* p = headers.c_str() + pos + 17;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(p, &end, 10);
+  return end == p ? 0 : static_cast<std::size_t>(v);
+}
+
 }  // namespace
 
 void StatsServer::Impl::handle(int fd) {
-  // Read until the end of the request headers; the routes take no bodies.
+  // Read until the end of the request headers (bounded), then — POST only —
+  // the Content-Length-framed body, capped at 1 MiB so a misbehaving local
+  // client cannot balloon the serving thread.
+  constexpr std::size_t kMaxBody = 1u << 20;
   std::string req;
-  char buf[1024];
-  while (req.size() < 8192 && req.find("\r\n\r\n") == std::string::npos) {
+  char buf[4096];
+  std::size_t header_end = std::string::npos;
+  while (req.size() < 8192 &&
+         (header_end = req.find("\r\n\r\n")) == std::string::npos) {
     const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
     if (n <= 0) break;
     req.append(buf, static_cast<std::size_t>(n));
@@ -159,7 +201,8 @@ void StatsServer::Impl::handle(int fd) {
 
   const std::size_t eol = req.find("\r\n");
   const std::size_t sp1 = req.find(' ');
-  if (eol == std::string::npos || sp1 == std::string::npos || sp1 > eol) {
+  if (eol == std::string::npos || header_end == std::string::npos ||
+      sp1 == std::string::npos || sp1 > eol) {
     respond(fd, 400, "Bad Request", "text/plain; charset=utf-8",
             "bad request\n", false);
     return;
@@ -168,10 +211,53 @@ void StatsServer::Impl::handle(int fd) {
   std::size_t sp2 = req.find(' ', sp1 + 1);
   if (sp2 == std::string::npos || sp2 > eol) sp2 = eol;
   std::string path = req.substr(sp1 + 1, sp2 - sp1 - 1);
+  std::string query_string;
   const std::size_t query = path.find('?');
-  if (query != std::string::npos) path.resize(query);
+  if (query != std::string::npos) {
+    query_string = path.substr(query + 1);
+    path.resize(query);
+  }
 
   const bool head_only = method == "HEAD";
+
+  // The pluggable routes get first refusal — and are the only consumers of
+  // request bodies, so the body is read just for them.
+  HttpRouteHandler handler;
+  {
+    const std::lock_guard lock(routes_mutex);
+    handler = route_handler;
+  }
+  if (handler) {
+    std::string body = req.substr(header_end + 4);
+    if (method == "POST") {
+      const std::size_t want =
+          content_length_of(req.substr(0, header_end + 2));
+      if (want > kMaxBody) {
+        respond(fd, 413, reason_of(413), "text/plain; charset=utf-8",
+                "body too large\n", false);
+        return;
+      }
+      while (body.size() < want) {
+        const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+        if (n <= 0) break;
+        body.append(buf, static_cast<std::size_t>(n));
+      }
+      body.resize(std::min(body.size(), want));
+    } else {
+      body.clear();
+    }
+    const HttpRequest request{.method = head_only ? "GET" : method,
+                              .path = path,
+                              .query = query_string,
+                              .body = std::move(body)};
+    HttpResponse response;
+    if (handler(request, response)) {
+      respond(fd, response.status, reason_of(response.status),
+              response.content_type.c_str(), response.body, head_only);
+      return;
+    }
+  }
+
   if (method != "GET" && !head_only) {
     respond(fd, 405, "Method Not Allowed", "text/plain; charset=utf-8",
             "only GET here\n", false);

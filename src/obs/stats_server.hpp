@@ -36,10 +36,33 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <string>
 
 #include "obs/trace.hpp"  // kTracingEnabled — the compile-out switch
 
 namespace eardec::obs {
+
+/// A parsed request handed to the pluggable route handler.
+struct HttpRequest {
+  std::string method;  ///< "GET", "HEAD" or "POST"
+  std::string path;    ///< request path, query string stripped
+  std::string query;   ///< raw query string without the '?', may be empty
+  std::string body;    ///< POST body (Content-Length framed, <= 1 MiB)
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Returns true when it produced a response for the request, false to fall
+/// through to the built-in routes. Runs on the serving thread; it must be
+/// safe against concurrent application threads on its own (the serve layer
+/// achieves this by only touching immutable snapshots and atomics).
+using HttpRouteHandler =
+    std::function<bool(const HttpRequest&, HttpResponse&)>;
 
 class StatsServer {
  public:
@@ -72,6 +95,16 @@ class StatsServer {
 
   /// Requests served since process start (all routes, including 404s).
   [[nodiscard]] std::uint64_t requests_served() const noexcept;
+
+  /// Registers (nullptr clears) the pluggable route handler, consulted
+  /// before the built-in routes on every request. This is also the only
+  /// way POST is admitted: with no handler — or a handler that declines —
+  /// non-GET/HEAD methods keep answering 405, and the built-in routes stay
+  /// GET/HEAD-only. The serve layer (src/serve) registers its /query
+  /// routes here, piggybacking on the one scrape endpoint. Callable
+  /// whether or not the server is running; clear the handler before
+  /// whatever it captures is destroyed.
+  void set_route_handler(HttpRouteHandler handler);
 
   struct Impl;  ///< opaque; defined in stats_server.cpp
 

@@ -1,0 +1,427 @@
+#include "serve/oracle_server.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "hetero/device.hpp"
+#include "hetero/scheduler.hpp"
+#include "hetero/work_queue.hpp"
+#include "obs/metrics.hpp"
+#include "sssp/delta_stepping.hpp"
+#include "sssp/dijkstra.hpp"
+#include "sssp/multi_source.hpp"
+
+namespace eardec::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] std::uint64_t elapsed_ns(Clock::time_point start) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           start)
+          .count());
+}
+
+// Mirror of phase II's CpuSsspKernel::Auto thresholds: batch into
+// multi-source lanes only when the unit is wide enough and the reduced
+// component large enough to amortize the lane block.
+constexpr std::uint32_t kMultiSourceMinLanes = 4;
+constexpr VertexId kMultiSourceMinVertices = 24;
+
+/// One within-block leg of one query: evaluate
+/// d_block(block; local_from, local_to) into leg slot `slot`
+/// (slot = 2 * query + {0 leg_u, 1 leg_v}). Slots are disjoint across all
+/// tasks of a batch, so any drain order — and any worker interleaving —
+/// writes the same values: the batch is deterministic by construction.
+struct LegTask {
+  std::uint32_t block = 0;
+  VertexId local_from = 0;
+  VertexId local_to = 0;
+  std::uint32_t slot = 0;
+};
+
+/// A contiguous run of same-block tasks, the unit the scheduler drains.
+struct LegUnit {
+  std::uint32_t block = 0;
+  std::uint32_t first = 0;
+  std::uint32_t count = 0;
+};
+
+/// Per-worker scratch of the Recompute engine: reduced-graph SSSP rows plus
+/// every kernel workspace, all grow-only so a drain reuses them across
+/// units.
+struct RecomputeScratch {
+  sssp::DistanceMatrix rows;
+  sssp::DijkstraWorkspace dijkstra;
+  sssp::MultiSourceWorkspace multi_source;
+  sssp::DeltaSteppingWorkspace delta;
+  std::vector<core::BlockQueryPlan> plans;
+  std::vector<VertexId> sources;
+};
+
+}  // namespace
+
+struct OracleServer::Impl {
+  ServeOptions options;
+
+  /// Guards the published-snapshot pointer: readers copy it, rebuild()
+  /// swaps it. A plain mutex around one shared_ptr copy keeps the epoch
+  /// swap trivially data-race-free (and TSan-obvious); the pinned snapshot
+  /// itself is immutable, so everything after the copy is lock-free.
+  mutable std::mutex snapshot_mutex;
+  std::shared_ptr<const OracleSnapshot> snapshot;
+
+  /// Serializes rebuilds; also owns the epoch sequence.
+  std::mutex rebuild_mutex;
+  std::uint64_t last_epoch = 0;
+
+  /// The device driver of the batched drain (DeviceOnly / Heterogeneous).
+  std::optional<hetero::Device> device;
+
+  // Metric instruments are leaked-singleton references: resolve them once.
+  obs::Histogram& scalar_latency;
+  obs::Histogram& batch_query_latency;
+  obs::Histogram& batch_latency;
+  obs::Counter& queries_total;
+  obs::Counter& batches_total;
+  obs::Counter& path_trivial;
+  obs::Counter& path_disconnected;
+  obs::Counter& path_same_block;
+  obs::Counter& path_cross_block;
+  obs::Gauge& epoch_gauge;
+
+  explicit Impl(ServeOptions opts)
+      : options(opts),
+        scalar_latency(obs::MetricsRegistry::instance().histogram(
+            "oracle.query.scalar.latency_ns")),
+        batch_query_latency(obs::MetricsRegistry::instance().histogram(
+            "oracle.query.batch.latency_ns")),
+        batch_latency(obs::MetricsRegistry::instance().histogram(
+            "oracle.serve.batch.latency_ns")),
+        queries_total(
+            obs::MetricsRegistry::instance().counter("oracle.serve.queries")),
+        batches_total(
+            obs::MetricsRegistry::instance().counter("oracle.serve.batches")),
+        path_trivial(obs::MetricsRegistry::instance().counter(
+            "oracle.serve.path.trivial")),
+        path_disconnected(obs::MetricsRegistry::instance().counter(
+            "oracle.serve.path.disconnected")),
+        path_same_block(obs::MetricsRegistry::instance().counter(
+            "oracle.serve.path.same_block")),
+        path_cross_block(obs::MetricsRegistry::instance().counter(
+            "oracle.serve.path.cross_block")),
+        epoch_gauge(
+            obs::MetricsRegistry::instance().gauge("oracle.serve.epoch")) {
+    if (options.legs_per_unit == 0) options.legs_per_unit = 1;
+    if (options.build.mode == core::ExecutionMode::DeviceOnly ||
+        options.build.mode == core::ExecutionMode::Heterogeneous) {
+      device.emplace(options.build.device);
+    }
+  }
+
+  void publish(std::shared_ptr<const OracleSnapshot> next) {
+    {
+      std::lock_guard<std::mutex> lock(snapshot_mutex);
+      snapshot = std::move(next);
+    }
+    epoch_gauge.set(static_cast<double>(last_epoch));
+  }
+
+  [[nodiscard]] std::shared_ptr<const OracleSnapshot> pin() const {
+    std::lock_guard<std::mutex> lock(snapshot_mutex);
+    return snapshot;
+  }
+
+  /// Evaluates one unit's tasks with the Recompute engine: derive the
+  /// needed reduced-graph rows with a fresh SSSP per distinct anchor, then
+  /// evaluate every task's plan against them. `on_device` routes the rows
+  /// through the delta-stepping device kernel instead of the CPU kernels;
+  /// all of them are bit-identical to Dijkstra, so the engine choice never
+  /// changes an answer.
+  void recompute_unit(const core::EarApspEngine& eng, const LegUnit& unit,
+                      std::span<const LegTask> tasks,
+                      std::span<Weight> leg_values, RecomputeScratch& ws,
+                      bool on_device) {
+    const graph::Graph& rg = eng.reduced(unit.block).graph();
+    const VertexId nr = rg.num_vertices();
+    ws.plans.clear();
+    ws.sources.clear();
+    for (std::uint32_t i = 0; i < unit.count; ++i) {
+      const LegTask& t = tasks[unit.first + i];
+      ws.plans.push_back(
+          eng.block_query_plan(unit.block, t.local_from, t.local_to));
+      const core::BlockQueryPlan& plan = ws.plans.back();
+      for (std::uint32_t e = 0; e < plan.count_u; ++e) {
+        ws.sources.push_back(plan.exits_u[e].first);
+      }
+    }
+    std::sort(ws.sources.begin(), ws.sources.end());
+    ws.sources.erase(std::unique(ws.sources.begin(), ws.sources.end()),
+                     ws.sources.end());
+
+    if (ws.rows.size() != nr) ws.rows = sssp::DistanceMatrix(nr);
+    const auto k = static_cast<std::uint32_t>(ws.sources.size());
+    if (on_device) {
+      ws.delta.ensure(nr);
+      for (const VertexId s : ws.sources) {
+        ws.delta.distances(rg, s, ws.rows.row(s), 0, nullptr,
+                           device ? &*device : nullptr);
+      }
+    } else if (k >= kMultiSourceMinLanes && nr >= kMultiSourceMinVertices) {
+      const std::uint32_t lanes = std::min(k, sssp::kMaxSourceLanes);
+      ws.multi_source.ensure(nr, lanes);
+      for (std::uint32_t at = 0; at < k; at += lanes) {
+        const std::uint32_t width = std::min(lanes, k - at);
+        ws.multi_source.distances(
+            rg, std::span<const VertexId>(ws.sources.data() + at, width),
+            ws.rows);
+      }
+    } else {
+      ws.dijkstra.ensure(nr);
+      for (const VertexId s : ws.sources) {
+        ws.dijkstra.distances(rg, s, ws.rows.row(s));
+      }
+    }
+
+    for (std::uint32_t i = 0; i < unit.count; ++i) {
+      leg_values[tasks[unit.first + i].slot] = ws.plans[i].evaluate(
+          [&ws](VertexId r) { return ws.rows.row(r); });
+    }
+  }
+
+  [[nodiscard]] std::vector<Weight> run_batch(
+      const OracleSnapshot& snap, std::span<const Query> queries) {
+    const auto start = Clock::now();
+    const core::EarApspEngine& eng = snap.engine();
+    const std::size_t q = queries.size();
+
+    // Classify. Legs land in fixed slots (2 * query + side); recomposition
+    // later adds leg_u + ap + leg_v left-associated with absent legs a
+    // literal 0, exactly as EarApspEngine::query composes them.
+    std::vector<core::QueryRoute::Kind> kinds(q);
+    std::vector<Weight> ap_values(q, 0);
+    std::vector<Weight> leg_values(2 * q, 0);
+    std::vector<LegTask> tasks;
+    tasks.reserve(q);
+    std::uint64_t n_trivial = 0, n_disconnected = 0, n_same = 0, n_cross = 0;
+    for (std::size_t i = 0; i < q; ++i) {
+      const core::QueryRoute route = eng.route(queries[i].s, queries[i].t);
+      kinds[i] = route.kind;
+      switch (route.kind) {
+        case core::QueryRoute::Kind::Trivial:
+          ++n_trivial;
+          break;
+        case core::QueryRoute::Kind::Disconnected:
+          ++n_disconnected;
+          break;
+        case core::QueryRoute::Kind::SameBlock:
+          ++n_same;
+          tasks.push_back({route.leg_u.block, route.leg_u.local_from,
+                           route.leg_u.local_to,
+                           static_cast<std::uint32_t>(2 * i)});
+          break;
+        case core::QueryRoute::Kind::CrossBlock:
+          ++n_cross;
+          ap_values[i] = eng.ap_distance(route.ap_u, route.ap_v);
+          if (route.leg_u.present) {
+            tasks.push_back({route.leg_u.block, route.leg_u.local_from,
+                             route.leg_u.local_to,
+                             static_cast<std::uint32_t>(2 * i)});
+          }
+          if (route.leg_v.present) {
+            tasks.push_back({route.leg_v.block, route.leg_v.local_from,
+                             route.leg_v.local_to,
+                             static_cast<std::uint32_t>(2 * i + 1)});
+          }
+          break;
+      }
+    }
+
+    // Group by block into scheduler units. stable_sort keeps same-block
+    // legs in batch order, which matters only for cache locality — the
+    // evaluation itself is order-independent.
+    std::stable_sort(tasks.begin(), tasks.end(),
+                     [](const LegTask& a, const LegTask& b) {
+                       return a.block < b.block;
+                     });
+    std::vector<LegUnit> units;
+    std::vector<hetero::WorkUnit> queue_units;
+    for (std::uint32_t at = 0; at < tasks.size();) {
+      const std::uint32_t block = tasks[at].block;
+      std::uint32_t end = at;
+      while (end < tasks.size() && tasks[end].block == block) ++end;
+      const std::uint64_t nr = eng.reduced(block).graph().num_vertices();
+      for (std::uint32_t first = at; first < end;
+           first += options.legs_per_unit) {
+        const auto id = static_cast<std::uint32_t>(units.size());
+        const std::uint32_t count =
+            std::min<std::uint32_t>(options.legs_per_unit, end - first);
+        units.push_back({block, first, count});
+        // Heaviest-first queue order: weight by legs times reduced size
+        // (the Recompute cost shape; harmless for Tables).
+        queue_units.push_back({id, count * (nr + 1)});
+      }
+      at = end;
+    }
+
+    const bool recompute = options.batch_engine == BatchEngine::Recompute;
+    const unsigned cpu_workers = std::max(1u, options.build.cpu_threads);
+    std::vector<RecomputeScratch> cpu_ws(recompute ? cpu_workers : 0);
+    RecomputeScratch device_ws;
+
+    const hetero::UnitFn cpu_fn = [&](const hetero::WorkUnit& wu,
+                                      unsigned worker) {
+      const LegUnit& u = units[wu.id];
+      if (recompute) {
+        recompute_unit(eng, u, tasks, leg_values, cpu_ws[worker], false);
+      } else {
+        for (std::uint32_t i = 0; i < u.count; ++i) {
+          const LegTask& t = tasks[u.first + i];
+          leg_values[t.slot] =
+              eng.block_distance(u.block, t.local_from, t.local_to);
+        }
+      }
+    };
+    const hetero::UnitFn device_fn = [&](const hetero::WorkUnit& wu,
+                                         unsigned) {
+      const LegUnit& u = units[wu.id];
+      if (recompute) {
+        recompute_unit(eng, u, tasks, leg_values, device_ws, true);
+      } else {
+        for (std::uint32_t i = 0; i < u.count; ++i) {
+          const LegTask& t = tasks[u.first + i];
+          leg_values[t.slot] =
+              eng.block_distance(u.block, t.local_from, t.local_to);
+        }
+      }
+    };
+
+    switch (options.build.mode) {
+      case core::ExecutionMode::Sequential:
+        for (const auto& wu : queue_units) cpu_fn(wu, 0);
+        break;
+      case core::ExecutionMode::Multicore: {
+        hetero::WorkQueue queue(std::move(queue_units));
+        hetero::run_cpu_only(queue, options.build.cpu_threads, cpu_fn,
+                             options.cpu_batch);
+        break;
+      }
+      case core::ExecutionMode::DeviceOnly: {
+        hetero::WorkQueue queue(std::move(queue_units));
+        while (true) {
+          const auto batch = queue.take_heavy(options.device_batch);
+          if (batch.empty()) break;
+          for (const auto& wu : batch) device_fn(wu, 0);
+        }
+        break;
+      }
+      case core::ExecutionMode::Heterogeneous: {
+        hetero::WorkQueue queue(std::move(queue_units));
+        hetero::run_heterogeneous(queue,
+                                  {.cpu_threads = options.build.cpu_threads,
+                                   .cpu_batch = options.cpu_batch,
+                                   .device_batch = options.device_batch},
+                                  cpu_fn, device_fn);
+        break;
+      }
+    }
+
+    // Recompose: same shapes, same association as the scalar closed form.
+    std::vector<Weight> out(q);
+    for (std::size_t i = 0; i < q; ++i) {
+      switch (kinds[i]) {
+        case core::QueryRoute::Kind::Trivial:
+          out[i] = 0;
+          break;
+        case core::QueryRoute::Kind::Disconnected:
+          out[i] = graph::kInfWeight;
+          break;
+        case core::QueryRoute::Kind::SameBlock:
+          out[i] = leg_values[2 * i];
+          break;
+        case core::QueryRoute::Kind::CrossBlock:
+          out[i] = (leg_values[2 * i] + ap_values[i]) + leg_values[2 * i + 1];
+          break;
+      }
+    }
+
+    const std::uint64_t ns = elapsed_ns(start);
+    batch_latency.record(ns);
+    batches_total.add(1);
+    queries_total.add(q);
+    path_trivial.add(n_trivial);
+    path_disconnected.add(n_disconnected);
+    path_same_block.add(n_same);
+    path_cross_block.add(n_cross);
+    if (q > 0) {
+      const std::uint64_t per_query = ns / q;
+      for (std::size_t i = 0; i < q; ++i) {
+        batch_query_latency.record(per_query);
+      }
+    }
+    return out;
+  }
+};
+
+OracleServer::OracleServer(graph::Graph g, ServeOptions options)
+    : impl_(std::make_unique<Impl>(options)) {
+  std::lock_guard<std::mutex> rebuild(impl_->rebuild_mutex);
+  const std::uint64_t epoch = ++impl_->last_epoch;
+  impl_->publish(std::make_shared<const OracleSnapshot>(
+      std::move(g), impl_->options.build, epoch));
+}
+
+OracleServer::~OracleServer() = default;
+
+std::shared_ptr<const OracleSnapshot> OracleServer::snapshot() const {
+  return impl_->pin();
+}
+
+std::uint64_t OracleServer::epoch() const noexcept {
+  return impl_->pin()->epoch();
+}
+
+void OracleServer::rebuild(graph::Graph g) {
+  std::lock_guard<std::mutex> rebuild(impl_->rebuild_mutex);
+  const std::uint64_t epoch = impl_->last_epoch + 1;
+  // Build off to the side — readers keep answering on the old snapshot
+  // for the whole (expensive) construction.
+  auto next = std::make_shared<const OracleSnapshot>(
+      std::move(g), impl_->options.build, epoch);
+  impl_->last_epoch = epoch;
+  impl_->publish(std::move(next));
+}
+
+const ServeOptions& OracleServer::options() const noexcept {
+  return impl_->options;
+}
+
+Weight OracleServer::query(VertexId s, VertexId t) const {
+  const auto snap = impl_->pin();
+  const auto start = Clock::now();
+  const Weight d = snap->query(s, t);
+  impl_->scalar_latency.record(elapsed_ns(start));
+  impl_->queries_total.add(1);
+  return d;
+}
+
+std::vector<Weight> OracleServer::query_batch(
+    std::span<const Query> queries) const {
+  const auto snap = impl_->pin();
+  return impl_->run_batch(*snap, queries);
+}
+
+std::vector<Weight> OracleServer::query_batch_on(
+    const OracleSnapshot& snap, std::span<const Query> queries) const {
+  return impl_->run_batch(snap, queries);
+}
+
+}  // namespace eardec::serve

@@ -1,0 +1,165 @@
+// Online distance-oracle serving — the read-mostly query layer on top of
+// the compact DistanceOracle (see docs/serving.md).
+//
+// OracleServer owns an immutable OracleSnapshot behind a shared_ptr: every
+// reader pins the snapshot it resolves (snapshot() or implicitly per
+// query), rebuild() publishes a freshly built snapshot under the next
+// epoch, and readers still holding the old one finish on it — the old
+// build is freed when its last reader drops the reference. Nothing in a
+// published snapshot is ever mutated, so queries need no locks beyond the
+// one pointer copy.
+//
+// Three query paths:
+//   * scalar    — query(s, t): resolve snapshot, closed-form compact query
+//                 (EarApspEngine::query), one latency histogram record.
+//                 The singleton fast path: no batching, no scheduler.
+//   * batched   — query_batch(queries): classify every query with
+//                 EarApspEngine::route, group the within-block legs by
+//                 block into work units, drain them through the hetero
+//                 scheduler (run_cpu_only / run_heterogeneous per the
+//                 build mode), then recompose leg + AP-table answers.
+//                 Bit-identical to the scalar path query for query.
+//   * compact   — same-block pairs short-circuit to a single
+//                 block-distance evaluation (the route's SameBlock kind);
+//                 in a batch they are exactly the one-leg work items.
+//
+// The batched path offers two leg engines:
+//   * Tables    — evaluate legs against the snapshot's reduced tables
+//                 (EarApspEngine::block_distance); pure reads.
+//   * Recompute — re-derive the needed reduced-graph rows per work unit
+//                 with fresh SSSP runs, using phase II's kernel selection
+//                 (multi-source lanes when the unit is wide and the
+//                 reduced component large, Dijkstra otherwise; the device
+//                 side runs DeltaSteppingWorkspace). Proves the serving
+//                 answers do not depend on the stored tables — the
+//                 table-free mode a future incremental rebuild would use —
+//                 and stays bit-identical because every kernel is
+//                 bit-identical to Dijkstra and BlockQueryPlan::evaluate
+//                 preserves the engine's candidate shapes.
+//
+// Metrics (obs registry): oracle.query.scalar.latency_ns and
+// oracle.query.batch.latency_ns histograms (the batch one records the
+// amortized per-query cost), oracle.serve.batch.latency_ns for whole
+// batches, oracle.serve.queries / .batches counters, per-path counters
+// oracle.serve.path.{trivial,disconnected,same_block,cross_block}, and the
+// oracle.serve.epoch gauge. All visible on a live /metrics scrape.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/distance_oracle.hpp"
+#include "graph/graph.hpp"
+
+namespace eardec::serve {
+
+using graph::VertexId;
+using graph::Weight;
+
+/// One s-t distance request.
+struct Query {
+  VertexId s = 0;
+  VertexId t = 0;
+};
+
+/// How the batched path evaluates within-block legs (see file comment).
+enum class BatchEngine {
+  Tables,     ///< read the snapshot's reduced tables
+  Recompute,  ///< fresh SSSP rows on the reduced graph per work unit
+};
+
+struct ServeOptions {
+  /// How snapshots are built; `build.mode` also selects the batched-path
+  /// drain: Sequential runs units inline, Multicore drains through
+  /// run_cpu_only, DeviceOnly/Heterogeneous through run_heterogeneous
+  /// (CPU workers + the software device driver).
+  core::ApspOptions build{.mode = core::ExecutionMode::Multicore,
+                          .cpu_threads = 4};
+  BatchEngine batch_engine = BatchEngine::Tables;
+  /// Scheduler claim minimums for the batched drain.
+  std::size_t cpu_batch = 1;
+  std::size_t device_batch = 2;
+  /// Target within-block legs per work unit. Small units keep the drain
+  /// balanced; large ones amortize the per-unit plan/SSSP setup.
+  std::uint32_t legs_per_unit = 64;
+};
+
+/// One immutable published build: the input graph plus the compact oracle
+/// over it, stamped with its epoch. Everything here is read-only after
+/// construction, so any number of threads may query a pinned snapshot
+/// concurrently (EarApspEngine's const queries are thread-safe).
+class OracleSnapshot {
+ public:
+  OracleSnapshot(graph::Graph g, const core::ApspOptions& build,
+                 std::uint64_t epoch)
+      : epoch_(epoch), graph_(std::move(g)), oracle_(graph_, build) {}
+
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+  [[nodiscard]] const graph::Graph& graph() const noexcept { return graph_; }
+  [[nodiscard]] const core::DistanceOracle& oracle() const noexcept {
+    return oracle_;
+  }
+  [[nodiscard]] const core::EarApspEngine& engine() const noexcept {
+    return oracle_.engine();
+  }
+  /// Closed-form compact query on this snapshot (no metrics, no epoch
+  /// resolution — the raw building block readers pin and hammer).
+  [[nodiscard]] Weight query(VertexId s, VertexId t) const {
+    return oracle_.distance(s, t);
+  }
+
+ private:
+  std::uint64_t epoch_;
+  graph::Graph graph_;
+  core::DistanceOracle oracle_;
+};
+
+class OracleServer {
+ public:
+  /// Builds epoch 1 synchronously from `g`.
+  explicit OracleServer(graph::Graph g, ServeOptions options = {});
+  ~OracleServer();
+  OracleServer(const OracleServer&) = delete;
+  OracleServer& operator=(const OracleServer&) = delete;
+
+  /// Pins the current snapshot. The returned pointer stays valid (and its
+  /// answers stay self-consistent) across any number of later rebuilds.
+  [[nodiscard]] std::shared_ptr<const OracleSnapshot> snapshot() const;
+
+  /// Epoch of the currently published snapshot (monotonically increasing).
+  [[nodiscard]] std::uint64_t epoch() const noexcept;
+
+  /// Builds a snapshot from `g` off to the side, then publishes it under
+  /// the next epoch. Readers that pinned the old snapshot drain on it;
+  /// new resolutions see the new one. Safe against concurrent queries;
+  /// concurrent rebuilds serialize.
+  void rebuild(graph::Graph g);
+
+  [[nodiscard]] const ServeOptions& options() const noexcept;
+
+  /// Scalar fast path: resolve the current snapshot, answer s-t through
+  /// the compact closed form. Throws std::out_of_range on bad vertices.
+  [[nodiscard]] Weight query(VertexId s, VertexId t) const;
+
+  /// Batched path against the current snapshot (see query_batch_on).
+  [[nodiscard]] std::vector<Weight> query_batch(
+      std::span<const Query> queries) const;
+
+  /// Batched path against a caller-pinned snapshot: classify, group legs
+  /// by block, drain through the scheduler, recompose. Returns one
+  /// distance per query, in order, bit-identical to calling
+  /// snap.query(s, t) per query. Deterministic: the same batch on the
+  /// same snapshot always returns bitwise-identical results regardless of
+  /// scheduling, because every leg lands in a fixed slot and every
+  /// evaluation is order-independent.
+  [[nodiscard]] std::vector<Weight> query_batch_on(
+      const OracleSnapshot& snap, std::span<const Query> queries) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace eardec::serve

@@ -1,6 +1,7 @@
 #include "sssp/multi_source.hpp"
 
 #include <algorithm>
+#include <array>
 #include <stdexcept>
 
 namespace eardec::sssp {
@@ -20,11 +21,31 @@ void MultiSourceWorkspace::ensure(VertexId num_vertices, std::uint32_t lanes) {
 
 void MultiSourceWorkspace::distances(const Graph& g, VertexId src_begin,
                                      VertexId src_end, DistanceMatrix& out) {
-  const VertexId n = g.num_vertices();
-  if (src_begin >= src_end || src_end > n) {
+  if (src_begin >= src_end || src_end > g.num_vertices()) {
     throw std::out_of_range("MultiSourceWorkspace: bad source range");
   }
+  // Delegate to the arbitrary-source kernel; a contiguous range is just the
+  // identity lane mapping. The lane list is tiny (<= 64 entries).
+  std::array<VertexId, kMaxSourceLanes> sources;
   const std::uint32_t k = src_end - src_begin;
+  if (k > kMaxSourceLanes) {
+    throw std::invalid_argument("MultiSourceWorkspace: range wider than 64");
+  }
+  for (std::uint32_t lane = 0; lane < k; ++lane) {
+    sources[lane] = src_begin + lane;
+  }
+  distances(g, std::span<const VertexId>(sources.data(), k), out);
+}
+
+void MultiSourceWorkspace::distances(const Graph& g,
+                                     std::span<const VertexId> sources,
+                                     DistanceMatrix& out) {
+  const VertexId n = g.num_vertices();
+  const auto k = static_cast<std::uint32_t>(sources.size());
+  if (k == 0) return;
+  for (const VertexId s : sources) {
+    if (s >= n) throw std::out_of_range("MultiSourceWorkspace: bad source");
+  }
   if (k > lane_capacity_ ||
       dist_.size() < static_cast<std::size_t>(n) * lane_capacity_) {
     throw std::invalid_argument(
@@ -34,7 +55,7 @@ void MultiSourceWorkspace::distances(const Graph& g, VertexId src_begin,
     throw std::invalid_argument("MultiSourceWorkspace: bad output matrix");
   }
 
-  // Lane-strided init: lane L holds source src_begin + L. The block is laid
+  // Lane-strided init: lane L holds source sources[L]. The block is laid
   // out with stride k (not lane_capacity_) so one frontier round touches
   // the densest possible cache lines for this batch width.
   std::fill(dist_.begin(), dist_.begin() + static_cast<std::size_t>(n) * k,
@@ -43,7 +64,7 @@ void MultiSourceWorkspace::distances(const Graph& g, VertexId src_begin,
   frontier_.clear();
   next_.clear();
   for (std::uint32_t lane = 0; lane < k; ++lane) {
-    const VertexId s = src_begin + lane;
+    const VertexId s = sources[lane];
     dist_[static_cast<std::size_t>(s) * k + lane] = 0;
     if (pending_[s] == 0) frontier_.push_back(s);
     pending_[s] |= std::uint64_t{1} << lane;
@@ -83,7 +104,7 @@ void MultiSourceWorkspace::distances(const Graph& g, VertexId src_begin,
   // Transpose the lane block into the row-major output: lane-major so the
   // writes stream sequentially through each row.
   for (std::uint32_t lane = 0; lane < k; ++lane) {
-    const std::span<Weight> row = out.row(src_begin + lane);
+    const std::span<Weight> row = out.row(sources[lane]);
     const Weight* col = dist_.data() + lane;
     for (VertexId v = 0; v < n; ++v) {
       row[v] = col[static_cast<std::size_t>(v) * k];

@@ -7,8 +7,12 @@
 #include <sstream>
 #include <vector>
 
+#include <cstring>
+#include <random>
+
 #include "core/distance_oracle.hpp"
 #include "mcb/depina.hpp"
+#include "serve/oracle_server.hpp"
 #include "mcb/ear_mcb.hpp"
 #include "mcb/horton.hpp"
 #include "sssp/dijkstra.hpp"
@@ -190,6 +194,67 @@ CheckResult check_depina_vs_scalar_reference(const Graph& g) {
           .use_ear_decomposition = false});
   return compare_mcb(g, mm, ref.basis.size(), ref.total_weight,
                      "scalar DePina");
+}
+
+CheckResult check_served_queries_vs_dijkstra(const Graph& g,
+                                             std::uint64_t seed) {
+  if (g.num_vertices() == 0) return std::nullopt;
+  const auto close = [tol = distance_tolerance(g)](Weight a, Weight b) {
+    return weights_close(a, b, tol);
+  };
+
+  serve::ServeOptions tables_opts;
+  tables_opts.build = {.mode = core::ExecutionMode::Sequential};
+  tables_opts.batch_engine = serve::BatchEngine::Tables;
+  tables_opts.legs_per_unit = 7;  // odd size: force multi-unit batches
+  const serve::OracleServer tables(g, tables_opts);
+
+  serve::ServeOptions recompute_opts;
+  recompute_opts.build = {.mode = core::ExecutionMode::Multicore,
+                          .cpu_threads = 3};
+  recompute_opts.batch_engine = serve::BatchEngine::Recompute;
+  recompute_opts.legs_per_unit = 5;
+  const serve::OracleServer recompute(g, recompute_opts);
+
+  // Every pair once, in seed-shuffled order: batch composition (which legs
+  // share a unit, which worker drains them) must not affect any answer.
+  std::vector<serve::Query> batch;
+  batch.reserve(static_cast<std::size_t>(g.num_vertices()) *
+                g.num_vertices());
+  for (VertexId s = 0; s < g.num_vertices(); ++s) {
+    for (VertexId t = 0; t < g.num_vertices(); ++t) {
+      batch.push_back({s, t});
+    }
+  }
+  std::shuffle(batch.begin(), batch.end(), std::mt19937_64(seed));
+
+  const std::vector<Weight> via_tables = tables.query_batch(batch);
+  const std::vector<Weight> via_recompute = recompute.query_batch(batch);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const serve::Query q = batch[i];
+    const Weight scalar = tables.query(q.s, q.t);
+    // Serving determinism: every serve path bitwise-identical.
+    if (std::memcmp(&via_tables[i], &scalar, sizeof(Weight)) != 0) {
+      return describe_mismatch("served batch (Tables) vs scalar", q.s, q.t,
+                               via_tables[i], scalar);
+    }
+    if (std::memcmp(&via_recompute[i], &scalar, sizeof(Weight)) != 0) {
+      return describe_mismatch("served batch (Recompute) vs scalar", q.s,
+                               q.t, via_recompute[i], scalar);
+    }
+  }
+  // Correctness: scalar answers vs an independent Dijkstra per source.
+  for (VertexId s = 0; s < g.num_vertices(); ++s) {
+    const auto ref = sssp::dijkstra(g, s);
+    for (VertexId t = 0; t < g.num_vertices(); ++t) {
+      const Weight got = tables.query(s, t);
+      if (!close(got, ref.dist[t])) {
+        return describe_mismatch("served scalar vs Dijkstra", s, t, got,
+                                 ref.dist[t]);
+      }
+    }
+  }
+  return std::nullopt;
 }
 
 namespace {

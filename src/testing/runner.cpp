@@ -202,6 +202,15 @@ std::vector<PropertyCheck> build_checks() {
                .run = [](const Graph& g, std::uint64_t) {
                  return check_depina_vs_scalar_reference(g);
                }});
+  r.push_back({.name = "serve_mix",
+               .description =
+                   "OracleServer scalar/batched(Tables)/batched(Recompute) "
+                   "vs Dijkstra; serve paths bitwise-identical",
+               .kind = CheckKind::Differential,
+               .size_hint = 22,
+               .run = [](const Graph& g, std::uint64_t seed) {
+                 return check_served_queries_vs_dijkstra(g, seed);
+               }});
   r.push_back({.name = "relabel",
                .description = "vertex-relabeling invariance (APSP + MCB)",
                .kind = CheckKind::Metamorphic,

@@ -60,6 +60,97 @@ TEST(ThreadPool, ReusableAcrossManyParallelFors) {
   }
 }
 
+TEST(ThreadPool, SlotsCoverRangeWithBoundedSlotIndices) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(500);
+  std::atomic<bool> slot_ok{true};
+  pool.parallel_for_slots(0, hits.size(),
+                          [&](std::size_t i, unsigned slot) {
+                            if (slot >= pool.max_slots()) slot_ok = false;
+                            hits[i].fetch_add(1);
+                          });
+  EXPECT_TRUE(slot_ok.load());
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SlotsAreDistinctPerConcurrentStream) {
+  // Two streams in the same claimed slot at once would make per-slot
+  // scratch unsafe — the exact contract the Recompute serve engine and the
+  // batched SSSP paths rely on. Track concurrent occupancy per slot.
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> occupancy(pool.max_slots());
+  std::atomic<bool> exclusive{true};
+  pool.parallel_for_slots(0, 300, [&](std::size_t, unsigned slot) {
+    if (occupancy[slot].fetch_add(1) != 0) exclusive = false;
+    std::this_thread::yield();
+    occupancy[slot].fetch_sub(1);
+  });
+  EXPECT_TRUE(exclusive.load());
+}
+
+TEST(ThreadPool, SlotsEmptyRangeIsNoOp) {
+  ThreadPool pool(2);
+  bool touched = false;
+  pool.parallel_for_slots(7, 7,
+                          [&touched](std::size_t, unsigned) { touched = true; });
+  pool.parallel_for_slots(9, 3,  // inverted range: begin > end
+                          [&touched](std::size_t, unsigned) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPool, SlotsSingleItemRunsOnCallerSlot) {
+  // One item never needs a helper wakeup; the calling thread must claim it
+  // under a valid slot.
+  ThreadPool pool(3);
+  std::atomic<int> runs{0};
+  unsigned seen_slot = ~0u;
+  pool.parallel_for_slots(41, 42, [&](std::size_t i, unsigned slot) {
+    EXPECT_EQ(i, 41u);
+    seen_slot = slot;
+    runs.fetch_add(1);
+  });
+  EXPECT_EQ(runs.load(), 1);
+  EXPECT_LT(seen_slot, pool.max_slots());
+}
+
+TEST(ThreadPool, SlotsMoreSlotsThanItems) {
+  // Pool larger than the range: most helpers find nothing to claim, every
+  // index still runs exactly once.
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.parallel_for_slots(0, hits.size(), [&](std::size_t i, unsigned slot) {
+    EXPECT_LT(slot, pool.max_slots());
+    hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SlotsChunkLargerThanRange) {
+  // chunk > items degenerates to one chunk on one stream; chunk == 0 is
+  // clamped to 1 rather than dividing by zero.
+  ThreadPool pool(2);
+  for (const std::size_t chunk : {std::size_t{64}, std::size_t{0}}) {
+    std::atomic<std::uint64_t> sum{0};
+    pool.parallel_for_slots(
+        1, 11, [&sum](std::size_t i, unsigned) { sum.fetch_add(i); }, chunk);
+    EXPECT_EQ(sum.load(), 55u) << "chunk=" << chunk;
+  }
+}
+
+TEST(ThreadPool, SlotsZeroHelperPoolStillCompletes) {
+  // ThreadPool(0) resolves to hardware_concurrency (min 1) workers — the
+  // single-core CI box gets exactly one helper. Either way the call blocks
+  // until the whole range ran, with in-bounds slots.
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+  std::vector<std::atomic<int>> hits(64);
+  pool.parallel_for_slots(0, hits.size(), [&](std::size_t i, unsigned slot) {
+    EXPECT_LT(slot, pool.max_slots());
+    hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
 TEST(WorkQueue, OrdersHeaviestFirst) {
   WorkQueue q({{0, 5}, {1, 50}, {2, 20}, {3, 1}});
   const auto heavy = q.take_heavy(2);

@@ -6,8 +6,10 @@
 // The tracer and registry are process-wide singletons, so every test that
 // inspects them clears/resets first and runs single-threaded unless it is
 // specifically exercising cross-thread lanes.
+#include <atomic>
 #include <cctype>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -532,6 +534,59 @@ TEST(ObsHistogram, QuantilesAreMonotoneInQ) {
     EXPECT_GE(cur, prev) << "quantile not monotone at q=" << q;
     prev = cur;
   }
+}
+
+TEST(ObsHistogram, QuantileUnderConcurrentWritersStaysBoundedAndExact) {
+  // The serving layer reads latency quantiles from /metrics while worker
+  // threads keep recording. quantile() is documented as safe-but-
+  // approximate under concurrency: while writers run, every estimate must
+  // stay inside the recorded value range (no inf/NaN/garbage from torn
+  // bucket reads); after the writers join, quantiles are the exact
+  // single-threaded answers for the final counts.
+  obs::Histogram h;
+  constexpr std::uint64_t kLo = 3, kHi = 50000;
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 20000;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&h, &go, w] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      std::uint64_t v = 17 + static_cast<std::uint64_t>(w);
+      for (int i = 0; i < kPerWriter; ++i) {
+        v = v * 29 % (kHi - kLo);
+        h.record(kLo + v);
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  // Read quantiles concurrently with the writers.
+  const double hi_bound =
+      static_cast<double>(obs::Histogram::bucket_max(
+          obs::Histogram::bucket_index(kHi)));
+  for (int round = 0; round < 2000; ++round) {
+    for (const double q : {0.0, 0.5, 0.99, 1.0}) {
+      const double v = h.quantile(q);
+      EXPECT_TRUE(std::isfinite(v)) << "q=" << q;
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, hi_bound) << "q=" << q;
+    }
+  }
+  for (auto& t : writers) t.join();
+  // Quiescent: the count is complete and quantiles are strictly monotone
+  // in q, bounded by the recorded range's buckets.
+  EXPECT_EQ(h.count(),
+            static_cast<std::uint64_t>(kWriters) * kPerWriter);
+  double prev = h.quantile(0.0);
+  EXPECT_GE(prev, static_cast<double>(obs::Histogram::bucket_min(
+                      obs::Histogram::bucket_index(kLo))));
+  for (const double q : {0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    const double cur = h.quantile(q);
+    EXPECT_GE(cur, prev) << "quantile not monotone at q=" << q;
+    prev = cur;
+  }
+  EXPECT_LE(prev, hi_bound);
 }
 
 // --- registry -----------------------------------------------------------

@@ -1,0 +1,376 @@
+// Concurrency + correctness suite for the online serving layer
+// (src/serve). Runs under the `hetero` ctest label, so CI exercises every
+// test here under ThreadSanitizer: N reader threads hammering a snapshot
+// while the stats endpoint is scraped, snapshot swaps under load (readers
+// pinned to the old epoch finish on it — no use-after-free, no torn
+// answers), and bitwise determinism of the batched path across reruns,
+// engines, and execution modes.
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <random>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/distance_oracle.hpp"
+#include "obs/stats_server.hpp"
+#include "serve/http_routes.hpp"
+#include "serve/oracle_server.hpp"
+#include "testing/families.hpp"
+
+#if defined(__unix__)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace {
+
+using namespace eardec;
+using graph::VertexId;
+using graph::Weight;
+
+graph::Graph test_graph(std::uint64_t seed, std::uint32_t size = 40) {
+  // block_cut: articulation-heavy, so all four route kinds occur.
+  return eardec::testing::family("block_cut").make(seed, size);
+}
+
+std::vector<serve::Query> all_pairs(const graph::Graph& g) {
+  std::vector<serve::Query> q;
+  q.reserve(static_cast<std::size_t>(g.num_vertices()) * g.num_vertices());
+  for (VertexId s = 0; s < g.num_vertices(); ++s) {
+    for (VertexId t = 0; t < g.num_vertices(); ++t) q.push_back({s, t});
+  }
+  return q;
+}
+
+bool bitwise_equal(const std::vector<Weight>& a,
+                   const std::vector<Weight>& b) {
+  return a.size() == b.size() &&
+         (a.empty() || std::memcmp(a.data(), b.data(),
+                                   a.size() * sizeof(Weight)) == 0);
+}
+
+TEST(OracleServer, ScalarPathMatchesCompactOracle) {
+  const graph::Graph g = test_graph(11);
+  const serve::OracleServer server(g, {});
+  const core::DistanceOracle reference(
+      g, {.mode = core::ExecutionMode::Sequential});
+  for (VertexId s = 0; s < g.num_vertices(); ++s) {
+    for (VertexId t = 0; t < g.num_vertices(); ++t) {
+      const Weight got = server.query(s, t);
+      const Weight want = reference.distance(s, t);
+      EXPECT_EQ(std::memcmp(&got, &want, sizeof(Weight)), 0)
+          << "d(" << s << "," << t << ") got " << got << " want " << want;
+    }
+  }
+}
+
+TEST(OracleServer, BatchMatchesScalarBitwiseAcrossEnginesAndModes) {
+  const graph::Graph g = test_graph(23);
+  const std::vector<serve::Query> queries = all_pairs(g);
+
+  // Scalar reference from one server; every engine x mode combination
+  // must reproduce it bit for bit.
+  const serve::OracleServer scalar_server(
+      g, {.build = {.mode = core::ExecutionMode::Sequential}});
+  std::vector<Weight> expected;
+  expected.reserve(queries.size());
+  for (const serve::Query& q : queries) {
+    expected.push_back(scalar_server.query(q.s, q.t));
+  }
+
+  const core::ExecutionMode modes[] = {core::ExecutionMode::Sequential,
+                                       core::ExecutionMode::Multicore,
+                                       core::ExecutionMode::Heterogeneous};
+  const serve::BatchEngine engines[] = {serve::BatchEngine::Tables,
+                                        serve::BatchEngine::Recompute};
+  for (const auto mode : modes) {
+    for (const auto engine : engines) {
+      serve::ServeOptions opts;
+      opts.build = {.mode = mode, .cpu_threads = 3};
+      opts.batch_engine = engine;
+      opts.legs_per_unit = 9;  // multiple units per block
+      const serve::OracleServer server(g, opts);
+      const std::vector<Weight> got = server.query_batch(queries);
+      EXPECT_TRUE(bitwise_equal(got, expected))
+          << "mode " << static_cast<int>(mode) << " engine "
+          << static_cast<int>(engine);
+    }
+  }
+}
+
+TEST(OracleServer, IdenticalBatchRerunsAreBitwiseIdentical) {
+  const graph::Graph g = test_graph(5);
+  serve::ServeOptions opts;
+  opts.build = {.mode = core::ExecutionMode::Multicore, .cpu_threads = 4};
+  opts.batch_engine = serve::BatchEngine::Recompute;
+  opts.legs_per_unit = 3;  // many tiny units: maximal drain nondeterminism
+  const serve::OracleServer server(g, opts);
+  const std::vector<serve::Query> queries = all_pairs(g);
+  const std::vector<Weight> first = server.query_batch(queries);
+  for (int rerun = 0; rerun < 5; ++rerun) {
+    EXPECT_TRUE(bitwise_equal(server.query_batch(queries), first))
+        << "rerun " << rerun;
+  }
+}
+
+TEST(OracleServer, BatchHandlesEmptyAndTrivialQueries) {
+  const graph::Graph g = test_graph(3);
+  const serve::OracleServer server(g, {});
+  EXPECT_TRUE(server.query_batch({}).empty());
+  const std::vector<serve::Query> trivial{{0, 0}, {1, 1}};
+  const std::vector<Weight> out = server.query_batch(trivial);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], 0.0);
+  EXPECT_EQ(out[1], 0.0);
+}
+
+TEST(OracleServer, BatchRejectsOutOfRangeVertices) {
+  const graph::Graph g = test_graph(3);
+  const serve::OracleServer server(g, {});
+  const std::vector<serve::Query> bad{{0, g.num_vertices()}};
+  EXPECT_THROW((void)server.query_batch(bad), std::out_of_range);
+  EXPECT_THROW((void)server.query(g.num_vertices(), 0), std::out_of_range);
+}
+
+// The epoch-swap contract under load: readers pin a snapshot and their
+// answers stay bit-identical to that epoch's reference even while newer
+// epochs are published; the published epoch only moves forward. TSan
+// (label hetero) holds the shared_ptr swap to being data-race-free and the
+// drained old snapshots to being freed exactly once.
+TEST(OracleServer, SnapshotSwapUnderLoadKeepsReadersConsistent) {
+  constexpr int kEpochs = 4;
+  constexpr int kReaders = 4;
+  std::vector<graph::Graph> graphs;
+  std::vector<std::vector<Weight>> expected(kEpochs);
+  for (int k = 0; k < kEpochs; ++k) {
+    graphs.push_back(test_graph(100 + static_cast<std::uint64_t>(k), 30));
+    // The closed form is deterministic per graph, so an independently
+    // built oracle is the per-epoch bitwise reference.
+    const core::DistanceOracle ref(graphs.back(),
+                                   {.mode = core::ExecutionMode::Sequential});
+    const VertexId n = graphs.back().num_vertices();
+    for (VertexId s = 0; s < n; ++s) {
+      for (VertexId t = 0; t < n; ++t) {
+        expected[static_cast<std::size_t>(k)].push_back(ref.distance(s, t));
+      }
+    }
+  }
+
+  serve::OracleServer server(graphs[0], {});
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> failures{0};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      std::mt19937_64 rng(static_cast<std::uint64_t>(r) + 1);
+      std::uint64_t last_epoch = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto snap = server.snapshot();
+        const std::uint64_t e = snap->epoch();
+        if (e < last_epoch) ++failures;  // epoch must be monotone
+        last_epoch = e;
+        const auto& want = expected[e - 1];
+        const VertexId n = snap->graph().num_vertices();
+        for (int i = 0; i < 64; ++i) {
+          const auto s = static_cast<VertexId>(rng() % n);
+          const auto t = static_cast<VertexId>(rng() % n);
+          const Weight got = snap->query(s, t);
+          const Weight ref = want[static_cast<std::size_t>(s) * n + t];
+          if (std::memcmp(&got, &ref, sizeof(Weight)) != 0) ++failures;
+        }
+      }
+    });
+  }
+  for (int k = 1; k < kEpochs; ++k) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    server.rebuild(graphs[static_cast<std::size_t>(k)]);
+    EXPECT_EQ(server.epoch(), static_cast<std::uint64_t>(k) + 1);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(failures.load(), 0u);
+}
+
+#if defined(__unix__)
+
+/// One blocking HTTP/1.1 request against 127.0.0.1:<port>; returns the
+/// full response (headers + body), or "" on connection failure.
+std::string http_request(std::uint16_t port, const char* method,
+                         const std::string& path,
+                         const std::string& body = "") {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    ::close(fd);
+    return "";
+  }
+  std::string req = std::string(method) + " " + path +
+                    " HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n";
+  if (!body.empty()) {
+    req += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  req += "\r\n" + body;
+  std::size_t off = 0;
+  while (off < req.size()) {
+    const ssize_t n = ::send(fd, req.data() + off, req.size() - off, 0);
+    if (n <= 0) break;
+    off += static_cast<std::size_t>(n);
+  }
+  std::string resp;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    resp.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return resp;
+}
+
+class ServeHttpTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!obs::StatsServer::kCompiledIn) {
+      GTEST_SKIP() << "stats server compiled out";
+    }
+    g_ = test_graph(77);
+    server_ = std::make_unique<serve::OracleServer>(g_, serve::ServeOptions{});
+    serve::register_query_routes(*server_);
+    auto& stats = obs::StatsServer::instance();
+    stats.stop();
+    ASSERT_TRUE(stats.start(0));
+    port_ = stats.port();
+    ASSERT_NE(port_, 0u);
+  }
+  void TearDown() override {
+    // Join the serving thread before the handler's target dies.
+    obs::StatsServer::instance().stop();
+    serve::unregister_query_routes();
+    server_.reset();
+  }
+
+  graph::Graph g_;
+  std::unique_ptr<serve::OracleServer> server_;
+  std::uint16_t port_ = 0;
+};
+
+TEST_F(ServeHttpTest, SingleQueryAnswersJsonWithExactDistance) {
+  const std::string resp = http_request(port_, "GET", "/query?s=0&t=5");
+  EXPECT_NE(resp.find("HTTP/1.1 200"), std::string::npos) << resp;
+  EXPECT_NE(resp.find("application/json"), std::string::npos);
+  const std::string want =
+      "\"distance\": \"" + serve::format_distance(server_->query(0, 5)) +
+      "\"";
+  EXPECT_NE(resp.find(want), std::string::npos) << resp;
+  EXPECT_NE(resp.find("\"epoch\": 1"), std::string::npos);
+}
+
+TEST_F(ServeHttpTest, BatchPostAnswersAllPairsInOrder) {
+  const std::string resp =
+      http_request(port_, "POST", "/query/batch", "0 1\n2 3\n0 0\n");
+  EXPECT_NE(resp.find("HTTP/1.1 200"), std::string::npos) << resp;
+  EXPECT_NE(resp.find("\"count\": 3"), std::string::npos);
+  const std::string want = "\"" + serve::format_distance(server_->query(0, 1)) +
+                           "\", \"" +
+                           serve::format_distance(server_->query(2, 3)) +
+                           "\", \"0\"";
+  EXPECT_NE(resp.find(want), std::string::npos) << resp;
+}
+
+TEST_F(ServeHttpTest, MalformedRequestsAnswer400) {
+  EXPECT_NE(http_request(port_, "GET", "/query?s=1").find("HTTP/1.1 400"),
+            std::string::npos);
+  EXPECT_NE(http_request(port_, "GET", "/query?s=a&t=b").find("HTTP/1.1 400"),
+            std::string::npos);
+  EXPECT_NE(http_request(port_, "GET", "/query?s=1&t=999999999")
+                .find("HTTP/1.1 400"),
+            std::string::npos);
+  EXPECT_NE(
+      http_request(port_, "POST", "/query/batch", "0 1 2").find("HTTP/1.1 400"),
+      std::string::npos);
+  EXPECT_NE(
+      http_request(port_, "POST", "/query/batch", "x y").find("HTTP/1.1 400"),
+      std::string::npos);
+  // GET on the batch route is a usage error, not a fall-through.
+  EXPECT_NE(http_request(port_, "GET", "/query/batch").find("HTTP/1.1 400"),
+            std::string::npos);
+}
+
+TEST_F(ServeHttpTest, BuiltInRoutesStillWorkWithHandlerRegistered) {
+  EXPECT_NE(http_request(port_, "GET", "/healthz").find("HTTP/1.1 200"),
+            std::string::npos);
+  EXPECT_NE(http_request(port_, "GET", "/metrics").find("oracle_serve_epoch"),
+            std::string::npos);
+  EXPECT_NE(http_request(port_, "GET", "/nope").find("HTTP/1.1 404"),
+            std::string::npos);
+  // POST to a route the handler declines still answers 405.
+  EXPECT_NE(http_request(port_, "POST", "/metrics").find("HTTP/1.1 405"),
+            std::string::npos);
+}
+
+// The headline TSan scenario: reader threads hammer scalar and batched
+// queries, a rebuilder swaps snapshots, and the HTTP side serves /query
+// and /metrics scrapes — all concurrently.
+TEST_F(ServeHttpTest, ReadersScrapesAndSwapsRaceFreely) {
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> failures{0};
+  const std::vector<serve::Query> batch = {{0, 1}, {2, 3}, {4, 5}, {1, 0}};
+
+  std::vector<std::thread> workers;
+  for (int r = 0; r < 3; ++r) {
+    workers.emplace_back([&, r] {
+      std::mt19937_64 rng(static_cast<std::uint64_t>(r) + 9);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto n = server_->snapshot()->graph().num_vertices();
+        const auto s = static_cast<VertexId>(rng() % n);
+        const auto t = static_cast<VertexId>(rng() % n);
+        (void)server_->query(s, t);
+        const auto answers = server_->query_batch(batch);
+        if (answers.size() != batch.size()) ++failures;
+      }
+    });
+  }
+  std::thread rebuilder([&] {
+    for (int k = 0; k < 3 && !stop.load(std::memory_order_relaxed); ++k) {
+      server_->rebuild(test_graph(200 + static_cast<std::uint64_t>(k)));
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  });
+
+  for (int round = 0; round < 15; ++round) {
+    const std::string one = http_request(port_, "GET", "/query?s=0&t=3");
+    if (one.find("HTTP/1.1 200") == std::string::npos) ++failures;
+    const std::string many =
+        http_request(port_, "POST", "/query/batch", "0 1\n2 3\n");
+    if (many.find("\"count\": 2") == std::string::npos) ++failures;
+    const std::string metrics = http_request(port_, "GET", "/metrics");
+    if (metrics.find("eardec_oracle_serve_queries") == std::string::npos) {
+      ++failures;
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  rebuilder.join();
+  for (auto& t : workers) t.join();
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_GE(server_->epoch(), 1u);
+}
+
+#endif  // defined(__unix__)
+
+}  // namespace

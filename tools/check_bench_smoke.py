@@ -3,7 +3,7 @@
 
 Usage: check_bench_smoke.py <table2_mcb.json> <mcb_gf2.json>
                             [<sssp_kernels.json>] [<oracle_query.json>]
-                            [--tolerance X]
+                            [<oracle_serve.json>] [--tolerance X]
 
 Two layers of checking:
 
@@ -166,36 +166,91 @@ def check_sssp_kernels(path):
             f"{path}: multi_source k axis needs >= 2 widths, got {widths}")
 
 
-ORACLE_CELL_KEYS = ("method", "queries", "seconds", "qps", "mean_ns",
+ORACLE_CELL_KEYS = ("method", "mix", "queries", "seconds", "qps", "mean_ns",
                     "p50_ns", "p90_ns", "p99_ns")
 ORACLE_METHODS = ("compact", "full_table", "dijkstra")
+ORACLE_MIXES = ("same_block", "cross_block", "uniform")
+
+
+def check_quantiles(cell, path, i):
+    require(cell["p50_ns"] <= cell["p90_ns"] <= cell["p99_ns"],
+            f"{path}: cells[{i}] quantiles not monotone: "
+            f"p50={cell['p50_ns']} p90={cell['p90_ns']} "
+            f"p99={cell['p99_ns']}")
 
 
 def check_oracle_query(path):
-    """Shape check for the query-latency snapshot: all three methods
-    present, positive throughput, and internally consistent quantiles
+    """Shape check for the query-latency snapshot: the full method x mix
+    grid present (stratified same-block / cross-block / uniform pairs),
+    positive throughput, and internally consistent quantiles
     (p50 <= p90 <= p99 — a broken quantile estimator fails here)."""
     doc = load(path)
     cells = doc.get("cells")
     require(isinstance(cells, list) and cells,
             f"{path}: cells missing or empty")
-    methods_seen = set()
+    grid_seen = set()
     for i, cell in enumerate(cells):
         for key in ORACLE_CELL_KEYS:
             require(key in cell, f"{path}: cells[{i}].{key} missing")
         require(cell["method"] in ORACLE_METHODS,
                 f"{path}: cells[{i}].method unknown: {cell['method']}")
+        require(cell["mix"] in ORACLE_MIXES,
+                f"{path}: cells[{i}].mix unknown: {cell['mix']}")
         require(cell["seconds"] > 0, f"{path}: cells[{i}].seconds <= 0")
         require(cell["qps"] > 0, f"{path}: cells[{i}].qps <= 0")
         require(cell["queries"] > 0, f"{path}: cells[{i}].queries <= 0")
-        require(cell["p50_ns"] <= cell["p90_ns"] <= cell["p99_ns"],
-                f"{path}: cells[{i}] quantiles not monotone: "
-                f"p50={cell['p50_ns']} p90={cell['p90_ns']} "
-                f"p99={cell['p99_ns']}")
+        check_quantiles(cell, path, i)
         require(cell["mean_ns"] > 0, f"{path}: cells[{i}].mean_ns <= 0")
-        methods_seen.add(cell["method"])
+        grid_seen.add((cell["method"], cell["mix"]))
     for method in ORACLE_METHODS:
-        require(method in methods_seen, f"{path}: no {method} cell")
+        for mix in ORACLE_MIXES:
+            require((method, mix) in grid_seen,
+                    f"{path}: no ({method}, {mix}) cell")
+
+
+SERVE_CELL_KEYS = ("mix", "path", "queries", "batch", "target_qps",
+                   "seconds", "qps", "mean_ns", "p50_ns", "p90_ns",
+                   "p99_ns", "open_p50_ns", "open_p90_ns", "open_p99_ns",
+                   "sampled", "mismatches")
+SERVE_PATHS = ("scalar", "batch")
+
+
+def check_oracle_serve(path):
+    """Shape + correctness gate for the sustained-load serving snapshot:
+    the full mix x path grid, monotone service and open-loop quantiles,
+    a nonzero verification sample in every cell, and zero mismatches vs
+    Dijkstra anywhere (the load harness asserts this too — here it is
+    re-checked from the snapshot so a stale or hand-edited file fails)."""
+    doc = load(path)
+    cells = doc.get("cells")
+    require(isinstance(cells, list) and cells,
+            f"{path}: cells missing or empty")
+    grid_seen = set()
+    for i, cell in enumerate(cells):
+        for key in SERVE_CELL_KEYS:
+            require(key in cell, f"{path}: cells[{i}].{key} missing")
+        require(cell["mix"] in ORACLE_MIXES,
+                f"{path}: cells[{i}].mix unknown: {cell['mix']}")
+        require(cell["path"] in SERVE_PATHS,
+                f"{path}: cells[{i}].path unknown: {cell['path']}")
+        require(cell["seconds"] > 0, f"{path}: cells[{i}].seconds <= 0")
+        require(cell["qps"] > 0, f"{path}: cells[{i}].qps <= 0")
+        require(cell["queries"] > 0, f"{path}: cells[{i}].queries <= 0")
+        require(cell["target_qps"] > 0,
+                f"{path}: cells[{i}].target_qps <= 0")
+        check_quantiles(cell, path, i)
+        require(cell["open_p50_ns"] <= cell["open_p90_ns"]
+                <= cell["open_p99_ns"],
+                f"{path}: cells[{i}] open-loop quantiles not monotone")
+        require(cell["sampled"] > 0,
+                f"{path}: cells[{i}].sampled == 0 (no verification ran)")
+        require(cell["mismatches"] == 0,
+                f"{path}: cells[{i}] served {cell['mismatches']} answers "
+                "that differ from Dijkstra")
+        grid_seen.add((cell["mix"], cell["path"]))
+    for mix in ORACLE_MIXES:
+        for p in SERVE_PATHS:
+            require((mix, p) in grid_seen, f"{path}: no ({mix}, {p}) cell")
 
 
 def check_hetero_not_slower(doc, path, tolerance):
@@ -224,7 +279,7 @@ def main(argv):
     for a in argv[1:]:
         if a.startswith("--tolerance="):
             tolerance = float(a.split("=", 1)[1])
-    if len(args) not in (2, 3, 4):
+    if len(args) not in (2, 3, 4, 5):
         print(__doc__, file=sys.stderr)
         return 2
     table2 = check_table2(args[0])
@@ -233,6 +288,8 @@ def main(argv):
         check_sssp_kernels(args[2])
     if len(args) >= 4:
         check_oracle_query(args[3])
+    if len(args) >= 5:
+        check_oracle_serve(args[4])
     check_hetero_not_slower(table2, args[0], tolerance)
     print("check_bench_smoke: OK")
     return 0

@@ -33,7 +33,8 @@ import sys
 PROVENANCE_KEYS = {"schema_version", "git_sha", "pmu", "smoke",
                    "hardware_concurrency"}
 IDENTITY_KEYS = ("graph", "kernel", "method", "impl", "name", "mode",
-                 "dataset", "k", "witnesses", "density", "device_threshold")
+                 "dataset", "mix", "path", "k", "witnesses", "density",
+                 "device_threshold")
 
 
 def fail(msg):

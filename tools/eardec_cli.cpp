@@ -10,6 +10,12 @@
 //   eardec_cli gen       <name> <out.mtx>  write a Table-1 dataset to a file
 //   eardec_cli convert   <in> <out>        convert between formats
 //   eardec_cli bc        <graph> [k]       top-k betweenness-central vertices
+//   eardec_cli query     <graph> <s> <t>   one oracle distance (%.17g / inf)
+//   eardec_cli query     <graph> -         stdin "s t" pairs, one per line
+//   eardec_cli serve     <graph>           online serving: build the oracle,
+//                                          register /query + /query/batch on
+//                                          the stats endpoint, run until
+//                                          SIGINT/SIGTERM or --serve-seconds
 //   eardec_cli version                     build provenance + feature flags
 //
 // Graphs by extension: *.mtx (Matrix Market), *.edg (binary EDG1), anything
@@ -33,8 +39,14 @@
 //   --stats-linger <sec>       keep the stats endpoint alive <sec> seconds
 //                              after the command finishes, so scrapers can
 //                              read the final state
+//   --serve-seconds <sec>      serve: exit after <sec> seconds (0 = until a
+//                              signal arrives; the default)
+//   --batch-engine=tables|recompute
+//                              serve: how /query/batch evaluates its
+//                              within-block legs (see docs/serving.md)
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -58,6 +70,8 @@
 #include "obs/sampler.hpp"
 #include "obs/stats_server.hpp"
 #include "obs/trace.hpp"
+#include "serve/http_routes.hpp"
+#include "serve/oracle_server.hpp"
 #include "sssp/brandes.hpp"
 #include "reduce/chains.hpp"
 
@@ -98,6 +112,8 @@ struct CliOptions {
   bool pmu = false;          ///< --pmu: arm counters + background sampler
   int stats_port = -1;       ///< --stats-port: live HTTP endpoint (-1 = off)
   unsigned stats_linger = 0; ///< --stats-linger: seconds to serve after done
+  unsigned serve_seconds = 0;  ///< serve: run time limit (0 = until signal)
+  serve::BatchEngine batch_engine = serve::BatchEngine::Tables;
 };
 
 /// Splits argv into flags (into `cli`) and positional operands (returned in
@@ -144,6 +160,18 @@ std::vector<std::string> parse_args(int argc, char** argv, CliOptions& cli) {
     } else if (arg.starts_with("--stats-linger")) {
       cli.stats_linger =
           static_cast<unsigned>(std::stoul(value_of(arg, "--stats-linger", i)));
+    } else if (arg.starts_with("--serve-seconds")) {
+      cli.serve_seconds =
+          static_cast<unsigned>(std::stoul(value_of(arg, "--serve-seconds", i)));
+    } else if (arg.starts_with("--batch-engine")) {
+      const std::string engine = value_of(arg, "--batch-engine", i);
+      if (engine == "tables") {
+        cli.batch_engine = serve::BatchEngine::Tables;
+      } else if (engine == "recompute") {
+        cli.batch_engine = serve::BatchEngine::Recompute;
+      } else {
+        throw std::runtime_error("unknown --batch-engine " + engine);
+      }
     } else if (arg.starts_with("--")) {
       throw std::runtime_error("unknown option " + arg);
     } else {
@@ -278,12 +306,17 @@ int print_version() {
 int usage() {
   std::fprintf(stderr,
                "usage: eardec_cli {stats|decompose|apsp|path|mcb|analytics|"
-               "gen|convert|bc|version} <args> [--mode=seq|mc|gpu|hetero] "
+               "gen|convert|bc|query|serve|version} <args> "
+               "[--mode=seq|mc|gpu|hetero] "
                "[--threads=N] [--trace <file>] [--metrics <file>] "
                "[--json-stats] [--pmu] [--stats-port <p>] "
-               "[--stats-linger <sec>]\n");
+               "[--stats-linger <sec>] [--serve-seconds <sec>] "
+               "[--batch-engine=tables|recompute]\n");
   return 2;
 }
+
+volatile std::sig_atomic_t g_serve_stop = 0;
+void serve_signal_handler(int) { g_serve_stop = 1; }
 
 }  // namespace
 
@@ -429,6 +462,73 @@ int main(int argc, char** argv) {
                     100 * r.stats.search_seconds / r.stats.total_seconds(),
                     100 * r.stats.update_seconds / r.stats.total_seconds());
       }
+      return 0;
+    }
+    if (cmd == "query") {
+      // Reference answers for the serving layer: the same compact closed
+      // form the server evaluates, printed with format_distance so the CI
+      // smoke diff against /query responses is textual and exact.
+      const core::DistanceOracle oracle(g, opts);
+      if (pos.size() >= 3) {
+        const auto s = static_cast<graph::VertexId>(std::stoul(pos[1]));
+        const auto t = static_cast<graph::VertexId>(std::stoul(pos[2]));
+        std::printf("%s\n", serve::format_distance(oracle.distance(s, t)).c_str());
+        return 0;
+      }
+      if (pos.size() == 2 && pos[1] == "-") {
+        unsigned s = 0, t = 0;
+        while (std::scanf("%u %u", &s, &t) == 2) {
+          std::printf("%s\n",
+                      serve::format_distance(oracle.distance(s, t)).c_str());
+        }
+        return 0;
+      }
+      return usage();
+    }
+    if (cmd == "serve") {
+      if (!obs::StatsServer::kCompiledIn) {
+        std::fprintf(stderr,
+                     "error: serve needs the stats server; rebuild with "
+                     "-DEARDEC_ENABLE_TRACING=ON\n");
+        return 1;
+      }
+      serve::ServeOptions sopts;
+      sopts.build = opts;
+      sopts.batch_engine = cli.batch_engine;
+      serve::OracleServer server(g, sopts);
+      serve::register_query_routes(server);
+      auto& stats = obs::StatsServer::instance();
+      if (!stats.running() &&
+          !stats.start(cli.stats_port >= 0
+                           ? static_cast<std::uint16_t>(cli.stats_port)
+                           : 0)) {
+        serve::unregister_query_routes();
+        std::fprintf(stderr, "error: cannot start the stats endpoint\n");
+        return 1;
+      }
+      // The harness (tools/serve_smoke.sh, tests) parses this line for the
+      // bound port; keep the format stable.
+      std::printf("serve: ready port=%u epoch=%llu vertices=%u\n",
+                  static_cast<unsigned>(stats.port()),
+                  static_cast<unsigned long long>(server.epoch()),
+                  g.num_vertices());
+      std::fflush(stdout);
+      std::signal(SIGINT, serve_signal_handler);
+      std::signal(SIGTERM, serve_signal_handler);
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::seconds(cli.serve_seconds);
+      while (g_serve_stop == 0 &&
+             (cli.serve_seconds == 0 ||
+              std::chrono::steady_clock::now() < deadline)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+      // Join the serving thread before the handler's OracleServer target
+      // goes out of scope; only then drop the routes.
+      stats.stop();
+      serve::unregister_query_routes();
+      std::printf("serve: shutdown epoch=%llu\n",
+                  static_cast<unsigned long long>(server.epoch()));
       return 0;
     }
     if (cmd == "analytics") {

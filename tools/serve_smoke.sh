@@ -1,0 +1,125 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the online serving layer (`eardec_cli serve`):
+#
+#   1. generate a Table-1 dataset,
+#   2. start `eardec_cli serve` on an ephemeral port and parse the
+#      `serve: ready port=...` line,
+#   3. answer a singleton GET /query and a POST /query/batch,
+#   4. diff every served distance against the offline `eardec_cli query`
+#      batch mode (bit-identical decimal strings, including "inf"),
+#   5. scrape /metrics for the oracle serve counters,
+#   6. SIGINT the server and require the clean `serve: shutdown` line and
+#      exit status 0.
+#
+# Usage: tools/serve_smoke.sh [build-dir]   (default: build)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+CLI="$BUILD_DIR/tools/eardec_cli"
+DATASET="${SERVE_SMOKE_DATASET:-cond_mat_2003}"
+WORK="$(mktemp -d)"
+SERVER_PID=""
+
+cleanup() {
+  if [[ -n "$SERVER_PID" ]] && kill -0 "$SERVER_PID" 2> /dev/null; then
+    kill -9 "$SERVER_PID" 2> /dev/null || true
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "serve_smoke: FAIL: $*" >&2
+  exit 1
+}
+
+[[ -x "$CLI" ]] || fail "$CLI not built (pass the build dir as \$1)"
+
+echo "serve_smoke: generating $DATASET"
+"$CLI" gen "$DATASET" "$WORK/g.mtx" > /dev/null
+
+echo "serve_smoke: starting server"
+"$CLI" serve "$WORK/g.mtx" --stats-port 0 --serve-seconds 120 \
+  > "$WORK/serve.log" 2> "$WORK/serve.err" &
+SERVER_PID=$!
+
+# The ready line is printed (and flushed) once the routes are live:
+#   serve: ready port=NNNNN epoch=1 vertices=NNN
+PORT=""
+for _ in $(seq 1 100); do
+  PORT="$(sed -n 's/^serve: ready port=\([0-9]*\).*/\1/p' "$WORK/serve.log")"
+  [[ -n "$PORT" ]] && break
+  kill -0 "$SERVER_PID" 2> /dev/null || {
+    cat "$WORK/serve.err" >&2
+    fail "server exited before becoming ready"
+  }
+  sleep 0.1
+done
+[[ -n "$PORT" ]] || fail "no 'serve: ready' line within 10s"
+echo "serve_smoke: serving on port $PORT"
+
+BASE="http://127.0.0.1:$PORT"
+
+# --- singleton query ------------------------------------------------------
+curl -sf "$BASE/query?s=0&t=17" > "$WORK/one.json"
+grep -q '"distance": "' "$WORK/one.json" \
+  || fail "GET /query missing distance: $(cat "$WORK/one.json")"
+grep -q '"epoch": 1' "$WORK/one.json" \
+  || fail "GET /query missing epoch: $(cat "$WORK/one.json")"
+
+# Malformed queries must answer 400, not 404 or a crash.
+code="$(curl -s -o /dev/null -w '%{http_code}' "$BASE/query?s=0")"
+[[ "$code" == "400" ]] || fail "GET /query?s=0 answered $code, want 400"
+
+# --- batch query vs offline oracle ---------------------------------------
+# A deterministic mix of pairs, including s == t and repeated vertices.
+cat > "$WORK/pairs.txt" << 'EOF'
+0 17
+5 423
+100 200
+42 42
+0 0
+17 0
+311 7
+EOF
+
+curl -sf -X POST --data-binary "@$WORK/pairs.txt" "$BASE/query/batch" \
+  > "$WORK/batch.json"
+grep -q '"count": 7' "$WORK/batch.json" \
+  || fail "batch count wrong: $(cat "$WORK/batch.json")"
+
+# Served answers, one per line (the JSON array of quoted decimal strings).
+python3 - "$WORK/batch.json" > "$WORK/served.txt" << 'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+print("\n".join(doc["distances"]))
+EOF
+
+# Offline reference: the same pairs through `eardec_cli query - ` (stdin
+# batch mode), which prints the same decimal formatting per line.
+"$CLI" query "$WORK/g.mtx" - < "$WORK/pairs.txt" > "$WORK/offline.txt"
+
+diff -u "$WORK/offline.txt" "$WORK/served.txt" \
+  || fail "served batch answers differ from offline oracle"
+echo "serve_smoke: 7/7 batch answers bit-identical to offline oracle"
+
+# --- metrics --------------------------------------------------------------
+curl -sf "$BASE/metrics" > "$WORK/metrics.txt"
+for metric in eardec_oracle_serve_queries eardec_oracle_serve_epoch \
+  eardec_oracle_query_scalar_latency_ns eardec_oracle_query_batch_latency_ns; do
+  grep -q "^$metric" "$WORK/metrics.txt" \
+    || fail "/metrics missing $metric"
+done
+echo "serve_smoke: /metrics exposes the oracle serve instruments"
+
+# --- clean shutdown -------------------------------------------------------
+kill -INT "$SERVER_PID"
+status=0
+wait "$SERVER_PID" || status=$?
+[[ "$status" -eq 0 ]] || fail "server exited with status $status on SIGINT"
+grep -q '^serve: shutdown' "$WORK/serve.log" \
+  || fail "no 'serve: shutdown' line after SIGINT"
+SERVER_PID=""
+
+echo "serve_smoke: PASS"
