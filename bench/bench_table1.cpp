@@ -24,8 +24,8 @@ int main() {
     const graph::Graph g = d.make();
     const auto bcc = connectivity::biconnected_components(g);
     std::size_t largest_edges = 0;
-    for (const auto& edges : bcc.component_edges) {
-      largest_edges = std::max(largest_edges, edges.size());
+    for (std::uint32_t c = 0; c < bcc.num_components; ++c) {
+      largest_edges = std::max(largest_edges, bcc.component_edges(c).size());
     }
     const core::DistanceOracle oracle(
         g, bench::bench_apsp_options(core::ExecutionMode::Multicore));

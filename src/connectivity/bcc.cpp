@@ -31,15 +31,19 @@ BiconnectedComponents biconnected_components(const Graph& g) {
   std::vector<std::pair<VertexId, std::size_t>> frames;
   std::uint32_t time = 0;
 
+  // Components complete one at a time, so their edge lists land
+  // contiguously in the flat edge_items array; each pop just seals the next
+  // offset. No per-component allocation.
+  out.edge_offsets.push_back(0);
   const auto pop_component = [&](EdgeId up_to_edge) {
-    auto& edges = out.component_edges.emplace_back();
     while (true) {
       const EdgeId e = edge_stack.back();
       edge_stack.pop_back();
       out.edge_component[e] = out.num_components;
-      edges.push_back(e);
+      out.edge_items.push_back(e);
       if (e == up_to_edge) break;
     }
+    out.edge_offsets.push_back(out.edge_items.size());
     ++out.num_components;
   };
 
@@ -60,7 +64,8 @@ BiconnectedComponents biconnected_components(const Graph& g) {
           // assign only once).
           if (out.edge_component[he.edge] == kNoComponent) {
             out.edge_component[he.edge] = out.num_components;
-            out.component_edges.push_back({he.edge});
+            out.edge_items.push_back(he.edge);
+            out.edge_offsets.push_back(out.edge_items.size());
             ++out.num_components;
           }
           continue;
@@ -94,19 +99,22 @@ BiconnectedComponents biconnected_components(const Graph& g) {
     }
   }
 
-  // Derive unique vertex lists per component.
-  out.component_vertices.resize(out.num_components);
+  // Derive unique vertex lists per component, appended flat in component
+  // order (a vertex repeats across components only if it is an articulation
+  // point or a lone self-loop endpoint, so the total stays O(n + #comps)).
+  out.vertex_offsets.push_back(0);
   std::vector<std::uint32_t> stamp(n, kUnvisited);
   for (std::uint32_t c = 0; c < out.num_components; ++c) {
-    for (const EdgeId e : out.component_edges[c]) {
+    for (const EdgeId e : out.component_edges(c)) {
       const auto [u, v] = g.endpoints(e);
       for (const VertexId x : {u, v}) {
         if (stamp[x] != c) {
           stamp[x] = c;
-          out.component_vertices[c].push_back(x);
+          out.vertex_items.push_back(x);
         }
       }
     }
+    out.vertex_offsets.push_back(out.vertex_items.size());
   }
   return out;
 }
@@ -117,7 +125,8 @@ bool is_biconnected(const Graph& g) {
   const BiconnectedComponents bcc = biconnected_components(g);
   // Self-loops form their own component; ignore them when deciding.
   std::uint32_t non_loop_components = 0;
-  for (const auto& edges : bcc.component_edges) {
+  for (std::uint32_t c = 0; c < bcc.num_components; ++c) {
+    const auto edges = bcc.component_edges(c);
     if (edges.size() == 1 && g.is_self_loop(edges.front())) continue;
     ++non_loop_components;
   }
@@ -131,13 +140,14 @@ SubgraphView extract_component(const Graph& g,
     throw std::out_of_range("extract_component: bad component id");
   }
   SubgraphView view;
-  view.to_parent = bcc.component_vertices[component];
+  const auto verts = bcc.component_vertices(component);
+  view.to_parent.assign(verts.begin(), verts.end());
   std::vector<VertexId> local(g.num_vertices(), graph::kNullVertex);
   for (VertexId i = 0; i < view.to_parent.size(); ++i) {
     local[view.to_parent[i]] = i;
   }
   graph::Builder b(static_cast<VertexId>(view.to_parent.size()));
-  for (const EdgeId e : bcc.component_edges[component]) {
+  for (const EdgeId e : bcc.component_edges(component)) {
     const auto [u, v] = g.endpoints(e);
     b.add_edge(local[u], local[v], g.weight(e));
     view.edge_to_parent.push_back(e);

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "connectivity/dfs.hpp"
@@ -15,16 +16,38 @@ namespace eardec::connectivity {
 /// Result of the biconnected-components decomposition. BCCs partition the
 /// edge set; a vertex may belong to several components (iff it is an
 /// articulation point or an endpoint of a self-loop next to other edges).
+///
+/// Per-component edge/vertex lists use flat CSR-style storage (two arrays
+/// plus an offset table each) rather than vector-of-vectors: at 10⁶–10⁷
+/// vertices the per-component heap allocations dominated Phase 0 both in
+/// time and in allocator slack. Component c's lists are the spans returned
+/// by component_edges(c) / component_vertices(c).
 struct BiconnectedComponents {
   std::uint32_t num_components = 0;
   /// Per edge: the id of the component containing it.
   std::vector<std::uint32_t> edge_component;
   /// Per vertex: true iff removing it disconnects its component.
   std::vector<bool> is_articulation;
-  /// Edges of each component.
-  std::vector<std::vector<EdgeId>> component_edges;
-  /// Vertices of each component (each listed once).
-  std::vector<std::vector<VertexId>> component_vertices;
+  /// Flat edge lists: component c's edges are
+  /// edge_items[edge_offsets[c] .. edge_offsets[c+1]).
+  std::vector<std::size_t> edge_offsets;
+  std::vector<EdgeId> edge_items;
+  /// Flat vertex lists (each vertex listed once per component), same layout.
+  std::vector<std::size_t> vertex_offsets;
+  std::vector<VertexId> vertex_items;
+
+  /// Edges of component c.
+  [[nodiscard]] std::span<const EdgeId> component_edges(
+      std::uint32_t c) const noexcept {
+    return {edge_items.data() + edge_offsets[c],
+            edge_items.data() + edge_offsets[c + 1]};
+  }
+  /// Vertices of component c (each listed once).
+  [[nodiscard]] std::span<const VertexId> component_vertices(
+      std::uint32_t c) const noexcept {
+    return {vertex_items.data() + vertex_offsets[c],
+            vertex_items.data() + vertex_offsets[c + 1]};
+  }
 
   [[nodiscard]] std::size_t num_articulation_points() const {
     std::size_t c = 0;

@@ -21,8 +21,8 @@ BlockCutTree::BlockCutTree(const Graph& g, const BiconnectedComponents& bcc)
     // an articulation point, so the pseudo-block can sit in a different tree
     // component than the vertex's real block; block_of must keep pointing at
     // the real block or cross-block routing walks off the tree.
-    const bool loop_block = bcc.component_vertices[b].size() == 1;
-    for (const VertexId v : bcc.component_vertices[b]) {
+    const bool loop_block = bcc.component_vertices(b).size() == 1;
+    for (const VertexId v : bcc.component_vertices(b)) {
       if (block_of_[v] == kNoComponent || !loop_block) {
         block_of_[v] = b;  // overwrite is harmless for true cut vertices
       }

@@ -4,7 +4,8 @@ namespace eardec::connectivity {
 
 std::vector<bool> bridges(const Graph& g, const BiconnectedComponents& bcc) {
   std::vector<bool> out(g.num_edges(), false);
-  for (const auto& edges : bcc.component_edges) {
+  for (std::uint32_t c = 0; c < bcc.num_components; ++c) {
+    const auto edges = bcc.component_edges(c);
     if (edges.size() == 1 && !g.is_self_loop(edges.front())) {
       out[edges.front()] = true;
     }

@@ -27,13 +27,30 @@ EarDecomposition ear_decomposition(const Graph& g) {
       is_tree_edge[forest.parent_edge[v]] = true;
     }
   }
-  std::vector<std::vector<std::pair<EdgeId, VertexId>>> back_at(n);
-  for (EdgeId e = 0; e < m; ++e) {
-    if (is_tree_edge[e]) continue;
+  // Flat counting-sort buckets (offsets + two parallel arrays) instead of a
+  // vector-of-vectors: one allocation each, and bucket order stays edge-id
+  // order exactly as the old per-vertex push_back produced.
+  const auto ancestor_of = [&](EdgeId e) {
     const auto [x, y] = g.endpoints(e);
-    const VertexId anc = forest.disc[x] <= forest.disc[y] ? x : y;
-    const VertexId desc = anc == x ? y : x;
-    back_at[anc].emplace_back(e, desc);
+    return forest.disc[x] <= forest.disc[y] ? x : y;
+  };
+  std::vector<std::size_t> back_off(static_cast<std::size_t>(n) + 1, 0);
+  for (EdgeId e = 0; e < m; ++e) {
+    if (!is_tree_edge[e]) ++back_off[ancestor_of(e) + 1];
+  }
+  for (VertexId v = 0; v < n; ++v) back_off[v + 1] += back_off[v];
+  std::vector<EdgeId> back_edge(back_off[n]);
+  std::vector<VertexId> back_desc(back_off[n]);
+  {
+    std::vector<std::size_t> cursor(back_off.begin(), back_off.end() - 1);
+    for (EdgeId e = 0; e < m; ++e) {
+      if (is_tree_edge[e]) continue;
+      const auto [x, y] = g.endpoints(e);
+      const VertexId anc = ancestor_of(e);
+      const std::size_t slot = cursor[anc]++;
+      back_edge[slot] = e;
+      back_desc[slot] = anc == x ? y : x;
+    }
   }
 
   EarDecomposition out;
@@ -41,7 +58,9 @@ EarDecomposition ear_decomposition(const Graph& g) {
   std::vector<bool> marked(n, false);
 
   for (const VertexId v : forest.preorder) {
-    for (const auto& [e, desc] : back_at[v]) {
+    for (std::size_t i = back_off[v]; i < back_off[v + 1]; ++i) {
+      const EdgeId e = back_edge[i];
+      const VertexId desc = back_desc[i];
       Ear ear;
       ear.vertices.push_back(v);
       ear.edges.push_back(e);

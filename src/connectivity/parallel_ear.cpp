@@ -75,18 +75,40 @@ EarDecomposition parallel_ear_decomposition(const Graph& g,
   // covers the tree edge (v -> parent); a child's minimum propagates while
   // its LCA lies strictly above the current vertex.
   std::vector<Label> best(n);
-  std::vector<std::vector<std::pair<EdgeId, VertexId>>> incident(n);
+  // Flat counting-sort incidence buckets (one allocation instead of n): a
+  // non-tree edge contributes at each endpoint that is not the LCA.
+  std::vector<std::size_t> inc_off(static_cast<std::size_t>(n) + 1, 0);
   for (const EdgeId e : non_tree) {
     const auto [a, b] = g.endpoints(e);
     const VertexId l = lca_of[e];
-    if (a != l) incident[a].push_back({e, l});
-    if (b != l && b != a) incident[b].push_back({e, l});
+    if (a != l) ++inc_off[a + 1];
+    if (b != l && b != a) ++inc_off[b + 1];
+  }
+  for (VertexId v = 0; v < n; ++v) inc_off[v + 1] += inc_off[v];
+  std::vector<EdgeId> inc_edge(inc_off[n]);
+  std::vector<VertexId> inc_lca(inc_off[n]);
+  {
+    std::vector<std::size_t> cursor(inc_off.begin(), inc_off.end() - 1);
+    for (const EdgeId e : non_tree) {
+      const auto [a, b] = g.endpoints(e);
+      const VertexId l = lca_of[e];
+      if (a != l) {
+        const std::size_t s = cursor[a]++;
+        inc_edge[s] = e;
+        inc_lca[s] = l;
+      }
+      if (b != l && b != a) {
+        const std::size_t s = cursor[b]++;
+        inc_edge[s] = e;
+        inc_lca[s] = l;
+      }
+    }
   }
   for (auto it = forest.preorder.rbegin(); it != forest.preorder.rend();
        ++it) {
     const VertexId v = *it;
-    for (const auto& [e, l] : incident[v]) {
-      best[v] = std::min(best[v], Label{forest.disc[l], e});
+    for (std::size_t i = inc_off[v]; i < inc_off[v + 1]; ++i) {
+      best[v] = std::min(best[v], Label{forest.disc[inc_lca[i]], inc_edge[i]});
     }
     const VertexId p = forest.parent[v];
     if (p != graph::kNullVertex && best[v].valid() &&

@@ -13,7 +13,7 @@ MemoryUsage compute_memory_usage(
   constexpr std::uint64_t kEntry = sizeof(graph::Weight);
   MemoryUsage mu;
   for (std::uint32_t c = 0; c < bcc.num_components; ++c) {
-    const std::uint64_t ni = bcc.component_vertices[c].size();
+    const std::uint64_t ni = bcc.component_vertices(c).size();
     const std::uint64_t nr = reduced_sizes[c];
     mu.block_tables_bytes += ni * ni * kEntry;
     mu.compact_tables_bytes += nr * nr * kEntry;
@@ -23,6 +23,20 @@ MemoryUsage compute_memory_usage(
   const std::uint64_t n = g.num_vertices();
   mu.full_table_bytes = n * n * kEntry;
   return mu;
+}
+
+Phase01Model phase01_memory_model(std::uint64_t n, std::uint64_t m) {
+  Phase01Model p;
+  // offsets (n+1)*8 + adjacency 2m*16 + endpoints m*8 + weights m*8.
+  p.csr_bytes = 8 * (n + 1) + 48 * m;
+  // Per-term budget for the flat working arrays: DFS forest ~20n, BCC flat
+  // component arrays ~8n + 12m, chains ~16n + 8m, ear decomposition
+  // ~24n + 16m, reduction ~16n + 16m. Rounded up to leave headroom for
+  // allocator slack without ever going super-linear.
+  p.phase_bytes = 96 * n + 64 * m;
+  // Binary + runtime + thread stacks + heap metadata for a cold process.
+  p.runtime_bytes = 48ULL << 20;
+  return p;
 }
 
 }  // namespace eardec::core

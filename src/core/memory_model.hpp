@@ -44,4 +44,30 @@ struct MemoryUsage {
     const graph::Graph& g, const connectivity::BiconnectedComponents& bcc,
     const std::vector<graph::VertexId>& reduced_sizes);
 
+/// Linear memory bound for the *ingestion* path — mmap load + Phase 0
+/// (DFS/BCC) + Phase I (chains, ear decomposition, reduction) — as opposed
+/// to the quadratic APSP table model above. The scaling bench and the CI
+/// RSS gate compare sampled peak RSS against total_bytes(); constants are
+/// calibrated in docs/scaling.md and deliberately generous per-term, never
+/// super-linear.
+struct Phase01Model {
+  std::uint64_t csr_bytes = 0;     ///< the four CSR arrays (mmap'd or owned)
+  std::uint64_t phase_bytes = 0;   ///< flat Phase 0–I working arrays, c1·n + c2·m
+  std::uint64_t runtime_bytes = 0; ///< fixed process allowance (code, stacks, malloc slack)
+
+  [[nodiscard]] std::uint64_t total_bytes() const {
+    return csr_bytes + phase_bytes + runtime_bytes;
+  }
+  [[nodiscard]] double total_mb() const {
+    return static_cast<double>(total_bytes()) / (1024.0 * 1024.0);
+  }
+  [[nodiscard]] double csr_mb() const {
+    return static_cast<double>(csr_bytes) / (1024.0 * 1024.0);
+  }
+};
+
+/// The Phase 0–I bound for a graph with n vertices and m edges.
+[[nodiscard]] Phase01Model phase01_memory_model(std::uint64_t n,
+                                                std::uint64_t m);
+
 }  // namespace eardec::core

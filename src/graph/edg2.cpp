@@ -1,0 +1,524 @@
+#include "graph/edg2.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#if !defined(_WIN32)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#define EARDEC_HAVE_MMAP 1
+#endif
+
+namespace eardec::graph::io {
+namespace {
+
+static_assert(sizeof(std::size_t) == 8,
+              "EDG2 stores CSR offsets as u64 and maps them as std::size_t");
+
+constexpr std::array<char, 4> kMagic = {'E', 'D', 'G', '2'};
+constexpr std::size_t kChecksumChunk = 4 << 20;  // 4 MiB
+constexpr std::size_t kNumSections = 4;
+
+struct Edg2Section {
+  std::uint64_t offset = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// The first 160 bytes of the 4096-byte header page; the rest is zero.
+struct Edg2Header {
+  char magic[4];
+  std::uint32_t version;
+  std::uint64_t num_vertices;
+  std::uint64_t num_edges;
+  std::uint64_t num_self_loops;
+  std::uint32_t flags;         // bit 0: has_parallel_edges
+  std::uint32_t header_bytes;  // == kEdg2Align
+  Edg2Section sections[kNumSections];  // offsets, adjacency, endpoints, weights
+  std::uint64_t payload_checksum;
+  std::uint64_t header_checksum;
+  char provenance[40];
+};
+static_assert(std::is_trivially_copyable_v<Edg2Header> &&
+              sizeof(Edg2Header) == 160);
+static_assert(sizeof(Edg2Header) <= kEdg2Align);
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fnv1a(const unsigned char* p, std::size_t len,
+                    std::uint64_t h = kFnvOffset) {
+  for (std::size_t i = 0; i < len; ++i) {
+    h = (h ^ p[i]) * kFnvPrime;
+  }
+  return h;
+}
+
+struct ByteSpan {
+  const unsigned char* data = nullptr;
+  std::size_t len = 0;
+};
+
+/// Chunked payload digest: each 4 MiB chunk (chunks never straddle a
+/// section) is FNV-hashed independently — in parallel when a pool is given
+/// — and the final digest hashes the ordered chunk digests. Deterministic
+/// for any thread count.
+std::uint64_t chunked_checksum(const std::vector<ByteSpan>& sections,
+                               hetero::ThreadPool* pool) {
+  std::vector<ByteSpan> chunks;
+  for (const ByteSpan& s : sections) {
+    for (std::size_t off = 0; off < s.len; off += kChecksumChunk) {
+      chunks.push_back({s.data + off, std::min(kChecksumChunk, s.len - off)});
+    }
+  }
+  std::vector<std::uint64_t> digests(chunks.size());
+  const auto digest_one = [&](std::size_t i) {
+    digests[i] = fnv1a(chunks[i].data, chunks[i].len);
+  };
+  if (pool != nullptr && chunks.size() > 1) {
+    pool->parallel_for(0, chunks.size(), digest_one);
+  } else {
+    for (std::size_t i = 0; i < chunks.size(); ++i) digest_one(i);
+  }
+  return fnv1a(reinterpret_cast<const unsigned char*>(digests.data()),
+               digests.size() * sizeof(std::uint64_t));
+}
+
+std::size_t align_up(std::size_t x) {
+  return (x + kEdg2Align - 1) / kEdg2Align * kEdg2Align;
+}
+
+/// Section lengths implied by the counts, in file order.
+std::array<std::uint64_t, kNumSections> section_bytes(std::uint64_t n,
+                                                      std::uint64_t m) {
+  return {(n + 1) * sizeof(std::uint64_t), 2 * m * sizeof(HalfEdge),
+          m * sizeof(std::pair<VertexId, VertexId>), m * sizeof(Weight)};
+}
+
+[[noreturn]] void bad(const std::string& what) {
+  throw std::runtime_error("edg2: " + what);
+}
+
+/// Header checks shared by the mmap and stream readers: magic, version,
+/// header checksum, representable counts, and page-aligned, in-order,
+/// size-consistent sections. `file_bytes` of 0 skips the bounds check
+/// (stream readers that cannot stat their source).
+void validate_header(const unsigned char* page, std::size_t page_len,
+                     Edg2Header& h, std::uint64_t file_bytes) {
+  if (page_len < kEdg2Align) bad("file shorter than the header page");
+  std::memcpy(&h, page, sizeof(Edg2Header));
+  if (std::memcmp(h.magic, kMagic.data(), kMagic.size()) != 0) {
+    bad("bad magic (not an EDG2 file)");
+  }
+  if (h.version != kEdg2Version) {
+    bad("unsupported format version " + std::to_string(h.version));
+  }
+  if (h.header_bytes != kEdg2Align) bad("bad header size field");
+
+  // The header checksum covers the whole page with its own field zeroed.
+  std::array<unsigned char, kEdg2Align> scratch;
+  std::memcpy(scratch.data(), page, kEdg2Align);
+  const std::size_t cks_off = offsetof(Edg2Header, header_checksum);
+  std::memset(scratch.data() + cks_off, 0, sizeof(std::uint64_t));
+  if (fnv1a(scratch.data(), kEdg2Align) != h.header_checksum) {
+    bad("header checksum mismatch (corrupted header)");
+  }
+
+  if (h.num_vertices > std::numeric_limits<VertexId>::max() ||
+      h.num_edges > std::numeric_limits<EdgeId>::max() ||
+      h.num_self_loops > h.num_edges) {
+    bad("counts out of range");
+  }
+  const auto expect = section_bytes(h.num_vertices, h.num_edges);
+  std::uint64_t prev_end = kEdg2Align;
+  for (std::size_t s = 0; s < kNumSections; ++s) {
+    const Edg2Section& sec = h.sections[s];
+    if (sec.offset % kEdg2Align != 0 || sec.offset < prev_end) {
+      bad("section " + std::to_string(s) + " misaligned or overlapping");
+    }
+    if (sec.bytes != expect[s]) {
+      bad("section " + std::to_string(s) + " size does not match counts");
+    }
+    if (file_bytes != 0 && sec.offset + sec.bytes > file_bytes) {
+      bad("section " + std::to_string(s) + " extends past end of file");
+    }
+    prev_end = sec.offset + sec.bytes;
+  }
+}
+
+/// Deep content checks shared by Deep mmap loads and the stream reader:
+/// monotone offsets closing at 2m, in-range normalized endpoints,
+/// non-negative weights, and in-range adjacency entries.
+void validate_payload(const Edg2Header& h, const std::size_t* offsets,
+                      const HalfEdge* adjacency,
+                      const std::pair<VertexId, VertexId>* endpoints,
+                      const Weight* weights) {
+  const auto n = static_cast<VertexId>(h.num_vertices);
+  const auto m = static_cast<EdgeId>(h.num_edges);
+  if (offsets[0] != 0 || offsets[n] != 2 * static_cast<std::size_t>(m)) {
+    bad("offsets do not close at 2m");
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    if (offsets[v] > offsets[v + 1]) bad("offsets not monotone");
+  }
+  EdgeId self_loops = 0;
+  for (EdgeId e = 0; e < m; ++e) {
+    const auto [u, v] = endpoints[e];
+    if (u > v || v >= n) bad("endpoint out of range or not normalized");
+    if (u == v) ++self_loops;
+    if (!(weights[e] >= 0)) bad("negative or NaN weight");
+  }
+  if (self_loops != h.num_self_loops) bad("self-loop count mismatch");
+  for (std::size_t i = 0; i < 2 * static_cast<std::size_t>(m); ++i) {
+    if (adjacency[i].to >= n || adjacency[i].edge >= m) {
+      bad("adjacency entry out of range");
+    }
+  }
+}
+
+/// Deep-only geometry: sections are packed (each starts at the previous
+/// end rounded up to a page), every padding byte is zero, and the file ends
+/// exactly at the last section's page boundary — so between the header
+/// checksum, the payload checksum and this check, every byte of a
+/// Deep-validated file is accounted for and any single-byte corruption is
+/// caught.
+void validate_padding(const unsigned char* base, const Edg2Header& h,
+                      std::uint64_t file_bytes) {
+  std::uint64_t prev_end = kEdg2Align;
+  for (std::size_t s = 0; s < kNumSections; ++s) {
+    const std::uint64_t start = h.sections[s].offset;
+    if (start != align_up(prev_end)) {
+      bad("unexpected gap before section " + std::to_string(s));
+    }
+    for (std::uint64_t b = prev_end; b < start; ++b) {
+      if (base[b] != 0) bad("nonzero padding byte");
+    }
+    prev_end = start + h.sections[s].bytes;
+  }
+  if (file_bytes != align_up(prev_end)) {
+    bad("file does not end at the last section's page boundary");
+  }
+  for (std::uint64_t b = prev_end; b < file_bytes; ++b) {
+    if (base[b] != 0) bad("nonzero padding byte");
+  }
+}
+
+#if defined(EARDEC_HAVE_MMAP)
+/// Keepalive for borrowed graphs: unmaps on destruction of the last copy.
+struct MappedFile {
+  void* data = MAP_FAILED;
+  std::size_t len = 0;
+  ~MappedFile() {
+    if (data != MAP_FAILED) ::munmap(data, len);
+  }
+};
+#endif
+
+/// Keepalive for stream-loaded graphs: the same section arrays on the heap.
+struct StreamArrays {
+  std::vector<std::size_t> offsets;
+  std::vector<HalfEdge> adjacency;
+  std::vector<std::pair<VertexId, VertexId>> endpoints;
+  std::vector<Weight> weights;
+};
+
+Graph make_borrowed(const Edg2Header& h, const std::size_t* offsets,
+                    const HalfEdge* adjacency,
+                    const std::pair<VertexId, VertexId>* endpoints,
+                    const Weight* weights,
+                    std::shared_ptr<const void> keepalive,
+                    bool external_storage) {
+  Graph::BorrowedCsr csr;
+  csr.num_vertices = static_cast<VertexId>(h.num_vertices);
+  csr.num_self_loops = static_cast<EdgeId>(h.num_self_loops);
+  csr.has_parallel_edges = (h.flags & 1u) != 0;
+  csr.external_storage = external_storage;
+  const auto m = static_cast<std::size_t>(h.num_edges);
+  csr.offsets = {offsets, static_cast<std::size_t>(h.num_vertices) + 1};
+  csr.adjacency = {adjacency, 2 * m};
+  csr.endpoints = {endpoints, m};
+  csr.weights = {weights, m};
+  csr.keepalive = std::move(keepalive);
+  return Graph(std::move(csr));
+}
+
+}  // namespace
+
+void write_edg2_file(const std::filesystem::path& path, const Graph& g,
+                     hetero::ThreadPool* pool, const std::string& provenance) {
+  const std::uint64_t n = g.num_vertices();
+  const std::uint64_t m = g.num_edges();
+  // A default-constructed graph has no offsets array; synthesize the
+  // canonical one-element {0} so even the empty graph round-trips.
+  static constexpr std::size_t kZeroOffset = 0;
+  const std::size_t* offsets_data =
+      g.csr_offsets().empty() ? &kZeroOffset : g.csr_offsets().data();
+
+  Edg2Header h{};
+  std::memcpy(h.magic, kMagic.data(), kMagic.size());
+  h.version = kEdg2Version;
+  h.num_vertices = n;
+  h.num_edges = m;
+  h.num_self_loops = g.num_self_loops();
+  h.flags = g.has_parallel_edges() ? 1u : 0u;
+  h.header_bytes = kEdg2Align;
+  const auto bytes = section_bytes(n, m);
+  std::uint64_t off = kEdg2Align;
+  for (std::size_t s = 0; s < kNumSections; ++s) {
+    h.sections[s] = {off, bytes[s]};
+    off = align_up(off + bytes[s]);
+  }
+  std::strncpy(h.provenance, provenance.c_str(), sizeof(h.provenance) - 1);
+
+  const std::vector<ByteSpan> payload = {
+      {reinterpret_cast<const unsigned char*>(offsets_data),
+       static_cast<std::size_t>(bytes[0])},
+      {reinterpret_cast<const unsigned char*>(g.csr_adjacency().data()),
+       static_cast<std::size_t>(bytes[1])},
+      {reinterpret_cast<const unsigned char*>(g.edge_list().data()),
+       static_cast<std::size_t>(bytes[2])},
+      {reinterpret_cast<const unsigned char*>(g.edge_weights().data()),
+       static_cast<std::size_t>(bytes[3])},
+  };
+  h.payload_checksum = chunked_checksum(payload, pool);
+
+  std::array<unsigned char, kEdg2Align> page{};
+  std::memcpy(page.data(), &h, sizeof(Edg2Header));
+  const std::uint64_t header_cks = fnv1a(page.data(), kEdg2Align);
+  h.header_checksum = header_cks;
+  std::memcpy(page.data(), &h, sizeof(Edg2Header));
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) bad("cannot open " + path.string() + " for writing");
+  out.write(reinterpret_cast<const char*>(page.data()), kEdg2Align);
+  const std::array<char, kEdg2Align> zeros{};
+  for (std::size_t s = 0; s < kNumSections; ++s) {
+    out.write(reinterpret_cast<const char*>(payload[s].data),
+              static_cast<std::streamsize>(payload[s].len));
+    const std::size_t pad = align_up(payload[s].len) - payload[s].len;
+    if (pad > 0) out.write(zeros.data(), static_cast<std::streamsize>(pad));
+  }
+  if (!out) bad("short write to " + path.string());
+}
+
+Graph read_edg2_file(const std::filesystem::path& path,
+                     Edg2Validate validate) {
+#if defined(EARDEC_HAVE_MMAP)
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) bad("cannot open " + path.string());
+  struct ::stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    bad("cannot stat " + path.string());
+  }
+  const auto file_bytes = static_cast<std::uint64_t>(st.st_size);
+  if (file_bytes < kEdg2Align) {
+    ::close(fd);
+    bad(path.string() + ": file shorter than the header page");
+  }
+  auto mapped = std::make_shared<MappedFile>();
+  mapped->len = file_bytes;
+  mapped->data =
+      ::mmap(nullptr, mapped->len, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference
+  if (mapped->data == MAP_FAILED) bad("mmap failed for " + path.string());
+
+  const auto* base = static_cast<const unsigned char*>(mapped->data);
+  Edg2Header h;
+  validate_header(base, mapped->len, h, file_bytes);
+  const auto* offsets =
+      reinterpret_cast<const std::size_t*>(base + h.sections[0].offset);
+  const auto* adjacency =
+      reinterpret_cast<const HalfEdge*>(base + h.sections[1].offset);
+  const auto* endpoints =
+      reinterpret_cast<const std::pair<VertexId, VertexId>*>(
+          base + h.sections[2].offset);
+  const auto* weights =
+      reinterpret_cast<const Weight*>(base + h.sections[3].offset);
+  if (validate == Edg2Validate::Deep) {
+    const std::vector<ByteSpan> payload = {
+        {base + h.sections[0].offset, h.sections[0].bytes},
+        {base + h.sections[1].offset, h.sections[1].bytes},
+        {base + h.sections[2].offset, h.sections[2].bytes},
+        {base + h.sections[3].offset, h.sections[3].bytes},
+    };
+    if (chunked_checksum(payload, nullptr) != h.payload_checksum) {
+      bad(path.string() + ": payload checksum mismatch");
+    }
+    validate_padding(base, h, file_bytes);
+    validate_payload(h, offsets, adjacency, endpoints, weights);
+  }
+  return make_borrowed(h, offsets, adjacency, endpoints, weights,
+                       std::move(mapped), /*external_storage=*/true);
+#else
+  (void)validate;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) bad("cannot open " + path.string());
+  return read_edg2_stream(in);
+#endif
+}
+
+Graph read_edg2_stream(std::istream& in) {
+  std::array<unsigned char, kEdg2Align> page{};
+  in.read(reinterpret_cast<char*>(page.data()), kEdg2Align);
+  if (in.gcount() != static_cast<std::streamsize>(kEdg2Align)) {
+    bad("truncated header");
+  }
+  Edg2Header h;
+  validate_header(page.data(), page.size(), h, 0);
+
+  auto arrays = std::make_shared<StreamArrays>();
+  arrays->offsets.resize(h.num_vertices + 1);
+  arrays->adjacency.resize(2 * h.num_edges);
+  arrays->endpoints.resize(h.num_edges);
+  arrays->weights.resize(h.num_edges);
+  const auto read_section = [&](std::size_t s, void* dst) {
+    in.seekg(static_cast<std::streamoff>(h.sections[s].offset));
+    in.read(static_cast<char*>(dst),
+            static_cast<std::streamsize>(h.sections[s].bytes));
+    if (!in) bad("truncated section " + std::to_string(s));
+  };
+  read_section(0, arrays->offsets.data());
+  read_section(1, arrays->adjacency.data());
+  read_section(2, arrays->endpoints.data());
+  read_section(3, arrays->weights.data());
+
+  const std::vector<ByteSpan> payload = {
+      {reinterpret_cast<const unsigned char*>(arrays->offsets.data()),
+       static_cast<std::size_t>(h.sections[0].bytes)},
+      {reinterpret_cast<const unsigned char*>(arrays->adjacency.data()),
+       static_cast<std::size_t>(h.sections[1].bytes)},
+      {reinterpret_cast<const unsigned char*>(arrays->endpoints.data()),
+       static_cast<std::size_t>(h.sections[2].bytes)},
+      {reinterpret_cast<const unsigned char*>(arrays->weights.data()),
+       static_cast<std::size_t>(h.sections[3].bytes)},
+  };
+  if (chunked_checksum(payload, nullptr) != h.payload_checksum) {
+    bad("payload checksum mismatch");
+  }
+  validate_payload(h, arrays->offsets.data(), arrays->adjacency.data(),
+                   arrays->endpoints.data(), arrays->weights.data());
+  const StreamArrays& a = *arrays;
+  return make_borrowed(h, a.offsets.data(), a.adjacency.data(),
+                       a.endpoints.data(), a.weights.data(), std::move(arrays),
+                       /*external_storage=*/false);
+}
+
+Edg2Info inspect_edg2_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) bad("cannot open " + path.string());
+  std::array<unsigned char, kEdg2Align> page{};
+  in.read(reinterpret_cast<char*>(page.data()), kEdg2Align);
+  if (in.gcount() != static_cast<std::streamsize>(kEdg2Align)) {
+    bad("truncated header");
+  }
+  Edg2Header h;
+  validate_header(page.data(), page.size(), h, 0);
+  Edg2Info info;
+  info.version = h.version;
+  info.num_vertices = h.num_vertices;
+  info.num_edges = h.num_edges;
+  info.num_self_loops = h.num_self_loops;
+  info.has_parallel_edges = (h.flags & 1u) != 0;
+  info.file_bytes = std::filesystem::file_size(path);
+  for (const Edg2Section& s : h.sections) info.payload_bytes += s.bytes;
+  info.provenance.assign(
+      h.provenance,
+      std::find(h.provenance, h.provenance + sizeof(h.provenance), '\0'));
+  return info;
+}
+
+Graph build_csr_parallel(VertexId num_vertices,
+                         std::vector<std::pair<VertexId, VertexId>> edges,
+                         std::vector<Weight> weights,
+                         hetero::ThreadPool* pool) {
+  if (edges.size() != weights.size()) {
+    throw std::invalid_argument(
+        "build_csr_parallel: edges and weights size mismatch");
+  }
+  const VertexId n = num_vertices;
+  const auto m = static_cast<EdgeId>(edges.size());
+  auto arrays = std::make_shared<StreamArrays>();
+  arrays->endpoints = std::move(edges);
+  arrays->weights = std::move(weights);
+  for (auto& [u, v] : arrays->endpoints) {
+    if (u >= n || v >= n) {
+      throw std::invalid_argument("build_csr_parallel: endpoint out of range");
+    }
+    if (u > v) std::swap(u, v);
+  }
+  for (const Weight w : arrays->weights) {
+    if (!(w >= 0)) {
+      throw std::invalid_argument(
+          "build_csr_parallel: edge weights must be non-negative");
+    }
+  }
+
+  arrays->offsets.assign(static_cast<std::size_t>(n) + 1, 0);
+  EdgeId self_loops = 0;
+  for (const auto& [u, v] : arrays->endpoints) {
+    ++arrays->offsets[u + 1];
+    ++arrays->offsets[v + 1];
+    if (u == v) ++self_loops;
+  }
+  std::partial_sum(arrays->offsets.begin(), arrays->offsets.end(),
+                   arrays->offsets.begin());
+
+  // Serial rank pass: each half-edge's slot within its vertex bucket is its
+  // counting-sort rank, so the (expensive, cache-missing) adjacency fill
+  // below writes disjoint slots and can run chunked over the pool while
+  // producing the exact layout of the serial constructor.
+  std::vector<std::size_t> slot_u(m), slot_v(m);
+  {
+    std::vector<std::size_t> cursor(arrays->offsets.begin(),
+                                    arrays->offsets.end() - 1);
+    for (EdgeId e = 0; e < m; ++e) {
+      const auto [u, v] = arrays->endpoints[e];
+      slot_u[e] = cursor[u]++;
+      slot_v[e] = cursor[v]++;
+    }
+  }
+  arrays->adjacency.resize(2 * static_cast<std::size_t>(m));
+  const auto fill = [&](std::size_t e) {
+    const auto [u, v] = arrays->endpoints[e];
+    const Weight w = arrays->weights[e];
+    arrays->adjacency[slot_u[e]] =
+        HalfEdge{v, static_cast<EdgeId>(e), w};
+    arrays->adjacency[slot_v[e]] =
+        HalfEdge{u, static_cast<EdgeId>(e), w};
+  };
+  if (pool != nullptr && m > 0) {
+    pool->parallel_for(0, m, fill, 8192);
+  } else {
+    for (EdgeId e = 0; e < m; ++e) fill(e);
+  }
+
+  std::vector<std::uint64_t> keys;
+  keys.reserve(m);
+  for (const auto& [u, v] : arrays->endpoints) {
+    keys.push_back((static_cast<std::uint64_t>(u) << 32) | v);
+  }
+  std::sort(keys.begin(), keys.end());
+  const bool has_parallel =
+      std::adjacent_find(keys.begin(), keys.end()) != keys.end();
+
+  Graph::BorrowedCsr csr;
+  csr.num_vertices = n;
+  csr.num_self_loops = self_loops;
+  csr.has_parallel_edges = has_parallel;
+  csr.external_storage = false;  // the keepalive owns these heap arrays
+  csr.offsets = arrays->offsets;
+  csr.adjacency = arrays->adjacency;
+  csr.endpoints = arrays->endpoints;
+  csr.weights = arrays->weights;
+  csr.keepalive = arrays;
+  return Graph(std::move(csr));
+}
+
+}  // namespace eardec::graph::io

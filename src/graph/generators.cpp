@@ -307,4 +307,90 @@ Graph block_tree(const BlockTreeParams& p, std::uint64_t seed) {
   return std::move(b).build();
 }
 
+ScaleEdges table1_scale_edges(VertexId n, std::uint64_t seed) {
+  if (n < 64) {
+    throw std::invalid_argument("table1_scale_edges: n must be >= 64");
+  }
+  Rng rng(seed);
+  constexpr WeightRange wr{};
+  ScaleEdges out;
+  out.num_vertices = n;
+
+  // Vertex budget: dominant block 30%, degree-two chains 40%, small blocks
+  // 25%, pendant fringe the rest (~5%).
+  const VertexId n_large = n * 3 / 10;
+  const VertexId n_chain = n * 4 / 10;
+  const VertexId n_small = n / 4;
+  VertexId next = 0;  // fresh-id allocator
+  const auto emit = [&](VertexId u, VertexId v) {
+    out.edges.emplace_back(u, v);
+    out.weights.push_back(rand_weight(rng, wr));
+  };
+  out.edges.reserve(static_cast<std::size_t>(n) * 2);
+  out.weights.reserve(static_cast<std::size_t>(n) * 2);
+
+  // Dominant biconnected block: Hamiltonian cycle plus nL/2 chords, so the
+  // average intra-block degree lands near 3.
+  for (VertexId i = 0; i < n_large; ++i) emit(i, (i + 1) % n_large);
+  next = n_large;
+  {
+    std::uniform_int_distribution<VertexId> pick(0, n_large - 1);
+    for (VertexId c = 0; c < n_large / 2; ++c) {
+      const VertexId u = pick(rng);
+      const VertexId v = pick(rng);
+      if (u != v) emit(u, v);
+    }
+  }
+
+  // Ear-like chains through the dominant block: fresh degree-two paths
+  // between random block vertices, mean interior length 4. These are what
+  // the Phase I reduction removes.
+  {
+    std::uniform_int_distribution<VertexId> pick(0, n_large - 1);
+    std::uniform_int_distribution<VertexId> len(1, 7);
+    const VertexId chain_end = next + n_chain;
+    while (next < chain_end) {
+      const VertexId interior =
+          std::min<VertexId>(len(rng), chain_end - next);
+      VertexId prev = pick(rng);
+      for (VertexId i = 0; i < interior; ++i) {
+        emit(prev, next);
+        prev = next++;
+      }
+      emit(prev, pick(rng));
+    }
+  }
+
+  // Small near-cycle blocks glued at an articulation vertex drawn from
+  // everything placed so far.
+  {
+    std::uniform_int_distribution<VertexId> size_dist(3, 11);  // fresh ids
+    const VertexId small_end = next + n_small;
+    while (next < small_end) {
+      const VertexId fresh = std::min<VertexId>(size_dist(rng), small_end - next);
+      std::uniform_int_distribution<VertexId> anchor_pick(0, next - 1);
+      const VertexId anchor = anchor_pick(rng);
+      VertexId prev = anchor;
+      for (VertexId i = 0; i < fresh; ++i) {
+        emit(prev, next);
+        prev = next++;
+      }
+      if (fresh >= 2) emit(prev, anchor);  // close the cycle
+    }
+  }
+
+  // Pendant fringe on the remaining ids.
+  while (next < n) {
+    std::uniform_int_distribution<VertexId> anchor_pick(0, next - 1);
+    emit(anchor_pick(rng), next);
+    ++next;
+  }
+  return out;
+}
+
+Graph table1_scale(VertexId n, std::uint64_t seed) {
+  ScaleEdges se = table1_scale_edges(n, seed);
+  return Graph(se.num_vertices, std::move(se.edges), std::move(se.weights));
+}
+
 }  // namespace eardec::graph::generators

@@ -91,4 +91,24 @@ struct BlockTreeParams {
 /// datasets (many BCCs, one dominant BCC, pendant fringe).
 Graph block_tree(const BlockTreeParams& params, std::uint64_t seed);
 
+/// Raw edge list from the million-node scale generator, so callers can pick
+/// the CSR build path (the serial Graph constructor, or
+/// io::build_csr_parallel over a thread pool at scale).
+struct ScaleEdges {
+  VertexId num_vertices = 0;
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  std::vector<Weight> weights;
+};
+
+/// Table-1-like structure calibrated for 10⁶–10⁷ vertices, built directly
+/// as an edge list (no Builder, no post-hoc subdivision passes): one
+/// dominant biconnected block (~30% of n, average degree ≈ 3), ear-like
+/// degree-two chains threaded through it (~40% of n — the "Nodes Removed"
+/// knob), near-cycle small blocks glued at articulation vertices (~25%),
+/// and a pendant fringe (~5%). Deterministic in (n, seed).
+ScaleEdges table1_scale_edges(VertexId n, std::uint64_t seed);
+
+/// table1_scale_edges materialized through the serial Graph constructor.
+Graph table1_scale(VertexId n, std::uint64_t seed);
+
 }  // namespace eardec::graph::generators

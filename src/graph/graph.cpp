@@ -3,56 +3,98 @@
 #include <algorithm>
 #include <numeric>
 #include <stdexcept>
-#include <unordered_set>
 
 namespace eardec::graph {
+namespace {
+
+/// Heap backing store for graphs built from an edge list. The Graph's spans
+/// point into these vectors; the shared_ptr keepalive pins them across
+/// copies.
+struct OwnedArrays {
+  std::vector<std::size_t> offsets;                     // size n+1
+  std::vector<HalfEdge> adjacency;                      // size 2m
+  std::vector<std::pair<VertexId, VertexId>> endpoints; // size m, u<=v
+  std::vector<Weight> weights;                          // size m
+};
+
+}  // namespace
 
 Graph::Graph(VertexId num_vertices,
              std::vector<std::pair<VertexId, VertexId>> edges,
              std::vector<Weight> weights)
-    : n_(num_vertices), endpoints_(std::move(edges)), weights_(std::move(weights)) {
-  if (endpoints_.size() != weights_.size()) {
+    : n_(num_vertices) {
+  if (edges.size() != weights.size()) {
     throw std::invalid_argument("Graph: edges and weights size mismatch");
   }
-  for (auto& [u, v] : endpoints_) {
+  auto arrays = std::make_shared<OwnedArrays>();
+  arrays->endpoints = std::move(edges);
+  arrays->weights = std::move(weights);
+  for (auto& [u, v] : arrays->endpoints) {
     if (u >= n_ || v >= n_) {
       throw std::invalid_argument("Graph: edge endpoint out of range");
     }
     if (u > v) std::swap(u, v);
   }
-  for (const Weight w : weights_) {
+  for (const Weight w : arrays->weights) {
     if (!(w >= 0)) {  // also rejects NaN
       throw std::invalid_argument("Graph: edge weights must be non-negative");
     }
   }
 
   // Counting sort into CSR. A self-loop contributes two entries at v.
-  offsets_.assign(static_cast<std::size_t>(n_) + 1, 0);
-  for (const auto& [u, v] : endpoints_) {
-    ++offsets_[u + 1];
-    ++offsets_[v + 1];
+  arrays->offsets.assign(static_cast<std::size_t>(n_) + 1, 0);
+  for (const auto& [u, v] : arrays->endpoints) {
+    ++arrays->offsets[u + 1];
+    ++arrays->offsets[v + 1];
     if (u == v) ++num_self_loops_;
   }
-  std::partial_sum(offsets_.begin(), offsets_.end(), offsets_.begin());
+  std::partial_sum(arrays->offsets.begin(), arrays->offsets.end(),
+                   arrays->offsets.begin());
 
-  adjacency_.resize(2 * endpoints_.size());
-  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
-  for (EdgeId e = 0; e < endpoints_.size(); ++e) {
-    const auto [u, v] = endpoints_[e];
-    const Weight w = weights_[e];
-    adjacency_[cursor[u]++] = HalfEdge{v, e, w};
-    adjacency_[cursor[v]++] = HalfEdge{u, e, w};
+  arrays->adjacency.resize(2 * arrays->endpoints.size());
+  std::vector<std::size_t> cursor(arrays->offsets.begin(),
+                                  arrays->offsets.end() - 1);
+  for (EdgeId e = 0; e < arrays->endpoints.size(); ++e) {
+    const auto [u, v] = arrays->endpoints[e];
+    const Weight w = arrays->weights[e];
+    arrays->adjacency[cursor[u]++] = HalfEdge{v, e, w};
+    arrays->adjacency[cursor[v]++] = HalfEdge{u, e, w};
   }
 
-  // Detect parallel edges (same unordered endpoint pair, distinct ids).
-  std::unordered_set<std::uint64_t> seen;
-  seen.reserve(endpoints_.size() * 2);
-  for (const auto& [u, v] : endpoints_) {
-    const std::uint64_t key = (static_cast<std::uint64_t>(u) << 32) | v;
-    if (!seen.insert(key).second) {
-      has_parallel_ = true;
-      break;
-    }
+  // Detect parallel edges (same unordered endpoint pair, distinct ids) by
+  // sorting the packed endpoint keys — O(m log m) with a flat 8-byte array,
+  // far lighter than a hash set at million-edge scale.
+  std::vector<std::uint64_t> keys;
+  keys.reserve(arrays->endpoints.size());
+  for (const auto& [u, v] : arrays->endpoints) {
+    keys.push_back((static_cast<std::uint64_t>(u) << 32) | v);
+  }
+  std::sort(keys.begin(), keys.end());
+  has_parallel_ =
+      std::adjacent_find(keys.begin(), keys.end()) != keys.end();
+
+  offsets_ = arrays->offsets;
+  adjacency_ = arrays->adjacency;
+  endpoints_ = arrays->endpoints;
+  weights_ = arrays->weights;
+  storage_ = std::move(arrays);
+}
+
+Graph::Graph(BorrowedCsr csr)
+    : n_(csr.num_vertices),
+      num_self_loops_(csr.num_self_loops),
+      has_parallel_(csr.has_parallel_edges),
+      borrowed_(csr.external_storage),
+      offsets_(csr.offsets),
+      adjacency_(csr.adjacency),
+      endpoints_(csr.endpoints),
+      weights_(csr.weights),
+      storage_(std::move(csr.keepalive)) {
+  const std::size_t m = endpoints_.size();
+  if (offsets_.size() != static_cast<std::size_t>(n_) + 1 ||
+      adjacency_.size() != 2 * m || weights_.size() != m ||
+      (!offsets_.empty() && offsets_.back() != 2 * m)) {
+    throw std::invalid_argument("Graph: borrowed CSR arrays are inconsistent");
   }
 }
 

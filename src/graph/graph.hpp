@@ -12,11 +12,20 @@
 //    degree(v). MCB treats a self-loop as a cycle of length 1.
 //  * Parallel edges are allowed: the reduced graphs produced by ear
 //    contraction for MCB are genuine multigraphs (Lemma 3.1 of the paper).
+//
+// Storage model: a Graph reads its four CSR arrays through spans. The spans
+// either point into heap arrays built by the edge-list constructor ("owned"
+// storage) or into externally managed memory such as an mmap'd EDG2 file
+// ("borrowed" storage — see graph/edg2.hpp). In both cases a shared_ptr
+// keepalive pins the backing storage, so copies of a Graph are O(1) and
+// share the immutable arrays.
 #pragma once
 
 #include <cassert>
 #include <cstddef>
+#include <memory>
 #include <span>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -32,6 +41,18 @@ struct HalfEdge {
   Weight weight;
 };
 
+// The EDG2 zero-copy loader maps these arrays straight off disk; the layout
+// must stay raw-byte serializable.
+static_assert(std::is_trivially_copyable_v<HalfEdge> &&
+              sizeof(HalfEdge) == 16);
+// std::pair is not trivially copyable (its assignment operator is
+// user-provided), but trivial copy-construction + standard layout is what
+// byte-level serialization of the endpoint array actually relies on.
+static_assert(
+    std::is_trivially_copy_constructible_v<std::pair<VertexId, VertexId>> &&
+    std::is_standard_layout_v<std::pair<VertexId, VertexId>> &&
+    sizeof(std::pair<VertexId, VertexId>) == 8);
+
 /// Immutable weighted undirected multigraph in CSR layout.
 ///
 /// Construction goes through graph::Builder (builder.hpp); the constructor
@@ -46,6 +67,35 @@ class Graph {
   /// Endpoints must be < num_vertices. Weights must be non-negative.
   Graph(VertexId num_vertices, std::vector<std::pair<VertexId, VertexId>> edges,
         std::vector<Weight> weights);
+
+  /// Pre-built CSR arrays borrowed from external storage. The spans must
+  /// describe a consistent CSR image (the EDG2 reader validates on load);
+  /// `keepalive` pins the backing memory for the life of every Graph copy.
+  struct BorrowedCsr {
+    VertexId num_vertices = 0;
+    EdgeId num_self_loops = 0;
+    bool has_parallel_edges = false;
+    /// What borrowed_storage() reports. True for genuinely external memory
+    /// (an mmap'd file); adopters that hand over heap arrays they own via
+    /// `keepalive` (the EDG2 stream reader, the parallel CSR builder) set
+    /// it false — the Graph's lifetime story is then the same as the
+    /// edge-list constructor's.
+    bool external_storage = true;
+    std::span<const std::size_t> offsets;                    ///< size n+1
+    std::span<const HalfEdge> adjacency;                     ///< size 2m
+    std::span<const std::pair<VertexId, VertexId>> endpoints;///< size m
+    std::span<const Weight> weights;                         ///< size m
+    std::shared_ptr<const void> keepalive;
+  };
+
+  /// Adopts borrowed CSR storage (zero-copy). Validates only the array
+  /// *shapes* (span sizes vs the counts) — content validation is the
+  /// loader's job. Throws std::invalid_argument on a shape mismatch.
+  explicit Graph(BorrowedCsr csr);
+
+  /// True iff the CSR arrays live in external storage (e.g. an mmap'd EDG2
+  /// section) rather than heap arrays built by the edge-list constructor.
+  [[nodiscard]] bool borrowed_storage() const noexcept { return borrowed_; }
 
   /// Number of vertices n.
   [[nodiscard]] VertexId num_vertices() const noexcept { return n_; }
@@ -114,14 +164,30 @@ class Graph {
     return weights_;
   }
 
+  /// The raw CSR offset array (size n+1): adjacency entries of v occupy
+  /// [offsets[v], offsets[v+1]). Exposed for serializers (EDG2) and for
+  /// algorithms that stream the whole adjacency array flat.
+  [[nodiscard]] std::span<const std::size_t> csr_offsets() const noexcept {
+    return offsets_;
+  }
+
+  /// The raw flat adjacency array (size 2m), concatenated per-vertex lists.
+  [[nodiscard]] std::span<const HalfEdge> csr_adjacency() const noexcept {
+    return adjacency_;
+  }
+
  private:
   VertexId n_ = 0;
   EdgeId num_self_loops_ = 0;
   bool has_parallel_ = false;
-  std::vector<std::size_t> offsets_;  // size n+1
-  std::vector<HalfEdge> adjacency_;   // size 2m
-  std::vector<std::pair<VertexId, VertexId>> endpoints_;  // size m, normalized u<=v
-  std::vector<Weight> weights_;                           // size m
+  bool borrowed_ = false;
+  std::span<const std::size_t> offsets_;                     // size n+1
+  std::span<const HalfEdge> adjacency_;                      // size 2m
+  std::span<const std::pair<VertexId, VertexId>> endpoints_; // size m, u<=v
+  std::span<const Weight> weights_;                          // size m
+  /// Pins the arrays the spans point into: the OwnedArrays built by the
+  /// edge-list constructor, or external storage (mmap) for borrowed mode.
+  std::shared_ptr<const void> storage_;
 };
 
 }  // namespace eardec::graph

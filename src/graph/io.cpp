@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -68,7 +69,12 @@ Graph read_matrix_market(std::istream& in) {
     if (!(ls >> i >> j)) {
       throw std::runtime_error("read_matrix_market: malformed entry");
     }
-    if (!pattern) ls >> w;
+    // real/integer files must carry a parseable value per entry; silently
+    // defaulting a garbled weight to 1.0 would corrupt the graph.
+    if (!pattern && !(ls >> w)) {
+      throw std::runtime_error("read_matrix_market: bad weight in entry: " +
+                               line);
+    }
     if (i == 0 || j == 0 || i > rows || j > cols) {
       throw std::runtime_error("read_matrix_market: index out of range");
     }
@@ -85,6 +91,10 @@ Graph read_matrix_market_file(const std::filesystem::path& path) {
 }
 
 void write_matrix_market(std::ostream& out, const Graph& g) {
+  // max_digits10 makes the text round-trip exact: read(write(g)) returns
+  // bitwise-equal weights, which the format property tests rely on.
+  const auto old_precision =
+      out.precision(std::numeric_limits<double>::max_digits10);
   out << "%%MatrixMarket matrix coordinate real symmetric\n";
   out << g.num_vertices() << ' ' << g.num_vertices() << ' ' << g.num_edges()
       << '\n';
@@ -94,6 +104,7 @@ void write_matrix_market(std::ostream& out, const Graph& g) {
     out << (std::max(u, v) + 1) << ' ' << (std::min(u, v) + 1) << ' '
         << g.weight(e) << '\n';
   }
+  out.precision(old_precision);
 }
 
 void write_matrix_market_file(const std::filesystem::path& path,
@@ -115,7 +126,11 @@ Graph read_edge_list(std::istream& in) {
     if (!(ls >> u >> v)) {
       throw std::runtime_error("read_edge_list: malformed line: " + line);
     }
+    // The third column is optional, but if present it must be numeric.
     ls >> w;
+    if (ls.fail() && !ls.eof()) {
+      throw std::runtime_error("read_edge_list: bad weight in line: " + line);
+    }
     b.ensure_vertex(static_cast<VertexId>(u));
     b.ensure_vertex(static_cast<VertexId>(v));
     b.add_edge(static_cast<VertexId>(u), static_cast<VertexId>(v), w);
@@ -124,10 +139,13 @@ Graph read_edge_list(std::istream& in) {
 }
 
 void write_edge_list(std::ostream& out, const Graph& g) {
+  const auto old_precision =
+      out.precision(std::numeric_limits<double>::max_digits10);
   for (EdgeId e = 0; e < g.num_edges(); ++e) {
     const auto [u, v] = g.endpoints(e);
     out << u << ' ' << v << ' ' << g.weight(e) << '\n';
   }
+  out.precision(old_precision);
 }
 
 }  // namespace eardec::graph::io

@@ -38,6 +38,26 @@ double read_rss_mb() {
 #endif
 }
 
+double read_peak_rss_mb() {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return -1.0;
+  char line[256];
+  double peak_mb = -1.0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    unsigned long kb = 0;  // NOLINT(google-runtime-int): scanf ABI
+    if (std::sscanf(line, "VmHWM: %lu kB", &kb) == 1) {
+      peak_mb = static_cast<double>(kb) / 1024.0;
+      break;
+    }
+  }
+  std::fclose(f);
+  return peak_mb;
+#else
+  return -1.0;
+#endif
+}
+
 struct Sampler::Impl {
   std::mutex lifecycle;  ///< serializes start()/stop()
   std::jthread thread;

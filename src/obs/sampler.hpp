@@ -35,6 +35,11 @@ namespace eardec::obs {
 /// track and the stats server's scrape-time `eardec_process_rss_mb` gauge.
 [[nodiscard]] double read_rss_mb();
 
+/// Peak resident set size in MiB (VmHWM from /proc/self/status), or a
+/// negative value when unavailable. The scaling bench and the CLI RSS gate
+/// compare this against the Phase 0–I memory model.
+[[nodiscard]] double read_peak_rss_mb();
+
 class Sampler {
  public:
   struct Options {

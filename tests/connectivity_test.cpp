@@ -150,8 +150,8 @@ TEST(Bcc, EdgesArePartitioned) {
   const auto bcc = biconnected_components(g);
   std::vector<std::uint32_t> seen(g.num_edges(), 0);
   EdgeId total = 0;
-  for (const auto& edges : bcc.component_edges) {
-    for (const EdgeId e : edges) {
+  for (std::uint32_t c = 0; c < bcc.num_components; ++c) {
+    for (const EdgeId e : bcc.component_edges(c)) {
       ++seen[e];
       ++total;
     }
@@ -249,8 +249,8 @@ TEST(Bcc, ExtractComponentRemapsConsistently) {
   const auto bcc = biconnected_components(g);
   for (std::uint32_t c = 0; c < bcc.num_components; ++c) {
     const SubgraphView view = extract_component(g, bcc, c);
-    EXPECT_EQ(view.graph.num_edges(), bcc.component_edges[c].size());
-    EXPECT_EQ(view.graph.num_vertices(), bcc.component_vertices[c].size());
+    EXPECT_EQ(view.graph.num_edges(), bcc.component_edges(c).size());
+    EXPECT_EQ(view.graph.num_vertices(), bcc.component_vertices(c).size());
     EXPECT_TRUE(view.graph.num_edges() <= 1 || is_biconnected(view.graph));
     for (EdgeId e = 0; e < view.graph.num_edges(); ++e) {
       const auto [lu, lv] = view.graph.endpoints(e);

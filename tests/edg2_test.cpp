@@ -1,0 +1,294 @@
+// Tests for the EDG2 packed binary format and the parallel CSR builder:
+// zero-copy round-trips, borrowed-vs-owned storage identity, mmap-vs-stream
+// equality, the two validation tiers against corrupted files, and the
+// writer's byte-level determinism.
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/edg2.hpp"
+#include "graph/generators.hpp"
+#include "hetero/thread_pool.hpp"
+
+namespace eardec::graph {
+namespace {
+
+namespace gen = generators;
+
+std::filesystem::path temp_edg2(const std::string& tag) {
+  return std::filesystem::temp_directory_path() / ("eardec_" + tag + ".edg2");
+}
+
+std::string slurp(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void spit(const std::filesystem::path& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Full structural equality, including the CSR adjacency layout (the EDG2
+/// contract is bitwise identity with the serial constructor, not just
+/// edge-set equality).
+void expect_identical(const Graph& a, const Graph& b) {
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_EQ(a.num_self_loops(), b.num_self_loops());
+  EXPECT_EQ(a.has_parallel_edges(), b.has_parallel_edges());
+  const auto ao = a.csr_offsets(), bo = b.csr_offsets();
+  ASSERT_EQ(ao.size(), bo.size());
+  for (std::size_t i = 0; i < ao.size(); ++i) EXPECT_EQ(ao[i], bo[i]);
+  const auto aa = a.csr_adjacency(), ba = b.csr_adjacency();
+  ASSERT_EQ(aa.size(), ba.size());
+  for (std::size_t i = 0; i < aa.size(); ++i) {
+    EXPECT_EQ(aa[i].to, ba[i].to);
+    EXPECT_EQ(aa[i].edge, ba[i].edge);
+    EXPECT_EQ(aa[i].weight, ba[i].weight);  // bitwise-equal doubles expected
+  }
+  for (EdgeId e = 0; e < a.num_edges(); ++e) {
+    EXPECT_EQ(a.endpoints(e), b.endpoints(e));
+    EXPECT_EQ(a.weight(e), b.weight(e));
+  }
+}
+
+TEST(Edg2, RoundTripIsBitIdenticalAndBorrowed) {
+  const Graph g = gen::subdivide(gen::random_biconnected(40, 90, 7), 50, 3);
+  const auto path = temp_edg2("roundtrip");
+  io::write_edg2_file(path, g);
+  const Graph h = io::read_edg2_file(path, io::Edg2Validate::Deep);
+  EXPECT_FALSE(g.borrowed_storage());
+  EXPECT_TRUE(h.borrowed_storage());
+  expect_identical(g, h);
+  std::filesystem::remove(path);
+}
+
+TEST(Edg2, SelfLoopsAndParallelsSurvive) {
+  Builder b(4);
+  b.add_edge(0, 0, 2.5);
+  b.add_edge(1, 2, 1.0);
+  b.add_edge(1, 2, 3.0);
+  b.add_edge(2, 3, 0.5);
+  const Graph g = std::move(b).build();
+  const auto path = temp_edg2("multi");
+  io::write_edg2_file(path, g);
+  const Graph h = io::read_edg2_file(path, io::Edg2Validate::Deep);
+  EXPECT_EQ(h.num_self_loops(), 1u);
+  EXPECT_TRUE(h.has_parallel_edges());
+  expect_identical(g, h);
+  std::filesystem::remove(path);
+}
+
+TEST(Edg2, EmptyAndEdgelessGraphsRoundTrip) {
+  for (const VertexId n : {VertexId{0}, VertexId{5}}) {
+    const Graph g(n, {}, {});
+    const auto path = temp_edg2("empty");
+    io::write_edg2_file(path, g);
+    const Graph h = io::read_edg2_file(path, io::Edg2Validate::Deep);
+    expect_identical(g, h);
+    std::filesystem::remove(path);
+  }
+}
+
+TEST(Edg2, StreamReaderMatchesMmapBitwise) {
+  const Graph g = gen::random_connected(60, 140, 3);
+  const auto path = temp_edg2("stream");
+  io::write_edg2_file(path, g);
+  const Graph mapped = io::read_edg2_file(path, io::Edg2Validate::Deep);
+  std::ifstream in(path, std::ios::binary);
+  const Graph streamed = io::read_edg2_stream(in);
+  EXPECT_TRUE(mapped.borrowed_storage());
+  EXPECT_FALSE(streamed.borrowed_storage());
+  expect_identical(mapped, streamed);
+  std::filesystem::remove(path);
+}
+
+TEST(Edg2, CopiesShareBorrowedStorageAfterFileRemoval) {
+  // The mapping must outlive the file (POSIX keeps mapped pages alive after
+  // unlink) and be shared by O(1) Graph copies.
+  const Graph g = gen::petersen();
+  const auto path = temp_edg2("lifetime");
+  io::write_edg2_file(path, g);
+  Graph h = io::read_edg2_file(path);
+  std::filesystem::remove(path);
+  const Graph copy = h;  // NOLINT(performance-unnecessary-copy-initialization)
+  h = Graph();           // drop the original; copy must keep the mapping
+  expect_identical(g, copy);
+}
+
+TEST(Edg2, WriterIsDeterministic) {
+  const Graph g = gen::random_connected(50, 120, 9);
+  const auto p1 = temp_edg2("det1");
+  const auto p2 = temp_edg2("det2");
+  hetero::ThreadPool pool(3);
+  io::write_edg2_file(p1, g, nullptr);  // serial checksum
+  io::write_edg2_file(p2, g, &pool);    // pooled checksum, 4 MiB chunks
+  EXPECT_EQ(slurp(p1), slurp(p2));
+  std::filesystem::remove(p1);
+  std::filesystem::remove(p2);
+}
+
+TEST(Edg2, InspectReportsHeaderFields) {
+  Builder b(3);
+  b.add_edge(0, 1, 1.0);
+  b.add_edge(0, 1, 2.0);
+  b.add_edge(2, 2, 3.0);
+  const Graph g = std::move(b).build();
+  const auto path = temp_edg2("inspect");
+  io::write_edg2_file(path, g, nullptr, "inspect-test");
+  const io::Edg2Info info = io::inspect_edg2_file(path);
+  EXPECT_EQ(info.version, io::kEdg2Version);
+  EXPECT_EQ(info.num_vertices, 3u);
+  EXPECT_EQ(info.num_edges, 3u);
+  EXPECT_EQ(info.num_self_loops, 1u);
+  EXPECT_TRUE(info.has_parallel_edges);
+  EXPECT_EQ(info.provenance, "inspect-test");
+  EXPECT_EQ(info.file_bytes, std::filesystem::file_size(path));
+  EXPECT_GT(info.payload_bytes, 0u);
+  std::filesystem::remove(path);
+}
+
+// ----------------------------------------------------------------- corruption
+
+TEST(Edg2, RejectsBadMagicAndTruncatedHeader) {
+  const auto path = temp_edg2("corrupt");
+  spit(path, "NOPE");
+  EXPECT_THROW((void)io::read_edg2_file(path), std::runtime_error);
+  EXPECT_THROW((void)io::inspect_edg2_file(path), std::runtime_error);
+
+  io::write_edg2_file(path, gen::cycle(6));
+  std::string data = slurp(path);
+  spit(path, data.substr(0, 100));  // mid-header truncation
+  EXPECT_THROW((void)io::read_edg2_file(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(Edg2, RejectsHeaderBitFlipsEvenShallow) {
+  // Any flip inside the header page breaks the header checksum, which the
+  // Shallow tier already verifies.
+  const auto path = temp_edg2("hdrflip");
+  io::write_edg2_file(path, gen::random_connected(20, 40, 1));
+  const std::string good = slurp(path);
+  std::mt19937_64 rng(2026);
+  for (int trial = 0; trial < 16; ++trial) {
+    std::string data = good;
+    const std::size_t pos = rng() % 160;  // the populated header prefix
+    const auto bit = static_cast<unsigned char>(1u << (rng() % 8));
+    data[pos] = static_cast<char>(static_cast<unsigned char>(data[pos]) ^ bit);
+    spit(path, data);
+    EXPECT_THROW((void)io::read_edg2_file(path), std::runtime_error)
+        << "header flip at byte " << pos << " not caught";
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Edg2, DeepCatchesPayloadBitFlipsShallowDoesNot) {
+  const auto path = temp_edg2("payflip");
+  io::write_edg2_file(path, gen::random_connected(30, 70, 5));
+  const std::string good = slurp(path);
+  std::mt19937_64 rng(31);
+  for (int trial = 0; trial < 8; ++trial) {
+    std::string data = good;
+    // Flip inside the adjacency section (the offsets section fits in one
+    // page for this graph, so adjacency starts on the second payload page).
+    // Shallow has nothing to check there; the Deep checksum covers it.
+    const std::size_t pos = 2 * io::kEdg2Align + rng() % (70u * 2u * 16u);
+    data[pos] = static_cast<char>(static_cast<unsigned char>(data[pos]) ^ 1);
+    spit(path, data);
+    // Shallow trusts the payload by design...
+    EXPECT_NO_THROW((void)io::read_edg2_file(path));
+    // ...Deep verifies the chunked checksum and must reject.
+    EXPECT_THROW((void)io::read_edg2_file(path, io::Edg2Validate::Deep),
+                 std::runtime_error)
+        << "payload flip at byte " << pos << " not caught by Deep";
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Edg2, RejectsTruncatedSections) {
+  const auto path = temp_edg2("trunc");
+  io::write_edg2_file(path, gen::random_connected(25, 50, 8));
+  const std::string good = slurp(path);
+  // Cutting into section data puts a section past EOF, which the Shallow
+  // geometry check catches without touching the payload.
+  for (const double frac : {0.30, 0.60}) {
+    spit(path, good.substr(0, static_cast<std::size_t>(
+                                  static_cast<double>(good.size()) * frac)));
+    EXPECT_THROW((void)io::read_edg2_file(path), std::runtime_error);
+  }
+  // Cutting only the final page's zero padding keeps every section in
+  // bounds — Shallow accepts that by design, Deep does not (a valid file
+  // ends exactly at the last section's page boundary).
+  spit(path, good.substr(0, good.size() - 7));
+  EXPECT_NO_THROW((void)io::read_edg2_file(path));
+  EXPECT_THROW((void)io::read_edg2_file(path, io::Edg2Validate::Deep),
+               std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(Edg2, StreamReaderRejectsCorruption) {
+  const Graph g = gen::random_connected(20, 45, 2);
+  const auto path = temp_edg2("streamcorrupt");
+  io::write_edg2_file(path, g);
+  std::string data = slurp(path);
+  std::filesystem::remove(path);
+
+  std::istringstream short_hdr(data.substr(0, 64));
+  EXPECT_THROW((void)io::read_edg2_stream(short_hdr), std::runtime_error);
+
+  // Cut a full page plus change so the truncation reaches section data
+  // (the tail of the file is zero padding the stream reader never visits).
+  std::istringstream short_payload(
+      data.substr(0, data.size() - io::kEdg2Align - 9));
+  EXPECT_THROW((void)io::read_edg2_stream(short_payload), std::runtime_error);
+
+  // Payload flip -> checksum mismatch.
+  data[io::kEdg2Align + 8] = static_cast<char>(
+      static_cast<unsigned char>(data[io::kEdg2Align + 8]) ^ 0x40);
+  std::istringstream flipped(data);
+  EXPECT_THROW((void)io::read_edg2_stream(flipped), std::runtime_error);
+}
+
+// ------------------------------------------------------------ parallel build
+
+TEST(Edg2, ParallelCsrBuildMatchesSerialConstructor) {
+  std::mt19937_64 rng(77);
+  hetero::ThreadPool pool(3);
+  for (int trial = 0; trial < 6; ++trial) {
+    const VertexId n = 50 + static_cast<VertexId>(rng() % 200);
+    const std::size_t m = n * 2;
+    std::vector<std::pair<VertexId, VertexId>> edges;
+    std::vector<Weight> weights;
+    for (std::size_t e = 0; e < m; ++e) {
+      // Unnormalized endpoints, self-loops, and duplicates on purpose.
+      edges.emplace_back(static_cast<VertexId>(rng() % n),
+                         static_cast<VertexId>(rng() % n));
+      weights.push_back(static_cast<double>(rng() % 1000) / 10.0);
+    }
+    const Graph serial(n, edges, weights);
+    const Graph parallel = io::build_csr_parallel(
+        n, std::move(edges), std::move(weights), &pool);
+    expect_identical(serial, parallel);
+  }
+}
+
+TEST(Edg2, ParallelCsrBuildRejectsBadInput) {
+  hetero::ThreadPool pool(2);
+  EXPECT_THROW((void)io::build_csr_parallel(3, {{0, 5}}, {1.0}, &pool),
+               std::invalid_argument);
+  EXPECT_THROW((void)io::build_csr_parallel(3, {{0, 1}}, {1.0, 2.0}, &pool),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace eardec::graph

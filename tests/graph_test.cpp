@@ -502,6 +502,39 @@ TEST(Io, EdgeListRejectsGarbageLine) {
   EXPECT_THROW((void)io::read_edge_list(in), std::runtime_error);
 }
 
+TEST(Io, MatrixMarketRejectsTruncatedSizeLine) {
+  // Size line missing the nnz count: a clean error, not a zero-edge graph.
+  std::stringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3\n");
+  EXPECT_THROW((void)io::read_matrix_market(in), std::runtime_error);
+}
+
+TEST(Io, MatrixMarketRejectsNonNumericWeight) {
+  // real/integer files must carry a parseable value per entry; silently
+  // defaulting a garbled weight to 1.0 would corrupt the graph.
+  std::stringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 1\n"
+      "2 1 fast\n");
+  EXPECT_THROW((void)io::read_matrix_market(in), std::runtime_error);
+}
+
+TEST(Io, MatrixMarketRejectsZeroCoordinate) {
+  // Matrix Market is one-based; a zero index would wrap on the -1 shift.
+  std::stringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 1\n"
+      "0 1 2.0\n");
+  EXPECT_THROW((void)io::read_matrix_market(in), std::runtime_error);
+}
+
+TEST(Io, EdgeListRejectsNonNumericWeight) {
+  // The third column is optional, but if present it must be numeric.
+  std::stringstream in("0 1 heavy\n");
+  EXPECT_THROW((void)io::read_edge_list(in), std::runtime_error);
+}
+
 TEST(Io, EdgeListCommentsAndDefaults) {
   std::stringstream in("# comment\n% other comment\n0 3\n");
   const Graph g = io::read_edge_list(in);

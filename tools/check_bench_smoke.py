@@ -3,7 +3,8 @@
 
 Usage: check_bench_smoke.py <table2_mcb.json> <mcb_gf2.json>
                             [<sssp_kernels.json>] [<oracle_query.json>]
-                            [<oracle_serve.json>] [--tolerance X]
+                            [<oracle_serve.json>] [<scaling.json>]
+                            [--tolerance X]
 
 Two layers of checking:
 
@@ -253,6 +254,66 @@ def check_oracle_serve(path):
             require((mix, p) in grid_seen, f"{path}: no ({mix}, {p}) cell")
 
 
+SCALING_PHASE_KEYS = ("generate", "build_csr", "write_edg2", "load_mmap",
+                      "phase0_bcc", "phase1_chains", "phase1_ears")
+SCALING_RSS_KEYS = ("before_load_mb", "load_delta_mb", "peak_mb",
+                    "model_mb", "model_csr_mb")
+SCALING_RSS_FACTOR = 1.25
+
+
+def check_scaling(path):
+    """Shape + envelope gate for the ingestion-scaling snapshot: every size
+    carries the full seven-phase pipeline with positive throughput, sizes
+    are strictly ascending (the VmHWM methodology depends on it), peak RSS
+    sits inside the linear phase01 memory-model bound x 1.25, and the
+    load-phase RSS delta stays below the CSR payload size — the zero-copy
+    claim, re-checked from the snapshot."""
+    doc = load(path)
+    sizes = doc.get("sizes")
+    require(isinstance(sizes, list) and sizes,
+            f"{path}: sizes missing or empty")
+    prev_n = 0
+    for i, s in enumerate(sizes):
+        for key in ("n", "m"):
+            require(isinstance(s.get(key), int) and s[key] > 0,
+                    f"{path}: sizes[{i}].{key} missing or non-positive")
+        require(s["n"] > prev_n,
+                f"{path}: sizes[{i}].n={s['n']} not ascending "
+                "(peak-RSS methodology requires ascending sizes)")
+        prev_n = s["n"]
+        phases = s.get("phases")
+        require(isinstance(phases, dict), f"{path}: sizes[{i}].phases missing")
+        for key in SCALING_PHASE_KEYS:
+            p = phases.get(key)
+            require(isinstance(p, dict), f"{path}: sizes[{i}].phases.{key} "
+                    "missing")
+            require(isinstance(p.get("seconds"), (int, float))
+                    and p["seconds"] > 0,
+                    f"{path}: sizes[{i}].{key}.seconds missing or <= 0")
+            require(isinstance(p.get("nodes_per_s"), (int, float))
+                    and p["nodes_per_s"] > 0,
+                    f"{path}: sizes[{i}].{key}.nodes_per_s missing or <= 0")
+        rss = s.get("rss")
+        require(isinstance(rss, dict), f"{path}: sizes[{i}].rss missing")
+        for key in SCALING_RSS_KEYS:
+            require(isinstance(rss.get(key), (int, float)),
+                    f"{path}: sizes[{i}].rss.{key} missing")
+        if rss["peak_mb"] < 0:
+            print(f"check_bench_smoke: WARN: {path}: sizes[{i}] has no "
+                  "peak-RSS reading (non-Linux runner?); envelope skipped")
+            continue
+        bound = rss["model_mb"] * SCALING_RSS_FACTOR
+        require(rss["peak_mb"] <= bound,
+                f"{path}: sizes[{i}] peak RSS {rss['peak_mb']:.1f} MB "
+                f"exceeds model bound {rss['model_mb']:.1f} MB x "
+                f"{SCALING_RSS_FACTOR} = {bound:.1f} MB")
+        require(rss["load_delta_mb"] <= rss["model_csr_mb"],
+                f"{path}: sizes[{i}] load RSS delta "
+                f"{rss['load_delta_mb']:.1f} MB reaches the CSR payload "
+                f"size {rss['model_csr_mb']:.1f} MB — mmap load is no "
+                "longer zero-copy")
+
+
 def check_hetero_not_slower(doc, path, tolerance):
     hw = doc["hardware_concurrency"]
     if hw < 4:
@@ -279,7 +340,7 @@ def main(argv):
     for a in argv[1:]:
         if a.startswith("--tolerance="):
             tolerance = float(a.split("=", 1)[1])
-    if len(args) not in (2, 3, 4, 5):
+    if len(args) not in (2, 3, 4, 5, 6):
         print(__doc__, file=sys.stderr)
         return 2
     table2 = check_table2(args[0])
@@ -290,6 +351,8 @@ def main(argv):
         check_oracle_query(args[3])
     if len(args) >= 5:
         check_oracle_serve(args[4])
+    if len(args) >= 6:
+        check_scaling(args[5])
     check_hetero_not_slower(table2, args[0], tolerance)
     print("check_bench_smoke: OK")
     return 0

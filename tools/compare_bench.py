@@ -18,7 +18,8 @@ A metric whose relative change exceeds the threshold in the bad direction
 is a regression -> exit 1 (improvements and small wobbles exit 0). Tiny
 timings are noise, not signal: time-like metrics where both sides sit
 below --min-seconds (after ns->s normalisation) are reported but never
-gated. Identity fields (graph/kernel/method/impl/...) key the cells, so
+gated, and likewise rate-like metrics whose sibling "seconds" metric sits
+below the floor on both sides. Identity fields (graph/kernel/method/impl/...) key the cells, so
 reordering cells between runs does not produce false diffs. Exit codes:
 0 ok, 1 regression, 2 usage/shape error.
 
@@ -84,10 +85,12 @@ def metric_kind(key):
     """'time' (higher is worse), 'rate' (lower is worse), or None (not a
     performance metric -- identity counts, rounds, sizes -- never gated)."""
     leaf = key.rsplit(".", 1)[-1].rsplit("]", 1)[-1].lstrip(".")
-    if leaf == "seconds" or leaf.endswith("_s") or leaf.endswith("_ns"):
-        return "time"
+    # Rate suffixes first: "nodes_per_s" also ends with "_s", and the time
+    # branch would invert its direction.
     if leaf == "qps" or leaf.endswith("_per_s"):
         return "rate"
+    if leaf == "seconds" or leaf.endswith("_s") or leaf.endswith("_ns"):
+        return "time"
     return None
 
 
@@ -159,6 +162,14 @@ def main(argv):
         if kind == "time" and min_seconds > 0:
             if to_seconds(key, b) < min_seconds and \
                to_seconds(key, c) < min_seconds:
+                gated = False
+        if kind == "rate" and min_seconds > 0:
+            # A rate computed over a sub-noise-floor duration is noise too:
+            # when the cell carries a sibling "seconds" metric and both
+            # sides sit below the floor, report but never gate.
+            sibling = key.rsplit(".", 1)[0] + ".seconds"
+            if sibling in base and sibling in cand and \
+               base[sibling] < min_seconds and cand[sibling] < min_seconds:
                 gated = False
         rows.append((change, key, b, c, gated, kind))
         if gated and change > threshold:

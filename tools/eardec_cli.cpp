@@ -7,8 +7,16 @@
 //   eardec_cli path      <graph> <s> <t>   print one shortest path
 //   eardec_cli mcb       <graph>           minimum cycle basis summary
 //   eardec_cli analytics <graph>           eccentricity / diameter / centers
-//   eardec_cli gen       <name> <out.mtx>  write a Table-1 dataset to a file
+//   eardec_cli gen       <name> <out>      write a Table-1 dataset to a file
+//                                          (name `scale:N` generates the
+//                                          N-vertex scaling graph via the
+//                                          parallel CSR builder)
 //   eardec_cli convert   <in> <out>        convert between formats
+//                                          (--reorder=bfs|degree relabels
+//                                          for locality on the way)
+//   eardec_cli summarize <graph>           header-only summary for .edg2
+//                                          (no payload load); counts for
+//                                          other formats
 //   eardec_cli bc        <graph> [k]       top-k betweenness-central vertices
 //   eardec_cli query     <graph> <s> <t>   one oracle distance (%.17g / inf)
 //   eardec_cli query     <graph> -         stdin "s t" pairs, one per line
@@ -18,11 +26,19 @@
 //                                          SIGINT/SIGTERM or --serve-seconds
 //   eardec_cli version                     build provenance + feature flags
 //
-// Graphs by extension: *.mtx (Matrix Market), *.edg (binary EDG1), anything
-// else as whitespace edge list.
+// Graphs by extension: *.mtx (Matrix Market), *.edg (binary EDG1), *.edg2
+// (packed CSR, zero-copy mmap load — see docs/scaling.md), anything else as
+// whitespace edge list.
 // Options:
 //   --mode=seq|mc|gpu|hetero   execution mode (default mc)
 //   --threads=N                CPU worker threads (default 4)
+//   --deep                     deep-validate .edg2 loads (payload checksum
+//                              + range scan; touches every page)
+//   --reorder=bfs|degree       convert: relabel vertices for locality
+//   --rss-gate[=factor]        decompose: after the phases, compare peak
+//                              RSS against the Phase 0–I memory model and
+//                              exit 1 if it exceeds model × factor
+//                              (default 1.25) — the CI scaling gate
 //   --trace <file>             record a Chrome trace (load in Perfetto /
 //                              chrome://tracing); also --trace=<file>
 //   --metrics <file>           dump the metrics registry (.json or .csv)
@@ -58,10 +74,14 @@
 #include "connectivity/ear_decomposition.hpp"
 #include "core/analytics.hpp"
 #include "core/distance_oracle.hpp"
+#include "core/memory_model.hpp"
 #include "core/path.hpp"
 #include "graph/binary_io.hpp"
 #include "graph/datasets.hpp"
+#include "graph/edg2.hpp"
+#include "graph/generators.hpp"
 #include "graph/io.hpp"
+#include "graph/reorder.hpp"
 #include "graph/stats.hpp"
 #include "bench_common.hpp"
 #include "mcb/ear_mcb.hpp"
@@ -79,21 +99,28 @@ namespace {
 
 using namespace eardec;
 
-graph::Graph load(const std::string& path) {
+graph::Graph load(const std::string& path, bool deep = false) {
   if (path.ends_with(".mtx")) {
     return graph::io::read_matrix_market_file(path);
   }
   if (path.ends_with(".edg")) {
     return graph::io::read_binary_file(path);
   }
+  if (path.ends_with(".edg2")) {
+    return graph::io::read_edg2_file(path, deep ? graph::io::Edg2Validate::Deep
+                                                : graph::io::Edg2Validate::Shallow);
+  }
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open " + path);
   return graph::io::read_edge_list(in);
 }
 
-void save(const std::string& path, const graph::Graph& g) {
+void save(const std::string& path, const graph::Graph& g,
+          hetero::ThreadPool* pool = nullptr) {
   if (path.ends_with(".mtx")) {
     graph::io::write_matrix_market_file(path, g);
+  } else if (path.ends_with(".edg2")) {
+    graph::io::write_edg2_file(path, g, pool);
   } else if (path.ends_with(".edg")) {
     graph::io::write_binary_file(path, g);
   } else {
@@ -114,6 +141,9 @@ struct CliOptions {
   unsigned stats_linger = 0; ///< --stats-linger: seconds to serve after done
   unsigned serve_seconds = 0;  ///< serve: run time limit (0 = until signal)
   serve::BatchEngine batch_engine = serve::BatchEngine::Tables;
+  bool deep = false;           ///< --deep: deep-validate .edg2 loads
+  std::string reorder;         ///< --reorder: convert relabeling (bfs|degree)
+  double rss_gate = 0.0;       ///< --rss-gate: decompose RSS/model factor (0 = off)
 };
 
 /// Splits argv into flags (into `cli`) and positional operands (returned in
@@ -163,6 +193,18 @@ std::vector<std::string> parse_args(int argc, char** argv, CliOptions& cli) {
     } else if (arg.starts_with("--serve-seconds")) {
       cli.serve_seconds =
           static_cast<unsigned>(std::stoul(value_of(arg, "--serve-seconds", i)));
+    } else if (arg == "--deep") {
+      cli.deep = true;
+    } else if (arg.starts_with("--reorder")) {
+      cli.reorder = value_of(arg, "--reorder", i);
+      if (cli.reorder != "bfs" && cli.reorder != "degree") {
+        throw std::runtime_error("unknown --reorder " + cli.reorder);
+      }
+    } else if (arg == "--rss-gate") {
+      cli.rss_gate = 1.25;
+    } else if (arg.starts_with("--rss-gate=")) {
+      cli.rss_gate = std::stod(arg.substr(std::strlen("--rss-gate=")));
+      if (cli.rss_gate <= 0) throw std::runtime_error("--rss-gate must be > 0");
     } else if (arg.starts_with("--batch-engine")) {
       const std::string engine = value_of(arg, "--batch-engine", i);
       if (engine == "tables") {
@@ -289,6 +331,9 @@ int print_version() {
   std::printf("eardec_cli\n");
   std::printf("git_sha: %s\n", bench::build_git_sha());
   std::printf("bench_schema_version: %d\n", bench::kBenchSchemaVersion);
+  std::printf("graph_formats: mtx(rw) edgelist(rw) edg1(rw) edg2(v%u rw, "
+              "mmap)\n",
+              graph::io::kEdg2Version);
   std::printf("tracing: %s\n", obs::kTracingEnabled ? "on" : "off");
 #if defined(EARDEC_SANITIZE_BUILD)
   std::printf("sanitize: on\n");
@@ -306,12 +351,13 @@ int print_version() {
 int usage() {
   std::fprintf(stderr,
                "usage: eardec_cli {stats|decompose|apsp|path|mcb|analytics|"
-               "gen|convert|bc|query|serve|version} <args> "
+               "gen|convert|summarize|bc|query|serve|version} <args> "
                "[--mode=seq|mc|gpu|hetero] "
                "[--threads=N] [--trace <file>] [--metrics <file>] "
                "[--json-stats] [--pmu] [--stats-port <p>] "
                "[--stats-linger <sec>] [--serve-seconds <sec>] "
-               "[--batch-engine=tables|recompute]\n");
+               "[--batch-engine=tables|recompute] [--deep] "
+               "[--reorder=bfs|degree] [--rss-gate[=factor]]\n");
   return 2;
 }
 
@@ -355,19 +401,75 @@ int main(int argc, char** argv) {
 
     if (cmd == "gen") {
       if (pos.size() < 2) return usage();
+      // `scale:N` is the million-node scaling generator: raw edge list plus
+      // the parallel CSR builder, then whatever format the extension picks.
+      if (pos[0].starts_with("scale:")) {
+        const auto n = static_cast<graph::VertexId>(
+            std::stoul(pos[0].substr(std::strlen("scale:"))));
+        hetero::ThreadPool pool(opts.cpu_threads);
+        auto se = graph::generators::table1_scale_edges(n, /*seed=*/42);
+        const graph::Graph scale = graph::io::build_csr_parallel(
+            se.num_vertices, std::move(se.edges), std::move(se.weights),
+            &pool);
+        save(pos[1], scale, &pool);
+        std::printf("wrote %s (scale graph, %u vertices, %u edges)\n",
+                    pos[1].c_str(), scale.num_vertices(), scale.num_edges());
+        return 0;
+      }
       const auto& d = graph::datasets::by_name(pos[0]);
-      graph::io::write_matrix_market_file(pos[1], d.make());
+      save(pos[1], d.make());
       std::printf("wrote %s (dataset %s)\n", pos[1].c_str(), d.name.c_str());
       return 0;
     }
+    if (cmd == "summarize" && pos[0].ends_with(".edg2")) {
+      // Header-only: never faults the payload pages in. --deep additionally
+      // loads + fully validates (checksum, ranges).
+      const auto info = graph::io::inspect_edg2_file(pos[0]);
+      std::printf("format:    EDG2 v%u\n", info.version);
+      std::printf("vertices:  %llu\n",
+                  static_cast<unsigned long long>(info.num_vertices));
+      std::printf("edges:     %llu (self-loops: %llu, parallels: %s)\n",
+                  static_cast<unsigned long long>(info.num_edges),
+                  static_cast<unsigned long long>(info.num_self_loops),
+                  info.has_parallel_edges ? "yes" : "no");
+      std::printf("file:      %.2f MB (payload %.2f MB)\n",
+                  static_cast<double>(info.file_bytes) / (1024.0 * 1024.0),
+                  static_cast<double>(info.payload_bytes) / (1024.0 * 1024.0));
+      std::printf("provenance: %s\n", info.provenance.c_str());
+      if (cli.deep) {
+        const graph::Graph g = load(pos[0], /*deep=*/true);
+        std::printf("deep validation: ok (%u vertices loaded)\n",
+                    g.num_vertices());
+      }
+      return 0;
+    }
 
-    const graph::Graph g = load(pos[0]);
+    const graph::Graph g = load(pos[0], cli.deep);
 
+    if (cmd == "summarize") {
+      std::printf("vertices:  %u\nedges:     %u (self-loops: %llu, "
+                  "parallels: %s)\n",
+                  g.num_vertices(), g.num_edges(),
+                  static_cast<unsigned long long>(g.num_self_loops()),
+                  g.has_parallel_edges() ? "yes" : "no");
+      return 0;
+    }
     if (cmd == "convert") {
       if (pos.size() < 2) return usage();
-      save(pos[1], g);
-      std::printf("wrote %s (%u vertices, %u edges)\n", pos[1].c_str(),
-                  g.num_vertices(), g.num_edges());
+      hetero::ThreadPool pool(opts.cpu_threads);
+      if (!cli.reorder.empty()) {
+        const graph::Reordered r = cli.reorder == "bfs"
+                                       ? graph::reorder_bfs(g)
+                                       : graph::reorder_by_degree(g);
+        save(pos[1], r.graph, &pool);
+        std::printf("wrote %s (%u vertices, %u edges, reorder=%s)\n",
+                    pos[1].c_str(), r.graph.num_vertices(),
+                    r.graph.num_edges(), cli.reorder.c_str());
+      } else {
+        save(pos[1], g, &pool);
+        std::printf("wrote %s (%u vertices, %u edges)\n", pos[1].c_str(),
+                    g.num_vertices(), g.num_edges());
+      }
       return 0;
     }
     if (cmd == "bc") {
@@ -405,6 +507,42 @@ int main(int argc, char** argv) {
         const auto ed = connectivity::ear_decomposition(g);
         std::printf("ear decomposition:      %zu ears (open: %s)\n",
                     ed.ears.size(), ed.open ? "yes" : "no");
+      } else if (bcc.num_components > 0) {
+        // Phase I on the dominant block: extract it and ear-decompose.
+        std::uint32_t largest = 0;
+        for (std::uint32_t c = 1; c < bcc.num_components; ++c) {
+          if (bcc.component_edges(c).size() >
+              bcc.component_edges(largest).size()) {
+            largest = c;
+          }
+        }
+        if (bcc.component_edges(largest).size() > 1) {
+          const auto view = connectivity::extract_component(g, bcc, largest);
+          const auto ed = connectivity::ear_decomposition(view.graph);
+          std::printf("largest block:          %u vertices, %u edges, "
+                      "%zu ears (open: %s)\n",
+                      view.graph.num_vertices(), view.graph.num_edges(),
+                      ed.ears.size(), ed.open ? "yes" : "no");
+        }
+      }
+      if (cli.rss_gate > 0) {
+        const auto model =
+            core::phase01_memory_model(g.num_vertices(), g.num_edges());
+        const double peak = obs::read_peak_rss_mb();
+        std::printf("rss-gate: peak %.1f MB, model %.1f MB "
+                    "(csr %.1f MB), allowed %.1f MB\n",
+                    peak, model.total_mb(), model.csr_mb(),
+                    model.total_mb() * cli.rss_gate);
+        if (peak < 0) {
+          std::fprintf(stderr, "rss-gate: peak RSS unavailable\n");
+          return 1;
+        }
+        if (peak > model.total_mb() * cli.rss_gate) {
+          std::fprintf(stderr,
+                       "rss-gate: FAILED (peak %.1f MB > %.1f MB)\n", peak,
+                       model.total_mb() * cli.rss_gate);
+          return 1;
+        }
       }
       return 0;
     }

@@ -77,6 +77,28 @@ class CompareBenchTest(unittest.TestCase):
         self.assertEqual(r.returncode, 1)
         self.assertIn("qps", r.stderr)
 
+    def test_per_s_suffix_is_a_rate_not_a_time(self):
+        # "nodes_per_s" ends with "_s" too; it must classify as a rate, so
+        # a throughput drop is a regression (not an inverted "improvement").
+        base = snapshot([{"method": "a", "seconds": 0.1,
+                          "nodes_per_s": 1000.0}])
+        slow = snapshot([{"method": "a", "seconds": 0.1,
+                          "nodes_per_s": 400.0}])
+        r = run(["--threshold", "25%"], base, slow)
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("nodes_per_s", r.stderr)
+
+    def test_rate_over_subfloor_duration_is_not_gated(self):
+        # The sibling "seconds" sits under the floor on both sides: the
+        # rate computed from it is noise and must be reported, not gated.
+        base = snapshot([{"method": "a", "seconds": 0.0002,
+                          "nodes_per_s": 1000.0}])
+        slow = snapshot([{"method": "a", "seconds": 0.0004,
+                          "nodes_per_s": 400.0}])
+        r = run(["--threshold", "25%", "--min-seconds", "0.002"], base, slow)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("below noise floor", r.stdout)
+
     def test_noise_floor_suppresses_tiny_timings(self):
         base = snapshot([{"method": "compact", "seconds": 0.0001}])
         slow = snapshot([{"method": "compact", "seconds": 0.0005}])
