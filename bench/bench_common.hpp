@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/ear_apsp.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/pmu.hpp"
 #include "obs/sampler.hpp"
@@ -92,6 +93,11 @@ class ObservabilitySession {
     obs::PmuEngine::instance().configure_from_env();
     obs::Sampler::instance().configure_from_env();
     obs::StatsServer::instance().configure_from_env();
+    // Flight recorder: always-armed crash telemetry (EARDEC_FLIGHT=off
+    // opts out; any other value overrides the eardec-flight-<pid>.json
+    // default path). A SIGSEGV/SIGABRT mid-run leaves the newest trace
+    // ring + counter mirror behind instead of nothing.
+    obs::FlightRecorder::instance().configure_from_env();
   }
 
   ~ObservabilitySession() {

@@ -22,7 +22,9 @@
 // run sustains >= 1M queries across its cells; `--smoke` shrinks each cell
 // for the CI gate. Knobs: --qps=<target per cell>, --queries=<per cell>,
 // --batch=<batched-path batch size>, --mix=same_block|cross_block|uniform.
+#include <array>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -35,6 +37,8 @@
 #include "bench_common.hpp"
 
 #include "graph/datasets.hpp"
+#include "obs/query_trace.hpp"
+#include "obs/slow_log.hpp"
 #include "serve/oracle_server.hpp"
 #include "sssp/dijkstra.hpp"
 
@@ -43,6 +47,24 @@ namespace {
 using namespace eardec;
 
 constexpr std::uint64_t kSampleStride = 401;  // prime: covers all mix slots
+
+// --crash-after=N: raise SIGABRT after N answered queries — the injection
+// point the flight-recorder CI smoke uses to prove a crash still leaves a
+// parseable eardec-flight-<pid>.json behind. 0 = disabled.
+std::uint64_t g_crash_after = 0;
+std::uint64_t g_answered = 0;
+
+void count_answered(std::uint64_t n) {
+  if (g_crash_after == 0) return;
+  g_answered += n;
+  if (g_answered >= g_crash_after) {
+    std::fprintf(stderr,
+                 "crash-after: raising SIGABRT after %llu answered queries\n",
+                 static_cast<unsigned long long>(g_answered));
+    std::fflush(nullptr);
+    std::raise(SIGABRT);
+  }
+}
 
 const graph::Graph& bench_graph() {
   static const graph::Graph g =
@@ -97,6 +119,12 @@ std::vector<Mix> build_mixes(const core::EarApspEngine& eng) {
   return mixes;
 }
 
+/// Summary of one attribution-component histogram over a cell.
+struct AttrStat {
+  double mean_ns = 0;
+  double p50_ns = 0, p90_ns = 0, p99_ns = 0;
+};
+
 struct CellResult {
   std::string mix;
   const char* path = "";  ///< "scalar" or "batch"
@@ -107,9 +135,14 @@ struct CellResult {
   double qps = 0;
   double mean_ns = 0;
   double p50_ns = 0, p90_ns = 0, p99_ns = 0;              ///< service latency
+  double open_mean_ns = 0;                                   ///< incl. backlog
   double open_p50_ns = 0, open_p90_ns = 0, open_p99_ns = 0;  ///< incl. backlog
   std::uint64_t sampled = 0;
   std::uint64_t mismatches = 0;
+  /// Latency attribution (queue_wait/schedule/kernel/recompose/write, in
+  /// obs::kAttrComponentNames order): per-query component histograms whose
+  /// means sum to open_mean_ns (check_bench_smoke.py enforces 10%).
+  std::array<AttrStat, obs::kNumAttrComponents> attr;
 };
 
 /// Busy-waits past the scheduled arrival (sleeping in sub-ms slices while
@@ -135,6 +168,19 @@ CellResult run_cell(const serve::OracleServer& server, const Mix& mix,
       "oracle.serve.openloop.latency_ns");
   service.reset();
   open.reset();
+  // Attribution components: queue_wait/schedule/kernel/recompose come from
+  // the serving layer, `write` (result handoff) is recorded here from
+  // QueryTrace::server_end_ns. Reset per cell so each cell's snapshot
+  // block summarizes only its own queries.
+  std::array<obs::Histogram*, obs::kNumAttrComponents> attr{};
+  for (std::size_t i = 0; i < obs::kNumAttrComponents; ++i) {
+    attr[i] = &obs::MetricsRegistry::instance().histogram(
+        std::string("oracle.serve.attr.") + obs::kAttrComponentNames[i] +
+        "_ns");
+    attr[i]->reset();
+  }
+  obs::Histogram& attr_write =
+      *attr[std::size_t(obs::AttrComponent::kWrite)];
 
   std::mt19937_64 rng(99);
   // Inter-arrival gaps of a Poisson process at the offered rate; for the
@@ -169,8 +215,21 @@ CellResult run_cell(const serve::OracleServer& server, const Mix& mix,
       } else {
         arrival = static_cast<double>(obs::Tracer::now_ns());
       }
-      const std::vector<graph::Weight> answers = server.query_batch(batch);
+      // Request context: the server derives queue_wait from the scheduled
+      // arrival and reports its own end via server_end_ns, so the write
+      // component below closes the chain exactly to the open-loop latency.
+      obs::QueryTrace qt(static_cast<std::uint64_t>(arrival));
+      std::vector<graph::Weight> answers;
+      {
+        const obs::QueryTraceScope qscope(&qt);
+        answers = server.query_batch(batch);
+      }
       const std::uint64_t done = obs::Tracer::now_ns();
+      const std::uint64_t write_ns =
+          qt.server_end_ns != 0 && qt.server_end_ns <= done
+              ? done - qt.server_end_ns
+              : 0;
+      attr_write.record_n(write_ns, batch.size());
       const auto open_ns = static_cast<std::uint64_t>(
           static_cast<double>(done) - arrival);
       for (std::size_t i = 0; i < batch.size(); ++i) {
@@ -178,6 +237,7 @@ CellResult run_cell(const serve::OracleServer& server, const Mix& mix,
         if ((issued + i) % kSampleStride == 0) verify(batch[i], answers[i]);
       }
       issued += batch.size();
+      count_answered(batch.size());
     }
   } else {
     for (; issued < queries; ++issued) {
@@ -188,11 +248,20 @@ CellResult run_cell(const serve::OracleServer& server, const Mix& mix,
       } else {
         arrival = static_cast<double>(obs::Tracer::now_ns());
       }
-      const graph::Weight d = server.query(q.s, q.t);
+      obs::QueryTrace qt(static_cast<std::uint64_t>(arrival));
+      graph::Weight d = 0;
+      {
+        const obs::QueryTraceScope qscope(&qt);
+        d = server.query(q.s, q.t);
+      }
       const std::uint64_t done = obs::Tracer::now_ns();
+      attr_write.record(qt.server_end_ns != 0 && qt.server_end_ns <= done
+                            ? done - qt.server_end_ns
+                            : 0);
       open.record(
           static_cast<std::uint64_t>(static_cast<double>(done) - arrival));
       if (issued % kSampleStride == 0) verify(q, d);
+      count_answered(1);
     }
   }
   const double seconds =
@@ -212,9 +281,21 @@ CellResult run_cell(const serve::OracleServer& server, const Mix& mix,
   r.p50_ns = service.quantile(0.50);
   r.p90_ns = service.quantile(0.90);
   r.p99_ns = service.quantile(0.99);
+  r.open_mean_ns = open.count() > 0 ? static_cast<double>(open.sum()) /
+                                          static_cast<double>(open.count())
+                                    : 0.0;
   r.open_p50_ns = open.quantile(0.50);
   r.open_p90_ns = open.quantile(0.90);
   r.open_p99_ns = open.quantile(0.99);
+  for (std::size_t i = 0; i < obs::kNumAttrComponents; ++i) {
+    const obs::Histogram& h = *attr[i];
+    r.attr[i].mean_ns = h.count() > 0 ? static_cast<double>(h.sum()) /
+                                            static_cast<double>(h.count())
+                                      : 0.0;
+    r.attr[i].p50_ns = h.quantile(0.50);
+    r.attr[i].p90_ns = h.quantile(0.90);
+    r.attr[i].p99_ns = h.quantile(0.99);
+  }
   r.sampled = sampled;
   r.mismatches = mismatches;
   return r;
@@ -238,16 +319,26 @@ void emit_json(const std::vector<CellResult>& rows, bool smoke) {
         "    {\"mix\": \"%s\", \"path\": \"%s\", \"queries\": %llu, "
         "\"batch\": %llu, \"target_qps\": %.0f, \"seconds\": %.6f, "
         "\"qps\": %.1f, \"mean_ns\": %.1f, \"p50_ns\": %.1f, "
-        "\"p90_ns\": %.1f, \"p99_ns\": %.1f, \"open_p50_ns\": %.1f, "
-        "\"open_p90_ns\": %.1f, \"open_p99_ns\": %.1f, \"sampled\": %llu, "
-        "\"mismatches\": %llu}%s\n",
+        "\"p90_ns\": %.1f, \"p99_ns\": %.1f, \"open_mean_ns\": %.1f, "
+        "\"open_p50_ns\": %.1f, \"open_p90_ns\": %.1f, "
+        "\"open_p99_ns\": %.1f, \"sampled\": %llu, "
+        "\"mismatches\": %llu,\n",
         r.mix.c_str(), r.path, static_cast<unsigned long long>(r.queries),
         static_cast<unsigned long long>(r.batch), r.target_qps, r.seconds,
-        r.qps, r.mean_ns, r.p50_ns, r.p90_ns, r.p99_ns, r.open_p50_ns,
-        r.open_p90_ns, r.open_p99_ns,
+        r.qps, r.mean_ns, r.p50_ns, r.p90_ns, r.p99_ns, r.open_mean_ns,
+        r.open_p50_ns, r.open_p90_ns, r.open_p99_ns,
         static_cast<unsigned long long>(r.sampled),
-        static_cast<unsigned long long>(r.mismatches),
-        i + 1 < rows.size() ? "," : "");
+        static_cast<unsigned long long>(r.mismatches));
+    std::fprintf(out, "     \"attr\": {");
+    for (std::size_t c = 0; c < obs::kNumAttrComponents; ++c) {
+      const AttrStat& a = r.attr[c];
+      std::fprintf(out,
+                   "%s\"%s\": {\"mean_ns\": %.1f, \"p50_ns\": %.1f, "
+                   "\"p90_ns\": %.1f, \"p99_ns\": %.1f}",
+                   c > 0 ? ", " : "", obs::kAttrComponentNames[c], a.mean_ns,
+                   a.p50_ns, a.p90_ns, a.p99_ns);
+    }
+    std::fprintf(out, "}}%s\n", i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);
@@ -270,7 +361,12 @@ int main(int argc, char** argv) {
     else if (arg.starts_with("--queries=")) queries = std::stoull(arg.substr(10));
     else if (arg.starts_with("--batch=")) batch_size = std::stoull(arg.substr(8));
     else if (arg.starts_with("--mix=")) only_mix = arg.substr(6);
+    else if (arg.starts_with("--crash-after="))
+      g_crash_after = std::stoull(arg.substr(14));
   }
+  // The exemplar store rides along in the full run: the acceptance bar is
+  // holding the QPS gate *with* tail sampling on, not with it compiled out.
+  obs::SlowLog::instance().arm();
   if (queries == 0) queries = smoke ? 2000 : 200000;
   if (qps < 0) qps = smoke ? 50000 : 100000;
   if (batch_size == 0) batch_size = 1;

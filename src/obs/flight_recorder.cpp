@@ -1,0 +1,168 @@
+#include "obs/flight_recorder.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "obs/trace.hpp"
+
+#if defined(__unix__)
+#include <csignal>
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace eardec::obs {
+
+#if defined(__unix__) && EARDEC_TRACING_ENABLED
+
+namespace {
+
+// All handler-visible state is file-scope POD: a signal handler must not
+// reach through anything that could allocate or lock.
+constexpr std::size_t kMaxPath = 512;
+char g_path[kMaxPath] = {};
+std::atomic<bool> g_armed{false};
+std::atomic<bool> g_dumping{false};  ///< reentrancy guard (nested faults)
+struct sigaction g_prev_segv = {};
+struct sigaction g_prev_abrt = {};
+
+std::atomic<std::uint64_t> g_last_heartbeat_ns{0};
+std::atomic<bool> g_watchdog_fired{false};
+std::thread* g_watchdog = nullptr;  ///< leaked on purpose (like the Tracer)
+std::atomic<bool> g_watchdog_stop{false};
+
+bool write_dump(const char* reason) noexcept {
+  if (!g_armed.load(std::memory_order_acquire)) return false;
+  if (g_dumping.exchange(true, std::memory_order_acq_rel)) return false;
+  const int fd = ::open(g_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  bool ok = false;
+  if (fd >= 0) {
+    ok = Tracer::instance().write_flight_dump(fd, reason);
+    ::close(fd);
+  }
+  g_dumping.store(false, std::memory_order_release);
+  return ok;
+}
+
+void on_fatal_signal(int sig) {
+  write_dump(sig == SIGSEGV ? "signal:SIGSEGV" : "signal:SIGABRT");
+  // Restore the previous disposition and re-raise so default crash
+  // semantics (exit code, core dump) are preserved.
+  struct sigaction* prev = sig == SIGSEGV ? &g_prev_segv : &g_prev_abrt;
+  ::sigaction(sig, prev, nullptr);
+  ::raise(sig);
+}
+
+}  // namespace
+
+FlightRecorder& FlightRecorder::instance() {
+  static FlightRecorder* recorder = new FlightRecorder();
+  return *recorder;
+}
+
+bool FlightRecorder::arm(const std::string& path) {
+  // Touch the tracer singleton now: the handler must never be the first
+  // caller of instance().
+  (void)Tracer::instance();
+  if (path.empty()) {
+    std::snprintf(g_path, sizeof(g_path), "eardec-flight-%d.json",
+                  static_cast<int>(::getpid()));
+  } else {
+    std::snprintf(g_path, sizeof(g_path), "%s", path.c_str());
+  }
+  if (g_armed.load(std::memory_order_acquire)) return true;  // path updated
+  struct sigaction sa = {};
+  sa.sa_handler = &on_fatal_signal;
+  sigemptyset(&sa.sa_mask);
+  // Belt and braces vs. the explicit restore in the handler.
+  sa.sa_flags = static_cast<int>(SA_RESETHAND);
+  if (::sigaction(SIGSEGV, &sa, &g_prev_segv) != 0) return false;
+  if (::sigaction(SIGABRT, &sa, &g_prev_abrt) != 0) {
+    ::sigaction(SIGSEGV, &g_prev_segv, nullptr);
+    return false;
+  }
+  g_armed.store(true, std::memory_order_release);
+  return true;
+}
+
+bool FlightRecorder::configure_from_env() {
+  const char* env = std::getenv("EARDEC_FLIGHT");
+  if (env != nullptr &&
+      (std::strcmp(env, "off") == 0 || std::strcmp(env, "0") == 0)) {
+    return false;
+  }
+  return arm(env != nullptr ? env : "");
+}
+
+bool FlightRecorder::armed() const noexcept {
+  return g_armed.load(std::memory_order_acquire);
+}
+
+const std::string& FlightRecorder::path() const noexcept {
+  static std::string path;
+  path = g_path;
+  return path;
+}
+
+void FlightRecorder::start_watchdog(std::uint64_t stall_ms) {
+  stop_watchdog();
+  heartbeat();
+  g_watchdog_stop.store(false, std::memory_order_relaxed);
+  g_watchdog = new std::thread([stall_ms] {
+    const std::uint64_t stall_ns = stall_ms * 1'000'000ull;
+    while (!g_watchdog_stop.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      const std::uint64_t last =
+          g_last_heartbeat_ns.load(std::memory_order_relaxed);
+      if (Tracer::now_ns() - last < stall_ns) continue;
+      // One dump per stall episode; a resumed heartbeat re-arms.
+      if (!g_watchdog_fired.exchange(true, std::memory_order_relaxed)) {
+        write_dump("stall-watchdog");
+      }
+    }
+  });
+}
+
+void FlightRecorder::stop_watchdog() {
+  if (g_watchdog == nullptr) return;
+  g_watchdog_stop.store(true, std::memory_order_relaxed);
+  g_watchdog->join();
+  delete g_watchdog;
+  g_watchdog = nullptr;
+}
+
+void FlightRecorder::heartbeat() noexcept {
+  g_last_heartbeat_ns.store(Tracer::now_ns(), std::memory_order_relaxed);
+  g_watchdog_fired.store(false, std::memory_order_relaxed);
+}
+
+bool FlightRecorder::dump_now(const char* reason) noexcept {
+  return write_dump(reason != nullptr ? reason : "manual");
+}
+
+#else  // stubs: tracing compiled out or non-POSIX host
+
+FlightRecorder& FlightRecorder::instance() {
+  static FlightRecorder* recorder = new FlightRecorder();
+  return *recorder;
+}
+
+bool FlightRecorder::arm(const std::string&) { return false; }
+bool FlightRecorder::configure_from_env() { return false; }
+bool FlightRecorder::armed() const noexcept { return false; }
+const std::string& FlightRecorder::path() const noexcept {
+  static const std::string empty;
+  return empty;
+}
+void FlightRecorder::start_watchdog(std::uint64_t) {}
+void FlightRecorder::stop_watchdog() {}
+void FlightRecorder::heartbeat() noexcept {}
+bool FlightRecorder::dump_now(const char*) noexcept { return false; }
+
+#endif
+
+}  // namespace eardec::obs

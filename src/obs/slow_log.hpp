@@ -1,0 +1,90 @@
+// Tail-sampled slow-query exemplar store (docs/observability.md,
+// "Per-query tracing & flight recorder").
+//
+// Aggregate histograms say what the p99 is; exemplars say why. The SlowLog
+// is a fixed-size lock-free ring of full per-query span trees, retained for
+// queries whose total latency crosses a dynamic p99-tracking threshold,
+// plus 1-in-N uniform samples so fast queries stay represented. The
+// serving layer calls observe() with each answered query's open-loop
+// latency; on a Keep verdict it copies the QueryTrace's collected spans and
+// attribution components into a ring slot. Slots are claimed with an
+// atomic cursor and guarded by per-slot seqlocks, so retention never
+// blocks the serving path and dump_json() (the `GET /debug/slow` route and
+// `eardec_cli serve --slow-log`) skips slots caught mid-write.
+//
+// The p99 threshold is self-calibrating: observe() feeds a log2 latency
+// histogram and every 256 observations recomputes the 0.99 quantile's
+// bucket lower bound into a cached atomic. Until 512 queries have been
+// observed the threshold is +inf (only uniform samples retain), so cold
+// caches do not flood the ring.
+//
+// Under EARDEC_ENABLE_TRACING=OFF the store compiles to permanent-disarmed
+// stubs: arm() is a no-op, observe() always answers No, and the serving
+// layer's exemplar branches are never taken.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/query_trace.hpp"
+
+namespace eardec::obs {
+
+class SlowLog {
+ public:
+  /// Exemplar slots retained (newest wins once the ring wraps).
+  static constexpr std::size_t kRingSlots = 64;
+  /// Queries observed before the p99 threshold activates.
+  static constexpr std::uint64_t kWarmupObservations = 512;
+
+  /// The process-wide store. Never destroyed (like Tracer).
+  static SlowLog& instance();
+
+  /// Retention verdict for one answered query.
+  enum class Keep : std::uint8_t {
+    kNo = 0,
+    kSlowTail = 1,  ///< total latency >= dynamic p99 threshold
+    kUniform = 2,   ///< 1-in-N uniform sample
+  };
+
+  /// Enables collection: QueryTraces constructed while armed collect their
+  /// spans, and observe() starts issuing Keep verdicts. `uniform_stride`
+  /// keeps every Nth observed query regardless of latency (0 = tail-only).
+  /// No-op when tracing is compiled out.
+  void arm(std::uint64_t uniform_stride = 1024) noexcept;
+  void disarm() noexcept;
+  [[nodiscard]] bool armed() const noexcept;
+
+  /// Feeds the p99 tracker with one query's total latency and returns the
+  /// retention verdict. Thread-safe, lock-free, a few relaxed atomics.
+  [[nodiscard]] Keep observe(std::uint64_t total_ns) noexcept;
+
+  /// Copies one query's exemplar (attribution + collected span tree) into
+  /// the ring. `s`/`t` identify a representative query pair, `batch` the
+  /// batch size it was answered in (1 = scalar path).
+  void retain(const QueryTrace& trace, std::uint64_t total_ns, Keep reason,
+              std::uint32_t s, std::uint32_t t, std::uint32_t batch,
+              std::uint64_t epoch) noexcept;
+
+  /// JSON dump of the ring (the `/debug/slow` response body): threshold,
+  /// counts, and every stable exemplar with its span tree, newest last.
+  [[nodiscard]] std::string dump_json() const;
+
+  [[nodiscard]] std::size_t retained() const noexcept;
+  [[nodiscard]] std::uint64_t observed() const noexcept;
+  /// Current slow-tail threshold (UINT64_MAX while warming up / disarmed).
+  [[nodiscard]] std::uint64_t threshold_ns() const noexcept;
+
+  /// Drops all exemplars and resets the p99 tracker (keeps armed state).
+  void clear() noexcept;
+
+  struct Impl;  ///< opaque; defined in slow_log.cpp
+
+ private:
+  SlowLog();
+  ~SlowLog() = delete;  // leaked singleton
+
+  Impl* impl_;
+};
+
+}  // namespace eardec::obs

@@ -32,6 +32,8 @@
 #include <cerrno>
 #include <cstring>
 #include <thread>
+
+#include "obs/slow_log.hpp"
 #endif
 
 namespace eardec::obs {
@@ -242,7 +244,14 @@ void StatsServer::Impl::handle(int fd) {
         if (n <= 0) break;
         body.append(buf, static_cast<std::size_t>(n));
       }
-      body.resize(std::min(body.size(), want));
+      // Strict framing: a body shorter than Content-Length (client hung up
+      // or lied and we burned the receive timeout) or longer (more bytes
+      // than declared) is a malformed request, not a payload to truncate.
+      if (body.size() != want) {
+        respond(fd, 400, reason_of(400), "text/plain; charset=utf-8",
+                "body does not match Content-Length\n", false);
+        return;
+      }
     } else {
       body.clear();
     }
@@ -271,6 +280,11 @@ void StatsServer::Impl::handle(int fd) {
   } else if (path == "/stats.json") {
     respond(fd, 200, "OK", "application/json; charset=utf-8",
             stats_json_body(), head_only);
+  } else if (path == "/debug/slow") {
+    // Slow-query exemplar ring (obs/slow_log.hpp): span trees + latency
+    // attribution for tail-sampled queries.
+    respond(fd, 200, "OK", "application/json; charset=utf-8",
+            SlowLog::instance().dump_json() + "\n", head_only);
   } else {
     respond(fd, 404, "Not Found", "text/plain; charset=utf-8", "not found\n",
             head_only);

@@ -3,10 +3,25 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
+#include <cstring>
 #include <fstream>
 #include <mutex>
 #include <ostream>
+
+#ifdef __unix__
+#include <unistd.h>
+#endif
+
+#if defined(__GNUC__) && !defined(__clang__) && defined(__SANITIZE_THREAD__)
+// GCC's TSan pass has no fence instrumentation and rejects
+// std::atomic_thread_fence under -Werror (-Wtsan). The flight-mirror
+// seqlock is deliberately fence-based — its reader runs inside a signal
+// handler and must not touch locks — so under TSan the fences compile
+// uninstrumented; the labeled tests quiesce writers before dumping.
+#pragma GCC diagnostic ignored "-Wtsan"
+#endif
 
 namespace eardec::obs {
 namespace {
@@ -44,6 +59,17 @@ void write_json_escaped(std::ostream& out, const std::string& s) {
   }
 }
 
+/// One slot of the flight recorder's counter mirror: a fixed-size POD copy
+/// of the newest counter samples, readable from a signal handler. Each slot
+/// carries a seqlock (odd while the writer is inside) so a dump can detect
+/// and skip a slot caught mid-write instead of emitting torn data.
+struct FlightCounterSlot {
+  std::atomic<std::uint32_t> seq{0};
+  char track[32] = {};
+  std::uint64_t ts_ns = 0;
+  double value = 0.0;
+};
+
 }  // namespace
 
 struct Tracer::Impl {
@@ -58,6 +84,23 @@ struct Tracer::Impl {
   std::vector<CounterSample> counter_samples;  ///< guarded by mutex
   std::uint64_t dropped_counter_samples = 0;   ///< guarded by mutex
 
+  /// Lock-free lane registry for the flight recorder: ThreadBuffer
+  /// allocations are stable (owned by `buffers`, never freed — exited
+  /// threads only return lanes to the free list), so publishing the raw
+  /// pointers into a fixed atomic array lets a signal handler walk every
+  /// lane without touching the mutex. Slot i mirrors buffers[i]; the count
+  /// is release-published after the slot store.
+  static constexpr std::size_t kMaxFlightLanes = 64;
+  std::atomic<ThreadBuffer*> flight_lanes[kMaxFlightLanes] = {};
+  std::atomic<std::uint32_t> flight_lane_count{0};
+
+  /// Counter mirror ring (newest kFlightCounterSlots samples), written
+  /// under the mutex in record_counter_at, read lock-free via the per-slot
+  /// seqlocks by write_flight_dump.
+  static constexpr std::size_t kFlightCounterSlots = 256;
+  FlightCounterSlot flight_counters[kFlightCounterSlots];
+  std::atomic<std::uint64_t> flight_counter_cursor{0};
+
   ThreadBuffer* acquire() {
     const std::lock_guard lock(mutex);
     if (!free_list.empty()) {
@@ -67,12 +110,35 @@ struct Tracer::Impl {
     }
     buffers.push_back(std::make_unique<ThreadBuffer>());
     buffers.back()->tid = static_cast<std::uint32_t>(buffers.size() - 1);
-    return buffers.back().get();
+    ThreadBuffer* buf = buffers.back().get();
+    if (buf->tid < kMaxFlightLanes) {
+      flight_lanes[buf->tid].store(buf, std::memory_order_release);
+      flight_lane_count.store(static_cast<std::uint32_t>(
+                                  std::min(buffers.size(), kMaxFlightLanes)),
+                              std::memory_order_release);
+    }
+    return buf;
   }
 
   void release(ThreadBuffer* buf) {
     const std::lock_guard lock(mutex);
     free_list.push_back(buf);
+  }
+
+  void mirror_counter(const std::string& track, std::uint64_t ts_ns,
+                      double value) {
+    const std::uint64_t cur =
+        flight_counter_cursor.load(std::memory_order_relaxed);
+    FlightCounterSlot& slot = flight_counters[cur % kFlightCounterSlots];
+    slot.seq.fetch_add(1, std::memory_order_relaxed);  // odd: write in flight
+    std::atomic_thread_fence(std::memory_order_release);
+    const std::size_t n = std::min(track.size(), sizeof(slot.track) - 1);
+    std::memcpy(slot.track, track.data(), n);
+    slot.track[n] = '\0';
+    slot.ts_ns = ts_ns;
+    slot.value = value;
+    slot.seq.fetch_add(1, std::memory_order_release);  // even: stable
+    flight_counter_cursor.store(cur + 1, std::memory_order_release);
   }
 };
 
@@ -155,10 +221,26 @@ void Tracer::record_span_pmu(const char* name, std::uint64_t start_ns,
   buf.count.store(c + 1, std::memory_order_release);
 }
 
+void Tracer::record_span_linked(const char* name, std::uint64_t start_ns,
+                                std::uint64_t dur_ns, std::uint64_t qid,
+                                std::uint32_t span_id, std::uint32_t parent_id,
+                                const char* arg_name, std::uint64_t arg) {
+  if (!enabled()) return;
+  ThreadBuffer& buf = current_buffer(*impl_);
+  const std::uint64_t c = buf.count.load(std::memory_order_relaxed);
+  TraceEvent& slot = buf.events[c % kRingCapacity];
+  slot = {name, arg_name, start_ns, dur_ns, arg};
+  slot.qid = qid;
+  slot.span_id = span_id;
+  slot.parent_id = parent_id;
+  buf.count.store(c + 1, std::memory_order_release);
+}
+
 void Tracer::record_counter_at(const std::string& track, std::uint64_t ts_ns,
                                double value) {
   if (!enabled()) return;
   const std::lock_guard lock(impl_->mutex);
+  impl_->mirror_counter(track, ts_ns, value);
   if (impl_->counter_samples.size() >= kMaxCounterSamples) {
     ++impl_->dropped_counter_samples;
     return;
@@ -272,7 +354,7 @@ void Tracer::write_chrome_trace(std::ostream& out) const {
       // fractional part.
       out << R"(","ts":)" << static_cast<double>(e.start_ns) / 1000.0
           << ",\"dur\":" << static_cast<double>(e.dur_ns) / 1000.0;
-      if (e.arg_name != nullptr || e.pmu_mask != 0) {
+      if (e.arg_name != nullptr || e.pmu_mask != 0 || e.qid != 0) {
         out << ",\"args\":{";
         bool first_arg = true;
         const auto arg_comma = [&] {
@@ -284,6 +366,13 @@ void Tracer::write_chrome_trace(std::ostream& out) const {
           out << "\"";
           write_json_escaped(out, e.arg_name);
           out << "\":" << e.arg;
+        }
+        // Span links (tools/critical_path.py stitches them into per-query
+        // trees; see obs/query_trace.hpp).
+        if (e.qid != 0) {
+          arg_comma();
+          out << "\"qid\":" << e.qid << ",\"span\":" << e.span_id
+              << ",\"parent\":" << e.parent_id;
         }
         for (std::size_t s = 0; s < TraceEvent::kNumPmuSlots; ++s) {
           if ((e.pmu_mask & (1u << s)) == 0) continue;
@@ -325,6 +414,196 @@ bool Tracer::write_chrome_trace_file(const std::string& path) const {
   if (!out) return false;
   write_chrome_trace(out);
   return static_cast<bool>(out);
+}
+
+// ---------------------------------------------------------------------------
+// Flight dump: the async-signal-safe export path. Everything below uses only
+// write(2) plus hand-rolled formatting — no locks, no allocation, no stdio —
+// so obs/flight_recorder.hpp can call it from SIGSEGV/SIGABRT handlers.
+// Events a thread is writing concurrently are tolerated: the newest slot of
+// a lane may be torn, so names are copied through a sanitizer that keeps the
+// JSON well-formed no matter what bytes are found.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+#ifdef __unix__
+
+/// Buffered signal-safe writer: batches small appends into a fixed buffer
+/// and flushes with write(2), retrying on EINTR.
+struct FlightWriter {
+  int fd;
+  char buf[1024];
+  std::size_t len = 0;
+  bool ok = true;
+
+  explicit FlightWriter(int fd_in) : fd(fd_in) {}
+
+  void flush() noexcept {
+    std::size_t off = 0;
+    while (ok && off < len) {
+      const ssize_t n = ::write(fd, buf + off, len - off);
+      if (n > 0) {
+        off += static_cast<std::size_t>(n);
+      } else if (n < 0 && errno == EINTR) {
+        continue;
+      } else {
+        ok = false;
+      }
+    }
+    len = 0;
+  }
+
+  void put(char c) noexcept {
+    if (len == sizeof(buf)) flush();
+    buf[len++] = c;
+  }
+
+  void raw(const char* s) noexcept {
+    for (; *s != '\0'; ++s) put(*s);
+  }
+
+  void u64(std::uint64_t v) noexcept {
+    char digits[20];
+    std::size_t n = 0;
+    do {
+      digits[n++] = static_cast<char>('0' + v % 10);
+      v /= 10;
+    } while (v != 0);
+    while (n > 0) put(digits[--n]);
+  }
+
+  /// Fixed-point double with 3 decimals (counter values are sizes/rates;
+  /// snprintf is not signal-safe). Clamps non-finite/huge values.
+  void fixed(double v) noexcept {
+    if (!(v > -1e18 && v < 1e18)) {  // also catches NaN
+      raw("0");
+      return;
+    }
+    if (v < 0) {
+      put('-');
+      v = -v;
+    }
+    const std::uint64_t whole = static_cast<std::uint64_t>(v);
+    const std::uint64_t milli =
+        static_cast<std::uint64_t>((v - static_cast<double>(whole)) * 1000.0);
+    u64(whole);
+    put('.');
+    put(static_cast<char>('0' + milli / 100 % 10));
+    put(static_cast<char>('0' + milli / 10 % 10));
+    put(static_cast<char>('0' + milli % 10));
+  }
+
+  /// Emits a quoted JSON string from possibly-torn memory: copies at most
+  /// `cap` bytes, stops at NUL, and replaces anything that could break the
+  /// JSON (quotes, backslashes, control or non-ASCII bytes) with '_'.
+  void sanitized(const char* s, std::size_t cap) noexcept {
+    put('"');
+    for (std::size_t i = 0; s != nullptr && i < cap && s[i] != '\0'; ++i) {
+      const unsigned char c = static_cast<unsigned char>(s[i]);
+      put(c >= 0x20 && c < 0x7f && c != '"' && c != '\\'
+              ? static_cast<char>(c)
+              : '_');
+    }
+    put('"');
+  }
+};
+
+#endif  // __unix__
+
+}  // namespace
+
+bool Tracer::write_flight_dump(int fd, const char* reason) const noexcept {
+#if !defined(__unix__)
+  (void)fd;
+  (void)reason;
+  return false;
+#else
+  if constexpr (!kTracingEnabled) return false;
+  if (fd < 0) return false;
+  // Cap the per-lane event and mirrored-counter walk so the dump stays
+  // small and fast even with full rings (a crash handler should not spend
+  // seconds formatting 8k events x 64 lanes).
+  constexpr std::uint64_t kEventsPerLane = 256;
+  FlightWriter w(fd);
+  w.raw("{\"flight\":1,\"reason\":");
+  w.sanitized(reason != nullptr ? reason : "unknown", 64);
+  w.raw(",\"now_ns\":");
+  w.u64(now_ns());
+  w.raw(",\"lanes\":[");
+  const std::uint32_t lanes =
+      impl_->flight_lane_count.load(std::memory_order_acquire);
+  bool first_lane = true;
+  for (std::uint32_t l = 0; l < lanes && l < Impl::kMaxFlightLanes; ++l) {
+    const ThreadBuffer* buf =
+        impl_->flight_lanes[l].load(std::memory_order_acquire);
+    if (buf == nullptr) continue;
+    if (!first_lane) w.put(',');
+    first_lane = false;
+    w.raw("{\"tid\":");
+    w.u64(buf->tid);
+    w.raw(",\"events\":[");
+    const std::uint64_t c = buf->count.load(std::memory_order_acquire);
+    const std::uint64_t n =
+        std::min<std::uint64_t>({c, kRingCapacity, kEventsPerLane});
+    for (std::uint64_t i = c - n; i < c; ++i) {
+      const TraceEvent& e = buf->events[i % kRingCapacity];
+      if (i != c - n) w.put(',');
+      w.raw("{\"name\":");
+      w.sanitized(e.name, 64);
+      w.raw(",\"start_ns\":");
+      w.u64(e.start_ns);
+      w.raw(",\"dur_ns\":");
+      w.u64(e.dur_ns);
+      if (e.qid != 0) {
+        w.raw(",\"qid\":");
+        w.u64(e.qid);
+        w.raw(",\"span\":");
+        w.u64(e.span_id);
+        w.raw(",\"parent\":");
+        w.u64(e.parent_id);
+      }
+      if (e.arg_name != nullptr) {
+        w.raw(",\"arg_name\":");
+        w.sanitized(e.arg_name, 64);
+        w.raw(",\"arg\":");
+        w.u64(e.arg);
+      }
+      w.put('}');
+    }
+    w.raw("]}");
+  }
+  w.raw("],\"counters\":[");
+  const std::uint64_t cur =
+      impl_->flight_counter_cursor.load(std::memory_order_acquire);
+  const std::uint64_t nc =
+      std::min<std::uint64_t>(cur, Impl::kFlightCounterSlots);
+  bool first_counter = true;
+  for (std::uint64_t i = cur - nc; i < cur; ++i) {
+    const FlightCounterSlot& slot =
+        impl_->flight_counters[i % Impl::kFlightCounterSlots];
+    const std::uint32_t seq1 = slot.seq.load(std::memory_order_acquire);
+    if ((seq1 & 1u) != 0) continue;  // writer caught mid-slot: skip
+    char track[sizeof(slot.track)];
+    std::memcpy(track, slot.track, sizeof(track));
+    const std::uint64_t ts = slot.ts_ns;
+    const double value = slot.value;
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) != seq1) continue;
+    if (!first_counter) w.put(',');
+    first_counter = false;
+    w.raw("{\"track\":");
+    w.sanitized(track, sizeof(track) - 1);
+    w.raw(",\"ts_ns\":");
+    w.u64(ts);
+    w.raw(",\"value\":");
+    w.fixed(value);
+    w.put('}');
+  }
+  w.raw("]}\n");
+  w.flush();
+  return w.ok;
+#endif
 }
 
 }  // namespace eardec::obs

@@ -66,6 +66,13 @@ struct TraceEvent {
   std::uint64_t dur_ns = 0;
   std::uint64_t arg = 0;  ///< argument value (meaningful iff arg_name set)
   std::uint64_t pmu[kNumPmuSlots] = {};  ///< counter deltas over the span
+  /// Span links (obs/query_trace.hpp fills them): qid stitches spans of one
+  /// request into a per-query tree across thread lanes, span_id/parent_id
+  /// give the tree edges. qid == 0 means "not linked to a query"; the
+  /// exporter then omits the link args entirely.
+  std::uint64_t qid = 0;
+  std::uint32_t span_id = 0;   ///< id within the query's span tree (0 = none)
+  std::uint32_t parent_id = 0; ///< parent span id (0 = tree root)
   std::uint8_t pmu_mask = 0;  ///< bit i set => pmu[i] is meaningful
 };
 
@@ -125,6 +132,26 @@ class Tracer {
                        const std::uint64_t pmu[TraceEvent::kNumPmuSlots],
                        std::uint8_t pmu_mask, const char* arg_name = nullptr,
                        std::uint64_t arg = 0);
+
+  /// record_span plus span links: the span joins query `qid`'s tree as node
+  /// `span_id` under `parent_id` (0 = root). The exporter emits the links
+  /// as "qid"/"span"/"parent" args, which tools/critical_path.py stitches
+  /// back into per-query trees. qid must be non-zero (use record_span for
+  /// unlinked spans). Same cost and thread-safety as record_span.
+  void record_span_linked(const char* name, std::uint64_t start_ns,
+                          std::uint64_t dur_ns, std::uint64_t qid,
+                          std::uint32_t span_id, std::uint32_t parent_id,
+                          const char* arg_name = nullptr, std::uint64_t arg = 0);
+
+  /// Async-signal-safe best-effort dump of the newest ring contents (spans
+  /// with links + mirrored counter samples) as JSON to an already-open file
+  /// descriptor. Uses only write(2) and hand-rolled formatting — no locks,
+  /// no allocation — so the flight recorder (obs/flight_recorder.hpp) can
+  /// call it from SIGSEGV/SIGABRT handlers. Events being written
+  /// concurrently are skipped or sanitized, never blocked on. `reason` must
+  /// be a short NUL-terminated ASCII string. Returns false when tracing is
+  /// compiled out or fd is invalid.
+  bool write_flight_dump(int fd, const char* reason) const noexcept;
 
   /// Retention cap on counter samples: once it is reached further appends
   /// are refused (the *newest* samples are dropped and counted in

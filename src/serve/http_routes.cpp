@@ -8,12 +8,41 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/query_trace.hpp"
 #include "obs/stats_server.hpp"
+#include "obs/trace.hpp"
 #include "serve/oracle_server.hpp"
 
 namespace eardec::serve {
 
 namespace {
+
+/// The `write` attribution component for HTTP-served queries: reply
+/// serialization time, from the server handing the answer back
+/// (QueryTrace::server_end_ns) to the response body being ready. The other
+/// four components are recorded inside OracleServer.
+obs::Histogram& attr_write() {
+  static obs::Histogram& h = obs::MetricsRegistry::instance().histogram(
+      "oracle.serve.attr.write_ns");
+  return h;
+}
+
+/// Records serialization as the write component (once per answered query)
+/// and closes the request's span tree.
+void finish_request(obs::QueryTrace& qt, std::uint64_t queries) {
+  const std::uint64_t done_ns = obs::Tracer::now_ns();
+  const std::uint64_t write_ns =
+      qt.server_end_ns != 0 && qt.server_end_ns <= done_ns
+          ? done_ns - qt.server_end_ns
+          : 0;
+  qt.attr_ns[std::size_t(obs::AttrComponent::kWrite)] = write_ns;
+  attr_write().record_n(write_ns, queries);
+  if (qt.server_end_ns != 0) {
+    qt.emit(qt.allocate_span(), obs::current_parent_span(), "serve.write",
+            qt.server_end_ns, write_ns);
+  }
+}
 
 /// Parses one vertex id; rejects trailing junk and overflow.
 std::optional<graph::VertexId> parse_vertex(std::string_view text) {
@@ -52,6 +81,11 @@ void fail(obs::HttpResponse& response, const std::string& message) {
 
 bool handle_single(OracleServer& server, const obs::HttpRequest& request,
                    obs::HttpResponse& response) {
+  // Request context: arrival is request receipt, and every span below —
+  // including the oracle's, across worker lanes — joins this query's tree.
+  obs::QueryTrace qt(obs::Tracer::now_ns());
+  const obs::QueryTraceScope qscope(&qt);
+  const obs::QuerySpan request_span("serve.request");
   const auto s = query_param(request.query, "s");
   const auto t = query_param(request.query, "t");
   if (!s || !t) {
@@ -80,6 +114,7 @@ bool handle_single(OracleServer& server, const obs::HttpRequest& request,
                 format_distance(d).c_str());
   response.content_type = "application/json";
   response.body = buf;
+  finish_request(qt, 1);
   return true;
 }
 
@@ -89,6 +124,9 @@ bool handle_batch(OracleServer& server, const obs::HttpRequest& request,
     fail(response, "POST a body of whitespace-separated s t pairs");
     return true;
   }
+  obs::QueryTrace qt(obs::Tracer::now_ns());
+  const obs::QueryTraceScope qscope(&qt);
+  const obs::QuerySpan request_span("serve.request");
   std::vector<Query> queries;
   std::string_view body = request.body;
   const auto next_token = [&body]() -> std::optional<std::string_view> {
@@ -146,6 +184,7 @@ bool handle_batch(OracleServer& server, const obs::HttpRequest& request,
   body_out += "]}\n";
   response.content_type = "application/json";
   response.body = std::move(body_out);
+  finish_request(qt, distances.size());
   return true;
 }
 

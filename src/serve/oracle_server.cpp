@@ -13,6 +13,9 @@
 #include "hetero/scheduler.hpp"
 #include "hetero/work_queue.hpp"
 #include "obs/metrics.hpp"
+#include "obs/query_trace.hpp"
+#include "obs/slow_log.hpp"
+#include "obs/trace.hpp"
 #include "sssp/delta_stepping.hpp"
 #include "sssp/dijkstra.hpp"
 #include "sssp/multi_source.hpp"
@@ -20,15 +23,6 @@
 namespace eardec::serve {
 
 namespace {
-
-using Clock = std::chrono::steady_clock;
-
-[[nodiscard]] std::uint64_t elapsed_ns(Clock::time_point start) {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
-                                                           start)
-          .count());
-}
 
 // Mirror of phase II's CpuSsspKernel::Auto thresholds: batch into
 // multi-source lanes only when the unit is wide enough and the reduced
@@ -97,6 +91,16 @@ struct OracleServer::Impl {
   obs::Counter& path_same_block;
   obs::Counter& path_cross_block;
   obs::Gauge& epoch_gauge;
+  // Latency attribution components (docs/observability.md): every answered
+  // query decomposes into queue_wait / schedule / kernel / recompose /
+  // write. The first four are recorded here (at full batch values, once
+  // per query in the batch, so component means stay per-query comparable
+  // and sum to the open-loop mean); `write` belongs to whoever serializes
+  // the reply (http_routes / the bench) via QueryTrace::server_end_ns.
+  obs::Histogram& attr_queue_wait;
+  obs::Histogram& attr_schedule;
+  obs::Histogram& attr_kernel;
+  obs::Histogram& attr_recompose;
 
   explicit Impl(ServeOptions opts)
       : options(opts),
@@ -119,7 +123,15 @@ struct OracleServer::Impl {
         path_cross_block(obs::MetricsRegistry::instance().counter(
             "oracle.serve.path.cross_block")),
         epoch_gauge(
-            obs::MetricsRegistry::instance().gauge("oracle.serve.epoch")) {
+            obs::MetricsRegistry::instance().gauge("oracle.serve.epoch")),
+        attr_queue_wait(obs::MetricsRegistry::instance().histogram(
+            "oracle.serve.attr.queue_wait_ns")),
+        attr_schedule(obs::MetricsRegistry::instance().histogram(
+            "oracle.serve.attr.schedule_ns")),
+        attr_kernel(obs::MetricsRegistry::instance().histogram(
+            "oracle.serve.attr.kernel_ns")),
+        attr_recompose(obs::MetricsRegistry::instance().histogram(
+            "oracle.serve.attr.recompose_ns")) {
     if (options.legs_per_unit == 0) options.legs_per_unit = 1;
     if (options.build.mode == core::ExecutionMode::DeviceOnly ||
         options.build.mode == core::ExecutionMode::Heterogeneous) {
@@ -199,7 +211,16 @@ struct OracleServer::Impl {
 
   [[nodiscard]] std::vector<Weight> run_batch(
       const OracleSnapshot& snap, std::span<const Query> queries) {
-    const auto start = Clock::now();
+    // Request context (obs/query_trace.hpp): when the caller installed a
+    // QueryTrace, every span below joins its per-query tree and the
+    // attribution components chain gaplessly from the scheduled arrival.
+    // Timing uses the tracer's steady clock so span and attribution
+    // timestamps share one timeline.
+    const std::uint64_t entry_ns = obs::Tracer::now_ns();
+    obs::QueryTrace* const qt = obs::current_query_trace();
+    const std::uint32_t caller_parent = obs::current_parent_span();
+    const std::uint32_t root_id = qt != nullptr ? qt->allocate_span() : 0;
+    const std::uint64_t qid = qt != nullptr ? qt->query_id() : 0;
     const core::EarApspEngine& eng = snap.engine();
     const std::size_t q = queries.size();
 
@@ -266,8 +287,9 @@ struct OracleServer::Impl {
             std::min<std::uint32_t>(options.legs_per_unit, end - first);
         units.push_back({block, first, count});
         // Heaviest-first queue order: weight by legs times reduced size
-        // (the Recompute cost shape; harmless for Tables).
-        queue_units.push_back({id, count * (nr + 1)});
+        // (the Recompute cost shape; harmless for Tables). The tag carries
+        // the query id so worker-side spans stitch into the query tree.
+        queue_units.push_back({id, count * (nr + 1), qid});
       }
       at = end;
     }
@@ -277,8 +299,15 @@ struct OracleServer::Impl {
     std::vector<RecomputeScratch> cpu_ws(recompute ? cpu_workers : 0);
     RecomputeScratch device_ws;
 
+    // Both unit callbacks re-install the request context: drains are
+    // synchronous within this call, so `qt` outlives every worker lane
+    // touching it, and the QueryTraceScope makes the per-unit spans attach
+    // under this batch's root from whichever thread runs the unit.
     const hetero::UnitFn cpu_fn = [&](const hetero::WorkUnit& wu,
                                       unsigned worker) {
+      const obs::QueryTraceScope qscope(qt, root_id);
+      const obs::QuerySpan unit_span("oracle.leg_unit", "block",
+                                     units[wu.id].block);
       const LegUnit& u = units[wu.id];
       if (recompute) {
         recompute_unit(eng, u, tasks, leg_values, cpu_ws[worker], false);
@@ -292,6 +321,9 @@ struct OracleServer::Impl {
     };
     const hetero::UnitFn device_fn = [&](const hetero::WorkUnit& wu,
                                          unsigned) {
+      const obs::QueryTraceScope qscope(qt, root_id);
+      const obs::QuerySpan unit_span("oracle.leg_unit", "block",
+                                     units[wu.id].block);
       const LegUnit& u = units[wu.id];
       if (recompute) {
         recompute_unit(eng, u, tasks, leg_values, device_ws, true);
@@ -304,6 +336,12 @@ struct OracleServer::Impl {
       }
     };
 
+    // Attribution brackets: schedule = entry..t1 (classification, leg
+    // grouping, unit build), kernel = t1..t2 (the drain), recompose =
+    // t2..end (recomposition; the trailing metric bookkeeping lands in the
+    // caller's `write` component via server_end_ns, keeping the chain
+    // arrival -> entry -> t1 -> t2 -> end -> done gapless).
+    const std::uint64_t t1 = obs::Tracer::now_ns();
     switch (options.build.mode) {
       case core::ExecutionMode::Sequential:
         for (const auto& wu : queue_units) cpu_fn(wu, 0);
@@ -334,6 +372,8 @@ struct OracleServer::Impl {
       }
     }
 
+    const std::uint64_t t2 = obs::Tracer::now_ns();
+
     // Recompose: same shapes, same association as the scalar closed form.
     std::vector<Weight> out(q);
     for (std::size_t i = 0; i < q; ++i) {
@@ -353,7 +393,8 @@ struct OracleServer::Impl {
       }
     }
 
-    const std::uint64_t ns = elapsed_ns(start);
+    const std::uint64_t end_ns = obs::Tracer::now_ns();
+    const std::uint64_t ns = end_ns - entry_ns;
     batch_latency.record(ns);
     batches_total.add(1);
     queries_total.add(q);
@@ -361,10 +402,48 @@ struct OracleServer::Impl {
     path_disconnected.add(n_disconnected);
     path_same_block.add(n_same);
     path_cross_block.add(n_cross);
-    if (q > 0) {
-      const std::uint64_t per_query = ns / q;
-      for (std::size_t i = 0; i < q; ++i) {
-        batch_query_latency.record(per_query);
+    batch_query_latency.record_n(q > 0 ? ns / q : 0, q);
+
+    // Attribution: components are recorded at full batch values once per
+    // query in the batch — the same convention the open-loop bench uses for
+    // its latency histogram — so per-component means sum to the open-loop
+    // mean (check_bench_smoke.py enforces the 10% bound).
+    const std::uint64_t arrival =
+        qt != nullptr && qt->arrival_ns != 0 && qt->arrival_ns <= entry_ns
+            ? qt->arrival_ns
+            : entry_ns;
+    attr_queue_wait.record_n(entry_ns - arrival, q);
+    attr_schedule.record_n(t1 - entry_ns, q);
+    attr_kernel.record_n(t2 - t1, q);
+    attr_recompose.record_n(end_ns - t2, q);
+
+    if (qt != nullptr) {
+      qt->attr_ns[std::size_t(obs::AttrComponent::kQueueWait)] =
+          entry_ns - arrival;
+      qt->attr_ns[std::size_t(obs::AttrComponent::kSchedule)] = t1 - entry_ns;
+      qt->attr_ns[std::size_t(obs::AttrComponent::kKernel)] = t2 - t1;
+      qt->attr_ns[std::size_t(obs::AttrComponent::kRecompose)] = end_ns - t2;
+      qt->server_end_ns = end_ns;
+      qt->emit(qt->allocate_span(), root_id, "oracle.classify", entry_ns,
+               t1 - entry_ns, "legs", tasks.size());
+      qt->emit(qt->allocate_span(), root_id, "oracle.drain", t1, t2 - t1,
+               "units", units.size());
+      qt->emit(qt->allocate_span(), root_id, "oracle.recompose", t2,
+               end_ns - t2);
+      qt->emit(root_id, caller_parent, "oracle.batch", entry_ns, ns,
+               "queries", q);
+      // Tail-sampled exemplars: feed the p99 tracker with the query's
+      // server-visible latency (arrival to recompose end) and retain the
+      // span tree + attribution on a Keep verdict.
+      obs::SlowLog& slow = obs::SlowLog::instance();
+      if (slow.armed()) {
+        const std::uint64_t total = end_ns - arrival;
+        const obs::SlowLog::Keep keep = slow.observe(total);
+        if (keep != obs::SlowLog::Keep::kNo) {
+          slow.retain(*qt, total, keep, q > 0 ? queries[0].s : 0,
+                      q > 0 ? queries[0].t : 0,
+                      static_cast<std::uint32_t>(q), snap.epoch());
+        }
       }
     }
     return out;
@@ -405,11 +484,41 @@ const ServeOptions& OracleServer::options() const noexcept {
 }
 
 Weight OracleServer::query(VertexId s, VertexId t) const {
+  // The kernel bracket starts before pin() so the snapshot copy has no
+  // unattributed gap; server_end_ns is the bracket end, so the metric
+  // bookkeeping below lands in the caller's `write` component and the
+  // attribution chain arrival -> entry -> end -> done stays gapless.
+  const std::uint64_t entry_ns = obs::Tracer::now_ns();
+  obs::QueryTrace* const qt = obs::current_query_trace();
   const auto snap = impl_->pin();
-  const auto start = Clock::now();
   const Weight d = snap->query(s, t);
-  impl_->scalar_latency.record(elapsed_ns(start));
+  const std::uint64_t end_ns = obs::Tracer::now_ns();
+  const std::uint64_t arrival =
+      qt != nullptr && qt->arrival_ns != 0 && qt->arrival_ns <= entry_ns
+          ? qt->arrival_ns
+          : entry_ns;
+  impl_->scalar_latency.record(end_ns - entry_ns);
   impl_->queries_total.add(1);
+  impl_->attr_queue_wait.record(entry_ns - arrival);
+  impl_->attr_schedule.record(0);
+  impl_->attr_kernel.record(end_ns - entry_ns);
+  impl_->attr_recompose.record(0);
+  if (qt != nullptr) {
+    qt->attr_ns[std::size_t(obs::AttrComponent::kQueueWait)] =
+        entry_ns - arrival;
+    qt->attr_ns[std::size_t(obs::AttrComponent::kKernel)] = end_ns - entry_ns;
+    qt->server_end_ns = end_ns;
+    qt->emit(qt->allocate_span(), obs::current_parent_span(), "oracle.scalar",
+             entry_ns, end_ns - entry_ns);
+    obs::SlowLog& slow = obs::SlowLog::instance();
+    if (slow.armed()) {
+      const std::uint64_t total = end_ns - arrival;
+      const obs::SlowLog::Keep keep = slow.observe(total);
+      if (keep != obs::SlowLog::Keep::kNo) {
+        slow.retain(*qt, total, keep, s, t, 1, snap->epoch());
+      }
+    }
+  }
   return d;
 }
 

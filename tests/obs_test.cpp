@@ -6,15 +6,19 @@
 // The tracer and registry are process-wide singletons, so every test that
 // inspects them clears/resets first and runs single-threaded unless it is
 // specifically exercising cross-thread lanes.
+#include <algorithm>
 #include <atomic>
 #include <cctype>
 #include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <type_traits>
 #include <variant>
@@ -22,9 +26,12 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/phase.hpp"
+#include "obs/query_trace.hpp"
 #include "obs/sampler.hpp"
+#include "obs/slow_log.hpp"
 #include "obs/trace.hpp"
 
 namespace {
@@ -651,6 +658,368 @@ TEST(ObsRegistry, CsvExportContainsInstrumentRows) {
   EXPECT_NE(csv.find("kind,name,field,value"), std::string::npos);
   EXPECT_NE(csv.find("counter,obs_test.csv_counter,value,7"),
             std::string::npos);
+}
+
+// --- linked spans & per-query trace context -----------------------------
+
+TEST_F(ObsTracerTest, LinkedSpanSnapshotAndExportCarryTreeIds) {
+  if (!obs::kTracingEnabled) GTEST_SKIP() << "tracing compiled out";
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.record_span_linked("obs_test.linked", 1000, 2000, /*qid=*/77,
+                            /*span_id=*/2, /*parent_id=*/1, "legs", 3);
+  const auto events = tracer.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].event.qid, 77u);
+  EXPECT_EQ(events[0].event.span_id, 2u);
+  EXPECT_EQ(events[0].event.parent_id, 1u);
+
+  std::ostringstream out;
+  tracer.write_chrome_trace(out);
+  const JsonValue doc = JsonParser(out.str()).parse();
+  bool saw = false;
+  for (const JsonValue& ev : doc.obj().at("traceEvents").arr()) {
+    const JsonObject& e = ev.obj();
+    if (e.at("ph").str() != "X") continue;
+    saw = true;
+    const JsonObject& args = e.at("args").obj();
+    EXPECT_DOUBLE_EQ(args.at("qid").num(), 77.0);
+    EXPECT_DOUBLE_EQ(args.at("span").num(), 2.0);
+    EXPECT_DOUBLE_EQ(args.at("parent").num(), 1.0);
+    EXPECT_DOUBLE_EQ(args.at("legs").num(), 3.0);
+  }
+  EXPECT_TRUE(saw);
+}
+
+TEST_F(ObsTracerTest, UnlinkedSpanExportsNoLinkArgs) {
+  if (!obs::kTracingEnabled) GTEST_SKIP() << "tracing compiled out";
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.record_span("obs_test.plain", 0, 1);
+  std::ostringstream out;
+  tracer.write_chrome_trace(out);
+  const JsonValue doc = JsonParser(out.str()).parse();
+  for (const JsonValue& ev : doc.obj().at("traceEvents").arr()) {
+    const JsonObject& e = ev.obj();
+    if (e.at("ph").str() != "X") continue;
+    // qid == 0 means unlinked: the exporter must not add an args object
+    // (critical_path.py keys on args.qid to find stitched spans).
+    EXPECT_EQ(e.count("args"), 0u);
+  }
+}
+
+TEST_F(ObsTracerTest, QueryTraceScopeNestsAndQuerySpansChainParents) {
+  EXPECT_EQ(obs::current_query_trace(), nullptr);
+  obs::QueryTrace qt;
+  EXPECT_NE(qt.query_id(), 0u);
+  {
+    const obs::QueryTraceScope scope(&qt);
+    EXPECT_EQ(obs::current_query_trace(), &qt);
+    EXPECT_EQ(obs::current_parent_span(), 0u);
+    std::uint32_t outer_id = 0;
+    {
+      const obs::QuerySpan outer("obs_test.q_outer");
+      outer_id = outer.span_id();
+      EXPECT_NE(outer_id, 0u);
+      EXPECT_EQ(obs::current_parent_span(), outer_id);
+      {
+        const obs::QuerySpan inner("obs_test.q_inner", "arg", 5);
+        EXPECT_NE(inner.span_id(), outer_id);
+        EXPECT_EQ(obs::current_parent_span(), inner.span_id());
+      }
+      EXPECT_EQ(obs::current_parent_span(), outer_id);
+    }
+    EXPECT_EQ(obs::current_parent_span(), 0u);
+  }
+  EXPECT_EQ(obs::current_query_trace(), nullptr);
+  if (obs::kTracingEnabled) {
+    // Both spans landed in the tracer with this query's id, and the inner
+    // one parents under the outer (snapshot sorts by start time).
+    const auto events = obs::Tracer::instance().snapshot();
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_STREQ(events[0].event.name, "obs_test.q_outer");
+    EXPECT_STREQ(events[1].event.name, "obs_test.q_inner");
+    EXPECT_EQ(events[0].event.qid, qt.query_id());
+    EXPECT_EQ(events[1].event.qid, qt.query_id());
+    EXPECT_EQ(events[0].event.parent_id, 0u);
+    EXPECT_EQ(events[1].event.parent_id, events[0].event.span_id);
+  }
+}
+
+TEST_F(ObsTracerTest, QuerySpanWithoutContextIsInert) {
+  const obs::QuerySpan span("obs_test.orphan");
+  EXPECT_EQ(span.span_id(), 0u);
+  EXPECT_EQ(obs::current_parent_span(), 0u);
+}
+
+TEST_F(ObsTracerTest, CrossThreadScopeReinstallJoinsTheSameTree) {
+  if (!obs::kTracingEnabled) GTEST_SKIP() << "tracing compiled out";
+  // The hetero worker-callback pattern: the worker lane re-installs the
+  // query's context with the root span id, so its spans parent under the
+  // root despite running on another thread.
+  obs::QueryTrace qt;
+  std::uint32_t root_id = 0;
+  {
+    const obs::QueryTraceScope scope(&qt);
+    const obs::QuerySpan root("obs_test.x_root");
+    root_id = root.span_id();
+    std::thread worker([&qt, root_id] {
+      const obs::QueryTraceScope wscope(&qt, root_id);
+      const obs::QuerySpan unit("obs_test.x_unit");
+      EXPECT_NE(unit.span_id(), 0u);
+    });
+    worker.join();
+  }
+  const auto events = obs::Tracer::instance().snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  for (const auto& e : events) {
+    EXPECT_EQ(e.event.qid, qt.query_id());
+    if (std::string_view(e.event.name) == "obs_test.x_unit") {
+      EXPECT_EQ(e.event.parent_id, root_id);
+    }
+  }
+}
+
+TEST_F(ObsTracerTest, ConcurrentLinkedWraparoundUnderCounterLoad) {
+  if (!obs::kTracingEnabled) GTEST_SKIP() << "tracing compiled out";
+  // Satellite of the per-query tracing work: several lanes wrap their span
+  // rings with linked spans while another thread hammers the counter path
+  // (which also feeds the flight recorder's seqlocked mirror). Run under
+  // TSan via `ctest -L hetero`. Afterwards every lane must retain exactly
+  // the newest kRingCapacity spans with their link fields intact.
+  obs::Tracer& tracer = obs::Tracer::instance();
+  constexpr std::size_t kThreads = 3;
+  constexpr std::size_t kExtra = 256;
+  constexpr std::size_t kPerThread = obs::Tracer::kRingCapacity + kExtra;
+  std::atomic<std::size_t> ready{0};
+  std::atomic<bool> go{false};
+  std::atomic<bool> stop{false};
+  std::thread counter_thread([&tracer, &stop] {
+    std::uint64_t ts = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      tracer.record_counter_at("obs_test.load", ts, 1.0);
+      ts += 1000;
+    }
+  });
+  std::vector<std::thread> lanes;
+  lanes.reserve(kThreads);
+  for (std::size_t w = 0; w < kThreads; ++w) {
+    lanes.emplace_back([&tracer, &ready, &go, w] {
+      const std::uint64_t qid = w + 1;
+      // Claim the lane BEFORE signaling readiness: acquisition is lazy (on
+      // the first recorded event) and release happens at thread exit, so a
+      // writer that only claimed after `go` could recycle the ring of a
+      // sibling that already finished — merging two writers into one lane.
+      tracer.record_span_linked("obs_test.linked_wrap", /*start_ns=*/0,
+                                /*dur_ns=*/1, qid, /*span_id=*/1,
+                                /*parent_id=*/7);
+      ready.fetch_add(1, std::memory_order_release);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (std::size_t i = 1; i < kPerThread; ++i) {
+        tracer.record_span_linked("obs_test.linked_wrap", /*start_ns=*/i,
+                                  /*dur_ns=*/1, qid,
+                                  static_cast<std::uint32_t>(i + 1),
+                                  /*parent_id=*/7);
+      }
+    });
+  }
+  while (ready.load(std::memory_order_acquire) < kThreads) {
+    std::this_thread::yield();
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& t : lanes) t.join();
+  stop.store(true, std::memory_order_release);
+  counter_thread.join();
+
+  EXPECT_EQ(tracer.recorded_events(),
+            kThreads * obs::Tracer::kRingCapacity);
+  EXPECT_EQ(tracer.dropped_events(), kThreads * kExtra);
+  std::map<std::uint64_t, std::size_t> per_qid_count;
+  std::map<std::uint64_t, std::uint32_t> per_qid_min_span;
+  for (const auto& e : tracer.snapshot()) {
+    ASSERT_GE(e.event.qid, 1u);
+    ASSERT_LE(e.event.qid, kThreads);
+    EXPECT_EQ(e.event.parent_id, 7u);
+    ++per_qid_count[e.event.qid];
+    auto [it, inserted] =
+        per_qid_min_span.try_emplace(e.event.qid, e.event.span_id);
+    if (!inserted) it->second = std::min(it->second, e.event.span_id);
+  }
+  ASSERT_EQ(per_qid_count.size(), kThreads);
+  for (const auto& [qid, count] : per_qid_count) {
+    EXPECT_EQ(count, obs::Tracer::kRingCapacity) << "qid=" << qid;
+    // Newest-kept: the oldest surviving span id is exactly one past the
+    // dropped prefix.
+    EXPECT_EQ(per_qid_min_span[qid], kExtra + 1) << "qid=" << qid;
+  }
+  EXPECT_FALSE(tracer.counter_samples().empty());
+}
+
+// --- slow-query exemplar store ------------------------------------------
+
+class ObsSlowLogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::SlowLog::instance().disarm();
+    obs::SlowLog::instance().clear();
+  }
+  void TearDown() override {
+    obs::SlowLog::instance().disarm();
+    obs::SlowLog::instance().clear();
+  }
+};
+
+TEST_F(ObsSlowLogTest, DisarmedObservesNothing) {
+  auto& slow = obs::SlowLog::instance();
+  EXPECT_FALSE(slow.armed());
+  EXPECT_EQ(slow.observe(1000), obs::SlowLog::Keep::kNo);
+  EXPECT_EQ(slow.observed(), 0u);
+}
+
+TEST_F(ObsSlowLogTest, UniformStrideSamplesEveryNth) {
+  if (!obs::kTracingEnabled) GTEST_SKIP() << "tracing compiled out";
+  auto& slow = obs::SlowLog::instance();
+  slow.arm(/*uniform_stride=*/4);
+  ASSERT_TRUE(slow.armed());
+  int uniform = 0;
+  for (int i = 1; i <= 12; ++i) {
+    const auto keep = slow.observe(100);
+    if (i % 4 == 0) {
+      EXPECT_EQ(keep, obs::SlowLog::Keep::kUniform) << i;
+      ++uniform;
+    } else {
+      EXPECT_EQ(keep, obs::SlowLog::Keep::kNo) << i;
+    }
+  }
+  EXPECT_EQ(uniform, 3);
+  EXPECT_EQ(slow.observed(), 12u);
+}
+
+TEST_F(ObsSlowLogTest, TailThresholdActivatesAfterWarmup) {
+  if (!obs::kTracingEnabled) GTEST_SKIP() << "tracing compiled out";
+  auto& slow = obs::SlowLog::instance();
+  slow.arm(/*uniform_stride=*/0);
+  // During warmup the threshold is +inf: even a slow query is not tail-kept.
+  EXPECT_EQ(slow.observe(1'000'000'000), obs::SlowLog::Keep::kNo);
+  EXPECT_EQ(slow.threshold_ns(), ~std::uint64_t{0});
+  // Feed fast queries through the warmup boundary; the recompute at
+  // n == 512 calibrates the threshold to the fast bucket.
+  for (std::uint64_t n = slow.observed();
+       n < obs::SlowLog::kWarmupObservations; ++n) {
+    (void)slow.observe(100);
+  }
+  EXPECT_LT(slow.threshold_ns(), ~std::uint64_t{0});
+  EXPECT_EQ(slow.observe(1'000'000'000), obs::SlowLog::Keep::kSlowTail);
+  EXPECT_EQ(slow.observe(1), obs::SlowLog::Keep::kNo);
+}
+
+TEST_F(ObsSlowLogTest, RetainAndDumpRoundTrips) {
+  if (!obs::kTracingEnabled) GTEST_SKIP() << "tracing compiled out";
+  auto& slow = obs::SlowLog::instance();
+  slow.arm(/*uniform_stride=*/1);
+  // Armed at construction -> this trace collects its spans.
+  obs::QueryTrace qt(/*arrival_ns_in=*/500);
+  const std::uint32_t root = qt.allocate_span();
+  qt.emit(root, 0, "obs_test.slow_root", 500, 4000);
+  qt.emit(qt.allocate_span(), root, "obs_test.slow_leaf", 600, 1000);
+  EXPECT_EQ(qt.span_count(), 2u);
+  qt.attr_ns[std::size_t(obs::AttrComponent::kKernel)] = 3000;
+  slow.retain(qt, /*total_ns=*/4200, obs::SlowLog::Keep::kUniform,
+              /*s=*/11, /*t=*/22, /*batch=*/8, /*epoch=*/3);
+  EXPECT_EQ(slow.retained(), 1u);
+
+  const std::string json = slow.dump_json();
+  const JsonValue doc = JsonParser(json).parse();
+  const JsonObject& rootobj = doc.obj();
+  EXPECT_EQ(rootobj.at("retained").num(), 1.0);
+  const JsonArray& exemplars = rootobj.at("exemplars").arr();
+  ASSERT_EQ(exemplars.size(), 1u);
+  const JsonObject& ex = exemplars[0].obj();
+  EXPECT_DOUBLE_EQ(ex.at("query_id").num(),
+                   static_cast<double>(qt.query_id()));
+  EXPECT_EQ(ex.at("reason").str(), "sample");
+  EXPECT_DOUBLE_EQ(ex.at("total_ns").num(), 4200.0);
+  EXPECT_DOUBLE_EQ(ex.at("batch").num(), 8.0);
+  EXPECT_DOUBLE_EQ(ex.at("attr_ns").obj().at("kernel").num(), 3000.0);
+  const JsonArray& spans = ex.at("spans").arr();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].obj().at("name").str(), "obs_test.slow_root");
+  EXPECT_DOUBLE_EQ(spans[1].obj().at("parent").num(),
+                   static_cast<double>(root));
+
+  slow.clear();
+  EXPECT_EQ(slow.retained(), 0u);
+  EXPECT_EQ(slow.observed(), 0u);
+}
+
+TEST_F(ObsSlowLogTest, SpanCollectionRespectsArmingAndOverflowCounts) {
+  if (!obs::kTracingEnabled) GTEST_SKIP() << "tracing compiled out";
+  auto& slow = obs::SlowLog::instance();
+  // Disarmed at construction: spans are emitted but never collected.
+  obs::QueryTrace cold;
+  cold.emit(cold.allocate_span(), 0, "obs_test.cold", 0, 1);
+  EXPECT_EQ(cold.span_count(), 0u);
+  slow.arm();
+  obs::QueryTrace hot;
+  for (std::size_t i = 0; i < obs::QueryTrace::kMaxSpans + 5; ++i) {
+    hot.emit(hot.allocate_span(), 0, "obs_test.hot", i, 1);
+  }
+  // Overflowing spans are counted, not retained (the exemplar's span list
+  // is a fixed-size snapshot).
+  EXPECT_EQ(hot.span_count(), obs::QueryTrace::kMaxSpans);
+}
+
+// --- flight recorder ----------------------------------------------------
+
+TEST(ObsFlightRecorder, DumpNowWritesParseableSnapshot) {
+  obs::Tracer::instance().clear();
+  obs::Tracer::instance().set_enabled(true);
+  obs::Tracer::instance().record_span_linked("obs_test.flight \"q\"", 1000,
+                                             2000, 9, 1, 0, "units", 4);
+  obs::Tracer::instance().record_counter_at("obs_test.flight_track", 1500,
+                                            2.5);
+  const std::string path = "obs_test_flight.json";
+  auto& flight = obs::FlightRecorder::instance();
+  if (!flight.arm(path)) {
+    obs::Tracer::instance().set_enabled(false);
+    obs::Tracer::instance().clear();
+    GTEST_SKIP() << "flight recorder unavailable (tracing off / non-POSIX)";
+  }
+  EXPECT_TRUE(flight.armed());
+  EXPECT_EQ(flight.path(), path);
+  ASSERT_TRUE(flight.dump_now("unit-test"));
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream content;
+  content << in.rdbuf();
+  const JsonValue doc = JsonParser(content.str()).parse();
+  const JsonObject& root = doc.obj();
+  EXPECT_DOUBLE_EQ(root.at("flight").num(), 1.0);
+  EXPECT_EQ(root.at("reason").str(), "unit-test");
+  bool saw_span = false;
+  for (const JsonValue& lane : root.at("lanes").arr()) {
+    for (const JsonValue& ev : lane.obj().at("events").arr()) {
+      const JsonObject& e = ev.obj();
+      // The signal-safe writer sanitizes quotes rather than escaping them.
+      if (e.at("name").str().rfind("obs_test.flight", 0) == 0) {
+        saw_span = true;
+        EXPECT_DOUBLE_EQ(e.at("qid").num(), 9.0);
+        EXPECT_DOUBLE_EQ(e.at("span").num(), 1.0);
+        EXPECT_DOUBLE_EQ(e.at("arg").num(), 4.0);
+      }
+    }
+  }
+  EXPECT_TRUE(saw_span);
+  bool saw_counter = false;
+  for (const JsonValue& c : root.at("counters").arr()) {
+    if (c.obj().at("track").str() == "obs_test.flight_track") {
+      saw_counter = true;
+      EXPECT_DOUBLE_EQ(c.obj().at("value").num(), 2.5);
+    }
+  }
+  EXPECT_TRUE(saw_counter);
+  std::remove(path.c_str());
+  obs::Tracer::instance().set_enabled(false);
+  obs::Tracer::instance().clear();
 }
 
 // --- phase helper -------------------------------------------------------

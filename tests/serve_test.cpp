@@ -19,7 +19,10 @@
 #include <gtest/gtest.h>
 
 #include "core/distance_oracle.hpp"
+#include "obs/metrics.hpp"
+#include "obs/query_trace.hpp"
 #include "obs/stats_server.hpp"
+#include "obs/trace.hpp"
 #include "serve/http_routes.hpp"
 #include "serve/oracle_server.hpp"
 #include "testing/families.hpp"
@@ -139,6 +142,57 @@ TEST(OracleServer, BatchRejectsOutOfRangeVertices) {
   const std::vector<serve::Query> bad{{0, g.num_vertices()}};
   EXPECT_THROW((void)server.query_batch(bad), std::out_of_range);
   EXPECT_THROW((void)server.query(g.num_vertices(), 0), std::out_of_range);
+}
+
+// The latency-attribution contract (docs/observability.md): with a
+// QueryTrace installed, the serving path fills server_end_ns and the four
+// server-side components so they chain gaplessly from the scheduled
+// arrival — component sums must equal server_end_ns - arrival exactly,
+// and each attr histogram must have seen one observation per query.
+TEST(OracleServer, QueryTraceAttributionChainsGaplessly) {
+  if (!obs::kTracingEnabled) GTEST_SKIP() << "tracing compiled out";
+  const graph::Graph g = test_graph(13);
+  const serve::OracleServer server(g, {});
+  auto& reg = obs::MetricsRegistry::instance();
+  obs::Histogram* attr[4] = {
+      &reg.histogram("oracle.serve.attr.queue_wait_ns"),
+      &reg.histogram("oracle.serve.attr.schedule_ns"),
+      &reg.histogram("oracle.serve.attr.kernel_ns"),
+      &reg.histogram("oracle.serve.attr.recompose_ns"),
+  };
+  for (obs::Histogram* h : attr) h->reset();
+
+  const std::vector<serve::Query> queries = {{0, 1}, {2, 3}, {5, 9}, {1, 1}};
+  const std::uint64_t arrival = obs::Tracer::now_ns();
+  obs::QueryTrace qt(arrival);
+  std::vector<Weight> batched;
+  {
+    const obs::QueryTraceScope scope(&qt);
+    batched = server.query_batch(queries);
+  }
+  const std::uint64_t done = obs::Tracer::now_ns();
+
+  ASSERT_EQ(batched.size(), queries.size());
+  ASSERT_NE(qt.server_end_ns, 0u);
+  EXPECT_GE(qt.server_end_ns, arrival);
+  EXPECT_LE(qt.server_end_ns, done);
+  std::uint64_t component_sum = 0;
+  for (std::size_t i = 0; i < 4; ++i) component_sum += qt.attr_ns[i];
+  EXPECT_EQ(component_sum, qt.server_end_ns - arrival);
+  // The write component is the caller's; the server must leave it alone.
+  EXPECT_EQ(qt.attr_ns[std::size_t(obs::AttrComponent::kWrite)], 0u);
+  for (obs::Histogram* h : attr) EXPECT_EQ(h->count(), queries.size());
+
+  // The scalar path fills the same contract with batch-only components 0.
+  obs::QueryTrace scalar_qt(obs::Tracer::now_ns());
+  {
+    const obs::QueryTraceScope scope(&scalar_qt);
+    (void)server.query(0, 5);
+  }
+  ASSERT_NE(scalar_qt.server_end_ns, 0u);
+  std::uint64_t scalar_sum = 0;
+  for (std::size_t i = 0; i < 4; ++i) scalar_sum += scalar_qt.attr_ns[i];
+  EXPECT_EQ(scalar_sum, scalar_qt.server_end_ns - scalar_qt.arrival_ns);
 }
 
 // The epoch-swap contract under load: readers pin a snapshot and their

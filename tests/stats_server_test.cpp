@@ -65,6 +65,41 @@ std::string http_get(std::uint16_t port, const std::string& path,
   return resp;
 }
 
+/// Sends raw request bytes verbatim and returns the full response. With
+/// `half_close`, shuts down the write side after sending — the client-hung-up
+/// case the Content-Length framing check must turn into a 400 instead of
+/// burning the receive timeout or truncating the payload.
+std::string http_raw(std::uint16_t port, const std::string& raw,
+                     bool half_close = false) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    ::close(fd);
+    return "";
+  }
+  std::size_t off = 0;
+  while (off < raw.size()) {
+    const ssize_t n = ::send(fd, raw.data() + off, raw.size() - off, 0);
+    if (n <= 0) break;
+    off += static_cast<std::size_t>(n);
+  }
+  if (half_close) ::shutdown(fd, SHUT_WR);
+  std::string resp;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    resp.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return resp;
+}
+
 class StatsServerTest : public ::testing::Test {
  protected:
   void SetUp() override {
@@ -189,6 +224,72 @@ TEST_F(StatsServerTest, RequestCounterAdvances) {
   (void)http_get(port_, "/healthz");
   (void)http_get(port_, "/nope");
   EXPECT_GE(server.requests_served(), before + 2);
+}
+
+TEST_F(StatsServerTest, DebugSlowRouteServesExemplarJson) {
+  const std::string resp = http_get(port_, "/debug/slow");
+  EXPECT_NE(resp.find("HTTP/1.1 200"), std::string::npos) << resp;
+  EXPECT_NE(resp.find("application/json"), std::string::npos);
+  EXPECT_NE(resp.find("\"exemplars\""), std::string::npos);
+}
+
+// POST framing regressions: bodies are only read for the pluggable routes,
+// so each test registers an echo handler first (and clears it after — the
+// server outlives the test).
+class StatsServerPostTest : public StatsServerTest {
+ protected:
+  void SetUp() override {
+    StatsServerTest::SetUp();
+    obs::StatsServer::instance().set_route_handler(
+        [](const obs::HttpRequest& req, obs::HttpResponse& resp) {
+          if (req.path != "/echo") return false;
+          resp.status = 200;
+          resp.body = "echo:" + req.body;
+          return true;
+        });
+  }
+  void TearDown() override {
+    obs::StatsServer::instance().set_route_handler({});
+    StatsServerTest::TearDown();
+  }
+
+  static std::string post(const std::string& body, std::size_t declared) {
+    return "POST /echo HTTP/1.1\r\nHost: localhost\r\n"
+           "Content-Length: " +
+           std::to_string(declared) + "\r\nConnection: close\r\n\r\n" + body;
+  }
+};
+
+TEST_F(StatsServerPostTest, ExactContentLengthReachesHandler) {
+  const std::string resp = http_raw(port_, post("hello", 5));
+  EXPECT_NE(resp.find("HTTP/1.1 200"), std::string::npos) << resp;
+  EXPECT_NE(resp.find("echo:hello"), std::string::npos);
+}
+
+TEST_F(StatsServerPostTest, ShortBodyWithHungUpClientIs400) {
+  // Declared 64 bytes, sent 2, then half-closed: the server must detect the
+  // short read and answer 400 instead of handing a truncated payload to the
+  // route handler.
+  const std::string resp =
+      http_raw(port_, post("hi", 64), /*half_close=*/true);
+  EXPECT_NE(resp.find("HTTP/1.1 400"), std::string::npos) << resp;
+  EXPECT_NE(resp.find("does not match Content-Length"), std::string::npos);
+  EXPECT_EQ(resp.find("echo:"), std::string::npos);
+}
+
+TEST_F(StatsServerPostTest, BodyLongerThanDeclaredIs400) {
+  const std::string resp = http_raw(port_, post("0123456789", 4));
+  EXPECT_NE(resp.find("HTTP/1.1 400"), std::string::npos) << resp;
+  EXPECT_EQ(resp.find("echo:"), std::string::npos);
+}
+
+TEST_F(StatsServerPostTest, OversizedDeclaredLengthIs413) {
+  // Over the 1 MiB cap: refused from the declared length alone, before any
+  // body bytes are read.
+  const std::string resp =
+      http_raw(port_, post("", 2u << 20), /*half_close=*/true);
+  EXPECT_NE(resp.find("HTTP/1.1 413"), std::string::npos) << resp;
+  EXPECT_NE(resp.find("body too large"), std::string::npos);
 }
 
 // The TSan check (ctest label: hetero): scrapes race registry updates from

@@ -211,9 +211,45 @@ def check_oracle_query(path):
 
 SERVE_CELL_KEYS = ("mix", "path", "queries", "batch", "target_qps",
                    "seconds", "qps", "mean_ns", "p50_ns", "p90_ns",
-                   "p99_ns", "open_p50_ns", "open_p90_ns", "open_p99_ns",
-                   "sampled", "mismatches")
+                   "p99_ns", "open_mean_ns", "open_p50_ns", "open_p90_ns",
+                   "open_p99_ns", "sampled", "mismatches", "attr")
 SERVE_PATHS = ("scalar", "batch")
+ATTR_COMPONENTS = ("queue_wait", "schedule", "kernel", "recompose", "write")
+ATTR_STAT_KEYS = ("mean_ns", "p50_ns", "p90_ns", "p99_ns")
+ATTR_SUM_TOLERANCE = 0.10
+
+
+def check_attr_block(cell, path, i):
+    """The latency-attribution contract: every component histogram present
+    with internally monotone quantiles, and the component means chaining
+    gaplessly — their sum must reproduce the open-loop mean within 10% on
+    every cell (arrival -> entry -> schedule -> kernel -> recompose ->
+    write is a partition of the open-loop interval, not a sampling of
+    it)."""
+    attr = cell["attr"]
+    require(isinstance(attr, dict), f"{path}: cells[{i}].attr not a dict")
+    component_sum = 0.0
+    for comp in ATTR_COMPONENTS:
+        stats = attr.get(comp)
+        require(isinstance(stats, dict),
+                f"{path}: cells[{i}].attr.{comp} missing")
+        for key in ATTR_STAT_KEYS:
+            v = stats.get(key)
+            require(isinstance(v, (int, float)) and v >= 0,
+                    f"{path}: cells[{i}].attr.{comp}.{key} missing or "
+                    "negative")
+        require(stats["p50_ns"] <= stats["p90_ns"] <= stats["p99_ns"],
+                f"{path}: cells[{i}].attr.{comp} quantiles not monotone: "
+                f"p50={stats['p50_ns']} p90={stats['p90_ns']} "
+                f"p99={stats['p99_ns']}")
+        component_sum += stats["mean_ns"]
+    open_mean = cell["open_mean_ns"]
+    require(open_mean > 0, f"{path}: cells[{i}].open_mean_ns <= 0")
+    require(abs(component_sum - open_mean) <= ATTR_SUM_TOLERANCE * open_mean,
+            f"{path}: cells[{i}] attribution components sum to "
+            f"{component_sum:.0f}ns but open-loop mean is {open_mean:.0f}ns "
+            f"(> {100 * ATTR_SUM_TOLERANCE:.0f}% apart) — the chain has a "
+            "gap or an overlap")
 
 
 def check_oracle_serve(path):
@@ -248,6 +284,7 @@ def check_oracle_serve(path):
         require(cell["mismatches"] == 0,
                 f"{path}: cells[{i}] served {cell['mismatches']} answers "
                 "that differ from Dijkstra")
+        check_attr_block(cell, path, i)
         grid_seen.add((cell["mix"], cell["path"]))
     for mix in ORACLE_MIXES:
         for p in SERVE_PATHS:

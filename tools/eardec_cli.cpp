@@ -60,6 +60,16 @@
 //   --batch-engine=tables|recompute
 //                              serve: how /query/batch evaluates its
 //                              within-block legs (see docs/serving.md)
+//   --slow-log <file>          serve: on shutdown, dump the slow-query
+//                              exemplar ring (tail-sampled span trees, the
+//                              same JSON as GET /debug/slow) to <file>.
+//                              The exemplar store is armed for the whole
+//                              serve run whether or not this is set.
+//
+// serve also arms the flight recorder (crash-safe trace-ring snapshot to
+// eardec-flight-<pid>.json on SIGSEGV/SIGABRT or a stalled serve loop;
+// EARDEC_FLIGHT=off opts out, any other value overrides the path) — see
+// docs/observability.md.
 #include <algorithm>
 #include <chrono>
 #include <csignal>
@@ -85,9 +95,11 @@
 #include "graph/stats.hpp"
 #include "bench_common.hpp"
 #include "mcb/ear_mcb.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/pmu.hpp"
 #include "obs/sampler.hpp"
+#include "obs/slow_log.hpp"
 #include "obs/stats_server.hpp"
 #include "obs/trace.hpp"
 #include "serve/http_routes.hpp"
@@ -140,6 +152,7 @@ struct CliOptions {
   int stats_port = -1;       ///< --stats-port: live HTTP endpoint (-1 = off)
   unsigned stats_linger = 0; ///< --stats-linger: seconds to serve after done
   unsigned serve_seconds = 0;  ///< serve: run time limit (0 = until signal)
+  std::string slow_log_path;   ///< --slow-log: exemplar-ring dump on shutdown
   serve::BatchEngine batch_engine = serve::BatchEngine::Tables;
   bool deep = false;           ///< --deep: deep-validate .edg2 loads
   std::string reorder;         ///< --reorder: convert relabeling (bfs|degree)
@@ -193,6 +206,8 @@ std::vector<std::string> parse_args(int argc, char** argv, CliOptions& cli) {
     } else if (arg.starts_with("--serve-seconds")) {
       cli.serve_seconds =
           static_cast<unsigned>(std::stoul(value_of(arg, "--serve-seconds", i)));
+    } else if (arg.starts_with("--slow-log")) {
+      cli.slow_log_path = value_of(arg, "--slow-log", i);
     } else if (arg == "--deep") {
       cli.deep = true;
     } else if (arg.starts_with("--reorder")) {
@@ -356,6 +371,7 @@ int usage() {
                "[--threads=N] [--trace <file>] [--metrics <file>] "
                "[--json-stats] [--pmu] [--stats-port <p>] "
                "[--stats-linger <sec>] [--serve-seconds <sec>] "
+               "[--slow-log <file>] "
                "[--batch-engine=tables|recompute] [--deep] "
                "[--reorder=bfs|degree] [--rss-gate[=factor]]\n");
   return 2;
@@ -635,6 +651,12 @@ int main(int argc, char** argv) {
       sopts.batch_engine = cli.batch_engine;
       serve::OracleServer server(g, sopts);
       serve::register_query_routes(server);
+      // Tail-sampled exemplar store (GET /debug/slow, --slow-log) and the
+      // always-on flight recorder with a stalled-loop watchdog: a serve
+      // process that crashes or wedges leaves its newest spans behind.
+      obs::SlowLog::instance().arm();
+      obs::FlightRecorder::instance().configure_from_env();
+      obs::FlightRecorder::instance().start_watchdog(/*stall_ms=*/5000);
       auto& stats = obs::StatsServer::instance();
       if (!stats.running() &&
           !stats.start(cli.stats_port >= 0
@@ -659,12 +681,25 @@ int main(int argc, char** argv) {
       while (g_serve_stop == 0 &&
              (cli.serve_seconds == 0 ||
               std::chrono::steady_clock::now() < deadline)) {
+        obs::FlightRecorder::instance().heartbeat();
         std::this_thread::sleep_for(std::chrono::milliseconds(50));
       }
+      obs::FlightRecorder::instance().stop_watchdog();
       // Join the serving thread before the handler's OracleServer target
       // goes out of scope; only then drop the routes.
       stats.stop();
       serve::unregister_query_routes();
+      if (!cli.slow_log_path.empty()) {
+        std::ofstream slow(cli.slow_log_path);
+        if (slow) {
+          slow << obs::SlowLog::instance().dump_json() << '\n';
+          std::printf("serve: slow-query exemplars -> %s\n",
+                      cli.slow_log_path.c_str());
+        } else {
+          std::fprintf(stderr, "error: cannot write %s\n",
+                       cli.slow_log_path.c_str());
+        }
+      }
       std::printf("serve: shutdown epoch=%llu\n",
                   static_cast<unsigned long long>(server.epoch()));
       return 0;

@@ -159,18 +159,26 @@ def main(argv):
         return summarize_metrics(doc)
     events = doc["traceEvents"] if isinstance(doc, dict) else doc
     spans, threads, lane_busy = summarize(events)
-    if not spans:
-        print("no complete ('X') events in trace")
+    tracks = counter_tracks(events)
+    if not spans and not tracks:
+        print("no complete ('X') or counter ('C') events in trace")
         return 1
 
-    print(f"{'span':<28}{'count':>8}{'total':>12}{'mean':>12}{'max':>12}")
-    print("-" * 72)
-    for name, s in sorted(spans.items(), key=lambda kv: -kv[1]["total_us"]):
-        mean = s["total_us"] / s["count"]
-        print(f"{name:<28}{s['count']:>8}{fmt_us(s['total_us']):>12}"
-              f"{fmt_us(mean):>12}{fmt_us(s['max_us']):>12}")
+    # A counter-only trace (e.g. the background sampler running with no
+    # instrumented spans in scope) is still a valid summary: skip the span
+    # table, print the counter digest below, exit 0.
+    if spans:
+        print(f"{'span':<28}{'count':>8}{'total':>12}{'mean':>12}{'max':>12}")
+        print("-" * 72)
+        for name, s in sorted(spans.items(),
+                              key=lambda kv: -kv[1]["total_us"]):
+            mean = s["total_us"] / s["count"]
+            print(f"{name:<28}{s['count']:>8}{fmt_us(s['total_us']):>12}"
+                  f"{fmt_us(mean):>12}{fmt_us(s['max_us']):>12}")
+    else:
+        print("no complete ('X') events in trace; counter tracks only")
 
-    if "--by-thread" in argv[2:]:
+    if spans and "--by-thread" in argv[2:]:
         print()
         for label, names in sorted(by_thread(events, threads).items()):
             busy = sum(s["total_us"] for s in names.values())
@@ -180,7 +188,6 @@ def main(argv):
                 print(f"  {name:<26}{s['count']:>8}"
                       f"{fmt_us(s['total_us']):>12}")
 
-    tracks = counter_tracks(events)
     if tracks:
         print()
         print(f"{'counter track':<28}{'samples':>8}{'min':>12}"
